@@ -1,0 +1,658 @@
+package diesel
+
+// Repository-level benchmarks: one Benchmark per table/figure of the
+// paper (measuring the *real* implementations at laptop scale — the
+// simulated cluster-scale counterparts live in cmd/diesel-bench), plus
+// the ablation benchmarks DESIGN.md §5 calls out.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"diesel/internal/chunk"
+	"diesel/internal/client"
+	"diesel/internal/core"
+	"diesel/internal/dcache"
+	"diesel/internal/fuselite"
+	"diesel/internal/kvstore"
+	"diesel/internal/lustre"
+	"diesel/internal/memcached"
+	"diesel/internal/meta"
+	"diesel/internal/objstore"
+	"diesel/internal/server"
+	"diesel/internal/shuffle"
+	"diesel/internal/train"
+)
+
+// --- shared fixtures ---
+
+func randBytes(n int, seed int64) []byte {
+	b := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(b)
+	return b
+}
+
+func newGen() *chunk.IDGenerator {
+	return chunk.NewIDGeneratorAt([6]byte{1, 2, 3, 4, 5, 6}, 1, func() uint32 { return 1000 })
+}
+
+// localServer builds an in-process DIESEL server with a dataset of n
+// files of the given size loaded.
+func localServer(b *testing.B, dataset string, n, fileSize, chunkTarget int) (*server.Server, []string) {
+	b.Helper()
+	return loadedServer(b, objstore.NewMemory(), dataset, n, fileSize, chunkTarget)
+}
+
+// loadedServer is localServer over an arbitrary object store.
+func loadedServer(b *testing.B, store objstore.Store, dataset string, n, fileSize, chunkTarget int) (*server.Server, []string) {
+	b.Helper()
+	s := server.New(kvstore.NewLocal(), store, func() int64 { return time.Now().UnixNano() })
+	gen := newGen()
+	builder := chunk.NewBuilder(chunkTarget, gen, func() int64 { return 1 })
+	names := make([]string, n)
+	data := randBytes(fileSize, 5)
+	for i := range n {
+		names[i] = fmt.Sprintf("c%03d/f%06d.bin", i%100, i)
+		full, err := builder.Add(names[i], data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if full {
+			_, enc, _ := builder.Seal()
+			if _, err := s.Ingest(dataset, enc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if builder.Count() > 0 {
+		_, enc, _ := builder.Seal()
+		if _, err := s.Ingest(dataset, enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s, names
+}
+
+// --- Table 2: chunk size amortises per-file cost ---
+
+// BenchmarkTable2ReadBandwidth measures real read throughput from a disk
+// object store as the object size varies — the effect Table 2 reports:
+// per-object overhead dominates small reads, bandwidth dominates large.
+func BenchmarkTable2ReadBandwidth(b *testing.B) {
+	for _, kb := range []int{4, 64, 1024, 4096} {
+		b.Run(fmt.Sprintf("%dKB", kb), func(b *testing.B) {
+			dir := b.TempDir()
+			disk, err := objstore.NewDisk(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			const objects = 32
+			data := randBytes(kb<<10, 1)
+			for i := range objects {
+				disk.Put(fmt.Sprintf("o%04d", i), data)
+			}
+			b.SetBytes(int64(kb) << 10)
+			b.ResetTimer()
+			for i := 0; b.Loop(); i++ {
+				if _, err := disk.Get(fmt.Sprintf("o%04d", i%objects)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Figure 9: write path comparison ---
+//
+// These three benches exercise the real write paths at different
+// transport levels (DIESEL ingest in-process, memcached over loopback
+// TCP, the Lustre model's in-process bookkeeping), so their numbers are
+// not directly comparable to each other; the apples-to-apples Figure 9
+// comparison with modeled cluster hardware is `diesel-bench -exp fig9`.
+
+// BenchmarkFig9WriteDiesel writes 4 KB files through the real chunk
+// builder + ingest path.
+func BenchmarkFig9WriteDiesel(b *testing.B) {
+	s := server.NewLocalStack()
+	builder := chunk.NewBuilder(chunk.DefaultTargetSize, newGen(), func() int64 { return 1 })
+	data := randBytes(4096, 2)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; b.Loop(); i++ {
+		full, err := builder.Add(fmt.Sprintf("f%09d", i), data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if full {
+			_, enc, _ := builder.Seal()
+			if _, err := s.Ingest("ds", enc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig9WriteMemcached writes 4 KB objects one blocking RPC each
+// through the real memcached cluster — the baseline's per-op write cost.
+func BenchmarkFig9WriteMemcached(b *testing.B) {
+	srv, err := memcached.NewServer("127.0.0.1:0", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	r, err := memcached.NewRouter([]string{srv.Addr()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	data := randBytes(4096, 3)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; b.Loop(); i++ {
+		if err := r.Set(fmt.Sprintf("f%09d", i), data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9WriteLustre writes 4 KB files through the Lustre model's
+// create path (MDS + lock + OSS per file).
+func BenchmarkFig9WriteLustre(b *testing.B) {
+	c := lustre.New(lustre.Config{MDTs: 2, OSTs: 4, DNE: lustre.DNE1})
+	data := randBytes(4096, 4)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; b.Loop(); i++ {
+		if err := c.Create(fmt.Sprintf("d%03d/f%09d", i%50, i), data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 10a/10b: metadata paths ---
+
+// BenchmarkFig10aServerStat measures stat through the server + KV path
+// (the pre-snapshot metadata cost of Figure 10a).
+func BenchmarkFig10aServerStat(b *testing.B) {
+	s, names := localServer(b, "ds", 2000, 256, 1<<16)
+	b.ResetTimer()
+	for i := 0; b.Loop(); i++ {
+		if _, err := s.Stat("ds", names[i%len(names)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10bSnapshotQPS measures a stat against a loaded metadata
+// snapshot — the real per-op cost behind Figure 10b's linear scaling
+// (~1.8 µs/op in the paper's calibration; see cluster.Params).
+func BenchmarkFig10bSnapshotQPS(b *testing.B) {
+	s, names := localServer(b, "ds", 20000, 64, 1<<18)
+	snap, err := s.BuildSnapshot("ds")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; b.Loop(); i++ {
+		if _, err := snap.Stat(names[i%len(names)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10cWalkSnapshot is the ls -lR analogue: a full recursive
+// walk with sizes over a loaded snapshot.
+func BenchmarkFig10cWalkSnapshot(b *testing.B) {
+	s, _ := localServer(b, "ds", 20000, 64, 1<<18)
+	snap, err := s.BuildSnapshot("ds")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for b.Loop() {
+		n := 0
+		snap.Walk("", func(string, meta.FileMeta) bool { n++; return true })
+		if n != 20000 {
+			b.Fatal("walk incomplete")
+		}
+	}
+}
+
+// --- Figure 11a: read path comparison (real loopback stacks) ---
+
+// BenchmarkFig11aReadAPI reads 4 KB files through the full networked
+// stack: libDIESEL → task-grained cache → peer/server.
+func BenchmarkFig11aReadAPI(b *testing.B) {
+	dep, task, names := benchTask(b, 512, 4096)
+	defer dep.Close()
+	defer task.Close()
+	cl := task.Clients[1]
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; b.Loop(); i++ {
+		if _, err := cl.Get(names[i%len(names)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11aReadFUSE reads the same files through the FUSE layer.
+func BenchmarkFig11aReadFUSE(b *testing.B) {
+	dep, task, names := benchTask(b, 512, 4096)
+	defer dep.Close()
+	defer task.Close()
+	fsys, err := fuselite.Mount(fuselite.Config{Clients: []*client.Client{task.Clients[1]}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; b.Loop(); i++ {
+		if _, err := fsys.ReadFile(names[i%len(names)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchTask(b *testing.B, n, fileSize int) (*core.Deployment, *core.Task, []string) {
+	b.Helper()
+	dep, err := core.Deploy(core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := dep.NewClient("bench", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := make([]string, n)
+	data := randBytes(fileSize, 6)
+	for i := range n {
+		names[i] = fmt.Sprintf("c%02d/f%05d", i%10, i)
+		if err := w.Put(names[i], data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	w.Close()
+	task, err := dep.StartTask(core.TaskConfig{
+		Dataset: "bench", Nodes: 2, ClientsPerNode: 2, Policy: dcache.Oneshot,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range task.Peers {
+		if p.IsMaster() {
+			p.LoadOwned()
+		}
+	}
+	return dep, task, names
+}
+
+// --- Figure 11b: cache load at chunk vs file granularity ---
+
+// BenchmarkFig11bChunkLoad measures loading a dataset partition into the
+// cache chunk-by-chunk (DIESEL's recovery path).
+func BenchmarkFig11bChunkLoad(b *testing.B) {
+	dep, task, _ := benchTask(b, 1024, 2048)
+	defer dep.Close()
+	defer task.Close()
+	var master *dcache.Peer
+	for _, p := range task.Peers {
+		if p.IsMaster() {
+			master = p
+			break
+		}
+	}
+	b.ResetTimer()
+	for b.Loop() {
+		master.DropAll()
+		if err := master.LoadOwned(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11bFileLoad measures filling the memcached baseline
+// file-by-file — the slow recovery of Figure 11b.
+func BenchmarkFig11bFileLoad(b *testing.B) {
+	srv, err := memcached.NewServer("127.0.0.1:0", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	r, err := memcached.NewRouter([]string{srv.Addr()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	const files = 512
+	data := randBytes(2048, 7)
+	b.ResetTimer()
+	for b.Loop() {
+		for i := range files {
+			if err := r.Set(fmt.Sprintf("f%05d", i), data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Figure 12: chunk-wise shuffle read efficiency ---
+
+// BenchmarkFig12ReadBandwidth reads a full epoch in chunk-wise shuffled
+// order through the request executor, measuring delivered bytes.
+func BenchmarkFig12ReadBandwidth(b *testing.B) {
+	s, _ := localServer(b, "ds", 4096, 1024, 64<<10)
+	snap, err := s.BuildSnapshot("ds")
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := shuffle.ChunkWisePlan(snap, 1, 8)
+	b.SetBytes(int64(snap.TotalBytes()))
+	b.ResetTimer()
+	for b.Loop() {
+		// Read group by group, batched — the access pattern the shuffle
+		// produces.
+		for _, g := range plan.Groups {
+			paths := make([]string, 0, g.End-g.Start)
+			for _, fi := range plan.Files[g.Start:g.End] {
+				paths = append(paths, snap.FileName(int(fi)))
+			}
+			if _, err := s.GetFiles("ds", paths); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkShuffleGenerate measures generating a chunk-wise epoch order
+// for an ImageNet-scale file count — the §4.3 claim that the shuffle's
+// footprint is tiny.
+func BenchmarkShuffleGenerate(b *testing.B) {
+	sb := meta.NewSnapshotBuilder("big", 1)
+	const files = 1_281_167
+	const perChunk = 37 // ≈4MB / 110KB
+	for c := 0; c*perChunk < files; c++ {
+		var id chunk.ID
+		id[0], id[1], id[2] = byte(c>>16), byte(c>>8), byte(c)
+		ci := sb.AddChunk(id, 4<<20, 128)
+		for j := 0; j < perChunk && c*perChunk+j < files; j++ {
+			i := c*perChunk + j
+			sb.AddFile(fmt.Sprintf("f/%07d", i), meta.FileMeta{ChunkIdx: ci, Index: uint32(j), Length: 110 << 10})
+		}
+	}
+	snap := sb.Build()
+	b.ResetTimer()
+	for i := 0; b.Loop(); i++ {
+		p := shuffle.ChunkWisePlan(snap, int64(i), 500)
+		if p.NumFiles() != files {
+			b.Fatal("bad plan")
+		}
+	}
+}
+
+// --- Figure 13: training-step cost of the real models ---
+
+// BenchmarkFig13TrainEpoch measures one training epoch of the Figure 13
+// MLP under the chunk-wise order.
+func BenchmarkFig13TrainEpoch(b *testing.B) {
+	ds := train.MakeClusters(2000, 16, 10, 1.8, 1)
+	snap := train.DatasetSnapshot(ds.N(), 50)
+	cw := train.ChunkWise{Snap: snap, GroupSize: 15, Seed: 1}
+	m := train.NewMLP(16, 24, 10, 1)
+	b.ResetTimer()
+	for i := 0; b.Loop(); i++ {
+		train.TrainEpoch(m, ds, cw.EpochOrder(i), 32, 0.2)
+	}
+}
+
+// --- recovery (§4.1.2) ---
+
+// BenchmarkRecoveryScan measures rebuilding the metadata database from
+// self-contained chunks (scenario b).
+func BenchmarkRecoveryScan(b *testing.B) {
+	obj := objstore.NewMemory()
+	kv := kvstore.NewLocal()
+	s := server.New(kv, obj, func() int64 { return time.Now().UnixNano() })
+	builder := chunk.NewBuilder(64<<10, newGen(), func() int64 { return 1 })
+	data := randBytes(512, 8)
+	for i := range 2000 {
+		full, _ := builder.Add(fmt.Sprintf("f%06d", i), data)
+		if full {
+			_, enc, _ := builder.Seal()
+			s.Ingest("ds", enc)
+		}
+	}
+	if builder.Count() > 0 {
+		_, enc, _ := builder.Seal()
+		s.Ingest("ds", enc)
+	}
+	b.ResetTimer()
+	for b.Loop() {
+		kv.FlushAll()
+		if _, err := s.RecoverMetadata("ds", 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablations (DESIGN.md §5) ---
+
+// BenchmarkAblationChunkSize sweeps the chunk size: larger chunks
+// amortise per-chunk costs on the write path but raise read
+// amplification for single-file reads.
+func BenchmarkAblationChunkSize(b *testing.B) {
+	for _, mb := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("%dMB", mb), func(b *testing.B) {
+			s := server.NewLocalStack()
+			builder := chunk.NewBuilder(mb<<20, newGen(), func() int64 { return 1 })
+			data := randBytes(4096, 9)
+			b.SetBytes(4096)
+			b.ResetTimer()
+			for i := 0; b.Loop(); i++ {
+				full, _ := builder.Add(fmt.Sprintf("f%09d", i), data)
+				if full {
+					_, enc, _ := builder.Seal()
+					if _, err := s.Ingest("ds", enc); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationExecutorMerge compares the request executor with and
+// without sort-and-merge on a full-dataset batch, against two backends:
+// an in-memory store (where merging only changes copying and merge-off
+// can win) and a latency-bound store modelling a networked object store
+// at 100 µs per request — where merging collapses hundreds of range
+// reads into a few chunk reads and wins by an order of magnitude. The
+// executor exists for the second case.
+func BenchmarkAblationExecutorMerge(b *testing.B) {
+	backends := []struct {
+		name  string
+		store func() objstore.Store
+		files int
+	}{
+		{"mem", func() objstore.Store { return objstore.NewMemory() }, 1024},
+		{"latency100us", func() objstore.Store {
+			return &objstore.Throttled{Base: objstore.NewMemory(), Latency: 100 * time.Microsecond}
+		}, 128},
+	}
+	for _, be := range backends {
+		for _, merge := range []bool{true, false} {
+			name := be.name + "/merge-off"
+			if merge {
+				name = be.name + "/merge-on"
+			}
+			b.Run(name, func(b *testing.B) {
+				s, names := loadedServer(b, be.store(), "ds", be.files, 1024, 64<<10)
+				s.Exec.Merge = merge
+				b.SetBytes(int64(len(names)) * 1024)
+				b.ResetTimer()
+				for b.Loop() {
+					if _, err := s.GetFiles("ds", names); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationSnapshotVsServer compares the two metadata paths
+// directly (the essence of Figure 10a vs 10b).
+func BenchmarkAblationSnapshotVsServer(b *testing.B) {
+	s, names := localServer(b, "ds", 4096, 128, 1<<18)
+	snap, err := s.BuildSnapshot("ds")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("snapshot", func(b *testing.B) {
+		for i := 0; b.Loop(); i++ {
+			if _, err := snap.Stat(names[i%len(names)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("server", func(b *testing.B) {
+		for i := 0; b.Loop(); i++ {
+			if _, err := s.Stat("ds", names[i%len(names)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationGroupSize sweeps the chunk-wise shuffle group size:
+// bigger groups shuffle better but need more cache memory.
+func BenchmarkAblationGroupSize(b *testing.B) {
+	s, _ := localServer(b, "ds", 8192, 256, 32<<10)
+	snap, err := s.BuildSnapshot("ds")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, g := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("g%d", g), func(b *testing.B) {
+			for i := 0; b.Loop(); i++ {
+				p := shuffle.ChunkWisePlan(snap, int64(i), g)
+				if p.NumFiles() != snap.NumFiles() {
+					b.Fatal("bad plan")
+				}
+			}
+		})
+	}
+}
+
+// --- core data-structure benches ---
+
+// BenchmarkChunkBuildSeal measures chunk packing throughput.
+func BenchmarkChunkBuildSeal(b *testing.B) {
+	data := randBytes(110<<10, 10)
+	b.SetBytes(110 << 10)
+	gen := newGen()
+	builder := chunk.NewBuilder(chunk.DefaultTargetSize, gen, func() int64 { return 1 })
+	b.ResetTimer()
+	for i := 0; b.Loop(); i++ {
+		full, err := builder.Add(fmt.Sprintf("f%09d", i), data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if full {
+			builder.Seal()
+		}
+	}
+}
+
+// BenchmarkChunkParse measures decoding a sealed 4 MB chunk.
+func BenchmarkChunkParse(b *testing.B) {
+	gen := newGen()
+	builder := chunk.NewBuilder(chunk.DefaultTargetSize, gen, func() int64 { return 1 })
+	data := randBytes(4096, 11)
+	for i := 0; !builder.Full(); i++ {
+		builder.Add(fmt.Sprintf("f%06d", i), data)
+	}
+	_, enc, _ := builder.Seal()
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for b.Loop() {
+		if _, err := chunk.Parse(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKVStoreOps measures the metadata store's raw set/get/scan.
+func BenchmarkKVStoreOps(b *testing.B) {
+	st := kvstore.NewStore()
+	for i := range 10000 {
+		st.Set(fmt.Sprintf("k%06d", i), []byte("v"))
+	}
+	b.Run("get", func(b *testing.B) {
+		for i := 0; b.Loop(); i++ {
+			st.Get(fmt.Sprintf("k%06d", i%10000))
+		}
+	})
+	b.Run("set", func(b *testing.B) {
+		for i := 0; b.Loop(); i++ {
+			st.Set(fmt.Sprintf("n%09d", i), []byte("v"))
+		}
+	})
+	b.Run("pscan100", func(b *testing.B) {
+		for b.Loop() {
+			keys, _ := st.ScanPrefix("k0001")
+			if len(keys) < 100 {
+				b.Fatal("scan short")
+			}
+		}
+	})
+}
+
+// BenchmarkSnapshotDecode measures loading a snapshot from its on-disk
+// form (the client start-up cost §4.1.3 trades for local metadata).
+func BenchmarkSnapshotDecode(b *testing.B) {
+	s, _ := localServer(b, "ds", 50000, 64, 1<<20)
+	snap, err := s.BuildSnapshot("ds")
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := snap.Encode()
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for b.Loop() {
+		if _, err := meta.DecodeSnapshot(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLoaderEpoch measures the pipelined data loader (Figure 1's
+// DataLoader pattern) streaming a full epoch through the task-grained
+// cache over loopback TCP.
+func BenchmarkLoaderEpoch(b *testing.B) {
+	dep, task, names := benchTask(b, 512, 2048)
+	defer dep.Close()
+	defer task.Close()
+	cl := task.Clients[1]
+	b.SetBytes(int64(len(names)) * 2048)
+	b.ResetTimer()
+	for i := 0; b.Loop(); i++ {
+		l := train.NewLoader(cl.Get, names, train.LoaderConfig{Workers: 8, BatchSize: 32})
+		for {
+			_, ok, err := l.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+		}
+		l.Close()
+	}
+}

@@ -1,0 +1,69 @@
+// Command diesel-server runs a DIESEL server (Figure 2): it hides the
+// object store and the metadata key-value cluster behind the DIESEL RPC
+// protocol that libDIESEL clients and DLCMD speak.
+//
+// Usage:
+//
+//	kvnode -addr :7401 &
+//	kvnode -addr :7402 &
+//	diesel-server -addr :7400 -kv 127.0.0.1:7401,127.0.0.1:7402 -store /data/diesel
+//
+// Multiple diesel-server processes may share the same -kv cluster and
+// -store directory; servers are stateless, so clients can round-robin
+// across them (the paper evaluates 1, 3 and 5 servers).
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"diesel/internal/kvstore"
+	"diesel/internal/objstore"
+	"diesel/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7400", "listen address")
+	kvAddrs := flag.String("kv", "", "comma-separated kvnode addresses (required)")
+	storeDir := flag.String("store", "", "chunk storage directory (empty = in-memory)")
+	ssdCache := flag.Int64("ssd-cache", 0, "fast-tier cache capacity in bytes (0 = disabled)")
+	flag.Parse()
+
+	if *kvAddrs == "" {
+		log.Fatal("diesel-server: -kv is required")
+	}
+	kv, err := kvstore.DialCluster(strings.Split(*kvAddrs, ","), 4)
+	if err != nil {
+		log.Fatalf("diesel-server: %v", err)
+	}
+
+	var objects objstore.Store
+	if *storeDir != "" {
+		objects, err = objstore.NewDisk(*storeDir)
+		if err != nil {
+			log.Fatalf("diesel-server: %v", err)
+		}
+	} else {
+		objects = objstore.NewMemory()
+	}
+	if *ssdCache > 0 {
+		objects = objstore.NewTiered(objstore.NewMemory(), objects, *ssdCache)
+	}
+
+	core := server.New(kv, objects, func() int64 { return time.Now().UnixNano() })
+	rpc, err := server.NewRPC(core, *addr)
+	if err != nil {
+		log.Fatalf("diesel-server: %v", err)
+	}
+	log.Printf("diesel-server serving on %s (kv=%s store=%q)", rpc.Addr(), *kvAddrs, *storeDir)
+
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+	log.Printf("diesel-server: %d requests served, shutting down", rpc.Requests())
+	rpc.Close()
+}

@@ -1,0 +1,230 @@
+// Command dlcmd manages datasets in DIESEL — the s3cmd-style tool of §5.
+//
+// Usage:
+//
+//	dlcmd -servers 127.0.0.1:7400 -dataset imagenet <command> [args]
+//
+// Commands:
+//
+//	put <local-file> <remote-path>   upload one file
+//	put-dir <local-dir> [prefix]     upload a directory tree
+//	get <remote-path> [local-file]   download one file (stdout by default)
+//	ls [dir]                         list a directory
+//	stat <remote-path>               show one file's metadata
+//	rm <remote-path>                 delete one file
+//	info                             dataset summary record
+//	save-meta <file>                 download the metadata snapshot
+//	purge                            merge chunks with deletion holes
+//	recover [from-unix-seconds]      rebuild metadata from chunks (§4.1.2)
+//	rm-dataset                       delete the entire dataset
+//	gen <files> <mean-size>          generate a synthetic dataset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"diesel/internal/client"
+	"diesel/internal/trace"
+)
+
+func main() {
+	servers := flag.String("servers", "127.0.0.1:7400", "comma-separated DIESEL server addresses")
+	dataset := flag.String("dataset", "", "dataset name (required)")
+	flag.Parse()
+	if *dataset == "" || flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	c, err := client.Connect(client.Options{
+		User: "dlcmd", Key: "",
+		Servers: strings.Split(*servers, ","),
+		Dataset: *dataset,
+	})
+	if err != nil {
+		log.Fatalf("dlcmd: %v", err)
+	}
+	defer c.Close()
+
+	args := flag.Args()
+	cmd, args := args[0], args[1:]
+	if err := run(c, *dataset, cmd, args); err != nil {
+		log.Fatalf("dlcmd %s: %v", cmd, err)
+	}
+}
+
+func run(c *client.Client, dataset, cmd string, args []string) error {
+	switch cmd {
+	case "put":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: put <local> <remote>")
+		}
+		b, err := os.ReadFile(args[0])
+		if err != nil {
+			return err
+		}
+		if err := c.Put(args[1], b); err != nil {
+			return err
+		}
+		return c.Flush()
+
+	case "put-dir":
+		if len(args) < 1 {
+			return fmt.Errorf("usage: put-dir <dir> [prefix]")
+		}
+		prefix := ""
+		if len(args) > 1 {
+			prefix = strings.TrimSuffix(args[1], "/") + "/"
+		}
+		n := 0
+		err := filepath.WalkDir(args[0], func(p string, d fs.DirEntry, err error) error {
+			if err != nil || d.IsDir() {
+				return err
+			}
+			rel, err := filepath.Rel(args[0], p)
+			if err != nil {
+				return err
+			}
+			b, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			n++
+			return c.Put(prefix+filepath.ToSlash(rel), b)
+		})
+		if err != nil {
+			return err
+		}
+		if err := c.Flush(); err != nil {
+			return err
+		}
+		fmt.Printf("uploaded %d files\n", n)
+		return nil
+
+	case "get":
+		if len(args) < 1 {
+			return fmt.Errorf("usage: get <remote> [local]")
+		}
+		b, err := c.Get(args[0])
+		if err != nil {
+			return err
+		}
+		if len(args) > 1 {
+			return os.WriteFile(args[1], b, 0o644)
+		}
+		_, err = os.Stdout.Write(b)
+		return err
+
+	case "ls":
+		dir := ""
+		if len(args) > 0 {
+			dir = args[0]
+		}
+		ents, err := c.Ls(dir)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if e.IsDir {
+				fmt.Printf("%12s  %s/\n", "-", e.Name)
+			} else {
+				fmt.Printf("%12d  %s\n", e.Size, e.Name)
+			}
+		}
+		return nil
+
+	case "stat":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: stat <remote>")
+		}
+		si, err := c.Stat(args[0])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("path:    %s\nsize:    %d\nchunk:   %s\n", args[0], si.Size, si.ChunkID)
+		return nil
+
+	case "rm":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: rm <remote>")
+		}
+		return c.Delete(args[0])
+
+	case "info":
+		rec, err := c.DatasetRecord()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("dataset: %s\nfiles:   %d\nchunks:  %d\nbytes:   %d\nupdated: %s\n",
+			dataset, rec.FileCount, rec.ChunkCount, rec.TotalBytes,
+			time.Unix(0, rec.UpdatedNS).Format(time.RFC3339))
+		return nil
+
+	case "save-meta":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: save-meta <file>")
+		}
+		if err := c.SaveMeta(args[0]); err != nil {
+			return err
+		}
+		fmt.Printf("snapshot saved to %s\n", args[0])
+		return nil
+
+	case "purge":
+		return c.Purge()
+
+	case "recover":
+		fromSec := uint32(0)
+		if len(args) > 0 {
+			v, err := strconv.ParseUint(args[0], 10, 32)
+			if err != nil {
+				return fmt.Errorf("recover: bad timestamp %q", args[0])
+			}
+			fromSec = uint32(v)
+		}
+		scanned, skipped, pairs, err := c.Recover(fromSec)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("recovered: %d chunks scanned, %d skipped, %d metadata pairs rewritten\n",
+			scanned, skipped, pairs)
+		return nil
+
+	case "rm-dataset":
+		return c.DeleteDataset()
+
+	case "gen":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: gen <files> <mean-size>")
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil {
+			return err
+		}
+		sz, err := strconv.Atoi(args[1])
+		if err != nil {
+			return err
+		}
+		spec := trace.Spec{
+			Name: dataset, NumFiles: n, Classes: max(1, n/50),
+			MeanFileSize: sz, SizeSpread: 0.4, Seed: 11,
+		}
+		start := time.Now()
+		if err := trace.Write(spec, func(int) (trace.Putter, error) { return c, nil }, 1); err != nil {
+			return err
+		}
+		fmt.Printf("generated %d files (%d bytes) in %v\n", n, spec.TotalBytes(), time.Since(start))
+		return nil
+
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}

@@ -1,0 +1,34 @@
+// Command kvnode runs one node of DIESEL's metadata key-value database
+// (the role one Redis instance plays in the paper). Point diesel-server's
+// -kv flag at a comma-separated list of kvnode addresses.
+//
+// Usage:
+//
+//	kvnode -addr :7401
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+
+	"diesel/internal/kvstore"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7401", "listen address")
+	flag.Parse()
+
+	s, err := kvstore.NewServer(*addr)
+	if err != nil {
+		log.Fatalf("kvnode: %v", err)
+	}
+	log.Printf("kvnode serving on %s", s.Addr())
+
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+	log.Printf("kvnode: %d requests served, shutting down", s.Requests())
+	s.Close()
+}

@@ -1,0 +1,15 @@
+// Package diesel is a from-scratch Go reproduction of "DIESEL: A
+// Dataset-Based Distributed Storage and Caching System for Large-Scale
+// Deep Learning Training" (Wang et al., ICPP 2020).
+//
+// The implementation lives under internal/: the chunk format, the
+// metadata layer with snapshots, the DIESEL server and libDIESEL client,
+// the task-grained distributed cache, the chunk-wise shuffle, a FUSE-like
+// POSIX layer, the Lustre/Memcached/Redis/etcd substrates the paper
+// builds on or compares against, and a discrete-event cluster simulator
+// that regenerates the paper's performance figures. See README.md for the
+// tour and DESIGN.md for the system inventory and per-experiment index.
+//
+// This root package holds only the repository-level benchmark suite
+// (bench_test.go), which exercises the real implementations.
+package diesel

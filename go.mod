@@ -1,0 +1,3 @@
+module diesel
+
+go 1.24

@@ -1,0 +1,92 @@
+package chunk
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Builder accumulates small files and seals them into a chunk once the
+// payload reaches the target size. The DIESEL client uses one builder per
+// write stream to aggregate files before shipping them to the server
+// (Figure 3), which is what turns millions of tiny writes into a few large
+// object-store writes.
+//
+// Builder is not safe for concurrent use; each writer goroutine owns one.
+type Builder struct {
+	target  int
+	gen     *IDGenerator
+	nowNS   func() int64
+	entries []FileEntry
+	payload []byte
+	names   map[string]struct{}
+}
+
+// ErrDuplicateName is returned when a file name is added twice to the same
+// chunk. Duplicate names across chunks are legal (the newer chunk wins at
+// the metadata layer); within one chunk they would make lookups ambiguous.
+var ErrDuplicateName = errors.New("chunk: duplicate file name in chunk")
+
+// ErrEmptyChunk is returned by Seal when no files were added.
+var ErrEmptyChunk = errors.New("chunk: sealing empty chunk")
+
+// NewBuilder returns a builder that seals at targetSize payload bytes
+// (DefaultTargetSize if targetSize <= 0). nowNS supplies update timestamps.
+func NewBuilder(targetSize int, gen *IDGenerator, nowNS func() int64) *Builder {
+	if targetSize <= 0 {
+		targetSize = DefaultTargetSize
+	}
+	return &Builder{
+		target: targetSize,
+		gen:    gen,
+		nowNS:  nowNS,
+		names:  make(map[string]struct{}),
+	}
+}
+
+// Len reports the current payload size in bytes.
+func (b *Builder) Len() int { return len(b.payload) }
+
+// Count reports the number of files added so far.
+func (b *Builder) Count() int { return len(b.entries) }
+
+// Full reports whether the payload has reached the target size.
+func (b *Builder) Full() bool { return len(b.payload) >= b.target }
+
+// Add appends one file. It reports whether the chunk is full after the
+// append, signalling the caller to Seal and start a new chunk.
+func (b *Builder) Add(name string, data []byte) (full bool, err error) {
+	if len(name) > 0xFFFF {
+		return false, fmt.Errorf("chunk: file name too long (%d bytes)", len(name))
+	}
+	if _, dup := b.names[name]; dup {
+		return false, fmt.Errorf("%w: %q", ErrDuplicateName, name)
+	}
+	b.names[name] = struct{}{}
+	b.entries = append(b.entries, FileEntry{
+		Name:   name,
+		Offset: uint64(len(b.payload)),
+		Length: uint64(len(data)),
+	})
+	b.payload = append(b.payload, data...)
+	return b.Full(), nil
+}
+
+// Seal serialises the accumulated files into a chunk, returning the header
+// and the encoded bytes, then resets the builder for the next chunk.
+func (b *Builder) Seal() (*Header, []byte, error) {
+	if len(b.entries) == 0 {
+		return nil, nil, ErrEmptyChunk
+	}
+	h := &Header{
+		ID:         b.gen.Next(),
+		UpdatedNS:  b.nowNS(),
+		Deleted:    NewBitmap(len(b.entries)),
+		Entries:    b.entries,
+		PayloadLen: uint64(len(b.payload)),
+	}
+	encoded := Encode(h, b.payload)
+	b.entries = nil
+	b.payload = nil
+	b.names = make(map[string]struct{})
+	return h, encoded, nil
+}

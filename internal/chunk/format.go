@@ -1,0 +1,296 @@
+package chunk
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// DefaultTargetSize is the chunk payload size at which a Builder seals,
+// matching the paper's ≥4 MB chunks.
+const DefaultTargetSize = 4 << 20
+
+// FormatMagic identifies a serialised chunk.
+const FormatMagic uint32 = 0xD1E5C401
+
+// FormatVersion is bumped on incompatible layout changes.
+const FormatVersion uint16 = 1
+
+// Serialised chunk layout:
+//
+//	offset size  field
+//	0      4     magic
+//	4      2     version
+//	6      16    chunk ID
+//	22     8     update timestamp (Unix nanoseconds)
+//	30     4     file count F
+//	34     4     deleted count
+//	38     8     payload length
+//	46     4     header CRC32 (over bytes [0,46) ++ bitmap ++ entry table)
+//	50     4     payload CRC32
+//	54     B     deletion bitmap, B = ceil(F/8)
+//	54+B   …     entry table: per file, u16 name length + name + u64 offset + u64 length
+//	…      P     payload (concatenated file contents)
+//
+// Offsets in the entry table are relative to the start of the payload
+// region, so entries stay valid if the header is rewritten in place (e.g.
+// when the deletion bitmap changes).
+const fixedHeaderSize = 54
+
+// FileEntry describes one file inside a chunk.
+type FileEntry struct {
+	Name   string // full path of the file within its dataset
+	Offset uint64 // byte offset of the content inside the payload region
+	Length uint64 // content length in bytes
+}
+
+// Header is the decoded metadata of a chunk — everything the DIESEL server
+// needs to rebuild the key-value metadata without touching the payload.
+type Header struct {
+	ID         ID
+	UpdatedNS  int64 // update timestamp, Unix nanoseconds
+	Deleted    Bitmap
+	Entries    []FileEntry
+	PayloadLen uint64
+}
+
+// DeletedCount returns the number of set bits in the deletion bitmap.
+func (h *Header) DeletedCount() int { return h.Deleted.Count() }
+
+// EncodedHeaderLen returns the byte length of the serialised header, i.e.
+// the offset at which the payload region begins. File content of entry e
+// therefore lives at [EncodedHeaderLen()+e.Offset, …+e.Length) in the
+// encoded chunk, which is what lets the server serve single files as
+// object-store range reads.
+func (h *Header) EncodedHeaderLen() int {
+	n := fixedHeaderSize + (len(h.Entries)+7)/8
+	for _, e := range h.Entries {
+		n += 2 + len(e.Name) + 16
+	}
+	return n
+}
+
+// LiveBytes returns the total length of non-deleted files, used by the
+// housekeeping purge to decide which chunks are worth rewriting.
+func (h *Header) LiveBytes() uint64 {
+	var n uint64
+	for i, e := range h.Entries {
+		if !h.Deleted.Get(i) {
+			n += e.Length
+		}
+	}
+	return n
+}
+
+// Errors returned by Parse and related functions.
+var (
+	ErrBadMagic    = errors.New("chunk: bad magic")
+	ErrBadVersion  = errors.New("chunk: unsupported version")
+	ErrTruncated   = errors.New("chunk: truncated")
+	ErrHeaderCRC   = errors.New("chunk: header checksum mismatch")
+	ErrPayloadCRC  = errors.New("chunk: payload checksum mismatch")
+	ErrFileDeleted = errors.New("chunk: file is deleted")
+	ErrNoSuchFile  = errors.New("chunk: no such file in chunk")
+)
+
+// Bitmap is a simple bit set used for the per-chunk deletion bitmap.
+type Bitmap []byte
+
+// NewBitmap returns a bitmap able to hold n bits.
+func NewBitmap(n int) Bitmap { return make(Bitmap, (n+7)/8) }
+
+// Get reports bit i. Out-of-range bits read as false.
+func (b Bitmap) Get(i int) bool {
+	if i < 0 || i/8 >= len(b) {
+		return false
+	}
+	return b[i/8]&(1<<(uint(i)%8)) != 0
+}
+
+// Set sets bit i. Out-of-range sets are ignored.
+func (b Bitmap) Set(i int) {
+	if i < 0 || i/8 >= len(b) {
+		return
+	}
+	b[i/8] |= 1 << (uint(i) % 8)
+}
+
+// Clear clears bit i.
+func (b Bitmap) Clear(i int) {
+	if i < 0 || i/8 >= len(b) {
+		return
+	}
+	b[i/8] &^= 1 << (uint(i) % 8)
+}
+
+// Count returns the number of set bits.
+func (b Bitmap) Count() int {
+	n := 0
+	for _, x := range b {
+		for ; x != 0; x &= x - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns an independent copy.
+func (b Bitmap) Clone() Bitmap { return append(Bitmap(nil), b...) }
+
+// Encode serialises a complete chunk: header, bitmap, entry table and
+// payload. The payload slice must contain the file contents at the offsets
+// recorded in h.Entries.
+func Encode(h *Header, payload []byte) []byte {
+	entryBytes := 0
+	for _, e := range h.Entries {
+		entryBytes += 2 + len(e.Name) + 16
+	}
+	bitmapLen := (len(h.Entries) + 7) / 8
+	headerLen := fixedHeaderSize + bitmapLen + entryBytes
+	buf := make([]byte, headerLen+len(payload))
+
+	binary.BigEndian.PutUint32(buf[0:4], FormatMagic)
+	binary.BigEndian.PutUint16(buf[4:6], FormatVersion)
+	copy(buf[6:22], h.ID[:])
+	binary.BigEndian.PutUint64(buf[22:30], uint64(h.UpdatedNS))
+	binary.BigEndian.PutUint32(buf[30:34], uint32(len(h.Entries)))
+	binary.BigEndian.PutUint32(buf[34:38], uint32(h.Deleted.Count()))
+	binary.BigEndian.PutUint64(buf[38:46], uint64(len(payload)))
+	// CRCs filled below.
+
+	off := fixedHeaderSize
+	bm := h.Deleted
+	if len(bm) < bitmapLen {
+		bm = append(bm.Clone(), make(Bitmap, bitmapLen-len(bm))...)
+	}
+	copy(buf[off:off+bitmapLen], bm[:bitmapLen])
+	off += bitmapLen
+	for _, e := range h.Entries {
+		binary.BigEndian.PutUint16(buf[off:], uint16(len(e.Name)))
+		off += 2
+		copy(buf[off:], e.Name)
+		off += len(e.Name)
+		binary.BigEndian.PutUint64(buf[off:], e.Offset)
+		off += 8
+		binary.BigEndian.PutUint64(buf[off:], e.Length)
+		off += 8
+	}
+	copy(buf[headerLen:], payload)
+
+	binary.BigEndian.PutUint32(buf[50:54], crc32.ChecksumIEEE(payload))
+	binary.BigEndian.PutUint32(buf[46:50], headerCRC(buf[:headerLen]))
+	return buf
+}
+
+// headerCRC computes the CRC over the header with the two CRC fields zeroed.
+func headerCRC(hdr []byte) uint32 {
+	h := crc32.NewIEEE()
+	h.Write(hdr[:46])
+	var zero [8]byte
+	h.Write(zero[:]) // in place of the two CRC fields
+	h.Write(hdr[54:])
+	return h.Sum32()
+}
+
+// ParseHeader decodes only the header of a serialised chunk, verifying the
+// header CRC but not reading the payload. Metadata recovery scans use it to
+// rebuild key-value pairs cheaply.
+func ParseHeader(b []byte) (*Header, int, error) {
+	if len(b) < fixedHeaderSize {
+		return nil, 0, ErrTruncated
+	}
+	if binary.BigEndian.Uint32(b[0:4]) != FormatMagic {
+		return nil, 0, ErrBadMagic
+	}
+	if v := binary.BigEndian.Uint16(b[4:6]); v != FormatVersion {
+		return nil, 0, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	h := &Header{}
+	copy(h.ID[:], b[6:22])
+	h.UpdatedNS = int64(binary.BigEndian.Uint64(b[22:30]))
+	nfiles := int(binary.BigEndian.Uint32(b[30:34]))
+	h.PayloadLen = binary.BigEndian.Uint64(b[38:46])
+	wantCRC := binary.BigEndian.Uint32(b[46:50])
+
+	bitmapLen := (nfiles + 7) / 8
+	off := fixedHeaderSize
+	if len(b) < off+bitmapLen {
+		return nil, 0, ErrTruncated
+	}
+	h.Deleted = Bitmap(append([]byte(nil), b[off:off+bitmapLen]...))
+	off += bitmapLen
+
+	h.Entries = make([]FileEntry, 0, nfiles)
+	for i := 0; i < nfiles; i++ {
+		if len(b) < off+2 {
+			return nil, 0, ErrTruncated
+		}
+		nameLen := int(binary.BigEndian.Uint16(b[off:]))
+		off += 2
+		if len(b) < off+nameLen+16 {
+			return nil, 0, ErrTruncated
+		}
+		e := FileEntry{Name: string(b[off : off+nameLen])}
+		off += nameLen
+		e.Offset = binary.BigEndian.Uint64(b[off:])
+		e.Length = binary.BigEndian.Uint64(b[off+8:])
+		off += 16
+		h.Entries = append(h.Entries, e)
+	}
+	if headerCRC(b[:off]) != wantCRC {
+		return nil, 0, ErrHeaderCRC
+	}
+	return h, off, nil
+}
+
+// Chunk is a parsed, readable chunk.
+type Chunk struct {
+	Header  *Header
+	payload []byte
+}
+
+// Parse decodes a full serialised chunk and verifies both checksums.
+func Parse(b []byte) (*Chunk, error) {
+	h, headerLen, err := ParseHeader(b)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(b)-headerLen) < h.PayloadLen {
+		return nil, ErrTruncated
+	}
+	payload := b[headerLen : headerLen+int(h.PayloadLen)]
+	if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(b[50:54]) {
+		return nil, ErrPayloadCRC
+	}
+	return &Chunk{Header: h, payload: payload}, nil
+}
+
+// Payload exposes the raw payload region.
+func (c *Chunk) Payload() []byte { return c.payload }
+
+// FileAt returns the content of the i-th file. The returned slice aliases
+// the chunk buffer.
+func (c *Chunk) FileAt(i int) ([]byte, error) {
+	if i < 0 || i >= len(c.Header.Entries) {
+		return nil, ErrNoSuchFile
+	}
+	if c.Header.Deleted.Get(i) {
+		return nil, ErrFileDeleted
+	}
+	e := c.Header.Entries[i]
+	if e.Offset+e.Length > uint64(len(c.payload)) {
+		return nil, ErrTruncated
+	}
+	return c.payload[e.Offset : e.Offset+e.Length], nil
+}
+
+// File returns the content of the file with the given name.
+func (c *Chunk) File(name string) ([]byte, error) {
+	for i, e := range c.Header.Entries {
+		if e.Name == name {
+			return c.FileAt(i)
+		}
+	}
+	return nil, fmt.Errorf("%w: %q", ErrNoSuchFile, name)
+}

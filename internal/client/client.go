@@ -1,0 +1,523 @@
+// Package client implements libDIESEL, the client library of Table 3 in
+// the paper. A Client is the "libDIESEL context" returned by DL_connect:
+// it aggregates written files into ≥4 MB chunks before shipping them to a
+// DIESEL server (Figure 3), downloads and interprets metadata snapshots so
+// every metadata operation after load is local (§4.1.3), reads files
+// directly or through a pluggable reader (the task-grained distributed
+// cache of §4.2 plugs in there), and generates chunk-wise shuffled file
+// lists (§4.3).
+//
+// Paper API ↔ methods:
+//
+//	DL_connect    Connect
+//	DL_put        Put
+//	DL_flush      Flush
+//	DL_get        Get
+//	DL_stat       Stat
+//	DL_delete     Delete
+//	DL_ls         Ls
+//	DL_save_meta  SaveMeta
+//	DL_load_meta  LoadMeta
+//	DL_shuffle    Shuffle (returns the chunk-wise shuffled file list)
+//	DL_close      Close
+//	DL_purge      Purge
+//	DL_delete_dataset DeleteDataset
+package client
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"diesel/internal/chunk"
+	"diesel/internal/meta"
+	"diesel/internal/server"
+	"diesel/internal/shuffle"
+	"diesel/internal/wire"
+)
+
+// Options configures Connect.
+type Options struct {
+	// User and Key are the credentials of DL_connect. The reproduction
+	// performs no real authentication; they are carried for API fidelity.
+	User, Key string
+	// Servers lists DIESEL server addresses; requests round-robin across
+	// them (the paper runs 1, 3 or 5 interchangeable servers).
+	Servers []string
+	// Dataset is the dataset this context operates on (DIESEL is
+	// dataset-based: one context, one dataset).
+	Dataset string
+	// ChunkTarget is the chunk payload size for writes; 0 means the 4 MB
+	// default.
+	ChunkTarget int
+	// ConnsPerServer sizes each server's connection pool (default 2).
+	ConnsPerServer int
+	// Rank identifies this client among the task's I/O workers; the
+	// distributed cache elects the smallest rank per node as master.
+	Rank int
+	// NowNS supplies timestamps (defaults to time.Now).
+	NowNS func() int64
+}
+
+// Reader intercepts file reads. The task-grained distributed cache
+// implements it; when set, Get routes through it instead of the server.
+type Reader interface {
+	ReadFile(path string) ([]byte, error)
+}
+
+// Client is a libDIESEL context. All methods are safe for concurrent use;
+// writes serialise on the chunk builder.
+type Client struct {
+	opts  Options
+	pools []*wire.Pool
+	next  atomic.Uint64
+
+	wmu     sync.Mutex
+	builder *chunk.Builder
+	pending int // files buffered but not flushed
+
+	smu    sync.RWMutex
+	snap   *meta.Snapshot
+	reader Reader
+
+	// Stats counts client-side operations for experiments.
+	Stats ClientStats
+}
+
+// ClientStats are monotonic operation counters.
+type ClientStats struct {
+	Puts, Gets, Stats, Lists atomic.Uint64
+	LocalMetaHits            atomic.Uint64 // metadata ops served by the snapshot
+	ServerMetaOps            atomic.Uint64 // metadata ops that hit the server
+}
+
+// ErrNoSnapshot is returned by operations that need a loaded snapshot.
+var ErrNoSnapshot = errors.New("client: no metadata snapshot loaded")
+
+// Connect dials the DIESEL servers and returns a context (DL_connect).
+func Connect(opts Options) (*Client, error) {
+	if len(opts.Servers) == 0 {
+		return nil, errors.New("client: no servers configured")
+	}
+	if err := meta.ValidDataset(opts.Dataset); err != nil {
+		return nil, err
+	}
+	if opts.ConnsPerServer < 1 {
+		opts.ConnsPerServer = 2
+	}
+	if opts.NowNS == nil {
+		opts.NowNS = func() int64 { return time.Now().UnixNano() }
+	}
+	c := &Client{opts: opts}
+	for _, addr := range opts.Servers {
+		p, err := wire.DialPool(addr, opts.ConnsPerServer)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("client: connect %s: %w", addr, err)
+		}
+		c.pools = append(c.pools, p)
+	}
+	gen := chunk.NewIDGeneratorAt(clientMachineID(opts.Rank), clientPID(), func() uint32 {
+		return uint32(opts.NowNS() / 1e9)
+	})
+	c.builder = chunk.NewBuilder(opts.ChunkTarget, gen, opts.NowNS)
+	return c, nil
+}
+
+// clientInstances numbers every Client created in this process; the
+// instance number is folded into the chunk-ID process field alongside the
+// OS pid so that many contexts in one process stay disjoint.
+var clientInstances atomic.Uint32
+
+// clientMachineID builds the chunk-ID machine field for one client
+// context: two rank bytes for debuggability plus four bytes of fresh
+// randomness. Rank alone is NOT unique — separate processes (separate
+// DLCMD invocations, separate training jobs) routinely share rank 0, and
+// colliding chunk IDs silently overwrite each other's chunks in the
+// object store. The random bytes make every context's ID space disjoint
+// with overwhelming probability, mirroring how the paper's MAC-address
+// field separates physical machines.
+func clientMachineID(rank int) [6]byte {
+	var m [6]byte
+	m[0] = byte(rank >> 8)
+	m[1] = byte(rank)
+	rand.Read(m[2:])
+	return m
+}
+
+// clientPID builds the 24-bit chunk-ID process field: the OS pid's low
+// 16 bits plus this context's in-process instance number.
+func clientPID() uint32 {
+	return uint32(os.Getpid()&0xFFFF)<<8 | (clientInstances.Add(1) & 0xFF)
+}
+
+// call invokes an RPC on one of the servers, round-robin.
+func (c *Client) call(method string, payload []byte) ([]byte, error) {
+	i := c.next.Add(1)
+	return c.pools[i%uint64(len(c.pools))].Call(method, payload)
+}
+
+// Dataset returns the dataset this context is bound to.
+func (c *Client) Dataset() string { return c.opts.Dataset }
+
+// Rank returns the client's rank among the task's I/O workers.
+func (c *Client) Rank() int { return c.opts.Rank }
+
+// SetReader installs a read interceptor (the distributed cache).
+func (c *Client) SetReader(r Reader) {
+	c.smu.Lock()
+	c.reader = r
+	c.smu.Unlock()
+}
+
+// Snapshot returns the loaded metadata snapshot, or nil.
+func (c *Client) Snapshot() *meta.Snapshot {
+	c.smu.RLock()
+	defer c.smu.RUnlock()
+	return c.snap
+}
+
+// --- write path ---
+
+// Put buffers one file for writing (DL_put). When the chunk builder
+// reaches its target size the chunk is sealed and shipped to a server.
+func (c *Client) Put(path string, data []byte) error {
+	if err := meta.ValidFilePath(path); err != nil {
+		return err
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	full, err := c.builder.Add(meta.CleanPath(path), data)
+	if err != nil {
+		return err
+	}
+	c.pending++
+	c.Stats.Puts.Add(1)
+	if full {
+		return c.flushLocked()
+	}
+	return nil
+}
+
+// Flush seals and ships any buffered files (DL_flush).
+func (c *Client) Flush() error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.flushLocked()
+}
+
+func (c *Client) flushLocked() error {
+	if c.builder == nil || c.builder.Count() == 0 {
+		return nil // nothing buffered (or Connect failed before the builder existed)
+	}
+	_, enc, err := c.builder.Seal()
+	if err != nil {
+		return err
+	}
+	e := wire.NewEncoder(len(enc) + len(c.opts.Dataset) + 16)
+	e.String(c.opts.Dataset)
+	e.Bytes32(enc)
+	if _, err := c.call(server.MethodIngest, e.Bytes()); err != nil {
+		return fmt.Errorf("client: flush: %w", err)
+	}
+	c.pending = 0
+	return nil
+}
+
+// --- read path ---
+
+// Get reads one file (DL_get). With a cache reader installed the request
+// goes to the owning cache peer; otherwise it goes to a server.
+func (c *Client) Get(path string) ([]byte, error) {
+	c.Stats.Gets.Add(1)
+	c.smu.RLock()
+	r := c.reader
+	c.smu.RUnlock()
+	if r != nil {
+		return r.ReadFile(meta.CleanPath(path))
+	}
+	return c.GetDirect(path)
+}
+
+// GetDirect reads one file from a server, bypassing any installed cache.
+// The distributed cache itself uses it as its miss path.
+func (c *Client) GetDirect(path string) ([]byte, error) {
+	e := wire.NewEncoder(len(path) + len(c.opts.Dataset) + 16)
+	e.String(c.opts.Dataset)
+	e.String(meta.CleanPath(path))
+	resp, err := c.call(server.MethodGet, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	d := wire.NewDecoder(resp)
+	b := append([]byte(nil), d.Bytes32()...)
+	return b, d.Err()
+}
+
+// GetBatch reads many files in one server round trip, exercising the
+// request executor's sort-and-merge (missing files yield nil entries).
+func (c *Client) GetBatch(paths []string) ([][]byte, error) {
+	cleaned := make([]string, len(paths))
+	for i, p := range paths {
+		cleaned[i] = meta.CleanPath(p)
+	}
+	e := wire.NewEncoder(64)
+	e.String(c.opts.Dataset)
+	e.StringSlice(cleaned)
+	resp, err := c.call(server.MethodGetBatch, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	d := wire.NewDecoder(resp)
+	n := int(d.Uint32())
+	if n != len(paths) {
+		return nil, fmt.Errorf("client: batch size mismatch: %d vs %d", n, len(paths))
+	}
+	out := make([][]byte, n)
+	for i := range n {
+		present := d.Bool()
+		b := d.Bytes32()
+		if present {
+			out[i] = append([]byte(nil), b...)
+		}
+	}
+	c.Stats.Gets.Add(uint64(n))
+	return out, d.Err()
+}
+
+// GetChunk fetches one whole encoded chunk from a server — the operation
+// the distributed cache loads its partition with.
+func (c *Client) GetChunk(chunkID string) ([]byte, error) {
+	e := wire.NewEncoder(len(chunkID) + len(c.opts.Dataset) + 16)
+	e.String(c.opts.Dataset)
+	e.String(chunkID)
+	resp, err := c.call(server.MethodGetChunk, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	d := wire.NewDecoder(resp)
+	b := append([]byte(nil), d.Bytes32()...)
+	return b, d.Err()
+}
+
+// --- metadata path ---
+
+// StatInfo is the result of Stat (DL_stat): size plus upload time.
+type StatInfo struct {
+	Size      uint64
+	UpdatedNS int64
+	ChunkID   string
+}
+
+// Stat returns a file's metadata (DL_stat). With a snapshot loaded it is a
+// local hashmap probe; otherwise one server RPC.
+func (c *Client) Stat(path string) (StatInfo, error) {
+	c.Stats.Stats.Add(1)
+	c.smu.RLock()
+	snap := c.snap
+	c.smu.RUnlock()
+	if snap != nil {
+		m, err := snap.Stat(path)
+		if err != nil {
+			return StatInfo{}, err
+		}
+		c.Stats.LocalMetaHits.Add(1)
+		return StatInfo{
+			Size:      m.Length,
+			UpdatedNS: snap.UpdatedNS,
+			ChunkID:   snap.Chunks[m.ChunkIdx].ID.String(),
+		}, nil
+	}
+	c.Stats.ServerMetaOps.Add(1)
+	e := wire.NewEncoder(64)
+	e.String(c.opts.Dataset)
+	e.String(meta.CleanPath(path))
+	resp, err := c.call(server.MethodStat, e.Bytes())
+	if err != nil {
+		return StatInfo{}, err
+	}
+	fr, err := meta.DecodeFileRecord(resp)
+	if err != nil {
+		return StatInfo{}, err
+	}
+	return StatInfo{Size: fr.Length, ChunkID: fr.ChunkID.String()}, nil
+}
+
+// Entry is one row of an Ls result.
+type Entry struct {
+	Name  string
+	IsDir bool
+	Size  uint64
+}
+
+// Ls lists a directory (DL_ls): snapshot-local when loaded, otherwise two
+// prefix scans on the metadata database via the server.
+func (c *Client) Ls(dir string) ([]Entry, error) {
+	c.Stats.Lists.Add(1)
+	c.smu.RLock()
+	snap := c.snap
+	c.smu.RUnlock()
+	if snap != nil {
+		des, err := snap.List(dir)
+		if err != nil {
+			return nil, err
+		}
+		c.Stats.LocalMetaHits.Add(1)
+		out := make([]Entry, len(des))
+		for i, de := range des {
+			out[i] = Entry{Name: de.Name, IsDir: de.IsDir, Size: de.Size}
+		}
+		return out, nil
+	}
+	c.Stats.ServerMetaOps.Add(1)
+	e := wire.NewEncoder(64)
+	e.String(c.opts.Dataset)
+	e.String(meta.CleanPath(dir))
+	resp, err := c.call(server.MethodList, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	d := wire.NewDecoder(resp)
+	n := int(d.Uint32())
+	out := make([]Entry, 0, n)
+	for range n {
+		out = append(out, Entry{Name: d.String(), IsDir: d.Bool(), Size: d.Uint64()})
+	}
+	return out, d.Err()
+}
+
+// Delete removes a file (DL_delete).
+func (c *Client) Delete(path string) error {
+	e := wire.NewEncoder(64)
+	e.String(c.opts.Dataset)
+	e.String(meta.CleanPath(path))
+	_, err := c.call(server.MethodDelete, e.Bytes())
+	return err
+}
+
+// DatasetRecord fetches the dataset summary from a server.
+func (c *Client) DatasetRecord() (meta.DatasetRecord, error) {
+	e := wire.NewEncoder(32)
+	e.String(c.opts.Dataset)
+	resp, err := c.call(server.MethodDatasetRecord, e.Bytes())
+	if err != nil {
+		return meta.DatasetRecord{}, err
+	}
+	return meta.DecodeDatasetRecord(resp)
+}
+
+// DownloadSnapshot builds and downloads a fresh metadata snapshot and
+// installs it in this context.
+func (c *Client) DownloadSnapshot() (*meta.Snapshot, error) {
+	e := wire.NewEncoder(32)
+	e.String(c.opts.Dataset)
+	resp, err := c.call(server.MethodSnapshot, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	snap, err := meta.DecodeSnapshot(resp)
+	if err != nil {
+		return nil, err
+	}
+	c.smu.Lock()
+	c.snap = snap
+	c.smu.Unlock()
+	return snap, nil
+}
+
+// SaveMeta downloads the dataset's metadata snapshot to a local file
+// (DL_save_meta).
+func (c *Client) SaveMeta(path string) error {
+	snap, err := c.DownloadSnapshot()
+	if err != nil {
+		return err
+	}
+	return snap.SaveFile(path)
+}
+
+// LoadMeta loads a snapshot from local disk (DL_load_meta) and verifies it
+// against the dataset record in the metadata database; a stale snapshot is
+// rejected with meta.ErrStaleSnapshot and the caller should SaveMeta a
+// fresh one.
+func (c *Client) LoadMeta(path string) error {
+	snap, err := meta.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	if snap.Dataset != c.opts.Dataset {
+		return fmt.Errorf("client: snapshot is for dataset %q, context is %q", snap.Dataset, c.opts.Dataset)
+	}
+	rec, err := c.DatasetRecord()
+	if err != nil {
+		return err
+	}
+	if err := snap.Validate(rec); err != nil {
+		return err
+	}
+	c.smu.Lock()
+	c.snap = snap
+	c.smu.Unlock()
+	return nil
+}
+
+// Shuffle generates a chunk-wise shuffled file list for one epoch
+// (DL_shuffle, §4.3): chunk IDs are shuffled, grouped groupSize at a time,
+// and file order is randomised within each group. Requires a snapshot.
+func (c *Client) Shuffle(seed int64, groupSize int) ([]string, error) {
+	c.smu.RLock()
+	snap := c.snap
+	c.smu.RUnlock()
+	if snap == nil {
+		return nil, ErrNoSnapshot
+	}
+	return shuffle.ChunkWise(snap, seed, groupSize), nil
+}
+
+// Recover asks a server to rebuild the dataset's metadata from its
+// self-contained chunks (§4.1.2). fromSec 0 rescans everything (scenario
+// b); a positive Unix-seconds timestamp rescans only newer chunks
+// (scenario a). It returns chunks scanned, chunks skipped and pairs
+// rewritten.
+func (c *Client) Recover(fromSec uint32) (scanned, skipped, pairs uint64, err error) {
+	e := wire.NewEncoder(32)
+	e.String(c.opts.Dataset)
+	e.Uint32(fromSec)
+	resp, err := c.call(server.MethodRecover, e.Bytes())
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	d := wire.NewDecoder(resp)
+	scanned, skipped, pairs = d.Uint64(), d.Uint64(), d.Uint64()
+	return scanned, skipped, pairs, d.Err()
+}
+
+// Purge runs server-side housekeeping on the dataset (DL_purge).
+func (c *Client) Purge() error {
+	e := wire.NewEncoder(32)
+	e.String(c.opts.Dataset)
+	_, err := c.call(server.MethodPurge, e.Bytes())
+	return err
+}
+
+// DeleteDataset removes the dataset entirely (DL_delete_dataset).
+func (c *Client) DeleteDataset() error {
+	e := wire.NewEncoder(32)
+	e.String(c.opts.Dataset)
+	_, err := c.call(server.MethodDeleteDataset, e.Bytes())
+	return err
+}
+
+// Close flushes buffered writes and tears down connections (DL_close).
+func (c *Client) Close() error {
+	first := c.Flush() // takes the write lock; no-op when nothing is buffered
+	for _, p := range c.pools {
+		if err := p.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

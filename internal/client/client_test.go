@@ -1,0 +1,458 @@
+package client
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"diesel/internal/meta"
+	"diesel/internal/server"
+)
+
+// startServers launches n DIESEL RPC servers sharing one backend stack.
+func startServers(t *testing.T, n int) []string {
+	t.Helper()
+	core := server.NewLocalStack()
+	addrs := make([]string, n)
+	for i := range n {
+		rpc, err := server.NewRPC(core, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { rpc.Close() })
+		addrs[i] = rpc.Addr()
+	}
+	return addrs
+}
+
+func connect(t *testing.T, addrs []string, dataset string) *Client {
+	t.Helper()
+	c, err := Connect(Options{
+		User: "tester", Key: "secret",
+		Servers: addrs, Dataset: dataset, ChunkTarget: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// writeDataset puts n files of size sz and flushes, returning the contents.
+func writeDataset(t *testing.T, c *Client, n, sz int) map[string][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(9))
+	files := make(map[string][]byte, n)
+	for i := range n {
+		name := fmt.Sprintf("train/cls%02d/img%04d.jpg", i%8, i)
+		data := make([]byte, sz)
+		rng.Read(data)
+		files[name] = data
+		if err := c.Put(name, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return files
+}
+
+func TestConnectValidation(t *testing.T) {
+	if _, err := Connect(Options{Dataset: "x"}); err == nil {
+		t.Error("no servers accepted")
+	}
+	addrs := startServers(t, 1)
+	if _, err := Connect(Options{Servers: addrs}); err == nil {
+		t.Error("no dataset accepted")
+	}
+	if _, err := Connect(Options{Servers: []string{"127.0.0.1:1"}, Dataset: "x"}); err == nil {
+		t.Error("dead server accepted")
+	}
+}
+
+func TestPutFlushGet(t *testing.T) {
+	addrs := startServers(t, 1)
+	c := connect(t, addrs, "imagenet")
+	files := writeDataset(t, c, 100, 300)
+	for name, want := range files {
+		got, err := c.Get(name)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("Get(%q): mismatch", name)
+		}
+	}
+	if _, err := c.Get("train/none.jpg"); err == nil {
+		t.Error("missing file read succeeded")
+	}
+}
+
+func TestGetBatch(t *testing.T) {
+	addrs := startServers(t, 1)
+	c := connect(t, addrs, "ds")
+	files := writeDataset(t, c, 60, 256)
+	var paths []string
+	for n := range files {
+		paths = append(paths, n)
+	}
+	paths = append(paths, "nope")
+	out, err := c.GetBatch(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range paths {
+		if p == "nope" {
+			if out[i] != nil {
+				t.Error("missing file non-nil in batch")
+			}
+			continue
+		}
+		if !bytes.Equal(out[i], files[p]) {
+			t.Fatalf("batch mismatch at %q", p)
+		}
+	}
+}
+
+func TestMultiServerRoundRobin(t *testing.T) {
+	addrs := startServers(t, 3)
+	c := connect(t, addrs, "ds")
+	files := writeDataset(t, c, 90, 128)
+	for name, want := range files {
+		got, err := c.Get(name)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("multi-server Get(%q): %v", name, err)
+		}
+	}
+}
+
+func TestStatAndLs(t *testing.T) {
+	addrs := startServers(t, 1)
+	c := connect(t, addrs, "ds")
+	writeDataset(t, c, 32, 100)
+
+	// Without snapshot: server path.
+	si, err := c.Stat("train/cls03/img0003.jpg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if si.Size != 100 || si.ChunkID == "" {
+		t.Errorf("Stat = %+v", si)
+	}
+	ents, err := c.Ls("train")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 8 {
+		t.Fatalf("Ls(train) = %d entries", len(ents))
+	}
+	if c.Stats.ServerMetaOps.Load() == 0 {
+		t.Error("server meta ops not counted")
+	}
+
+	// With snapshot: local path.
+	if _, err := c.DownloadSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	before := c.Stats.LocalMetaHits.Load()
+	si2, err := c.Stat("train/cls03/img0003.jpg")
+	if err != nil || si2.Size != 100 {
+		t.Fatalf("snapshot Stat: %+v, %v", si2, err)
+	}
+	ents2, err := c.Ls("train")
+	if err != nil || len(ents2) != len(ents) {
+		t.Fatalf("snapshot Ls: %d entries, %v", len(ents2), err)
+	}
+	if c.Stats.LocalMetaHits.Load() != before+2 {
+		t.Error("snapshot ops did not count as local")
+	}
+}
+
+func TestSaveLoadMeta(t *testing.T) {
+	addrs := startServers(t, 1)
+	c := connect(t, addrs, "ds")
+	files := writeDataset(t, c, 40, 200)
+
+	snapPath := filepath.Join(t.TempDir(), "ds.snap")
+	if err := c.SaveMeta(snapPath); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second client loads the snapshot from disk.
+	c2 := connect(t, addrs, "ds")
+	if err := c2.LoadMeta(snapPath); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Snapshot() == nil || c2.Snapshot().NumFiles() != len(files) {
+		t.Fatal("snapshot not installed")
+	}
+
+	// Mutating the dataset makes the snapshot stale.
+	if err := c.Put("extra/file.bin", []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	c3 := connect(t, addrs, "ds")
+	if err := c3.LoadMeta(snapPath); !errors.Is(err, meta.ErrStaleSnapshot) {
+		t.Fatalf("stale snapshot accepted: %v", err)
+	}
+}
+
+func TestLoadMetaWrongDataset(t *testing.T) {
+	addrs := startServers(t, 1)
+	c := connect(t, addrs, "ds")
+	writeDataset(t, c, 5, 50)
+	p := filepath.Join(t.TempDir(), "s.snap")
+	if err := c.SaveMeta(p); err != nil {
+		t.Fatal(err)
+	}
+	other := connect(t, addrs, "different")
+	if err := other.LoadMeta(p); err == nil {
+		t.Fatal("snapshot for wrong dataset accepted")
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	addrs := startServers(t, 1)
+	c := connect(t, addrs, "ds")
+	files := writeDataset(t, c, 80, 100)
+
+	if _, err := c.Shuffle(1, 3); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("shuffle without snapshot: %v", err)
+	}
+	if _, err := c.DownloadSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	order, err := c.Shuffle(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != len(files) {
+		t.Fatalf("order has %d files, want %d", len(order), len(files))
+	}
+	seen := map[string]bool{}
+	for _, f := range order {
+		if seen[f] {
+			t.Fatalf("duplicate %q", f)
+		}
+		seen[f] = true
+	}
+	// Reading in shuffled order returns correct contents.
+	out, err := c.GetBatch(order[:20])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range order[:20] {
+		if !bytes.Equal(out[i], files[p]) {
+			t.Fatalf("shuffled read mismatch at %q", p)
+		}
+	}
+}
+
+func TestDeleteAndPurge(t *testing.T) {
+	addrs := startServers(t, 1)
+	c := connect(t, addrs, "ds")
+	files := writeDataset(t, c, 30, 100)
+	victim := "train/cls01/img0001.jpg"
+	if err := c.Delete(victim); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(victim); err == nil {
+		t.Error("deleted file readable")
+	}
+	if err := c.Purge(); err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range files {
+		if name == victim {
+			continue
+		}
+		got, err := c.Get(name)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("post-purge Get(%q): %v", name, err)
+		}
+	}
+}
+
+func TestDeleteDataset(t *testing.T) {
+	addrs := startServers(t, 1)
+	c := connect(t, addrs, "ds")
+	writeDataset(t, c, 10, 64)
+	if err := c.DeleteDataset(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DatasetRecord(); err == nil {
+		t.Error("dataset record survived DeleteDataset")
+	}
+}
+
+func TestCloseFlushesPending(t *testing.T) {
+	addrs := startServers(t, 1)
+	c, err := Connect(Options{Servers: addrs, Dataset: "ds", ChunkTarget: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("small.bin", []byte("pending")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c2 := connect(t, addrs, "ds")
+	got, err := c2.Get("small.bin")
+	if err != nil || string(got) != "pending" {
+		t.Fatalf("pending write lost: %q, %v", got, err)
+	}
+}
+
+func TestConcurrentReaders(t *testing.T) {
+	addrs := startServers(t, 2)
+	c := connect(t, addrs, "ds")
+	files := writeDataset(t, c, 64, 128)
+	var names []string
+	for n := range files {
+		names = append(names, n)
+	}
+	var wg sync.WaitGroup
+	for w := range 8 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range 50 {
+				name := names[(w*13+i)%len(names)]
+				got, err := c.Get(name)
+				if err != nil || !bytes.Equal(got, files[name]) {
+					t.Errorf("concurrent Get(%q): %v", name, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// fakeReader proves Get routes through an installed Reader.
+type fakeReader struct{ hits int }
+
+func (f *fakeReader) ReadFile(path string) ([]byte, error) {
+	f.hits++
+	return []byte("from-cache:" + path), nil
+}
+
+func TestReaderInterception(t *testing.T) {
+	addrs := startServers(t, 1)
+	c := connect(t, addrs, "ds")
+	writeDataset(t, c, 4, 32)
+	fr := &fakeReader{}
+	c.SetReader(fr)
+	got, err := c.Get("any/path")
+	if err != nil || string(got) != "from-cache:any/path" {
+		t.Fatalf("reader not used: %q, %v", got, err)
+	}
+	if fr.hits != 1 {
+		t.Errorf("hits = %d", fr.hits)
+	}
+	// GetDirect bypasses the reader.
+	if _, err := c.GetDirect("train/cls00/img0000.jpg"); err != nil {
+		t.Errorf("GetDirect through reader: %v", err)
+	}
+	if fr.hits != 1 {
+		t.Error("GetDirect went through the reader")
+	}
+}
+
+// TestConcurrentWriters exercises the builder mutex: many goroutines Put
+// through one context; every file must survive intact.
+func TestConcurrentWriters(t *testing.T) {
+	addrs := startServers(t, 1)
+	c := connect(t, addrs, "ds")
+	var wg sync.WaitGroup
+	const workers, per = 8, 40
+	for w := range workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range per {
+				name := fmt.Sprintf("w%d/f%03d", w, i)
+				if err := c.Put(name, []byte(name)); err != nil {
+					t.Errorf("Put(%q): %v", name, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := c.DatasetRecord()
+	if err != nil || rec.FileCount != workers*per {
+		t.Fatalf("record = %+v, %v", rec, err)
+	}
+	for w := range workers {
+		for i := range per {
+			name := fmt.Sprintf("w%d/f%03d", w, i)
+			b, err := c.Get(name)
+			if err != nil || string(b) != name {
+				t.Fatalf("Get(%q) = %q, %v", name, b, err)
+			}
+		}
+	}
+}
+
+// TestSameRankClientsDoNotCollide: two contexts sharing a rank (the
+// default 0) must never mint the same chunk ID, or one client's chunk
+// would overwrite the other's in the object store.
+func TestSameRankClientsDoNotCollide(t *testing.T) {
+	addrs := startServers(t, 1)
+	a := connect(t, addrs, "ds")
+	b := connect(t, addrs, "ds") // same Rank (0)
+	if err := a.Put("from-a", []byte("AAAA")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put("from-b", []byte("BBBB")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ga, err := a.Get("from-a")
+	if err != nil || string(ga) != "AAAA" {
+		t.Fatalf("from-a = %q, %v (chunk overwritten?)", ga, err)
+	}
+	gb, err := a.Get("from-b")
+	if err != nil || string(gb) != "BBBB" {
+		t.Fatalf("from-b = %q, %v", gb, err)
+	}
+	rec, _ := a.DatasetRecord()
+	if rec.ChunkCount != 2 {
+		t.Errorf("ChunkCount = %d, want 2 distinct chunks", rec.ChunkCount)
+	}
+}
+
+func TestReservedCharacterValidation(t *testing.T) {
+	addrs := startServers(t, 1)
+	if _, err := Connect(Options{Servers: addrs, Dataset: "bad|name"}); err == nil {
+		t.Error("dataset with '|' accepted")
+	}
+	if _, err := Connect(Options{Servers: addrs, Dataset: "bad/name"}); err == nil {
+		t.Error("dataset with '/' accepted")
+	}
+	c := connect(t, addrs, "ds")
+	if err := c.Put("weird|file.jpg", []byte("x")); err == nil {
+		t.Error("path with '|' accepted")
+	}
+	if err := c.Put("///", []byte("x")); err == nil {
+		t.Error("empty-after-clean path accepted")
+	}
+}

@@ -1,0 +1,337 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+// Shape assertions: each test checks the qualitative structure the paper
+// reports for its figure — orderings, knees, collapses and scaling — not
+// exact values, which depend on the calibration constants.
+
+func TestTable2Shape(t *testing.T) {
+	rows := Table2(Default())
+	if len(rows) != 7 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].BandwidthMB <= rows[i-1].BandwidthMB {
+			t.Errorf("bandwidth not increasing: %d KB %.1f → %d KB %.1f",
+				rows[i-1].FileSizeKB, rows[i-1].BandwidthMB, rows[i].FileSizeKB, rows[i].BandwidthMB)
+		}
+		if rows[i].FilesPerSec >= rows[i-1].FilesPerSec {
+			t.Errorf("files/s not decreasing at %d KB", rows[i].FileSizeKB)
+		}
+	}
+	// Paper: 4 MB reads reach ~25× the effective 4K-IOPS of 4 KB reads.
+	gain := rows[6].IOPS4K / rows[1].IOPS4K
+	if gain < 10 || gain > 60 {
+		t.Errorf("4MB/4KB effective-IOPS gain = %.1f, paper reports ~25x", gain)
+	}
+	// Absolute anchors (fitted): 1 KB ≈ 34 k files/s, 4 MB ≈ 800 files/s.
+	if math.Abs(rows[0].FilesPerSec-34353)/34353 > 0.25 {
+		t.Errorf("1KB files/s = %.0f, paper 34353", rows[0].FilesPerSec)
+	}
+	if math.Abs(rows[6].FilesPerSec-799)/799 > 0.25 {
+		t.Errorf("4MB files/s = %.0f, paper 799", rows[6].FilesPerSec)
+	}
+}
+
+func TestFig6Collapse(t *testing.T) {
+	rows := Fig6(Default())
+	if len(rows) != 100 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	avg := func(lo, hi int) float64 {
+		var s float64
+		for _, r := range rows[lo:hi] {
+			s += r.SpeedMBps
+		}
+		return s / float64(hi-lo)
+	}
+	healthy := avg(5, 29)
+	oneDead := avg(35, 69)
+	twoDead := avg(75, 99)
+	// Paper: ~5% misses cut ~90% of the read speed.
+	if oneDead > 0.25*healthy {
+		t.Errorf("one dead node: %.0f MB/s vs healthy %.0f; collapse missing", oneDead, healthy)
+	}
+	if twoDead >= oneDead {
+		t.Errorf("second failure did not slow further: %.0f vs %.0f", twoDead, oneDead)
+	}
+	if rows[10].HitRatio < 0.99 {
+		t.Errorf("healthy hit ratio = %f", rows[10].HitRatio)
+	}
+	if rows[50].HitRatio > 0.97 || rows[50].HitRatio < 0.90 {
+		t.Errorf("one-dead hit ratio = %f, want ~0.95", rows[50].HitRatio)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	rows := Fig9(Default())
+	get := func(sys string, kb int) float64 {
+		for _, r := range rows {
+			if r.System == sys && r.FileSizeKB == kb {
+				return r.FilesPerSec
+			}
+		}
+		t.Fatalf("row %s/%d missing", sys, kb)
+		return 0
+	}
+	d4, m4, l4 := get("DIESEL", 4), get("Memcached", 4), get("Lustre", 4)
+	d128, m128, l128 := get("DIESEL", 128), get("Memcached", 128), get("Lustre", 128)
+
+	// Ordering at both sizes: DIESEL > Memcached > Lustre.
+	if !(d4 > m4 && m4 > l4) {
+		t.Errorf("4KB ordering broken: D=%.0f M=%.0f L=%.0f", d4, m4, l4)
+	}
+	if !(d128 > m128 && m128 > l128) {
+		t.Errorf("128KB ordering broken: D=%.0f M=%.0f L=%.0f", d128, m128, l128)
+	}
+	// Paper anchors: DIESEL > 2M 4KB files/s; ~367× Lustre; ~1.8× Memcached.
+	if d4 < 1.5e6 {
+		t.Errorf("DIESEL 4KB = %.0f files/s, paper >2M", d4)
+	}
+	if r := d4 / l4; r < 100 {
+		t.Errorf("DIESEL/Lustre 4KB = %.0fx, paper ~367x", r)
+	}
+	if r := d4 / m4; r < 1.2 || r > 10 {
+		t.Errorf("DIESEL/Memcached 4KB = %.1fx, paper ~1.8x", r)
+	}
+	// 128 KB: paper ~127× Lustre, ~17× Memcached.
+	if r := d128 / l128; r < 30 {
+		t.Errorf("DIESEL/Lustre 128KB = %.0fx, paper ~127x", r)
+	}
+	if r := d128 / m128; r < 5 {
+		t.Errorf("DIESEL/Memcached 128KB = %.1fx, paper ~17x", r)
+	}
+}
+
+func TestImageNetWriteSeconds(t *testing.T) {
+	s := ImageNetWriteSeconds(Default())
+	// Paper: "within only 3 seconds".
+	if s < 1 || s > 10 {
+		t.Errorf("ImageNet write = %.1fs, paper ~3s", s)
+	}
+}
+
+func TestFig10aShape(t *testing.T) {
+	rows := Fig10a(Default())
+	qps := func(servers, nodes int) float64 {
+		for _, r := range rows {
+			if r.Servers == servers && r.ClientNodes == nodes {
+				return r.QPS
+			}
+		}
+		t.Fatalf("missing %d/%d", servers, nodes)
+		return 0
+	}
+	// More servers ⇒ more QPS at 10 nodes.
+	if !(qps(5, 10) > qps(3, 10) && qps(3, 10) > qps(1, 10)) {
+		t.Errorf("server scaling broken: %0.f/%0.f/%0.f", qps(1, 10), qps(3, 10), qps(5, 10))
+	}
+	// One server flattens early: growth from 4→10 nodes is small.
+	if g := qps(1, 10) / qps(1, 4); g > 1.2 {
+		t.Errorf("1-server curve still growing late: %.2fx from 4→10 nodes", g)
+	}
+	// Three servers keep growing past 4 nodes but flatten near 7 (paper).
+	if g := qps(3, 7) / qps(3, 4); g < 1.2 {
+		t.Errorf("3-server curve flat too early: %.2f", g)
+	}
+	if g := qps(3, 10) / qps(3, 7); g > 1.15 {
+		t.Errorf("3-server curve still growing after 7 nodes: %.2f", g)
+	}
+	// Nothing exceeds the Redis ceiling.
+	for _, r := range rows {
+		if r.QPS > Default().RedisMaxQPS*1.05 {
+			t.Errorf("QPS %.0f exceeds the KV ceiling", r.QPS)
+		}
+	}
+}
+
+func TestFig10bLinear(t *testing.T) {
+	rows := Fig10b(Default())
+	if len(rows) != 10 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	perNode := rows[0].QPS
+	// Paper: ~8.83M QPS on one node, ~88.77M on ten.
+	if math.Abs(perNode-8.83e6)/8.83e6 > 0.1 {
+		t.Errorf("1-node QPS = %.2e, paper 8.83e6", perNode)
+	}
+	for i, r := range rows {
+		want := float64(i+1) * perNode
+		if math.Abs(r.QPS-want)/want > 1e-9 {
+			t.Errorf("not linear at %d nodes", r.ClientNodes)
+		}
+	}
+	// Snapshot path dwarfs the Lustre MDS (~68k QPS): ~1300× at 10 nodes.
+	if r := rows[9].QPS / 68000; r < 1000 {
+		t.Errorf("snapshot/MDS ratio = %.0fx, paper ~1300x", r)
+	}
+}
+
+func TestFig10cShape(t *testing.T) {
+	rows := Fig10c(Default())
+	byName := map[string]Fig10cRow{}
+	for _, r := range rows {
+		byName[r.System] = r
+	}
+	l, x, f := byName["Lustre"], byName["XFS"], byName["DIESEL-FUSE"]
+	// Paper: Lustre and DIESEL-FUSE both ~30-40s for ls -R.
+	if l.LsRSeconds < 20 || l.LsRSeconds > 60 || f.LsRSeconds < 20 || f.LsRSeconds > 60 {
+		t.Errorf("ls -R: lustre %.0fs fuse %.0fs, paper 30-40s", l.LsRSeconds, f.LsRSeconds)
+	}
+	// Paper: Lustre ls -lR ~170s; DIESEL-FUSE unchanged.
+	if l.LsLRSeconds < 120 || l.LsLRSeconds > 220 {
+		t.Errorf("lustre ls -lR = %.0fs, paper ~170s", l.LsLRSeconds)
+	}
+	if f.LsLRSeconds != f.LsRSeconds {
+		t.Errorf("DIESEL-FUSE ls -lR should equal ls -R (sizes in snapshot)")
+	}
+	if x.LsRSeconds > l.LsRSeconds/2 {
+		t.Errorf("XFS should be much faster than Lustre")
+	}
+}
+
+func TestFig11aShape(t *testing.T) {
+	rows := Fig11a(Default())
+	qps := func(sys string, nodes int) float64 {
+		for _, r := range rows {
+			if r.System == sys && r.ClientNodes == nodes {
+				return r.QPS
+			}
+		}
+		t.Fatalf("missing %s/%d", sys, nodes)
+		return 0
+	}
+	// Paper ordering at 10 nodes: API(1.2M) > FUSE(0.8M) > Memcached(0.56M) > Lustre(0.04M).
+	api, fuse, mc, lst := qps("DIESEL-API", 10), qps("DIESEL-FUSE", 10), qps("Memcached", 10), qps("Lustre", 10)
+	if !(api > fuse && fuse > mc && mc > lst) {
+		t.Errorf("10-node ordering broken: %.0f %.0f %.0f %.0f", api, fuse, mc, lst)
+	}
+	if api < 0.8e6 {
+		t.Errorf("DIESEL-API 10 nodes = %.2e, paper ~1.2e6", api)
+	}
+	if ratio := fuse / api; ratio < 0.5 || ratio > 0.9 {
+		t.Errorf("FUSE/API = %.2f, paper ~0.65", ratio)
+	}
+	if lst > 100e3 {
+		t.Errorf("Lustre = %.0f, paper ~40k flat", lst)
+	}
+	// Lustre stays flat; the others scale with nodes.
+	if g := qps("Lustre", 10) / qps("Lustre", 2); g > 1.5 {
+		t.Errorf("Lustre scales %.1fx; should be saturated flat", g)
+	}
+	if g := qps("DIESEL-API", 10) / qps("DIESEL-API", 1); g < 4 {
+		t.Errorf("DIESEL-API scales only %.1fx over 10 nodes", g)
+	}
+}
+
+func TestFig11bShape(t *testing.T) {
+	rows := Fig11b(Default())
+	var diesel, mc []Fig11bRow
+	for _, r := range rows {
+		if r.System == "DIESEL" {
+			diesel = append(diesel, r)
+		} else {
+			mc = append(mc, r)
+		}
+	}
+	if len(diesel) == 0 || len(mc) == 0 {
+		t.Fatal("missing series")
+	}
+	dFull := diesel[len(diesel)-1].TimeSeconds
+	mFull := mc[len(mc)-1].TimeSeconds
+	// Paper: DIESEL stabilises within ~10s; Memcached needs >100s for its 20%.
+	if dFull > 40 {
+		t.Errorf("DIESEL full recovery at %.0fs, paper ~10s scale", dFull)
+	}
+	if mFull < 100 {
+		t.Errorf("Memcached recovery at %.0fs, paper >100s", mFull)
+	}
+	// DIESEL's batch time falls monotonically-ish and ends near 0.1s.
+	last := diesel[len(diesel)-1].BatchSeconds
+	if last > 0.3 {
+		t.Errorf("DIESEL steady batch = %.2fs, paper ~0.1s", last)
+	}
+	if diesel[0].BatchSeconds <= last {
+		t.Error("DIESEL recovery shows no warm-up transient")
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	rows := Fig12(Default())
+	get := func(sys string, kb int) Fig12Row {
+		for _, r := range rows {
+			if r.System == sys && r.FileSizeKB == kb {
+				return r
+			}
+		}
+		t.Fatalf("missing %s/%d", sys, kb)
+		return Fig12Row{}
+	}
+	// Paper: 4KB — Lustre 60 MB/s, API 4317 MB/s (71.7×), FUSE 3484 (57.8×).
+	l4, a4, f4 := get("Lustre", 4), get("DIESEL-API", 4), get("DIESEL-FUSE", 4)
+	if l4.BandwidthMB > 200 {
+		t.Errorf("Lustre 4KB = %.0f MB/s, paper ~60", l4.BandwidthMB)
+	}
+	if a4.SpeedupOverL < 30 || a4.SpeedupOverL > 150 {
+		t.Errorf("API speedup 4KB = %.1fx, paper 71.7x", a4.SpeedupOverL)
+	}
+	if f4.BandwidthMB >= a4.BandwidthMB {
+		t.Error("FUSE should be below API")
+	}
+	// 128KB — Lustre ~2002 MB/s, API ~10095 (5.0×), FUSE ~8713 (4.4×).
+	l128, a128, f128 := get("Lustre", 128), get("DIESEL-API", 128), get("DIESEL-FUSE", 128)
+	if a128.SpeedupOverL < 3 || a128.SpeedupOverL > 8 {
+		t.Errorf("API speedup 128KB = %.1fx, paper 5.0x", a128.SpeedupOverL)
+	}
+	if f128.SpeedupOverL < 2.5 || f128.SpeedupOverL >= a128.SpeedupOverL {
+		t.Errorf("FUSE speedup 128KB = %.1fx, paper 4.4x", f128.SpeedupOverL)
+	}
+	if l128.BandwidthMB < 1000 {
+		t.Errorf("Lustre 128KB = %.0f MB/s, paper ~2000", l128.BandwidthMB)
+	}
+	// The 4KB speedup is much larger than the 128KB one (the paper's key
+	// point: chunk-wise shuffle helps small files most).
+	if a4.SpeedupOverL <= 2*a128.SpeedupOverL {
+		t.Errorf("small-file speedup (%.0fx) should dwarf large-file (%.0fx)",
+			a4.SpeedupOverL, a128.SpeedupOverL)
+	}
+}
+
+func TestAblationTopologyShape(t *testing.T) {
+	rows := AblationTopology(Default())
+	byDesign := func(nodes int, d string) TopologyRow {
+		for _, r := range rows {
+			if r.Design == d && r.Nodes == nodes {
+				return r
+			}
+		}
+		t.Fatalf("missing %s/%d", d, nodes)
+		return TopologyRow{}
+	}
+	for _, nodes := range []int{4, 10} {
+		fanin := byDesign(nodes, "master-fanin")
+		mesh := byDesign(nodes, "full-mesh")
+		multi := byDesign(nodes, "multi-hop")
+		// Paper: p×(n−1) vs n×(n−1): "the number of connections between
+		// clients is reduced" by the clients-per-node factor.
+		if mesh.Connections/fanin.Connections < 10 {
+			t.Errorf("nodes=%d: mesh %d vs fanin %d connections; want ~16x reduction",
+				nodes, mesh.Connections, fanin.Connections)
+		}
+		// One-hop designs beat multi-hop on latency ("each DIESEL client
+		// can receive any file in the dataset by one hop").
+		if multi.MeanReadUS <= fanin.MeanReadUS {
+			t.Errorf("nodes=%d: multi-hop %.0fµs not slower than one-hop %.0fµs",
+				nodes, multi.MeanReadUS, fanin.MeanReadUS)
+		}
+		// Fan-in's latency stays close to the full mesh's (same hop count).
+		if fanin.MeanReadUS > 2*mesh.MeanReadUS {
+			t.Errorf("nodes=%d: fan-in latency %.0fµs far above mesh %.0fµs",
+				nodes, fanin.MeanReadUS, mesh.MeanReadUS)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package cluster
+
+import "diesel/internal/sim"
+
+// Fig10aRow is one point of Figure 10a: metadata QPS by client-node count
+// for a given number of DIESEL servers (no snapshot; every stat goes
+// through a server to the KV cluster).
+type Fig10aRow struct {
+	Servers     int
+	ClientNodes int
+	QPS         float64
+}
+
+// Fig10a reproduces Figure 10a. Each client thread issues blocking stat
+// RPCs: client→DIESEL server (16 worker threads each, 50 µs of work per
+// stat) →Redis cluster (16 instances whose aggregate ceiling is the
+// measured 0.97 M QPS). With one server the curve flattens once two
+// client nodes saturate its thread pool; more servers push the knee out
+// until the Redis ceiling binds.
+func Fig10a(p Params) []Fig10aRow {
+	var rows []Fig10aRow
+	redisService := 16.0 / p.RedisMaxQPS // 16 instances
+	for _, servers := range []int{1, 3, 5} {
+		for nodes := 1; nodes <= 10; nodes++ {
+			e := sim.New(1)
+			srv := sim.NewStation(e, "diesel-servers", servers*p.DieselServerThreads)
+			redis := sim.NewStation(e, "redis", 16)
+			const opsPerThread = 200
+			threads := nodes * p.ThreadsPerNode
+			sim.Gather(threads, func(w int, finished func()) {
+				sim.Loop(opsPerThread, func(i int, next func()) {
+					e.After(p.RPCLatency, func() {
+						srv.Submit(p.DieselServerMetaService, func() {
+							redis.Submit(redisService, next)
+						})
+					})
+				}, finished)
+			}, func() {})
+			elapsed := e.Run()
+			rows = append(rows, Fig10aRow{
+				Servers:     servers,
+				ClientNodes: nodes,
+				QPS:         float64(threads*opsPerThread) / elapsed,
+			})
+		}
+	}
+	return rows
+}
+
+// Fig10bRow is one point of Figure 10b: metadata QPS by client-node count
+// with metadata snapshots loaded — every stat is a local hashmap probe,
+// so throughput is exactly linear in the number of clients.
+type Fig10bRow struct {
+	ClientNodes int
+	QPS         float64
+}
+
+// Fig10b reproduces Figure 10b from the snapshot path's per-op cost. The
+// linearity is structural: no shared resource exists on this path. (The
+// per-op cost itself is measured for real by BenchmarkFig10bSnapshotQPS
+// in bench_test.go.)
+func Fig10b(p Params) []Fig10bRow {
+	rows := make([]Fig10bRow, 0, 10)
+	perNode := float64(p.ThreadsPerNode) / p.SnapshotStatCost
+	for nodes := 1; nodes <= 10; nodes++ {
+		rows = append(rows, Fig10bRow{ClientNodes: nodes, QPS: float64(nodes) * perNode})
+	}
+	return rows
+}
+
+// Fig10cRow is one bar of Figure 10c: single-threaded `ls -R` and
+// `ls -lR` elapsed time over the ImageNet-1K tree.
+type Fig10cRow struct {
+	System      string
+	LsRSeconds  float64 // names only (readdir)
+	LsLRSeconds float64 // names + sizes (readdir + stat)
+}
+
+// Fig10c reproduces Figure 10c. Lustre pays an MDS round trip per
+// readdir batch plus — for `ls -lR` — OSS glimpse RPCs per file, because
+// file sizes live on the OSS, not the MDS. XFS is a local filesystem.
+// DIESEL-FUSE serves both from the loaded snapshot, so `ls -lR` costs the
+// same as `ls -R`: sizes are already in client memory.
+func Fig10c(p Params) []Fig10cRow {
+	n := float64(p.ImageNetFiles)
+	return []Fig10cRow{
+		{
+			System:      "Lustre",
+			LsRSeconds:  n * p.LustreReaddirPerEntry,
+			LsLRSeconds: n * (p.LustreReaddirPerEntry + p.LustreStatExtra),
+		},
+		{
+			System:      "XFS",
+			LsRSeconds:  n * p.XFSPerEntry,
+			LsLRSeconds: n * p.XFSPerEntry * 2, // extra statx per entry, still local
+		},
+		{
+			System:      "DIESEL-FUSE",
+			LsRSeconds:  n * p.FUSEPerEntry,
+			LsLRSeconds: n * p.FUSEPerEntry, // sizes come with the snapshot
+		},
+	}
+}

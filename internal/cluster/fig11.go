@@ -1,0 +1,187 @@
+package cluster
+
+import "diesel/internal/sim"
+
+// Fig11aRow is one point of Figure 11a: 4 KB random-read QPS by
+// client-node count for the four systems.
+type Fig11aRow struct {
+	System      string
+	ClientNodes int
+	QPS         float64
+}
+
+// memcachedReadRTT is the measured end-to-end blocking latency of one
+// read through Twemproxy under load (client→proxy→server→back); it is
+// higher than the raw write RTT because reads traverse the proxy's
+// response path with the payload.
+const memcachedReadRTT = 250e-6
+
+// apiClientPerOp is the client-side CPU charged per DIESEL-API read
+// (snapshot lookup, owner routing, payload copy); Figure 11a's ~1.2 M QPS
+// over 160 threads fits ~110 µs. peerExtra is the additional one-hop
+// round trip for files owned by a remote master.
+const (
+	apiClientPerOp = 110e-6
+	peerExtra      = 30e-6
+)
+
+// lustreLoadedRandomRate is the file rate the Lustre random-small-read
+// path sustains while 160 clients hammer it during a cache refill —
+// the effective Memcached cache-fill rate of Figure 11b.
+const lustreLoadedRandomRate = 2500.0
+
+// Fig11a reproduces Figure 11a. Every system serves 4 KB files to
+// nodes×16 blocking client threads:
+//
+//   - DIESEL-API reads via the task-grained cache: a fraction 1/p of
+//     files are on the local master (memory read), the rest cost a
+//     one-hop peer round trip.
+//   - DIESEL-FUSE adds the FUSE per-operation overhead.
+//   - Memcached pays the proxy round trip per read.
+//   - Lustre serialises lookup+lock+read on the MDS/OSS path.
+func Fig11a(p Params) []Fig11aRow {
+	var rows []Fig11aRow
+	for nodes := 1; nodes <= 10; nodes++ {
+		threads := nodes * p.ThreadsPerNode
+
+		// DIESEL-API and DIESEL-FUSE.
+		for _, fuse := range []bool{false, true} {
+			e := sim.New(3)
+			masters := make([]*sim.Station, nodes)
+			for i := range masters {
+				masters[i] = sim.NewStation(e, "master", p.ThreadsPerNode)
+			}
+			const opsPerThread = 300
+			sim.Gather(threads, func(w int, finished func()) {
+				node := w / p.ThreadsPerNode
+				sim.Loop(opsPerThread, func(i int, next func()) {
+					step := next
+					if fuse {
+						step = func() { e.After(p.FUSEPerOp, next) }
+					}
+					owner := e.Rand().Intn(nodes)
+					if owner == node {
+						e.After(apiClientPerOp, step)
+					} else {
+						e.After(apiClientPerOp+peerExtra, func() {
+							masters[owner].Submit(p.CacheLocalCost, step)
+						})
+					}
+				}, finished)
+			}, func() {})
+			elapsed := e.Run()
+			name := "DIESEL-API"
+			if fuse {
+				name = "DIESEL-FUSE"
+			}
+			rows = append(rows, Fig11aRow{name, nodes, float64(threads*300) / elapsed})
+		}
+
+		// Memcached.
+		{
+			e := sim.New(3)
+			servers := sim.NewStation(e, "mc", 10*16) // 10 nodes × 16 threads
+			const opsPerThread = 300
+			sim.Gather(threads, func(w int, finished func()) {
+				sim.Loop(opsPerThread, func(i int, next func()) {
+					e.After(memcachedReadRTT, func() {
+						servers.Submit(p.MemcachedServerService, next)
+					})
+				}, finished)
+			}, func() {})
+			elapsed := e.Run()
+			rows = append(rows, Fig11aRow{"Memcached", nodes, float64(threads*300) / elapsed})
+		}
+
+		// Lustre.
+		{
+			e := sim.New(3)
+			mds := sim.NewStation(e, "lustre", 1)
+			const opsPerThread = 40
+			sim.Gather(threads, func(w int, finished func()) {
+				sim.Loop(opsPerThread, func(i int, next func()) {
+					mds.Submit(p.LustreSmallReadService, next)
+				}, finished)
+			}, func() {})
+			elapsed := e.Run()
+			rows = append(rows, Fig11aRow{"Lustre", nodes, float64(threads*opsPerThread) / elapsed})
+		}
+	}
+	return rows
+}
+
+// Fig11bRow is one batch read during cache loading/recovery (Figure 11b).
+type Fig11bRow struct {
+	System       string
+	TimeSeconds  float64 // when the batch completed
+	BatchSeconds float64 // how long the batch took
+	HitRatio     float64
+}
+
+// Fig11b reproduces Figure 11b: the per-batch read time while the cache
+// warms, DIESEL recovering from a completely cold cache (0%→100%) and
+// Memcached from 80%→100%.
+//
+// DIESEL's masters pull whole 4 MB chunks at the storage cluster's chunk
+// bandwidth, so the dataset (~150 GB) is resident within seconds and the
+// batch time stabilises quickly. Memcached fills file-by-file from
+// Lustre's random small-read path, so recovering even the missing 20%
+// takes minutes.
+func Fig11b(p Params) []Fig11bRow {
+	const (
+		clients       = 160
+		filesPerBatch = 128
+	)
+	totalBytes := float64(p.ImageNetFiles) * float64(p.ImageNetAvgBytes)
+	fileSize := float64(p.ImageNetAvgBytes)
+	hitCost := p.CachePeerRTT + fileSize/(p.NodeNICBytesPerS/float64(p.ThreadsPerNode))
+	missFetch := 1.0 / lustreLoadedRandomRate
+
+	var rows []Fig11bRow
+
+	// DIESEL: background chunk load at full chunk bandwidth.
+	{
+		now := 0.0
+		steady := 0
+		for batch := 0; batch < 400; batch++ {
+			cached := min(1.0, now*p.StorageClusterChunkReadBytesPerS/totalBytes)
+			// Per client batch: hits at cache speed, misses pull their
+			// chunk from storage (shared with the background fill).
+			miss := 1 - cached
+			batchTime := filesPerBatch * (cached*hitCost + miss*(float64(p.ChunkBytes)/p.StorageClusterChunkReadBytesPerS*float64(clients)/32))
+			rows = append(rows, Fig11bRow{"DIESEL", now, batchTime, cached})
+			now += batchTime
+			if cached >= 1 {
+				steady++
+				if steady > 5 {
+					break
+				}
+			}
+		}
+	}
+
+	// Memcached: starts at 80% hit ratio; the missing 20% fills at the
+	// aggregate rate the Lustre path sustains under 160 clients.
+	{
+		missing := 0.20 * float64(p.ImageNetFiles)
+		filled := 0.0
+		now := 0.0
+		fillRate := 1.0 / missFetch // files/s through the serialized path
+		for batch := 0; batch < 2000; batch++ {
+			cached := 0.80 + 0.20*(filled/missing)
+			if cached > 1 {
+				cached = 1
+			}
+			miss := 1 - cached
+			// Misses from all clients queue on the same Lustre path.
+			batchTime := filesPerBatch * (cached*hitCost + miss*missFetch*float64(clients))
+			rows = append(rows, Fig11bRow{"Memcached", now, batchTime, cached})
+			now += batchTime
+			filled = min(missing, fillRate*now) // fill progresses with wall time
+			if cached >= 1 {
+				break
+			}
+		}
+	}
+	return rows
+}

@@ -1,0 +1,124 @@
+package cluster
+
+import "diesel/internal/sim"
+
+// Fig9Row reports one (system, file size) cell of Figure 9: write
+// throughput with 64 MPI processes on 4 nodes.
+type Fig9Row struct {
+	System      string
+	FileSizeKB  int
+	FilesPerSec float64
+}
+
+// twemproxy mbuf fast-path boundary: values within one 16 KiB mbuf take
+// the proxy's per-op fast path; larger values pay per-byte mbuf chaining.
+const proxyMbuf = 16 << 10
+
+// proxy path calibration (see Params.ProxyPathBytesPerS doc): 32 proxy
+// instances (4 writer nodes × 8), ~27 µs per op, ~78 MB/s per instance
+// beyond one mbuf.
+const (
+	proxyInstances  = 32
+	proxyPerOp      = 27.4e-6
+	proxyPerByte    = 12.8e-9
+	lustreSmallWrBW = 0.37e9 // Lustre random small sync-write bandwidth
+)
+
+// Fig9 reproduces Figure 9: writing 4 KB and 128 KB files into DIESEL,
+// Memcached and Lustre with 64 concurrent writers on 4 nodes.
+//
+//   - DIESEL writers pack files into 4 MB chunks client-side (per-file
+//     CPU + memcpy) and ship whole chunks; the storage cluster's chunk
+//     write bandwidth is the only shared resource.
+//   - Memcached writers issue one blocking RPC per file through the
+//     Twemproxy layer, which fast-paths small values and pays per-byte
+//     costs on multi-mbuf values.
+//   - Lustre writers pay serialised MDS create+lock work per file and
+//     share a small random-sync-write bandwidth.
+func Fig9(p Params) []Fig9Row {
+	const nodes, procs = 4, 64
+	var rows []Fig9Row
+	for _, kb := range []int{4, 128} {
+		size := int64(kb) << 10
+
+		// --- DIESEL ---
+		{
+			e := sim.New(1)
+			storage := sim.NewPipe(e, "storage-write", p.StorageClusterWriteBytesPerS, 0)
+			nics := make([]*sim.Pipe, nodes)
+			for i := range nics {
+				nics[i] = sim.NewPipe(e, "nic", p.NodeNICBytesPerS, 0)
+			}
+			filesPerChunk := int(p.ChunkBytes / size)
+			const chunksPerProc = 6
+			var filesDone int
+			sim.Gather(procs, func(w int, finished func()) {
+				nic := nics[w%nodes]
+				sim.Loop(chunksPerProc, func(i int, next func()) {
+					pack := float64(filesPerChunk)*p.ClientPackPerFile +
+						float64(p.ChunkBytes)/p.ClientPackBytesPerS
+					e.After(pack, func() {
+						nic.Transfer(p.ChunkBytes, func() {
+							storage.Transfer(p.ChunkBytes, func() {
+								filesDone += filesPerChunk
+								next()
+							})
+						})
+					})
+				}, finished)
+			}, func() {})
+			elapsed := e.Run()
+			rows = append(rows, Fig9Row{"DIESEL", kb, float64(filesDone) / elapsed})
+		}
+
+		// --- Memcached ---
+		{
+			e := sim.New(1)
+			proxies := sim.NewStation(e, "twemproxy", proxyInstances)
+			svc := proxyPerOp
+			if size > proxyMbuf {
+				svc += float64(size-proxyMbuf) * proxyPerByte
+			}
+			const filesPerProc = 400
+			sim.Gather(procs, func(w int, finished func()) {
+				sim.Loop(filesPerProc, func(i int, next func()) {
+					proxies.Submit(svc, next)
+				}, finished)
+			}, func() {})
+			elapsed := e.Run()
+			rows = append(rows, Fig9Row{"Memcached", kb, float64(procs*filesPerProc) / elapsed})
+		}
+
+		// --- Lustre ---
+		{
+			e := sim.New(1)
+			mds := sim.NewStation(e, "mds", 1)
+			oss := sim.NewPipe(e, "oss-write", lustreSmallWrBW, 0)
+			const filesPerProc = 40
+			sim.Gather(procs, func(w int, finished func()) {
+				sim.Loop(filesPerProc, func(i int, next func()) {
+					mds.Submit(p.LustreCreateService, func() {
+						oss.Transfer(size, next)
+					})
+				}, finished)
+			}, func() {})
+			elapsed := e.Run()
+			rows = append(rows, Fig9Row{"Lustre", kb, float64(procs*filesPerProc) / elapsed})
+		}
+	}
+	return rows
+}
+
+// ImageNetWriteSeconds estimates §6.2's headline: the time to write the
+// ImageNet-1K dataset (1.28 M files) into DIESEL with 64 writer threads.
+func ImageNetWriteSeconds(p Params) float64 {
+	totalBytes := float64(p.ImageNetFiles) * float64(p.ImageNetAvgBytes)
+	packCPU := float64(p.ImageNetFiles) * p.ClientPackPerFile / 64 // 64 procs in parallel
+	packCopy := totalBytes / p.ClientPackBytesPerS / 64
+	ship := totalBytes / p.StorageClusterWriteBytesPerS
+	cpu := packCPU + packCopy
+	if cpu > ship {
+		return cpu
+	}
+	return ship
+}

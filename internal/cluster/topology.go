@@ -1,0 +1,84 @@
+package cluster
+
+import "diesel/internal/sim"
+
+// TopologyRow compares client-interconnect designs for the task-grained
+// cache (§4.2): DIESEL's master fan-in (one master per node, p×(n−1)
+// connections), the naive full mesh (n×(n−1)), and DeltaFS-style
+// multi-hop routing (few connections, but ≥2 hops per remote read). The
+// paper argues the master design gets one-hop latency at a fraction of
+// the full mesh's connection count.
+type TopologyRow struct {
+	Design        string
+	Nodes         int
+	ClientsPerNod int
+	Connections   int
+	MeanReadUS    float64 // mean remote-read latency, microseconds
+}
+
+// AblationTopology evaluates the three designs at the paper's scale
+// (10 nodes × 16 I/O processes) and a smaller configuration.
+func AblationTopology(p Params) []TopologyRow {
+	var rows []TopologyRow
+	for _, geom := range []struct{ nodes, cpn int }{{4, 16}, {10, 16}} {
+		n := geom.nodes * geom.cpn
+		pp := geom.nodes
+
+		// Mean read latency per design, measured on the simulator with a
+		// uniform random owner per read.
+		meanLatency := func(hops int, serveStations int) float64 {
+			e := sim.New(9)
+			masters := make([]*sim.Station, serveStations)
+			for i := range masters {
+				masters[i] = sim.NewStation(e, "srv", p.ThreadsPerNode)
+			}
+			const reads = 2000
+			var total float64
+			sim.Gather(64, func(w int, finished func()) {
+				sim.Loop(reads/64, func(i int, next func()) {
+					start := e.Now()
+					step := func() {
+						total += e.Now() - start
+						next()
+					}
+					// Each hop is one RPC to a station.
+					var hop func(k int)
+					hop = func(k int) {
+						if k == 0 {
+							step()
+							return
+						}
+						owner := e.Rand().Intn(len(masters))
+						e.After(p.CachePeerRTT/2, func() { // one-way
+							masters[owner].Submit(p.CacheLocalCost, func() {
+								e.After(p.CachePeerRTT/2, func() { hop(k - 1) })
+							})
+						})
+					}
+					hop(hops)
+				}, finished)
+			}, func() {})
+			e.Run()
+			return total / reads * 1e6
+		}
+
+		rows = append(rows,
+			TopologyRow{
+				Design: "master-fanin", Nodes: geom.nodes, ClientsPerNod: geom.cpn,
+				Connections: pp * (n - 1),
+				MeanReadUS:  meanLatency(1, pp),
+			},
+			TopologyRow{
+				Design: "full-mesh", Nodes: geom.nodes, ClientsPerNod: geom.cpn,
+				Connections: n * (n - 1),
+				MeanReadUS:  meanLatency(1, n),
+			},
+			TopologyRow{
+				Design: "multi-hop", Nodes: geom.nodes, ClientsPerNod: geom.cpn,
+				Connections: 2 * n, // ring-ish overlay: O(n) connections
+				MeanReadUS:  meanLatency(2, pp),
+			},
+		)
+	}
+	return rows
+}

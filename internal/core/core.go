@@ -1,0 +1,262 @@
+// Package core assembles complete DIESEL deployments: the KV metadata
+// cluster, the object store, the configuration registry and one or more
+// DIESEL servers, wired exactly as in Figure 2 of the paper, plus helpers
+// that stand up a whole DLT task (libDIESEL clients with a task-grained
+// distributed cache across simulated nodes).
+//
+// Examples, the command-line tools and the benchmarks all build their
+// stacks through this package, so the topology logic lives in one place.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"diesel/internal/client"
+	"diesel/internal/dcache"
+	"diesel/internal/etcd"
+	"diesel/internal/kvstore"
+	"diesel/internal/objstore"
+	"diesel/internal/server"
+)
+
+// Config describes a deployment.
+type Config struct {
+	// KVNodes is the number of metadata key-value nodes (the paper runs a
+	// 16-instance Redis cluster; tests typically use 2–4). Default 2.
+	KVNodes int
+	// DieselServers is the number of DIESEL server processes sharing the
+	// backend (the paper evaluates 1, 3 and 5). Default 1.
+	DieselServers int
+	// ObjStoreDir, when non-empty, stores chunks on disk under this
+	// directory; otherwise chunks live in memory.
+	ObjStoreDir string
+	// SSDCacheBytes, when positive, layers a fast LRU tier of this
+	// capacity over the chunk store — the server-side HDD/SSD cache of
+	// Figure 4.
+	SSDCacheBytes int64
+	// Throttle, when non-nil, wraps the slow tier with modeled latency
+	// and bandwidth so examples show tiering effects in real time.
+	Throttle *objstore.Throttled
+}
+
+// Deployment is a running DIESEL stack.
+type Deployment struct {
+	kvServers []*kvstore.Server
+	kvCluster *kvstore.Cluster
+	registry  *etcd.Server
+	servers   []*server.RPCServer
+	objects   objstore.Store
+	tiered    *objstore.Tiered
+}
+
+// Deploy starts all components on loopback ephemeral ports.
+func Deploy(cfg Config) (*Deployment, error) {
+	if cfg.KVNodes < 1 {
+		cfg.KVNodes = 2
+	}
+	if cfg.DieselServers < 1 {
+		cfg.DieselServers = 1
+	}
+	d := &Deployment{}
+	fail := func(err error) (*Deployment, error) {
+		d.Close()
+		return nil, err
+	}
+
+	// Metadata KV cluster.
+	addrs := make([]string, cfg.KVNodes)
+	for i := range cfg.KVNodes {
+		s, err := kvstore.NewServer("127.0.0.1:0")
+		if err != nil {
+			return fail(fmt.Errorf("core: kv node %d: %w", i, err))
+		}
+		d.kvServers = append(d.kvServers, s)
+		addrs[i] = s.Addr()
+	}
+	kvc, err := kvstore.DialCluster(addrs, 2)
+	if err != nil {
+		return fail(err)
+	}
+	d.kvCluster = kvc
+
+	// Object storage, optionally tiered.
+	var objects objstore.Store
+	if cfg.ObjStoreDir != "" {
+		disk, err := objstore.NewDisk(cfg.ObjStoreDir)
+		if err != nil {
+			return fail(err)
+		}
+		objects = disk
+	} else {
+		objects = objstore.NewMemory()
+	}
+	if cfg.Throttle != nil {
+		cfg.Throttle.Base = objects
+		objects = cfg.Throttle
+	}
+	if cfg.SSDCacheBytes > 0 {
+		d.tiered = objstore.NewTiered(objstore.NewMemory(), objects, cfg.SSDCacheBytes)
+		objects = d.tiered
+	}
+	d.objects = objects
+
+	// Registry.
+	reg, err := etcd.NewServer("127.0.0.1:0")
+	if err != nil {
+		return fail(err)
+	}
+	d.registry = reg
+
+	// DIESEL servers (stateless; they share the KV cluster and store).
+	core := server.New(kvc, objects, func() int64 { return time.Now().UnixNano() })
+	for i := range cfg.DieselServers {
+		rpc, err := server.NewRPC(core, "127.0.0.1:0")
+		if err != nil {
+			return fail(fmt.Errorf("core: diesel server %d: %w", i, err))
+		}
+		d.servers = append(d.servers, rpc)
+	}
+	return d, nil
+}
+
+// ServerAddrs returns the DIESEL server addresses.
+func (d *Deployment) ServerAddrs() []string {
+	out := make([]string, len(d.servers))
+	for i, s := range d.servers {
+		out[i] = s.Addr()
+	}
+	return out
+}
+
+// RegistryAddr returns the configuration registry's address.
+func (d *Deployment) RegistryAddr() string { return d.registry.Addr() }
+
+// Registry returns the in-process registry (for task setup).
+func (d *Deployment) Registry() *etcd.Registry { return d.registry.Registry() }
+
+// Server returns the first DIESEL server's core, for administrative
+// operations in tests and tools.
+func (d *Deployment) Server() *server.Server { return d.servers[0].S }
+
+// Tiered returns the server-side cache tier, if configured.
+func (d *Deployment) Tiered() *objstore.Tiered { return d.tiered }
+
+// KVCluster returns the metadata cluster client (for failure injection
+// and inspection).
+func (d *Deployment) KVCluster() *kvstore.Cluster { return d.kvCluster }
+
+// KVServers returns the metadata nodes (for failure injection).
+func (d *Deployment) KVServers() []*kvstore.Server { return d.kvServers }
+
+// NewClient opens a libDIESEL context against this deployment.
+func (d *Deployment) NewClient(dataset string, rank int) (*client.Client, error) {
+	return client.Connect(client.Options{
+		User: "core", Key: "core",
+		Servers: d.ServerAddrs(),
+		Dataset: dataset,
+		Rank:    rank,
+	})
+}
+
+// Task is a DLT task: clients spread over simulated nodes with the
+// task-grained distributed cache joined.
+type Task struct {
+	Clients []*client.Client
+	Peers   []*dcache.Peer
+}
+
+// TaskConfig lays out a DLT task.
+type TaskConfig struct {
+	Dataset        string
+	Nodes          int // simulated physical nodes
+	ClientsPerNode int // I/O processes per node
+	Policy         dcache.Policy
+	CapacityBytes  int64 // per-master cache bound (0 = unlimited)
+}
+
+// StartTask downloads the dataset's snapshot into every client, joins the
+// distributed cache (one master per node, Figure 7), and installs the
+// cache as each client's reader.
+func (d *Deployment) StartTask(cfg TaskConfig) (*Task, error) {
+	if cfg.Nodes < 1 || cfg.ClientsPerNode < 1 {
+		return nil, errors.New("core: task needs at least one node and one client")
+	}
+	total := cfg.Nodes * cfg.ClientsPerNode
+	t := &Task{}
+	reg := etcd.InProcess{R: d.registry.Registry()}
+
+	type result struct {
+		rank int
+		peer *dcache.Peer
+		err  error
+	}
+	results := make(chan result, total)
+	for rank := range total {
+		cl, err := d.NewClient(cfg.Dataset, rank)
+		if err != nil {
+			t.Close()
+			return nil, err
+		}
+		if _, err := cl.DownloadSnapshot(); err != nil {
+			cl.Close()
+			t.Close()
+			return nil, err
+		}
+		t.Clients = append(t.Clients, cl)
+		node := fmt.Sprintf("node%03d", rank/cfg.ClientsPerNode)
+		go func(rank int, cl *client.Client) {
+			p, err := dcache.Join(cl, reg, dcache.Config{
+				TaskID:        "task-" + cfg.Dataset,
+				NodeID:        node,
+				Rank:          rank,
+				TotalClients:  total,
+				Policy:        cfg.Policy,
+				CapacityBytes: cfg.CapacityBytes,
+			})
+			results <- result{rank: rank, peer: p, err: err}
+		}(rank, cl)
+	}
+	t.Peers = make([]*dcache.Peer, total)
+	for range total {
+		r := <-results
+		if r.err != nil {
+			t.Close()
+			return nil, fmt.Errorf("core: join rank %d: %w", r.rank, r.err)
+		}
+		t.Peers[r.rank] = r.peer
+		t.Clients[r.rank].SetReader(r.peer)
+	}
+	return t, nil
+}
+
+// Close shuts the task's peers and clients down.
+func (t *Task) Close() {
+	for _, p := range t.Peers {
+		if p != nil {
+			p.Close()
+		}
+	}
+	for _, c := range t.Clients {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+// Close tears the deployment down in dependency order.
+func (d *Deployment) Close() {
+	for _, s := range d.servers {
+		s.Close()
+	}
+	if d.registry != nil {
+		d.registry.Close()
+	}
+	if d.kvCluster != nil {
+		d.kvCluster.Close()
+	}
+	for _, s := range d.kvServers {
+		s.Close()
+	}
+}

@@ -1,0 +1,561 @@
+// Package dcache implements DIESEL's task-grained distributed cache
+// (§4.2, Figure 7).
+//
+// Every I/O process of a DLT task owns a Peer. Peers register with the
+// task's registry (lines labeled 1 in Figure 7); on each physical node the
+// peer with the smallest rank becomes the node's master client. Only
+// masters participate in dataset partitioning and serve cached data, so
+// the connection count is p×(n−1) instead of n×(n−1) (lines labeled 2).
+// File read requests from any peer go to the master that owns the file's
+// chunk in one hop (lines labeled 3).
+//
+// The cache is chunk-granular: a master that misses pulls the whole chunk
+// from a DIESEL server, which is why loading and recovery run at chunk
+// bandwidth rather than file rate (Figure 11b). Failures are contained to
+// the task: a dead master only makes its peers fall back to reading from
+// the DIESEL servers directly.
+package dcache
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"diesel/internal/chunk"
+	"diesel/internal/client"
+	"diesel/internal/etcd"
+	"diesel/internal/meta"
+	"diesel/internal/wire"
+)
+
+// Policy selects when a master loads its owned chunks (§4.2 Cache
+// Policies).
+type Policy int
+
+const (
+	// OnDemand pulls a chunk from the server at the first miss on it.
+	OnDemand Policy = iota
+	// Oneshot pulls all owned chunks immediately after registration, so
+	// first-epoch reads are already cache hits.
+	Oneshot
+)
+
+// Config parameterises Join.
+type Config struct {
+	TaskID       string // DLT task identity; failure domain boundary
+	NodeID       string // physical node identity (one master per node)
+	Rank         int    // global rank of this I/O process
+	TotalClients int    // barrier size: peers in the task
+	Policy       Policy
+	// CapacityBytes bounds this master's cached payload bytes; 0 means
+	// unlimited. In memory-constrained scenarios the chunk-wise shuffle
+	// keeps the working set within this bound.
+	CapacityBytes int64
+	// JoinTimeout bounds the registration barrier (default 10s).
+	JoinTimeout time.Duration
+}
+
+// Registrar is the registry interface Join needs; both *etcd.Registry
+// (in-process) and *etcd.Client (networked) satisfy it.
+type Registrar interface {
+	Put(key string, value []byte) (uint64, error)
+	List(prefix string) ([]etcd.Entry, error)
+}
+
+// Stats counts cache behaviour.
+type Stats struct {
+	LocalHits      atomic.Uint64 // served from this peer's own master cache
+	PeerReads      atomic.Uint64 // served by a remote master
+	ChunkLoads     atomic.Uint64 // chunks pulled from DIESEL servers
+	BytesLoaded    atomic.Uint64
+	ServerFallback atomic.Uint64 // reads that bypassed the cache after a failure
+	Evictions      atomic.Uint64
+}
+
+// Peer is one I/O process's handle on the task-grained cache. It
+// implements client.Reader, so installing it on a libDIESEL context routes
+// DL_get through the cache.
+type Peer struct {
+	cfg  Config
+	cl   *client.Client
+	snap *meta.Snapshot
+
+	masters []masterInfo // sorted by node ID; partition targets
+	selfIdx int          // index into masters if this peer is a master, else -1
+
+	srv   *wire.Server // non-nil on masters
+	addr  string
+	pools map[string]*wire.Pool // master addr → pool
+	pmu   sync.Mutex
+
+	store *chunkStore // non-nil on masters
+
+	// inflight deduplicates concurrent loads of the same chunk: the
+	// Oneshot prefetch, peer requests and local reads may race on a chunk,
+	// and it must be fetched from the server exactly once.
+	inflightMu sync.Mutex
+	inflight   map[string]chan struct{}
+
+	Stats  Stats
+	closed atomic.Bool
+}
+
+const methodCacheGet = "cache.get"
+
+// Join registers this process in the task, waits for all TotalClients
+// peers, elects masters (smallest rank per node), partitions the dataset's
+// chunks across masters, and — under the Oneshot policy — starts loading
+// this master's partition in the background.
+//
+// The libDIESEL context must have a metadata snapshot loaded: the cache
+// partitions the snapshot's chunk table.
+func Join(cl *client.Client, reg Registrar, cfg Config) (*Peer, error) {
+	snap := cl.Snapshot()
+	if snap == nil {
+		return nil, errors.New("dcache: client has no metadata snapshot loaded")
+	}
+	if cfg.TotalClients < 1 {
+		return nil, errors.New("dcache: TotalClients must be >= 1")
+	}
+	if cfg.JoinTimeout <= 0 {
+		cfg.JoinTimeout = 10 * time.Second
+	}
+
+	p := &Peer{
+		cfg:     cfg,
+		cl:      cl,
+		snap:    snap,
+		selfIdx: -1,
+		pools:   make(map[string]*wire.Pool),
+	}
+
+	// Every peer listens before registering; non-masters close their
+	// listener after the election (mastership is unknown until everyone
+	// has registered).
+	p.srv = wire.NewServer()
+	addr, err := p.srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p.addr = addr
+
+	key := fmt.Sprintf("dcache/%s/clients/%08d", cfg.TaskID, cfg.Rank)
+	val := cfg.NodeID + "|" + addr
+	if _, err := reg.Put(key, []byte(val)); err != nil {
+		p.srv.Close()
+		return nil, fmt.Errorf("dcache: register: %w", err)
+	}
+
+	// Barrier: wait until all peers are registered.
+	deadline := time.Now().Add(cfg.JoinTimeout)
+	var entries []etcd.Entry
+	for {
+		entries, err = reg.List(fmt.Sprintf("dcache/%s/clients/", cfg.TaskID))
+		if err != nil {
+			p.srv.Close()
+			return nil, err
+		}
+		if len(entries) >= cfg.TotalClients {
+			break
+		}
+		if time.Now().After(deadline) {
+			p.srv.Close()
+			return nil, fmt.Errorf("dcache: join barrier timed out with %d/%d peers", len(entries), cfg.TotalClients)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Election: per node, the registered client with the smallest rank.
+	type peerRec struct {
+		rank int
+		node string
+		addr string
+	}
+	minByNode := make(map[string]peerRec)
+	for _, e := range entries {
+		rankStr := e.Key[strings.LastIndexByte(e.Key, '/')+1:]
+		rank, err := strconv.Atoi(rankStr)
+		if err != nil {
+			continue
+		}
+		node, maddr, ok := strings.Cut(string(e.Value), "|")
+		if !ok {
+			continue
+		}
+		cur, seen := minByNode[node]
+		if !seen || rank < cur.rank {
+			minByNode[node] = peerRec{rank: rank, node: node, addr: maddr}
+		}
+	}
+	nodes := make([]string, 0, len(minByNode))
+	for n := range minByNode {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for i, n := range nodes {
+		rec := minByNode[n]
+		p.masters = append(p.masters, masterInfo{node: n, rank: rec.rank, addr: rec.addr})
+		if rec.node == cfg.NodeID && rec.rank == cfg.Rank {
+			p.selfIdx = i
+		}
+	}
+
+	if p.IsMaster() {
+		p.store = newChunkStore(cfg.CapacityBytes)
+		p.srv.Handle(methodCacheGet, p.handleCacheGet)
+		if cfg.Policy == Oneshot {
+			go p.LoadOwned()
+		}
+	} else {
+		p.srv.Close()
+		p.srv = nil
+	}
+	return p, nil
+}
+
+type masterInfo struct {
+	node string
+	rank int
+	addr string
+}
+
+// IsMaster reports whether this peer was elected its node's master client.
+func (p *Peer) IsMaster() bool { return p.selfIdx >= 0 }
+
+// Masters returns the number of master clients (p in the paper's p×(n−1)).
+func (p *Peer) Masters() int { return len(p.masters) }
+
+// Addr returns this peer's serving address (masters only).
+func (p *Peer) Addr() string { return p.addr }
+
+// ownerOf returns the index of the master owning snapshot chunk ci.
+// Round-robin over the snapshot's chunk table is deterministic and
+// balanced, and every peer computes it identically from the shared
+// snapshot.
+func (p *Peer) ownerOf(ci int) int { return ci % len(p.masters) }
+
+// OwnedChunks returns the snapshot chunk indices this master owns.
+func (p *Peer) OwnedChunks() []int {
+	if !p.IsMaster() {
+		return nil
+	}
+	var out []int
+	for ci := range p.snap.Chunks {
+		if p.ownerOf(ci) == p.selfIdx {
+			out = append(out, ci)
+		}
+	}
+	return out
+}
+
+// LoadOwned pulls every chunk this master owns from the DIESEL servers
+// (the Oneshot policy's prefetch; also the recovery path after a cache
+// restart). It is safe to call repeatedly; already-cached chunks are
+// skipped.
+func (p *Peer) LoadOwned() error {
+	if !p.IsMaster() {
+		return nil
+	}
+	for _, ci := range p.OwnedChunks() {
+		if p.closed.Load() {
+			return nil
+		}
+		if _, err := p.loadChunk(ci); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadChunk ensures chunk ci is cached locally, fetching it from a DIESEL
+// server if needed, and returns it. Concurrent loads of the same chunk
+// coalesce into a single server fetch.
+func (p *Peer) loadChunk(ci int) (*cachedChunk, error) {
+	id := p.snap.Chunks[ci].ID.String()
+	for {
+		if cc := p.store.get(id); cc != nil {
+			return cc, nil
+		}
+		p.inflightMu.Lock()
+		if p.inflight == nil {
+			p.inflight = make(map[string]chan struct{})
+		}
+		done, loading := p.inflight[id]
+		if !loading {
+			done = make(chan struct{})
+			p.inflight[id] = done
+		}
+		p.inflightMu.Unlock()
+		if !loading {
+			cc, err := p.fetchChunk(id)
+			p.inflightMu.Lock()
+			delete(p.inflight, id)
+			p.inflightMu.Unlock()
+			close(done)
+			return cc, err
+		}
+		<-done // another goroutine is fetching; retry from the store
+	}
+}
+
+// fetchChunk pulls one chunk from a DIESEL server into the store.
+func (p *Peer) fetchChunk(id string) (*cachedChunk, error) {
+	blob, err := p.cl.GetChunk(id)
+	if err != nil {
+		return nil, fmt.Errorf("dcache: load chunk %s: %w", id, err)
+	}
+	ck, err := chunk.Parse(blob)
+	if err != nil {
+		return nil, fmt.Errorf("dcache: chunk %s corrupt: %w", id, err)
+	}
+	cc := newCachedChunk(ck)
+	p.Stats.ChunkLoads.Add(1)
+	p.Stats.BytesLoaded.Add(uint64(len(blob)))
+	p.Stats.Evictions.Add(p.store.put(id, cc))
+	return cc, nil
+}
+
+// handleCacheGet serves a file from this master's cache (loading the chunk
+// on demand), for requests arriving from peers.
+func (p *Peer) handleCacheGet(payload []byte) ([]byte, error) {
+	d := wire.NewDecoder(payload)
+	path := d.String()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	b, err := p.readLocal(path)
+	if err != nil {
+		return nil, err
+	}
+	e := wire.NewEncoder(len(b) + 8)
+	e.Bytes32(b)
+	return e.Bytes(), nil
+}
+
+// readLocal serves a path from this master's own cache.
+func (p *Peer) readLocal(path string) ([]byte, error) {
+	m, err := p.snap.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	cc, err := p.loadChunk(m.ChunkIdx)
+	if err != nil {
+		return nil, err
+	}
+	return cc.file(m)
+}
+
+// ReadFile implements client.Reader: the read flow of Figure 4. The
+// owning master is computed from the snapshot; local reads are direct,
+// remote ones are one RPC hop; on any failure the read falls back to the
+// DIESEL servers so a dead cache node degrades throughput, not
+// correctness.
+func (p *Peer) ReadFile(path string) ([]byte, error) {
+	m, err := p.snap.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	owner := p.ownerOf(m.ChunkIdx)
+	if owner == p.selfIdx {
+		b, err := p.readLocal(path)
+		if err == nil {
+			p.Stats.LocalHits.Add(1)
+			return b, nil
+		}
+	} else {
+		b, err := p.readFromMaster(p.masters[owner].addr, path)
+		if err == nil {
+			p.Stats.PeerReads.Add(1)
+			return b, nil
+		}
+	}
+	p.Stats.ServerFallback.Add(1)
+	return p.cl.GetDirect(path)
+}
+
+// readFromMaster fetches a file from a remote master, dialing lazily and
+// pooling connections.
+func (p *Peer) readFromMaster(addr, path string) ([]byte, error) {
+	pool, err := p.poolFor(addr)
+	if err != nil {
+		return nil, err
+	}
+	e := wire.NewEncoder(len(path) + 8)
+	e.String(path)
+	resp, err := pool.Call(methodCacheGet, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	d := wire.NewDecoder(resp)
+	b := append([]byte(nil), d.Bytes32()...)
+	return b, d.Err()
+}
+
+func (p *Peer) poolFor(addr string) (*wire.Pool, error) {
+	p.pmu.Lock()
+	defer p.pmu.Unlock()
+	if pool, ok := p.pools[addr]; ok {
+		return pool, nil
+	}
+	pool, err := wire.DialPool(addr, 2)
+	if err != nil {
+		return nil, err
+	}
+	p.pools[addr] = pool
+	return pool, nil
+}
+
+// DialedMasters reports how many distinct remote masters this peer has
+// opened connections to — at most Masters()-1 for a master, Masters() for
+// a worker, never the full peer count. This is the p×(n−1) topology claim
+// of §4.2 made observable.
+func (p *Peer) DialedMasters() int {
+	p.pmu.Lock()
+	defer p.pmu.Unlock()
+	return len(p.pools)
+}
+
+// CachedBytes reports the payload bytes currently cached on this master.
+func (p *Peer) CachedBytes() int64 {
+	if p.store == nil {
+		return 0
+	}
+	return p.store.bytes()
+}
+
+// CachedChunks reports how many chunks this master holds.
+func (p *Peer) CachedChunks() int {
+	if p.store == nil {
+		return 0
+	}
+	return p.store.count()
+}
+
+// DropAll empties this master's cache (failure injection for recovery
+// experiments).
+func (p *Peer) DropAll() {
+	if p.store != nil {
+		p.store.clear()
+	}
+}
+
+// Close stops serving and closes peer connections. A closed master makes
+// its peers fall back to the DIESEL servers — the contained failure mode.
+func (p *Peer) Close() error {
+	if p.closed.Swap(true) {
+		return nil
+	}
+	var first error
+	if p.srv != nil {
+		first = p.srv.Close()
+	}
+	p.pmu.Lock()
+	for _, pool := range p.pools {
+		pool.Close()
+	}
+	p.pools = make(map[string]*wire.Pool)
+	p.pmu.Unlock()
+	return first
+}
+
+// --- master-side chunk store with LRU eviction ---
+
+type cachedChunk struct {
+	ck *chunk.Chunk
+}
+
+func newCachedChunk(ck *chunk.Chunk) *cachedChunk { return &cachedChunk{ck: ck} }
+
+func (cc *cachedChunk) size() int64 { return int64(len(cc.ck.Payload())) }
+
+// file extracts one file's bytes using snapshot metadata. The copy keeps
+// the returned slice independent of eviction.
+func (cc *cachedChunk) file(m meta.FileMeta) ([]byte, error) {
+	pay := cc.ck.Payload()
+	if m.Offset+m.Length > uint64(len(pay)) {
+		return nil, fmt.Errorf("dcache: file range [%d,%d) outside chunk payload %d",
+			m.Offset, m.Offset+m.Length, len(pay))
+	}
+	return append([]byte(nil), pay[m.Offset:m.Offset+m.Length]...), nil
+}
+
+type chunkStore struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	items    map[string]*list.Element
+	lru      *list.List // front = most recent
+}
+
+type storeEntry struct {
+	id string
+	cc *cachedChunk
+}
+
+func newChunkStore(capacity int64) *chunkStore {
+	return &chunkStore{
+		capacity: capacity,
+		items:    make(map[string]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+func (s *chunkStore) get(id string) *cachedChunk {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[id]
+	if !ok {
+		return nil
+	}
+	s.lru.MoveToFront(el)
+	return el.Value.(*storeEntry).cc
+}
+
+// put inserts a chunk, returning the number of evictions it caused.
+func (s *chunkStore) put(id string, cc *cachedChunk) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.items[id]; dup {
+		return 0
+	}
+	var evicted uint64
+	if s.capacity > 0 {
+		for s.used+cc.size() > s.capacity && s.lru.Len() > 0 {
+			back := s.lru.Back()
+			e := back.Value.(*storeEntry)
+			s.lru.Remove(back)
+			delete(s.items, e.id)
+			s.used -= e.cc.size()
+			evicted++
+		}
+	}
+	s.items[id] = s.lru.PushFront(&storeEntry{id: id, cc: cc})
+	s.used += cc.size()
+	return evicted
+}
+
+func (s *chunkStore) bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used
+}
+
+func (s *chunkStore) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.Len()
+}
+
+func (s *chunkStore) clear() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items = make(map[string]*list.Element)
+	s.lru = list.New()
+	s.used = 0
+}

@@ -1,0 +1,189 @@
+package etcd
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryPutGetDelete(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing key: %v", err)
+	}
+	if v := r.Put("k", []byte("v1")); v != 1 {
+		t.Errorf("first Put version = %d", v)
+	}
+	if v := r.Put("k", []byte("v2")); v != 2 {
+		t.Errorf("second Put version = %d", v)
+	}
+	e, err := r.Get("k")
+	if err != nil || string(e.Value) != "v2" || e.Version != 2 {
+		t.Errorf("Get = %+v, %v", e, err)
+	}
+	if !r.Delete("k") || r.Delete("k") {
+		t.Error("Delete semantics broken")
+	}
+}
+
+func TestRegistryList(t *testing.T) {
+	r := NewRegistry()
+	r.Put("cache/task1/node2", []byte("b"))
+	r.Put("cache/task1/node1", []byte("a"))
+	r.Put("cache/task2/node1", []byte("c"))
+	got := r.List("cache/task1/")
+	if len(got) != 2 {
+		t.Fatalf("List = %d entries", len(got))
+	}
+	if got[0].Key != "cache/task1/node1" || got[1].Key != "cache/task1/node2" {
+		t.Errorf("List not sorted: %v, %v", got[0].Key, got[1].Key)
+	}
+}
+
+func TestRegistryWatch(t *testing.T) {
+	r := NewRegistry()
+	ch, cancel := r.Watch("jobs/")
+	defer cancel()
+	r.Put("other/x", []byte("no"))
+	r.Put("jobs/1", []byte("yes"))
+	select {
+	case e := <-ch:
+		if e.Key != "jobs/1" {
+			t.Errorf("watch delivered %q", e.Key)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("watch never fired")
+	}
+	select {
+	case e := <-ch:
+		t.Fatalf("unexpected extra event %q", e.Key)
+	default:
+	}
+	cancel()
+	r.Put("jobs/2", []byte("after-cancel"))
+	select {
+	case e, ok := <-ch:
+		if ok {
+			t.Fatalf("event after cancel: %q", e.Key)
+		}
+	default:
+	}
+}
+
+func TestRegistryCompareAndPut(t *testing.T) {
+	r := NewRegistry()
+	v, ok := r.CompareAndPut("leader", 0, []byte("n1"))
+	if !ok || v != 1 {
+		t.Fatalf("initial CAP = %d, %v", v, ok)
+	}
+	// A second contender with expect=0 must lose.
+	if _, ok := r.CompareAndPut("leader", 0, []byte("n2")); ok {
+		t.Fatal("stale CAP succeeded")
+	}
+	e, _ := r.Get("leader")
+	if string(e.Value) != "n1" {
+		t.Errorf("leader = %q", e.Value)
+	}
+	// Correct expected version wins.
+	if _, ok := r.CompareAndPut("leader", 1, []byte("n3")); !ok {
+		t.Fatal("CAP with correct version failed")
+	}
+}
+
+// TestRegistryCAPRace: exactly one of N concurrent contenders must win the
+// initial claim — the property master-client election depends on.
+func TestRegistryCAPRace(t *testing.T) {
+	r := NewRegistry()
+	const contenders = 32
+	wins := make(chan int, contenders)
+	var wg sync.WaitGroup
+	for i := range contenders {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, ok := r.CompareAndPut("election", 0, fmt.Appendf(nil, "node%d", i)); ok {
+				wins <- i
+			}
+		}()
+	}
+	wg.Wait()
+	close(wins)
+	count := 0
+	for range wins {
+		count++
+	}
+	if count != 1 {
+		t.Fatalf("%d contenders won; want exactly 1", count)
+	}
+}
+
+func TestServerClientRoundTrip(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Put("cfg/chunk-size", []byte("4194304")); err != nil {
+		t.Fatal(err)
+	}
+	e, err := c.Get("cfg/chunk-size")
+	if err != nil || string(e.Value) != "4194304" || e.Version != 1 {
+		t.Fatalf("Get = %+v, %v", e, err)
+	}
+	if _, err := c.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing key over RPC: %v", err)
+	}
+
+	c.Put("cfg/a", []byte("1"))
+	c.Put("cfg/b", []byte("2"))
+	ents, err := c.List("cfg/")
+	if err != nil || len(ents) != 3 {
+		t.Fatalf("List = %d entries, %v", len(ents), err)
+	}
+
+	_, ok, err := c.CompareAndPut("lock", 0, []byte("me"))
+	if err != nil || !ok {
+		t.Fatalf("CAP over RPC: %v %v", ok, err)
+	}
+	_, ok, err = c.CompareAndPut("lock", 0, []byte("you"))
+	if err != nil || ok {
+		t.Fatalf("stale CAP over RPC succeeded")
+	}
+
+	gone, err := c.Delete("cfg/a")
+	if err != nil || !gone {
+		t.Fatalf("Delete = %v, %v", gone, err)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := range 8 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range 200 {
+				k := fmt.Sprintf("w%d/k%d", w, i)
+				r.Put(k, []byte("v"))
+				if _, err := r.Get(k); err != nil {
+					t.Errorf("Get(%q): %v", k, err)
+					return
+				}
+				r.List(fmt.Sprintf("w%d/", w))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Revision(); got != 8*200 {
+		t.Errorf("Revision = %d, want %d", got, 8*200)
+	}
+}

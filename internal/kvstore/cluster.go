@@ -1,0 +1,297 @@
+package kvstore
+
+import (
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"sync"
+
+	"diesel/internal/wire"
+)
+
+// NumSlots is the size of the hash-slot space keys are sharded over,
+// mirroring Redis cluster's 16384 slots.
+const NumSlots = 16384
+
+// Slot maps a key to its hash slot.
+func Slot(key string) int {
+	return int(crc32.ChecksumIEEE([]byte(key)) % NumSlots)
+}
+
+// Cluster is a client to a set of KV nodes. Slots are assigned to nodes in
+// contiguous even ranges by node index. All methods are safe for
+// concurrent use.
+type Cluster struct {
+	addrs []string
+
+	mu    sync.RWMutex
+	pools []*wire.Pool
+}
+
+// DialCluster connects to the given node addresses with connsPerNode
+// connections each. The address order defines the slot assignment, so all
+// clients of one cluster must use the same order.
+func DialCluster(addrs []string, connsPerNode int) (*Cluster, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("kvstore: empty cluster")
+	}
+	c := &Cluster{addrs: append([]string(nil), addrs...)}
+	c.pools = make([]*wire.Pool, len(addrs))
+	for i, a := range addrs {
+		p, err := wire.DialPool(a, connsPerNode)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("kvstore: dial node %d (%s): %w", i, a, err)
+		}
+		c.pools[i] = p
+	}
+	return c, nil
+}
+
+// NodeCount returns the number of nodes in the cluster.
+func (c *Cluster) NodeCount() int { return len(c.addrs) }
+
+// nodeFor returns the pool index owning key's slot.
+func (c *Cluster) nodeFor(key string) int {
+	return Slot(key) * len(c.addrs) / NumSlots
+}
+
+func (c *Cluster) pool(i int) *wire.Pool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.pools[i]
+}
+
+// Set stores value under key on the owning node.
+func (c *Cluster) Set(key string, value []byte) error {
+	e := wire.NewEncoder(len(key) + len(value) + 16)
+	e.String(key)
+	e.Bytes32(value)
+	_, err := c.pool(c.nodeFor(key)).Call(methodSet, e.Bytes())
+	return err
+}
+
+// Get fetches key from the owning node. Missing keys return ErrNotFound.
+func (c *Cluster) Get(key string) ([]byte, error) {
+	e := wire.NewEncoder(len(key) + 8)
+	e.String(key)
+	resp, err := c.pool(c.nodeFor(key)).Call(methodGet, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	d := wire.NewDecoder(resp)
+	ok := d.Bool()
+	v := d.Bytes32()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return append([]byte(nil), v...), nil
+}
+
+// KV is one key/value pair, the unit of batched writes.
+type KV struct {
+	Key   string
+	Value []byte
+}
+
+// MSet writes a batch of pairs, grouping them by owning node so each node
+// receives one RPC. This batching is why DIESEL's metadata ingest is fast:
+// a chunk's worth of file metadata costs O(nodes) round trips, not O(files).
+func (c *Cluster) MSet(pairs []KV) error {
+	byNode := make(map[int][]KV)
+	for _, kv := range pairs {
+		n := c.nodeFor(kv.Key)
+		byNode[n] = append(byNode[n], kv)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(byNode))
+	for n, batch := range byNode {
+		wg.Add(1)
+		go func(n int, batch []KV) {
+			defer wg.Done()
+			e := wire.NewEncoder(1024)
+			e.Uint32(uint32(len(batch)))
+			for _, kv := range batch {
+				e.String(kv.Key)
+				e.Bytes32(kv.Value)
+			}
+			if _, err := c.pool(n).Call(methodMSet, e.Bytes()); err != nil {
+				errCh <- fmt.Errorf("kvstore: mset on node %d: %w", n, err)
+			}
+		}(n, batch)
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}
+
+// MGet fetches many keys, grouped by node. The result preserves input
+// order; missing keys yield nil entries.
+func (c *Cluster) MGet(keys []string) ([][]byte, error) {
+	type idxKey struct {
+		idx int
+		key string
+	}
+	byNode := make(map[int][]idxKey)
+	for i, k := range keys {
+		n := c.nodeFor(k)
+		byNode[n] = append(byNode[n], idxKey{i, k})
+	}
+	out := make([][]byte, len(keys))
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(byNode))
+	for n, batch := range byNode {
+		wg.Add(1)
+		go func(n int, batch []idxKey) {
+			defer wg.Done()
+			ks := make([]string, len(batch))
+			for i, ik := range batch {
+				ks[i] = ik.key
+			}
+			e := wire.NewEncoder(256)
+			e.StringSlice(ks)
+			resp, err := c.pool(n).Call(methodMGet, e.Bytes())
+			if err != nil {
+				errCh <- err
+				return
+			}
+			d := wire.NewDecoder(resp)
+			cnt := int(d.Uint32())
+			if cnt != len(batch) {
+				errCh <- fmt.Errorf("kvstore: mget count mismatch: %d vs %d", cnt, len(batch))
+				return
+			}
+			for _, ik := range batch {
+				ok := d.Bool()
+				v := d.Bytes32()
+				if ok {
+					out[ik.idx] = append([]byte(nil), v...)
+				}
+			}
+			if err := d.Err(); err != nil {
+				errCh <- err
+			}
+		}(n, batch)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Del removes key from its owning node, reporting whether it existed.
+func (c *Cluster) Del(key string) (bool, error) {
+	e := wire.NewEncoder(len(key) + 8)
+	e.String(key)
+	resp, err := c.pool(c.nodeFor(key)).Call(methodDel, e.Bytes())
+	if err != nil {
+		return false, err
+	}
+	d := wire.NewDecoder(resp)
+	return d.Bool(), d.Err()
+}
+
+// ScanPrefix fans the prefix scan out to every node and merges the results
+// in ascending key order. Keys with one prefix live on many nodes (slots
+// hash the full key), so readdir-style operations must touch the whole
+// cluster — exactly the pressure metadata snapshots remove.
+func (c *Cluster) ScanPrefix(prefix string) ([]KV, error) {
+	e := wire.NewEncoder(len(prefix) + 8)
+	e.String(prefix)
+	req := e.Bytes()
+
+	results := make([][]KV, len(c.addrs))
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(c.addrs))
+	for n := range c.addrs {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			resp, err := c.pool(n).Call(methodPScan, req)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			d := wire.NewDecoder(resp)
+			cnt := int(d.Uint32())
+			kvs := make([]KV, 0, cnt)
+			for range cnt {
+				k := d.String()
+				v := append([]byte(nil), d.Bytes32()...)
+				kvs = append(kvs, KV{k, v})
+			}
+			if err := d.Err(); err != nil {
+				errCh <- err
+				return
+			}
+			results[n] = kvs
+		}(n)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return nil, err
+	}
+	var merged []KV
+	for _, r := range results {
+		merged = append(merged, r...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Key < merged[j].Key })
+	return merged, nil
+}
+
+// FlushAll empties every node.
+func (c *Cluster) FlushAll() error {
+	for n := range c.addrs {
+		if _, err := c.pool(n).Call(methodFlush, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DBSize returns the total key count across nodes.
+func (c *Cluster) DBSize() (uint64, error) {
+	var total uint64
+	for n := range c.addrs {
+		resp, err := c.pool(n).Call(methodDBSize, nil)
+		if err != nil {
+			return 0, err
+		}
+		d := wire.NewDecoder(resp)
+		total += d.Uint64()
+		if err := d.Err(); err != nil {
+			return 0, err
+		}
+	}
+	return total, nil
+}
+
+// Ping checks liveness of every node, returning the first error.
+func (c *Cluster) Ping() error {
+	for n := range c.addrs {
+		if _, err := c.pool(n).Call(methodPing, nil); err != nil {
+			return fmt.Errorf("kvstore: node %d (%s): %w", n, c.addrs[n], err)
+		}
+	}
+	return nil
+}
+
+// Close tears down all connections.
+func (c *Cluster) Close() error {
+	var first error
+	for _, p := range c.pools {
+		if p == nil {
+			continue
+		}
+		if err := p.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

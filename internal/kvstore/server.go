@@ -1,0 +1,156 @@
+package kvstore
+
+import (
+	"errors"
+
+	"diesel/internal/wire"
+)
+
+// RPC method names served by a KV node.
+const (
+	methodGet    = "kv.get"
+	methodSet    = "kv.set"
+	methodMSet   = "kv.mset"
+	methodMGet   = "kv.mget"
+	methodDel    = "kv.del"
+	methodPScan  = "kv.pscan"
+	methodFlush  = "kv.flush"
+	methodDBSize = "kv.dbsize"
+	methodPing   = "kv.ping"
+)
+
+// ErrNotFound is returned by Get for missing keys.
+var ErrNotFound = errors.New("kvstore: key not found")
+
+// Server exposes one Store over the wire protocol: one "Redis instance".
+type Server struct {
+	store *Store
+	rpc   *wire.Server
+	addr  string
+}
+
+// NewServer creates a KV node and binds it to addr (":0" for ephemeral).
+func NewServer(addr string) (*Server, error) {
+	s := &Server{store: NewStore(), rpc: wire.NewServer()}
+	s.register()
+	bound, err := s.rpc.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	s.addr = bound
+	return s, nil
+}
+
+// Addr returns the node's bound address.
+func (s *Server) Addr() string { return s.addr }
+
+// Store exposes the node's backing store; tests and the wipe/failure
+// injection paths use it directly.
+func (s *Server) Store() *Store { return s.store }
+
+// Requests returns the number of RPCs served, for QPS accounting.
+func (s *Server) Requests() uint64 { return s.rpc.Stats.Requests.Load() }
+
+// Close kills the node: in-flight and future requests fail, and (being an
+// in-memory store) its data is unreachable until recovery rebuilds it.
+func (s *Server) Close() error { return s.rpc.Close() }
+
+// Wipe simulates scenario (b) of §4.1.2: the node restarts empty.
+func (s *Server) Wipe() { s.store.Flush() }
+
+func (s *Server) register() {
+	s.rpc.Handle(methodPing, func(p []byte) ([]byte, error) { return []byte("pong"), nil })
+
+	s.rpc.Handle(methodGet, func(p []byte) ([]byte, error) {
+		d := wire.NewDecoder(p)
+		key := d.String()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		v, ok := s.store.Get(key)
+		e := wire.NewEncoder(len(v) + 8)
+		e.Bool(ok)
+		e.Bytes32(v)
+		return e.Bytes(), nil
+	})
+
+	s.rpc.Handle(methodSet, func(p []byte) ([]byte, error) {
+		d := wire.NewDecoder(p)
+		key := d.String()
+		val := d.Bytes32()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		s.store.Set(key, append([]byte(nil), val...))
+		return nil, nil
+	})
+
+	s.rpc.Handle(methodMSet, func(p []byte) ([]byte, error) {
+		d := wire.NewDecoder(p)
+		n := int(d.Uint32())
+		for range n {
+			key := d.String()
+			val := d.Bytes32()
+			if err := d.Err(); err != nil {
+				return nil, err
+			}
+			s.store.Set(key, append([]byte(nil), val...))
+		}
+		return nil, nil
+	})
+
+	s.rpc.Handle(methodMGet, func(p []byte) ([]byte, error) {
+		d := wire.NewDecoder(p)
+		keys := d.StringSlice()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		e := wire.NewEncoder(64)
+		e.Uint32(uint32(len(keys)))
+		for _, k := range keys {
+			v, ok := s.store.Get(k)
+			e.Bool(ok)
+			e.Bytes32(v)
+		}
+		return e.Bytes(), nil
+	})
+
+	s.rpc.Handle(methodDel, func(p []byte) ([]byte, error) {
+		d := wire.NewDecoder(p)
+		key := d.String()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		ok := s.store.Del(key)
+		e := wire.NewEncoder(1)
+		e.Bool(ok)
+		return e.Bytes(), nil
+	})
+
+	s.rpc.Handle(methodPScan, func(p []byte) ([]byte, error) {
+		d := wire.NewDecoder(p)
+		prefix := d.String()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		keys, values := s.store.ScanPrefix(prefix)
+		e := wire.NewEncoder(256)
+		e.Uint32(uint32(len(keys)))
+		for i, k := range keys {
+			e.String(k)
+			e.Bytes32(values[i])
+		}
+		return e.Bytes(), nil
+	})
+
+	s.rpc.Handle(methodFlush, func(p []byte) ([]byte, error) {
+		s.store.Flush()
+		return nil, nil
+	})
+
+	s.rpc.Handle(methodDBSize, func(p []byte) ([]byte, error) {
+		e := wire.NewEncoder(8)
+		e.Uint64(uint64(s.store.Len()))
+		return e.Bytes(), nil
+	})
+}

@@ -1,0 +1,210 @@
+// Package kvstore implements the distributed in-memory key-value database
+// DIESEL stores its metadata in — the role a Redis cluster plays in the
+// paper. It provides:
+//
+//   - Store: a single node's in-memory ordered map (skiplist-backed) with
+//     GET/SET/DEL and prefix scans, the operation DIESEL translates
+//     readdir into ("pscan hash(dir)/d ∪ pscan hash(dir)/f", §4.1.1).
+//   - Server: a Store exposed over the wire RPC protocol.
+//   - Cluster: a client that shards keys across servers by hash slot,
+//     like Redis cluster's 16384-slot scheme, with batched MSET and
+//     fan-out prefix scans.
+//
+// Node failure is first-class: servers can be killed and wiped so the
+// metadata-recovery paths of the DIESEL server (§4.1.2 scenarios a and b)
+// can be exercised in tests and experiments.
+package kvstore
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+)
+
+const (
+	maxLevel    = 20
+	levelChance = 4 // 1-in-4 promotion, the classic skiplist parameter
+)
+
+type node struct {
+	key   string
+	value []byte
+	next  []*node
+}
+
+// skiplist is an ordered string→[]byte map. It is not safe for concurrent
+// use; Store wraps it with a RWMutex.
+type skiplist struct {
+	head  *node
+	level int
+	size  int
+	rng   *rand.Rand
+}
+
+func newSkiplist(seed int64) *skiplist {
+	return &skiplist{
+		head:  &node{next: make([]*node, maxLevel)},
+		level: 1,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+func (s *skiplist) randomLevel() int {
+	lvl := 1
+	for lvl < maxLevel && s.rng.Intn(levelChance) == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+// findPredecessors fills prev[i] with the rightmost node at level i whose
+// key is < key.
+func (s *skiplist) findPredecessors(key string, prev *[maxLevel]*node) *node {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < key {
+			x = x.next[i]
+		}
+		prev[i] = x
+	}
+	return x.next[0]
+}
+
+// set inserts or replaces key. It reports whether the key was new.
+func (s *skiplist) set(key string, value []byte) bool {
+	var prev [maxLevel]*node
+	n := s.findPredecessors(key, &prev)
+	if n != nil && n.key == key {
+		n.value = value
+		return false
+	}
+	lvl := s.randomLevel()
+	if lvl > s.level {
+		for i := s.level; i < lvl; i++ {
+			prev[i] = s.head
+		}
+		s.level = lvl
+	}
+	nn := &node{key: key, value: value, next: make([]*node, lvl)}
+	for i := 0; i < lvl; i++ {
+		nn.next[i] = prev[i].next[i]
+		prev[i].next[i] = nn
+	}
+	s.size++
+	return true
+}
+
+// get returns the value for key, and whether it exists.
+func (s *skiplist) get(key string) ([]byte, bool) {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < key {
+			x = x.next[i]
+		}
+	}
+	n := x.next[0]
+	if n != nil && n.key == key {
+		return n.value, true
+	}
+	return nil, false
+}
+
+// del removes key, reporting whether it existed.
+func (s *skiplist) del(key string) bool {
+	var prev [maxLevel]*node
+	n := s.findPredecessors(key, &prev)
+	if n == nil || n.key != key {
+		return false
+	}
+	for i := 0; i < s.level; i++ {
+		if prev[i].next[i] == n {
+			prev[i].next[i] = n.next[i]
+		}
+	}
+	for s.level > 1 && s.head.next[s.level-1] == nil {
+		s.level--
+	}
+	s.size--
+	return true
+}
+
+// scanPrefix calls fn for each key with the given prefix in ascending key
+// order, stopping early if fn returns false.
+func (s *skiplist) scanPrefix(prefix string, fn func(key string, value []byte) bool) {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < prefix {
+			x = x.next[i]
+		}
+	}
+	for n := x.next[0]; n != nil && strings.HasPrefix(n.key, prefix); n = n.next[0] {
+		if !fn(n.key, n.value) {
+			return
+		}
+	}
+}
+
+// Store is one KV node's data: a skiplist guarded by a RWMutex. Reads run
+// concurrently; writes serialise, matching the single-threaded command
+// execution of the system it stands in for.
+type Store struct {
+	mu sync.RWMutex
+	sl *skiplist
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{sl: newSkiplist(1)}
+}
+
+// Set stores value under key, copying neither; callers must not mutate the
+// slice afterwards.
+func (st *Store) Set(key string, value []byte) {
+	st.mu.Lock()
+	st.sl.set(key, value)
+	st.mu.Unlock()
+}
+
+// Get returns the value stored under key.
+func (st *Store) Get(key string) ([]byte, bool) {
+	st.mu.RLock()
+	v, ok := st.sl.get(key)
+	st.mu.RUnlock()
+	return v, ok
+}
+
+// Del removes key, reporting whether it existed.
+func (st *Store) Del(key string) bool {
+	st.mu.Lock()
+	ok := st.sl.del(key)
+	st.mu.Unlock()
+	return ok
+}
+
+// Len returns the number of keys.
+func (st *Store) Len() int {
+	st.mu.RLock()
+	n := st.sl.size
+	st.mu.RUnlock()
+	return n
+}
+
+// ScanPrefix returns all key/value pairs whose key starts with prefix, in
+// ascending key order. Values are copied out under the read lock.
+func (st *Store) ScanPrefix(prefix string) (keys []string, values [][]byte) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	st.sl.scanPrefix(prefix, func(k string, v []byte) bool {
+		keys = append(keys, k)
+		values = append(values, v)
+		return true
+	})
+	return keys, values
+}
+
+// Flush discards all keys (scenario b: total in-memory data loss).
+func (st *Store) Flush() {
+	st.mu.Lock()
+	st.sl = newSkiplist(2)
+	st.mu.Unlock()
+}

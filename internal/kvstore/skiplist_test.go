@@ -1,0 +1,167 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSkiplistBasic(t *testing.T) {
+	st := NewStore()
+	if _, ok := st.Get("missing"); ok {
+		t.Error("empty store returned a value")
+	}
+	st.Set("a", []byte("1"))
+	st.Set("b", []byte("2"))
+	st.Set("a", []byte("1x")) // overwrite
+	if v, ok := st.Get("a"); !ok || string(v) != "1x" {
+		t.Errorf("Get(a) = %q %v", v, ok)
+	}
+	if st.Len() != 2 {
+		t.Errorf("Len = %d", st.Len())
+	}
+	if !st.Del("a") {
+		t.Error("Del(a) = false")
+	}
+	if st.Del("a") {
+		t.Error("second Del(a) = true")
+	}
+	if st.Len() != 1 {
+		t.Errorf("Len after delete = %d", st.Len())
+	}
+}
+
+// TestSkiplistVsReferenceMap is the core property test: a long random
+// operation sequence must leave the skiplist agreeing with a plain map,
+// and prefix scans must agree with a filtered sort of the map.
+func TestSkiplistVsReferenceMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	st := NewStore()
+	ref := make(map[string]string)
+	keyspace := func() string {
+		return fmt.Sprintf("k%02d/%02d", rng.Intn(20), rng.Intn(50))
+	}
+	for op := 0; op < 20000; op++ {
+		k := keyspace()
+		switch rng.Intn(4) {
+		case 0, 1: // set
+			v := fmt.Sprintf("v%d", op)
+			st.Set(k, []byte(v))
+			ref[k] = v
+		case 2: // delete
+			got := st.Del(k)
+			_, want := ref[k]
+			if got != want {
+				t.Fatalf("op %d: Del(%q) = %v, want %v", op, k, got, want)
+			}
+			delete(ref, k)
+		case 3: // get
+			v, ok := st.Get(k)
+			want, wok := ref[k]
+			if ok != wok || (ok && string(v) != want) {
+				t.Fatalf("op %d: Get(%q) = %q,%v want %q,%v", op, k, v, ok, want, wok)
+			}
+		}
+	}
+	if st.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", st.Len(), len(ref))
+	}
+	// Check every prefix bucket.
+	for p := range 20 {
+		prefix := fmt.Sprintf("k%02d/", p)
+		keys, values := st.ScanPrefix(prefix)
+		var want []string
+		for k := range ref {
+			if strings.HasPrefix(k, prefix) {
+				want = append(want, k)
+			}
+		}
+		sort.Strings(want)
+		if len(keys) != len(want) {
+			t.Fatalf("prefix %q: %d keys, want %d", prefix, len(keys), len(want))
+		}
+		for i, k := range keys {
+			if k != want[i] {
+				t.Fatalf("prefix %q: key[%d] = %q, want %q", prefix, i, k, want[i])
+			}
+			if string(values[i]) != ref[k] {
+				t.Fatalf("prefix %q: value mismatch at %q", prefix, k)
+			}
+		}
+	}
+}
+
+func TestSkiplistScanOrdering(t *testing.T) {
+	f := func(keys []string) bool {
+		st := NewStore()
+		for _, k := range keys {
+			st.Set(k, []byte{1})
+		}
+		got, _ := st.ScanPrefix("")
+		return sort.StringsAreSorted(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkiplistEmptyPrefixScansAll(t *testing.T) {
+	st := NewStore()
+	for i := range 100 {
+		st.Set(fmt.Sprintf("key%03d", i), []byte{byte(i)})
+	}
+	keys, _ := st.ScanPrefix("")
+	if len(keys) != 100 {
+		t.Fatalf("empty prefix returned %d keys", len(keys))
+	}
+}
+
+func TestSkiplistFlush(t *testing.T) {
+	st := NewStore()
+	for i := range 50 {
+		st.Set(fmt.Sprintf("k%d", i), nil)
+	}
+	st.Flush()
+	if st.Len() != 0 {
+		t.Errorf("Len after Flush = %d", st.Len())
+	}
+	if keys, _ := st.ScanPrefix(""); len(keys) != 0 {
+		t.Errorf("scan after Flush = %d keys", len(keys))
+	}
+	// Store is usable after flush.
+	st.Set("new", []byte("v"))
+	if v, ok := st.Get("new"); !ok || string(v) != "v" {
+		t.Error("store broken after Flush")
+	}
+}
+
+func TestStoreConcurrentAccess(t *testing.T) {
+	st := NewStore()
+	var wg sync.WaitGroup
+	for w := range 8 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range 500 {
+				k := fmt.Sprintf("w%d/k%d", w, i)
+				st.Set(k, []byte(k))
+				if v, ok := st.Get(k); !ok || !bytes.Equal(v, []byte(k)) {
+					t.Errorf("concurrent Get(%q) failed", k)
+					return
+				}
+				if i%10 == 0 {
+					st.ScanPrefix(fmt.Sprintf("w%d/", w))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if st.Len() != 8*500 {
+		t.Errorf("Len = %d, want %d", st.Len(), 8*500)
+	}
+}

@@ -1,0 +1,507 @@
+// Package lustre models the baseline shared filesystem the paper runs
+// DIESEL over and compares it against: a Lustre-like cluster of MDTs
+// (metadata targets) and OSTs (object storage targets).
+//
+// The model is functional — files really are stored and read back — but
+// its purpose is the baseline's cost structure, which it accounts
+// precisely per operation:
+//
+//   - every metadata operation is an RPC to the MDT owning the directory
+//     (DNE1 distributes directories over MDTs; DNE2 stripes a directory's
+//     entries over all MDTs, §2.2);
+//   - file data is striped over OSTs; reads and writes cost one OSS RPC
+//     per touched stripe plus an LDLM lock RPC;
+//   - stat-with-size costs extra OSS "glimpse" RPCs because Lustre keeps
+//     sizes on the OSS, not the MDS — the reason `ls -lR` takes ~170 s in
+//     Figure 10c while `ls -R` takes ~40 s.
+//
+// The cluster simulator converts these op counts into time; benchmarks on
+// this package compare op counts directly.
+package lustre
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DNEMode selects how the namespace is distributed over MDTs (§2.2).
+type DNEMode int
+
+const (
+	// DNENone keeps the whole namespace on MDT 0.
+	DNENone DNEMode = iota
+	// DNE1 assigns each directory (with all its entries) to one MDT by
+	// hash — a hot directory saturates one MDT.
+	DNE1
+	// DNE2 stripes each directory's entries over all MDTs — readdir must
+	// visit every MDT.
+	DNE2
+)
+
+// Config parameterises a cluster.
+type Config struct {
+	MDTs        int     // metadata targets (default 1)
+	OSTs        int     // object storage targets (default 1)
+	DNE         DNEMode // namespace distribution
+	StripeCount int     // stripes per file (default 1)
+	StripeSize  int     // bytes per stripe unit (default 1 MiB)
+}
+
+// Stats counts RPCs by type; all fields are atomic and cumulative.
+type Stats struct {
+	MDSOps   atomic.Uint64 // metadata RPCs (lookup, create, readdir, getattr)
+	OSSOps   atomic.Uint64 // object read/write RPCs
+	LockOps  atomic.Uint64 // LDLM lock acquire/release pairs
+	BytesIn  atomic.Uint64
+	BytesOut atomic.Uint64
+}
+
+// Errors.
+var (
+	ErrNotExist = errors.New("lustre: no such file or directory")
+	ErrExist    = errors.New("lustre: file exists")
+	ErrIsDir    = errors.New("lustre: is a directory")
+)
+
+type inode struct {
+	size    int64
+	stripes []string // OST object keys
+}
+
+// mdt is one metadata target: a directory-entry table guarded by one
+// mutex, modelling the MDS's serialised request execution.
+type mdt struct {
+	mu    sync.Mutex
+	files map[string]*inode          // full path → inode
+	dirs  map[string]map[string]bool // dir path → child basenames (dirs and files)
+	ops   atomic.Uint64              // per-MDT op count: the saturation signal
+}
+
+// ost is one object storage target.
+type ost struct {
+	mu   sync.Mutex
+	data map[string][]byte
+	ops  atomic.Uint64
+}
+
+// Cluster is a Lustre-like filesystem instance.
+type Cluster struct {
+	cfg  Config
+	mdts []*mdt
+	osts []*ost
+
+	// Stats is the cluster-wide RPC account.
+	Stats Stats
+}
+
+// New builds a cluster.
+func New(cfg Config) *Cluster {
+	if cfg.MDTs < 1 {
+		cfg.MDTs = 1
+	}
+	if cfg.OSTs < 1 {
+		cfg.OSTs = 1
+	}
+	if cfg.StripeCount < 1 {
+		cfg.StripeCount = 1
+	}
+	if cfg.StripeCount > cfg.OSTs {
+		cfg.StripeCount = cfg.OSTs
+	}
+	if cfg.StripeSize <= 0 {
+		cfg.StripeSize = 1 << 20
+	}
+	c := &Cluster{cfg: cfg}
+	for range cfg.MDTs {
+		c.mdts = append(c.mdts, &mdt{
+			files: make(map[string]*inode),
+			dirs:  map[string]map[string]bool{"": {}},
+		})
+	}
+	for range cfg.OSTs {
+		c.osts = append(c.osts, &ost{data: make(map[string][]byte)})
+	}
+	return c
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+func splitPath(p string) (dir, base string) {
+	p = clean(p)
+	i := strings.LastIndexByte(p, '/')
+	if i < 0 {
+		return "", p
+	}
+	return p[:i], p[i+1:]
+}
+
+func clean(p string) string {
+	parts := strings.Split(p, "/")
+	out := parts[:0]
+	for _, s := range parts {
+		if s != "" && s != "." {
+			out = append(out, s)
+		}
+	}
+	return strings.Join(out, "/")
+}
+
+// mdtForEntry returns the MDT responsible for an entry (basename) of dir.
+func (c *Cluster) mdtForEntry(dir, base string) *mdt {
+	switch c.cfg.DNE {
+	case DNE1:
+		return c.mdts[hash64(dir)%uint64(len(c.mdts))]
+	case DNE2:
+		return c.mdts[hash64(dir+"\x00"+base)%uint64(len(c.mdts))]
+	default:
+		return c.mdts[0]
+	}
+}
+
+// mdtsForDir returns every MDT that holds entries of dir (1 for DNE1/None,
+// all for DNE2 — the readdir fan-out cost of DNE2).
+func (c *Cluster) mdtsForDir(dir string) []*mdt {
+	switch c.cfg.DNE {
+	case DNE1:
+		return []*mdt{c.mdts[hash64(dir)%uint64(len(c.mdts))]}
+	case DNE2:
+		return c.mdts
+	default:
+		return c.mdts[:1]
+	}
+}
+
+// PerMDTOps returns each MDT's cumulative op count — the data behind the
+// "one hot directory saturates one MDT" observation.
+func (c *Cluster) PerMDTOps() []uint64 {
+	out := make([]uint64, len(c.mdts))
+	for i, m := range c.mdts {
+		out[i] = m.ops.Load()
+	}
+	return out
+}
+
+// dirHome returns the MDT holding a directory's existence marker. The
+// marker's placement is independent of the DNE mode; only entry placement
+// varies with it.
+func (c *Cluster) dirHome(dir string) *mdt {
+	return c.mdts[hash64("dir:"+dir)%uint64(len(c.mdts))]
+}
+
+// isDir reports whether dir exists (the root always does).
+func (c *Cluster) isDir(dir string) bool {
+	if dir == "" {
+		return true
+	}
+	h := c.dirHome(dir)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, ok := h.dirs[dir]
+	return ok
+}
+
+// ensureDirs registers every ancestor directory of path: an existence
+// marker on the directory's home MDT and a child entry in the parent's
+// entry table (placed per the DNE mode).
+func (c *Cluster) ensureDirs(path string) {
+	path = clean(path)
+	for i, r := range path {
+		if r != '/' {
+			continue
+		}
+		dir := path[:i]
+		pdir, base := splitPath(dir)
+		h := c.dirHome(dir)
+		h.mu.Lock()
+		if h.dirs[dir] == nil {
+			h.dirs[dir] = make(map[string]bool)
+		}
+		h.mu.Unlock()
+		pm := c.mdtForEntry(pdir, base)
+		pm.mu.Lock()
+		if pm.dirs[pdir] == nil {
+			pm.dirs[pdir] = make(map[string]bool)
+		}
+		pm.dirs[pdir][base+"/"] = true
+		pm.mu.Unlock()
+	}
+}
+
+// Create writes a new file (open+write+close): one lock RPC, one MDS
+// create RPC, and one OSS write RPC per stripe.
+func (c *Cluster) Create(path string, data []byte) error {
+	path = clean(path)
+	dir, base := splitPath(path)
+	if base == "" {
+		return fmt.Errorf("lustre: empty path")
+	}
+	c.ensureDirs(path)
+
+	m := c.mdtForEntry(dir, base)
+	c.Stats.LockOps.Add(1)
+	c.Stats.MDSOps.Add(1)
+	m.ops.Add(1)
+
+	m.mu.Lock()
+	if _, exists := m.files[path]; exists {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrExist, path)
+	}
+	ino := &inode{size: int64(len(data))}
+	m.files[path] = ino
+	if m.dirs[dir] == nil {
+		m.dirs[dir] = make(map[string]bool)
+	}
+	m.dirs[dir][base] = true
+	m.mu.Unlock()
+
+	// Stripe the data over OSTs.
+	first := int(hash64(path) % uint64(len(c.osts)))
+	stripe := 0
+	for off := 0; off == 0 || off < len(data); off += c.cfg.StripeSize {
+		end := min(off+c.cfg.StripeSize, len(data))
+		o := c.osts[(first+stripe%c.cfg.StripeCount)%len(c.osts)]
+		key := fmt.Sprintf("%s.%d", path, stripe)
+		o.mu.Lock()
+		o.data[key] = append([]byte(nil), data[off:end]...)
+		o.mu.Unlock()
+		o.ops.Add(1)
+		c.Stats.OSSOps.Add(1)
+		stripe++
+	}
+	ino.stripes = make([]string, stripe)
+	for s := range stripe {
+		ino.stripes[s] = fmt.Sprintf("%s.%d", path, s)
+	}
+	c.Stats.BytesIn.Add(uint64(len(data)))
+	return nil
+}
+
+// lookup finds a file's inode: one MDS RPC.
+func (c *Cluster) lookup(path string) (*inode, error) {
+	dir, base := splitPath(path)
+	m := c.mdtForEntry(dir, base)
+	c.Stats.MDSOps.Add(1)
+	m.ops.Add(1)
+	m.mu.Lock()
+	ino, ok := m.files[path]
+	m.mu.Unlock()
+	if !ok {
+		if c.isDir(path) {
+			return nil, fmt.Errorf("%w: %q", ErrIsDir, path)
+		}
+		return nil, fmt.Errorf("%w: %q", ErrNotExist, path)
+	}
+	return ino, nil
+}
+
+// Read returns a whole file: MDS lookup + lock + one OSS RPC per stripe.
+func (c *Cluster) Read(path string) ([]byte, error) {
+	path = clean(path)
+	ino, err := c.lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	c.Stats.LockOps.Add(1)
+	out := make([]byte, 0, ino.size)
+	first := int(hash64(path) % uint64(len(c.osts)))
+	for s, key := range ino.stripes {
+		o := c.osts[(first+s%c.cfg.StripeCount)%len(c.osts)]
+		o.mu.Lock()
+		b := o.data[key]
+		o.mu.Unlock()
+		o.ops.Add(1)
+		c.Stats.OSSOps.Add(1)
+		out = append(out, b...)
+	}
+	c.Stats.BytesOut.Add(uint64(len(out)))
+	return out, nil
+}
+
+// Info is a stat result.
+type Info struct {
+	Size  int64
+	IsDir bool
+}
+
+// StatName resolves existence and type only (the `ls -R` path): one MDS
+// RPC, no OSS traffic.
+func (c *Cluster) StatName(path string) (Info, error) {
+	path = clean(path)
+	dir, base := splitPath(path)
+	m := c.mdtForEntry(dir, base)
+	c.Stats.MDSOps.Add(1)
+	m.ops.Add(1)
+	m.mu.Lock()
+	_, isFile := m.files[path]
+	m.mu.Unlock()
+	if isFile {
+		return Info{}, nil
+	}
+	if c.isDir(path) {
+		return Info{IsDir: true}, nil
+	}
+	return Info{}, fmt.Errorf("%w: %q", ErrNotExist, path)
+}
+
+// Stat returns full attributes including size (the `ls -lR` path): one
+// MDS RPC plus one OSS glimpse RPC per stripe, because Lustre stores sizes
+// on the OSS (§6.3).
+func (c *Cluster) Stat(path string) (Info, error) {
+	path = clean(path)
+	dir, base := splitPath(path)
+	m := c.mdtForEntry(dir, base)
+	c.Stats.MDSOps.Add(1)
+	m.ops.Add(1)
+	m.mu.Lock()
+	ino, isFile := m.files[path]
+	m.mu.Unlock()
+	isDir := c.isDir(path)
+	switch {
+	case isFile:
+		// Glimpse: ask each stripe's OST for its extent.
+		first := int(hash64(path) % uint64(len(c.osts)))
+		for s := range ino.stripes {
+			c.osts[(first+s%c.cfg.StripeCount)%len(c.osts)].ops.Add(1)
+			c.Stats.OSSOps.Add(1)
+		}
+		return Info{Size: ino.size}, nil
+	case isDir || path == "":
+		return Info{IsDir: true}, nil
+	default:
+		return Info{}, fmt.Errorf("%w: %q", ErrNotExist, path)
+	}
+}
+
+// ReadDir lists a directory: one MDS RPC per MDT holding entries (1 under
+// DNE1, all MDTs under DNE2).
+func (c *Cluster) ReadDir(dir string) ([]string, error) {
+	dir = clean(dir)
+	if !c.isDir(dir) {
+		return nil, fmt.Errorf("%w: %q", ErrNotExist, dir)
+	}
+	set := make(map[string]bool)
+	for _, m := range c.mdtsForDir(dir) {
+		c.Stats.MDSOps.Add(1)
+		m.ops.Add(1)
+		m.mu.Lock()
+		for e := range m.dirs[dir] {
+			set[e] = true
+		}
+		m.mu.Unlock()
+	}
+	out := make([]string, 0, len(set))
+	for e := range set {
+		out = append(out, strings.TrimSuffix(e, "/"))
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Remove deletes a file: lock + MDS unlink + OSS destroy per stripe.
+func (c *Cluster) Remove(path string) error {
+	path = clean(path)
+	dir, base := splitPath(path)
+	m := c.mdtForEntry(dir, base)
+	c.Stats.LockOps.Add(1)
+	c.Stats.MDSOps.Add(1)
+	m.ops.Add(1)
+	m.mu.Lock()
+	ino, ok := m.files[path]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotExist, path)
+	}
+	delete(m.files, path)
+	if ents, ok := m.dirs[dir]; ok {
+		delete(ents, base)
+	}
+	m.mu.Unlock()
+	first := int(hash64(path) % uint64(len(c.osts)))
+	for s, key := range ino.stripes {
+		o := c.osts[(first+s%c.cfg.StripeCount)%len(c.osts)]
+		o.mu.Lock()
+		delete(o.data, key)
+		o.mu.Unlock()
+		o.ops.Add(1)
+		c.Stats.OSSOps.Add(1)
+	}
+	return nil
+}
+
+// TotalRPCs sums all RPC counters — the baseline cost a workload incurred.
+func (c *Cluster) TotalRPCs() uint64 {
+	return c.Stats.MDSOps.Load() + c.Stats.OSSOps.Load() + c.Stats.LockOps.Load()
+}
+
+// WalkR performs a recursive name-only listing rooted at dir — the
+// `ls -R` access pattern of Figure 10c: one readdir per directory plus a
+// name-resolution touch per entry, no size queries. It returns the number
+// of files visited.
+func (c *Cluster) WalkR(dir string) (int, error) {
+	ents, err := c.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	files := 0
+	for _, name := range ents {
+		child := name
+		if dir != "" {
+			child = dir + "/" + name
+		}
+		info, err := c.StatName(child)
+		if err != nil {
+			return files, err
+		}
+		if info.IsDir {
+			n, err := c.WalkR(child)
+			if err != nil {
+				return files, err
+			}
+			files += n
+		} else {
+			files++
+		}
+	}
+	return files, nil
+}
+
+// WalkLR performs a recursive listing with sizes — `ls -lR`: like WalkR
+// but every file costs a full Stat, which pays the per-stripe OSS glimpse
+// RPCs that make Lustre's ls -lR ~4× slower than ls -R in the paper.
+func (c *Cluster) WalkLR(dir string) (int, error) {
+	ents, err := c.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	files := 0
+	for _, name := range ents {
+		child := name
+		if dir != "" {
+			child = dir + "/" + name
+		}
+		info, err := c.Stat(child)
+		if err != nil {
+			return files, err
+		}
+		if info.IsDir {
+			n, err := c.WalkLR(child)
+			if err != nil {
+				return files, err
+			}
+			files += n
+		} else {
+			files++
+		}
+	}
+	return files, nil
+}

@@ -1,0 +1,272 @@
+package lustre
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestCreateReadRoundTrip(t *testing.T) {
+	for _, dne := range []DNEMode{DNENone, DNE1, DNE2} {
+		c := New(Config{MDTs: 4, OSTs: 6, DNE: dne})
+		rng := rand.New(rand.NewSource(1))
+		files := make(map[string][]byte)
+		for i := range 100 {
+			p := fmt.Sprintf("train/c%02d/f%04d.jpg", i%7, i)
+			data := make([]byte, rng.Intn(4000))
+			rng.Read(data)
+			files[p] = data
+			if err := c.Create(p, data); err != nil {
+				t.Fatalf("dne=%d Create(%q): %v", dne, p, err)
+			}
+		}
+		for p, want := range files {
+			got, err := c.Read(p)
+			if err != nil {
+				t.Fatalf("dne=%d Read(%q): %v", dne, p, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("dne=%d Read(%q): mismatch (%d vs %d bytes)", dne, p, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestCreateDuplicateFails(t *testing.T) {
+	c := New(Config{})
+	if err := c.Create("a/b", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Create("a/b", []byte("2")); !errors.Is(err, ErrExist) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+}
+
+func TestReadMissing(t *testing.T) {
+	c := New(Config{})
+	if _, err := c.Read("nope"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("missing read: %v", err)
+	}
+	c.Create("dir/f", []byte("x"))
+	if _, err := c.Read("dir"); !errors.Is(err, ErrIsDir) {
+		t.Errorf("read dir: %v", err)
+	}
+}
+
+func TestReadDirAllModes(t *testing.T) {
+	for _, dne := range []DNEMode{DNENone, DNE1, DNE2} {
+		c := New(Config{MDTs: 3, DNE: dne})
+		c.Create("d/x1", []byte("1"))
+		c.Create("d/x2", []byte("2"))
+		c.Create("d/sub/y", []byte("3"))
+		ents, err := c.ReadDir("d")
+		if err != nil {
+			t.Fatalf("dne=%d: %v", dne, err)
+		}
+		want := []string{"sub", "x1", "x2"}
+		if !reflect.DeepEqual(ents, want) {
+			t.Errorf("dne=%d ReadDir = %v, want %v", dne, ents, want)
+		}
+		root, err := c.ReadDir("")
+		if err != nil || len(root) != 1 || root[0] != "d" {
+			t.Errorf("dne=%d root = %v, %v", dne, root, err)
+		}
+		if _, err := c.ReadDir("missing"); !errors.Is(err, ErrNotExist) {
+			t.Errorf("dne=%d missing dir: %v", dne, err)
+		}
+	}
+}
+
+func TestStatNameVsStatCosts(t *testing.T) {
+	c := New(Config{OSTs: 4})
+	c.Create("d/file", make([]byte, 100))
+
+	base := c.Stats.OSSOps.Load()
+	if _, err := c.StatName("d/file"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats.OSSOps.Load() - base; got != 0 {
+		t.Errorf("StatName cost %d OSS RPCs; names live on the MDS", got)
+	}
+
+	base = c.Stats.OSSOps.Load()
+	info, err := c.Stat("d/file")
+	if err != nil || info.Size != 100 {
+		t.Fatalf("Stat = %+v, %v", info, err)
+	}
+	if got := c.Stats.OSSOps.Load() - base; got == 0 {
+		t.Error("Stat with size cost no OSS glimpse RPCs; the ls -lR penalty is gone")
+	}
+}
+
+func TestStatDirAndMissing(t *testing.T) {
+	c := New(Config{})
+	c.Create("a/b/c", []byte("x"))
+	info, err := c.Stat("a/b")
+	if err != nil || !info.IsDir {
+		t.Errorf("Stat(dir) = %+v, %v", info, err)
+	}
+	if _, err := c.Stat("zzz"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("Stat missing: %v", err)
+	}
+	if _, err := c.StatName("zzz"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("StatName missing: %v", err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := New(Config{OSTs: 2})
+	c.Create("d/f", make([]byte, 10))
+	if err := c.Remove("d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Read("d/f"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("deleted file readable: %v", err)
+	}
+	if err := c.Remove("d/f"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("double remove: %v", err)
+	}
+	ents, _ := c.ReadDir("d")
+	if len(ents) != 0 {
+		t.Errorf("dir still lists %v", ents)
+	}
+}
+
+func TestStripingAcrossOSTs(t *testing.T) {
+	c := New(Config{OSTs: 4, StripeCount: 4, StripeSize: 1000})
+	data := make([]byte, 3500) // 4 stripes
+	rand.New(rand.NewSource(2)).Read(data)
+	if err := c.Create("big.bin", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Read("big.bin")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("striped read mismatch: %v", err)
+	}
+	// 4 stripes → 4 OSS writes.
+	if c.Stats.OSSOps.Load() < 8 { // 4 writes + 4 reads
+		t.Errorf("OSSOps = %d, want >= 8", c.Stats.OSSOps.Load())
+	}
+	used := 0
+	for _, o := range c.osts {
+		if len(o.data) > 0 {
+			used++
+		}
+	}
+	if used < 2 {
+		t.Errorf("striping used %d OSTs", used)
+	}
+}
+
+// TestDNE1HotDirectorySaturatesOneMDT reproduces the §2.2 observation:
+// under DNE1 all metadata ops on one directory land on one MDT.
+func TestDNE1HotDirectorySaturatesOneMDT(t *testing.T) {
+	c := New(Config{MDTs: 4, DNE: DNE1})
+	for i := range 200 {
+		c.Create(fmt.Sprintf("hot/f%04d", i), []byte("x"))
+	}
+	ops := c.PerMDTOps()
+	hot, total := uint64(0), uint64(0)
+	for _, n := range ops {
+		total += n
+		if n > hot {
+			hot = n
+		}
+	}
+	if float64(hot) < 0.9*float64(total) {
+		t.Errorf("hot MDT has %d of %d ops; DNE1 should concentrate a hot dir", hot, total)
+	}
+}
+
+// TestDNE2SpreadsOneDirectory verifies DNE2 distributes a hot directory's
+// entries across MDTs (and that readdir pays the fan-out).
+func TestDNE2SpreadsOneDirectory(t *testing.T) {
+	c := New(Config{MDTs: 4, DNE: DNE2})
+	for i := range 200 {
+		c.Create(fmt.Sprintf("hot/f%04d", i), []byte("x"))
+	}
+	ops := c.PerMDTOps()
+	for i, n := range ops {
+		if n == 0 {
+			t.Errorf("MDT %d idle under DNE2", i)
+		}
+	}
+	// readdir costs one RPC per MDT under DNE2.
+	before := c.Stats.MDSOps.Load()
+	if _, err := c.ReadDir("hot"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats.MDSOps.Load() - before; got != 4 {
+		t.Errorf("DNE2 readdir cost %d MDS RPCs, want 4", got)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(Config{MDTs: 2, OSTs: 4, DNE: DNE1})
+	var wg sync.WaitGroup
+	for w := range 8 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range 50 {
+				p := fmt.Sprintf("w%d/f%03d", w, i)
+				if err := c.Create(p, []byte(p)); err != nil {
+					t.Errorf("Create: %v", err)
+					return
+				}
+				got, err := c.Read(p)
+				if err != nil || string(got) != p {
+					t.Errorf("Read(%q): %v", p, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestRPCAccountingWriteVsRead(t *testing.T) {
+	c := New(Config{})
+	c.Create("f", make([]byte, 100))
+	w := c.TotalRPCs()
+	if w < 3 { // lock + MDS create + OSS write
+		t.Errorf("create cost %d RPCs, want >= 3", w)
+	}
+	c.Read("f")
+	r := c.TotalRPCs() - w
+	if r < 3 { // lookup + lock + OSS read
+		t.Errorf("read cost %d RPCs, want >= 3", r)
+	}
+}
+
+// TestWalkRvsWalkLRCosts reproduces Figure 10c's mechanism on the real
+// model: ls -lR pays OSS glimpse RPCs per file that ls -R does not.
+func TestWalkRvsWalkLRCosts(t *testing.T) {
+	c := New(Config{MDTs: 2, OSTs: 4, DNE: DNE1})
+	for i := range 300 {
+		c.Create(fmt.Sprintf("d%02d/f%04d", i%10, i), make([]byte, 100))
+	}
+	ossBefore := c.Stats.OSSOps.Load()
+	n, err := c.WalkR("")
+	if err != nil || n != 300 {
+		t.Fatalf("WalkR = %d, %v", n, err)
+	}
+	lsROss := c.Stats.OSSOps.Load() - ossBefore
+	if lsROss != 0 {
+		t.Errorf("ls -R touched the OSS %d times; names live on the MDS", lsROss)
+	}
+
+	ossBefore = c.Stats.OSSOps.Load()
+	n, err = c.WalkLR("")
+	if err != nil || n != 300 {
+		t.Fatalf("WalkLR = %d, %v", n, err)
+	}
+	lsLROss := c.Stats.OSSOps.Load() - ossBefore
+	if lsLROss < 300 {
+		t.Errorf("ls -lR cost %d OSS glimpses for 300 files", lsLROss)
+	}
+}

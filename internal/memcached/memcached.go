@@ -1,0 +1,403 @@
+// Package memcached implements the baseline caching system the paper
+// compares DIESEL's task-grained distributed cache against (§6.1): a
+// cluster of memcached-style cache servers behind a Twemproxy-style
+// consistent-hash router.
+//
+// The baseline's defining properties are reproduced faithfully because
+// they drive the comparison's shape:
+//
+//   - file-granular storage: every cached object is one small file, so
+//     loading a dataset costs one RPC per file (slow caching, Figure 11b);
+//   - no batch write: libMemcached has no batch mode, so every write is
+//     one network round trip (Figure 9);
+//   - consistent hashing over server nodes: a dead node turns its share
+//     of the keyspace into misses that must be served by the slow backing
+//     store (Figure 6);
+//   - bounded memory with LRU eviction per node.
+package memcached
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"diesel/internal/wire"
+)
+
+const (
+	methodGet    = "mc.get"
+	methodSet    = "mc.set"
+	methodDelete = "mc.delete"
+	methodFlush  = "mc.flush"
+	methodStats  = "mc.stats"
+)
+
+// ErrCacheMiss is returned by Get when the key is absent (or its node is
+// unreachable, from the Router's point of view — the caller cannot tell a
+// miss from a dead shard, which is exactly the paper's failure mode).
+var ErrCacheMiss = errors.New("memcached: cache miss")
+
+// --- server ---
+
+// Server is one memcached node: an LRU-bounded in-memory object cache.
+type Server struct {
+	rpc  *wire.Server
+	addr string
+
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	items    map[string]*entry
+	head     *entry // most recently used
+	tail     *entry // least recently used
+
+	hits, misses, evictions uint64
+}
+
+type entry struct {
+	key        string
+	value      []byte
+	prev, next *entry
+}
+
+// NewServer starts a cache node with the given memory capacity in bytes
+// (0 = unlimited).
+func NewServer(addr string, capacity int64) (*Server, error) {
+	s := &Server{capacity: capacity, items: make(map[string]*entry)}
+	s.rpc = wire.NewServer()
+	s.register()
+	bound, err := s.rpc.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	s.addr = bound
+	return s, nil
+}
+
+// Addr returns the node's bound address.
+func (s *Server) Addr() string { return s.addr }
+
+// Close kills the node.
+func (s *Server) Close() error { return s.rpc.Close() }
+
+// ItemCount returns the number of cached objects.
+func (s *Server) ItemCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.items)
+}
+
+// UsedBytes returns cached payload bytes.
+func (s *Server) UsedBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used
+}
+
+// unlink removes e from the LRU list; caller holds s.mu.
+func (s *Server) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// pushFront makes e most-recently-used; caller holds s.mu.
+func (s *Server) pushFront(e *entry) {
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *Server) set(key string, value []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.items[key]; ok {
+		s.unlink(old)
+		s.used -= int64(len(old.value))
+		delete(s.items, key)
+	}
+	if s.capacity > 0 && int64(len(value)) > s.capacity {
+		return // object larger than the node; memcached drops it, evicting nothing
+	}
+	e := &entry{key: key, value: value}
+	if s.capacity > 0 {
+		for s.used+int64(len(value)) > s.capacity && s.tail != nil {
+			victim := s.tail
+			s.unlink(victim)
+			delete(s.items, victim.key)
+			s.used -= int64(len(victim.value))
+			s.evictions++
+		}
+	}
+	s.items[key] = e
+	s.pushFront(e)
+	s.used += int64(len(value))
+}
+
+func (s *Server) get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.items[key]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	s.unlink(e)
+	s.pushFront(e)
+	s.hits++
+	return e.value, true
+}
+
+func (s *Server) delete(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.items[key]
+	if !ok {
+		return false
+	}
+	s.unlink(e)
+	delete(s.items, key)
+	s.used -= int64(len(e.value))
+	return true
+}
+
+func (s *Server) register() {
+	s.rpc.Handle(methodSet, func(p []byte) ([]byte, error) {
+		d := wire.NewDecoder(p)
+		key := d.String()
+		val := d.Bytes32()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		s.set(key, append([]byte(nil), val...))
+		return nil, nil
+	})
+	s.rpc.Handle(methodGet, func(p []byte) ([]byte, error) {
+		d := wire.NewDecoder(p)
+		key := d.String()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		v, ok := s.get(key)
+		e := wire.NewEncoder(len(v) + 8)
+		e.Bool(ok)
+		e.Bytes32(v)
+		return e.Bytes(), nil
+	})
+	s.rpc.Handle(methodDelete, func(p []byte) ([]byte, error) {
+		d := wire.NewDecoder(p)
+		key := d.String()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		ok := s.delete(key)
+		e := wire.NewEncoder(1)
+		e.Bool(ok)
+		return e.Bytes(), nil
+	})
+	s.rpc.Handle(methodFlush, func(p []byte) ([]byte, error) {
+		s.mu.Lock()
+		s.items = make(map[string]*entry)
+		s.head, s.tail = nil, nil
+		s.used = 0
+		s.mu.Unlock()
+		return nil, nil
+	})
+	s.rpc.Handle(methodStats, func(p []byte) ([]byte, error) {
+		s.mu.Lock()
+		e := wire.NewEncoder(32)
+		e.Uint64(s.hits)
+		e.Uint64(s.misses)
+		e.Uint64(s.evictions)
+		e.Uint64(uint64(len(s.items)))
+		s.mu.Unlock()
+		return e.Bytes(), nil
+	})
+}
+
+// --- router (Twemproxy substitute) ---
+
+// Router maps keys to cache nodes with a ketama-style consistent-hash
+// ring and forwards one RPC per operation.
+type Router struct {
+	nodes []string
+	ring  []ringPoint
+
+	mu    sync.RWMutex
+	pools map[string]*wire.Pool
+
+	// Stats for experiments.
+	Hits, Misses, Errors uint64
+	smu                  sync.Mutex
+}
+
+type ringPoint struct {
+	hash uint32
+	node string
+}
+
+// vnodesPerServer spreads each server over the ring for balance, like
+// Twemproxy's ketama configuration (160 points per server).
+const vnodesPerServer = 160
+
+// NewRouter builds a router over the given cache-node addresses.
+func NewRouter(addrs []string) (*Router, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("memcached: no cache nodes")
+	}
+	r := &Router{nodes: append([]string(nil), addrs...), pools: make(map[string]*wire.Pool)}
+	for _, a := range addrs {
+		for v := range vnodesPerServer {
+			r.ring = append(r.ring, ringPoint{hash: hashKey(fmt.Sprintf("%s#%d", a, v)), node: a})
+		}
+	}
+	sort.Slice(r.ring, func(i, j int) bool { return r.ring[i].hash < r.ring[j].hash })
+	return r, nil
+}
+
+// hashKey is FNV-1a 64-bit passed through a murmur3-style finalizer and
+// folded to 32 bits — a stand-in for ketama's md5-derived ring points.
+// The finalizer matters: raw FNV of near-identical strings (sequential
+// file names, addresses differing only in the port) clusters on the
+// ring, which skews shard placement.
+func hashKey(s string) uint32 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return uint32(h>>32) ^ uint32(h)
+}
+
+// NodeFor returns the cache node owning key.
+func (r *Router) NodeFor(key string) string {
+	h := hashKey(key)
+	i := sort.Search(len(r.ring), func(i int) bool { return r.ring[i].hash >= h })
+	if i == len(r.ring) {
+		i = 0
+	}
+	return r.ring[i].node
+}
+
+func (r *Router) pool(addr string) (*wire.Pool, error) {
+	r.mu.RLock()
+	p, ok := r.pools[addr]
+	r.mu.RUnlock()
+	if ok {
+		return p, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p, ok := r.pools[addr]; ok {
+		return p, nil
+	}
+	p, err := wire.DialPool(addr, 2)
+	if err != nil {
+		return nil, err
+	}
+	r.pools[addr] = p
+	return p, nil
+}
+
+// Set stores value under key — one RPC, no batching (the baseline's write
+// bottleneck).
+func (r *Router) Set(key string, value []byte) error {
+	p, err := r.pool(r.NodeFor(key))
+	if err != nil {
+		return err
+	}
+	e := wire.NewEncoder(len(key) + len(value) + 16)
+	e.String(key)
+	e.Bytes32(value)
+	_, err = p.Call(methodSet, e.Bytes())
+	return err
+}
+
+// Get fetches key. A dead node or an absent key both surface as
+// ErrCacheMiss: the router cannot distinguish them, so callers fall back
+// to the slow backing store either way (Figure 6's collapse).
+func (r *Router) Get(key string) ([]byte, error) {
+	p, err := r.pool(r.NodeFor(key))
+	if err != nil {
+		r.count(&r.Errors)
+		return nil, ErrCacheMiss
+	}
+	e := wire.NewEncoder(len(key) + 8)
+	e.String(key)
+	resp, err := p.Call(methodGet, e.Bytes())
+	if err != nil {
+		r.count(&r.Errors)
+		return nil, ErrCacheMiss
+	}
+	d := wire.NewDecoder(resp)
+	ok := d.Bool()
+	v := append([]byte(nil), d.Bytes32()...)
+	if err := d.Err(); err != nil || !ok {
+		r.count(&r.Misses)
+		return nil, ErrCacheMiss
+	}
+	r.count(&r.Hits)
+	return v, nil
+}
+
+// Delete removes key.
+func (r *Router) Delete(key string) error {
+	p, err := r.pool(r.NodeFor(key))
+	if err != nil {
+		return err
+	}
+	e := wire.NewEncoder(len(key) + 8)
+	e.String(key)
+	_, err = p.Call(methodDelete, e.Bytes())
+	return err
+}
+
+func (r *Router) count(c *uint64) {
+	r.smu.Lock()
+	*c++
+	r.smu.Unlock()
+}
+
+// HitRate returns hits/(hits+misses+errors) so far.
+func (r *Router) HitRate() float64 {
+	r.smu.Lock()
+	defer r.smu.Unlock()
+	total := r.Hits + r.Misses + r.Errors
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(total)
+}
+
+// Close tears down connections.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var first error
+	for _, p := range r.pools {
+		if err := p.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	r.pools = make(map[string]*wire.Pool)
+	return first
+}

@@ -1,0 +1,242 @@
+package memcached
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func startCluster(t *testing.T, n int, capacity int64) (*Router, []*Server) {
+	t.Helper()
+	servers := make([]*Server, n)
+	addrs := make([]string, n)
+	for i := range n {
+		s, err := NewServer("127.0.0.1:0", capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = s
+		addrs[i] = s.Addr()
+		t.Cleanup(func() { s.Close() })
+	}
+	r, err := NewRouter(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r, servers
+}
+
+func TestSetGetDelete(t *testing.T) {
+	r, _ := startCluster(t, 3, 0)
+	if err := r.Set("file/a.jpg", []byte("content")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := r.Get("file/a.jpg")
+	if err != nil || string(v) != "content" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	if _, err := r.Get("missing"); !errors.Is(err, ErrCacheMiss) {
+		t.Errorf("missing key: %v", err)
+	}
+	if err := r.Delete("file/a.jpg"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get("file/a.jpg"); !errors.Is(err, ErrCacheMiss) {
+		t.Errorf("deleted key: %v", err)
+	}
+}
+
+func TestConsistentHashingSpreads(t *testing.T) {
+	r, servers := startCluster(t, 4, 0)
+	for i := range 1000 {
+		if err := r.Set(fmt.Sprintf("k%04d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, s := range servers {
+		n := s.ItemCount()
+		if n == 0 {
+			t.Errorf("node %d holds nothing", i)
+		}
+		if n > 600 {
+			t.Errorf("node %d holds %d of 1000; ring badly unbalanced", i, n)
+		}
+	}
+}
+
+func TestNodeForStableAndMinimalMovement(t *testing.T) {
+	addrs := []string{"a:1", "b:1", "c:1", "d:1"}
+	r1, _ := NewRouter(addrs)
+	r2, _ := NewRouter(addrs[:3]) // drop one node
+	moved := 0
+	const n = 2000
+	for i := range n {
+		k := fmt.Sprintf("key%05d", i)
+		if r1.NodeFor(k) != r1.NodeFor(k) {
+			t.Fatal("NodeFor unstable")
+		}
+		n1 := r1.NodeFor(k)
+		if n1 != "d:1" && r2.NodeFor(k) != n1 {
+			moved++
+		}
+	}
+	// Consistent hashing: removing one of four nodes should move few of
+	// the keys that did not live on the removed node.
+	if moved > n/4 {
+		t.Errorf("%d of %d surviving keys moved; not consistent hashing", moved, n)
+	}
+}
+
+func TestDeadNodeBecomesMisses(t *testing.T) {
+	r, servers := startCluster(t, 4, 0)
+	keys := make([]string, 400)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("obj%04d", i)
+		if err := r.Set(keys[i], []byte("data")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	servers[2].Close()
+
+	hits, misses := 0, 0
+	for _, k := range keys {
+		if _, err := r.Get(k); err == nil {
+			hits++
+		} else {
+			misses++
+		}
+	}
+	if misses == 0 {
+		t.Error("killing a node produced no misses")
+	}
+	if hits == 0 {
+		t.Error("killing one node killed everything")
+	}
+	// Roughly a quarter of keys should be lost (± ring imbalance).
+	if misses > 300 {
+		t.Errorf("%d of 400 missing after one node death", misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	r, err := NewRouter([]string{s.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	for i := range 20 {
+		r.Set(fmt.Sprintf("k%02d", i), make([]byte, 100)) // 2000 bytes total
+	}
+	if s.UsedBytes() > 1000 {
+		t.Errorf("capacity violated: %d", s.UsedBytes())
+	}
+	if s.ItemCount() > 10 {
+		t.Errorf("too many items survived: %d", s.ItemCount())
+	}
+	// The most recently set keys survive.
+	if _, err := r.Get("k19"); err != nil {
+		t.Error("most recent key evicted")
+	}
+	if _, err := r.Get("k00"); !errors.Is(err, ErrCacheMiss) {
+		t.Error("oldest key survived over newer ones")
+	}
+}
+
+func TestLRUTouchOnGet(t *testing.T) {
+	s, _ := NewServer("127.0.0.1:0", 300)
+	defer s.Close()
+	r, _ := NewRouter([]string{s.Addr()})
+	defer r.Close()
+
+	r.Set("a", make([]byte, 100))
+	r.Set("b", make([]byte, 100))
+	r.Set("c", make([]byte, 100))
+	r.Get("a")                    // touch a
+	r.Set("d", make([]byte, 100)) // evicts b, not a
+	if _, err := r.Get("a"); err != nil {
+		t.Error("touched key evicted")
+	}
+	if _, err := r.Get("b"); !errors.Is(err, ErrCacheMiss) {
+		t.Error("LRU victim not evicted")
+	}
+}
+
+func TestOversizeObjectDropped(t *testing.T) {
+	s, _ := NewServer("127.0.0.1:0", 50)
+	defer s.Close()
+	r, _ := NewRouter([]string{s.Addr()})
+	defer r.Close()
+	// Pre-populate; the oversize Set must not evict existing items.
+	r.Set("keep1", make([]byte, 20))
+	r.Set("keep2", make([]byte, 20))
+	r.Set("big", make([]byte, 100))
+	if _, err := r.Get("big"); !errors.Is(err, ErrCacheMiss) {
+		t.Error("oversize object cached")
+	}
+	if _, err := r.Get("keep1"); err != nil {
+		t.Error("oversize Set evicted an existing item")
+	}
+	if _, err := r.Get("keep2"); err != nil {
+		t.Error("oversize Set evicted an existing item")
+	}
+}
+
+func TestOverwriteUpdatesBytes(t *testing.T) {
+	s, _ := NewServer("127.0.0.1:0", 0)
+	defer s.Close()
+	r, _ := NewRouter([]string{s.Addr()})
+	defer r.Close()
+	r.Set("k", make([]byte, 100))
+	r.Set("k", make([]byte, 10))
+	if s.UsedBytes() != 10 {
+		t.Errorf("UsedBytes = %d after overwrite", s.UsedBytes())
+	}
+	if s.ItemCount() != 1 {
+		t.Errorf("ItemCount = %d", s.ItemCount())
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	r, _ := startCluster(t, 2, 0)
+	r.Set("x", []byte("1"))
+	r.Get("x")
+	r.Get("x")
+	r.Get("y")
+	if hr := r.HitRate(); hr < 0.66 || hr > 0.67 {
+		t.Errorf("HitRate = %f", hr)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	r, _ := startCluster(t, 3, 0)
+	var wg sync.WaitGroup
+	for w := range 8 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range 100 {
+				k := fmt.Sprintf("w%d/k%d", w, i)
+				v := []byte(k)
+				if err := r.Set(k, v); err != nil {
+					t.Errorf("Set: %v", err)
+					return
+				}
+				got, err := r.Get(k)
+				if err != nil || !bytes.Equal(got, v) {
+					t.Errorf("Get(%q) = %q, %v", k, got, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,154 @@
+// Package meta defines DIESEL's metadata layer: the key-value schema file
+// and chunk metadata are stored under (Figure 5b of the paper), the
+// serialised records, the per-dataset metadata snapshot materialised to
+// client disk (§4.1.3), and the in-memory interpreter that turns a loaded
+// snapshot into O(1) stat and readdir without contacting any server.
+//
+// Paths are slash-separated and relative to the dataset root, e.g.
+// "train/n01440764/img_0001.jpg". The empty string names the root
+// directory.
+package meta
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+// Key prefixes. The schema follows §4.1.1: listing a directory is two
+// prefix scans (one for child directories, one for files), and stat of a
+// full path is a single get on a key derived from hash(dir) + basename.
+const (
+	prefixDataset = "ds|" // ds|<dataset> → DatasetRecord
+	prefixChunk   = "ck|" // ck|<dataset>|<chunkID> → ChunkRecord
+	prefixFile    = "f|"  // f|<dataset>|<hash(dir)>|<base> → FileRecord
+	prefixDir     = "d|"  // d|<dataset>|<hash(parent)>|<base> → empty
+)
+
+// ErrInvalidName is returned for dataset names and file paths that embed
+// the key-schema separator; allowing them would let one dataset's keys
+// alias another's (see the prefix* constants above).
+var ErrInvalidName = errors.New("meta: name contains reserved character")
+
+// ValidDataset checks that a dataset name is usable in metadata keys:
+// non-empty, no '|' (the key separator) and no '/' (the object-store
+// namespace separator).
+func ValidDataset(name string) error {
+	if name == "" {
+		return fmt.Errorf("%w: empty dataset name", ErrInvalidName)
+	}
+	if strings.ContainsAny(name, "|/") {
+		return fmt.Errorf("%w: dataset %q may not contain '|' or '/'", ErrInvalidName, name)
+	}
+	return nil
+}
+
+// ValidFilePath checks that a dataset-relative path is usable in metadata
+// keys: '|' is reserved as the key separator (it would corrupt readdir
+// results and scan-key parsing).
+func ValidFilePath(path string) error {
+	if strings.ContainsRune(path, '|') {
+		return fmt.Errorf("%w: path %q may not contain '|'", ErrInvalidName, path)
+	}
+	if CleanPath(path) == "" {
+		return fmt.Errorf("%w: empty path", ErrInvalidName)
+	}
+	return nil
+}
+
+// CleanPath normalises a dataset-relative path: slashes collapsed, leading
+// and trailing slashes stripped. It rejects nothing — callers validate
+// emptiness where it matters.
+func CleanPath(p string) string {
+	parts := strings.Split(p, "/")
+	out := parts[:0]
+	for _, s := range parts {
+		if s != "" && s != "." {
+			out = append(out, s)
+		}
+	}
+	return strings.Join(out, "/")
+}
+
+// SplitPath returns the directory and basename of a cleaned path. The root
+// directory is "".
+func SplitPath(p string) (dir, base string) {
+	p = CleanPath(p)
+	i := strings.LastIndexByte(p, '/')
+	if i < 0 {
+		return "", p
+	}
+	return p[:i], p[i+1:]
+}
+
+// DirHash returns the stable 64-bit hash of a directory path used in file
+// and directory keys. FNV-1a is stable across processes and platforms,
+// unlike Go's map hash.
+func DirHash(dir string) string {
+	h := fnv.New64a()
+	h.Write([]byte(CleanPath(dir)))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// DatasetKey is the key of a dataset's summary record.
+func DatasetKey(dataset string) string { return prefixDataset + dataset }
+
+// ChunkKey is the key of one chunk's metadata record. Chunk IDs are
+// order-preserving strings, so a prefix scan of ChunkScanPrefix(dataset)
+// yields chunks in write order.
+func ChunkKey(dataset, chunkID string) string {
+	return prefixChunk + dataset + "|" + chunkID
+}
+
+// ChunkScanPrefix returns the pscan prefix covering all chunk records of a
+// dataset.
+func ChunkScanPrefix(dataset string) string { return prefixChunk + dataset + "|" }
+
+// FileKey is the key of one file's metadata record.
+func FileKey(dataset, path string) string {
+	dir, base := SplitPath(path)
+	return prefixFile + dataset + "|" + DirHash(dir) + "|" + base
+}
+
+// DirEntryKey is the key marking that directory dir contains child
+// directory base.
+func DirEntryKey(dataset, parent, base string) string {
+	return prefixDir + dataset + "|" + DirHash(parent) + "|" + base
+}
+
+// FileScanPrefix returns the pscan prefix listing the files of one
+// directory ("pscan hash(dir)/f" in the paper).
+func FileScanPrefix(dataset, dir string) string {
+	return prefixFile + dataset + "|" + DirHash(dir) + "|"
+}
+
+// DirScanPrefix returns the pscan prefix listing the child directories of
+// one directory ("pscan hash(dir)/d" in the paper).
+func DirScanPrefix(dataset, dir string) string {
+	return prefixDir + dataset + "|" + DirHash(dir) + "|"
+}
+
+// BaseFromScanKey extracts the basename from a key returned by a scan with
+// FileScanPrefix or DirScanPrefix.
+func BaseFromScanKey(key string) string {
+	i := strings.LastIndexByte(key, '|')
+	if i < 0 {
+		return key
+	}
+	return key[i+1:]
+}
+
+// Ancestors returns every ancestor directory of a cleaned path, from the
+// root-most ("a") down to the immediate parent, excluding the root itself.
+// For "a/b/c/file" it returns ["a", "a/b", "a/b/c"].
+func Ancestors(path string) []string {
+	path = CleanPath(path)
+	var out []string
+	for i, r := range path {
+		if r == '/' {
+			out = append(out, path[:i])
+		}
+	}
+	return out
+}

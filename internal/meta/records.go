@@ -1,0 +1,160 @@
+package meta
+
+import (
+	"diesel/internal/chunk"
+	"diesel/internal/wire"
+)
+
+// DatasetRecord summarises one dataset in the KV database. Clients compare
+// UpdatedNS against their local snapshot's timestamp to decide whether the
+// snapshot is stale (§4.1.3).
+type DatasetRecord struct {
+	UpdatedNS  int64  // time of the last mutation to the dataset
+	ChunkCount uint64 // number of live chunks
+	FileCount  uint64 // number of live files
+	TotalBytes uint64 // sum of live file lengths
+}
+
+// Encode serialises the record.
+func (r *DatasetRecord) Encode() []byte {
+	e := wire.NewEncoder(32)
+	e.Int64(r.UpdatedNS)
+	e.Uint64(r.ChunkCount)
+	e.Uint64(r.FileCount)
+	e.Uint64(r.TotalBytes)
+	return e.Bytes()
+}
+
+// DecodeDatasetRecord parses a record encoded by Encode.
+func DecodeDatasetRecord(b []byte) (DatasetRecord, error) {
+	d := wire.NewDecoder(b)
+	r := DatasetRecord{
+		UpdatedNS:  d.Int64(),
+		ChunkCount: d.Uint64(),
+		FileCount:  d.Uint64(),
+		TotalBytes: d.Uint64(),
+	}
+	return r, d.Err()
+}
+
+// ChunkRecord is the per-chunk metadata of Figure 5b: update timestamp,
+// size, file counts and the deletion bitmap.
+type ChunkRecord struct {
+	UpdatedNS  int64
+	Size       uint64 // encoded chunk size in the object store
+	HeaderLen  uint32 // serialised header length; payload begins here
+	NumFiles   uint32
+	NumDeleted uint32
+	Deleted    chunk.Bitmap
+}
+
+// Encode serialises the record.
+func (r *ChunkRecord) Encode() []byte {
+	e := wire.NewEncoder(36 + len(r.Deleted))
+	e.Int64(r.UpdatedNS)
+	e.Uint64(r.Size)
+	e.Uint32(r.HeaderLen)
+	e.Uint32(r.NumFiles)
+	e.Uint32(r.NumDeleted)
+	e.Bytes32(r.Deleted)
+	return e.Bytes()
+}
+
+// DecodeChunkRecord parses a record encoded by Encode.
+func DecodeChunkRecord(b []byte) (ChunkRecord, error) {
+	d := wire.NewDecoder(b)
+	r := ChunkRecord{
+		UpdatedNS:  d.Int64(),
+		Size:       d.Uint64(),
+		HeaderLen:  d.Uint32(),
+		NumFiles:   d.Uint32(),
+		NumDeleted: d.Uint32(),
+	}
+	r.Deleted = chunk.Bitmap(append([]byte(nil), d.Bytes32()...))
+	return r, d.Err()
+}
+
+// FileRecord locates one file: the chunk holding it, the offset of its
+// bytes inside the chunk payload, its length, and its full dataset-relative
+// name (kept so the folder hierarchy can be rebuilt from records alone).
+type FileRecord struct {
+	ChunkID  chunk.ID
+	Index    uint32 // entry index within the chunk, for deletion bitmaps
+	Offset   uint64
+	Length   uint64
+	FullName string
+}
+
+// Encode serialises the record.
+func (r *FileRecord) Encode() []byte {
+	e := wire.NewEncoder(48 + len(r.FullName))
+	e.Bytes32(r.ChunkID[:])
+	e.Uint32(r.Index)
+	e.Uint64(r.Offset)
+	e.Uint64(r.Length)
+	e.String(r.FullName)
+	return e.Bytes()
+}
+
+// DecodeFileRecord parses a record encoded by Encode.
+func DecodeFileRecord(b []byte) (FileRecord, error) {
+	d := wire.NewDecoder(b)
+	var r FileRecord
+	copy(r.ChunkID[:], d.Bytes32())
+	r.Index = d.Uint32()
+	r.Offset = d.Uint64()
+	r.Length = d.Uint64()
+	r.FullName = d.String()
+	return r, d.Err()
+}
+
+// PairsForChunk converts one chunk header into the full set of key-value
+// pairs the DIESEL server writes on ingest — and equally, the pairs a
+// recovery scan re-derives from stored chunks. It returns the chunk record
+// pair, one file record pair per live file, and directory-entry pairs for
+// every ancestor directory.
+func PairsForChunk(dataset string, h *chunk.Header, encodedSize uint64) []KV {
+	idStr := h.ID.String()
+	pairs := make([]KV, 0, 2*len(h.Entries)+1)
+
+	cr := ChunkRecord{
+		UpdatedNS:  h.UpdatedNS,
+		Size:       encodedSize,
+		HeaderLen:  uint32(h.EncodedHeaderLen()),
+		NumFiles:   uint32(len(h.Entries)),
+		NumDeleted: uint32(h.Deleted.Count()),
+		Deleted:    h.Deleted,
+	}
+	pairs = append(pairs, KV{Key: ChunkKey(dataset, idStr), Value: cr.Encode()})
+
+	seenDirs := make(map[string]bool)
+	for i, fe := range h.Entries {
+		if h.Deleted.Get(i) {
+			continue
+		}
+		fr := FileRecord{
+			ChunkID:  h.ID,
+			Index:    uint32(i),
+			Offset:   fe.Offset,
+			Length:   fe.Length,
+			FullName: CleanPath(fe.Name),
+		}
+		pairs = append(pairs, KV{Key: FileKey(dataset, fr.FullName), Value: fr.Encode()})
+		for _, anc := range Ancestors(fr.FullName) {
+			if seenDirs[anc] {
+				continue
+			}
+			seenDirs[anc] = true
+			parent, base := SplitPath(anc)
+			pairs = append(pairs, KV{Key: DirEntryKey(dataset, parent, base), Value: nil})
+		}
+	}
+	return pairs
+}
+
+// KV mirrors kvstore.KV without importing it, keeping meta free of
+// networking dependencies; the server layer converts between the two.
+type KV struct {
+	Key   string
+	Value []byte
+}

@@ -1,0 +1,385 @@
+package meta
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+	"strings"
+
+	"diesel/internal/chunk"
+	"diesel/internal/wire"
+)
+
+// SnapshotMagic identifies a serialised metadata snapshot file.
+const SnapshotMagic uint32 = 0xD1E55A90
+
+// Snapshot errors.
+var (
+	ErrSnapshotCorrupt = errors.New("meta: snapshot corrupt")
+	ErrStaleSnapshot   = errors.New("meta: snapshot is stale")
+	ErrNotExist        = errors.New("meta: no such file or directory")
+	ErrIsDirectory     = errors.New("meta: path is a directory")
+)
+
+// FileMeta locates one file inside the dataset's chunks. ChunkIdx indexes
+// into the snapshot's chunk table, which keeps the per-file footprint small
+// compared to embedding 16-byte chunk IDs per file.
+type FileMeta struct {
+	ChunkIdx int
+	Index    uint32 // entry index inside the chunk
+	Offset   uint64
+	Length   uint64
+}
+
+// ChunkMeta is one row of the snapshot's chunk table.
+type ChunkMeta struct {
+	ID        chunk.ID
+	Size      uint64 // encoded size in the object store
+	HeaderLen uint32 // serialised header length; payload begins here
+}
+
+// Snapshot is a dataset's metadata materialised for client-local use: the
+// update timestamp, the chunk ID list, and every file's location (§4.1.3).
+// After Build/Load, all lookups are in-memory: Stat is one map probe,
+// List walks a prebuilt tree. A Snapshot is immutable after Build or Load
+// and therefore safe for concurrent readers.
+type Snapshot struct {
+	Dataset   string
+	UpdatedNS int64
+	Chunks    []ChunkMeta
+
+	names []string   // file full paths, parallel to metas
+	metas []FileMeta // file locations
+	index map[string]int
+
+	chunkFiles [][]int32 // chunk idx → file indices, for chunk-wise shuffle
+
+	dirs map[string]*dirNode
+}
+
+type dirNode struct {
+	subdirs []string // child directory basenames, sorted
+	files   []int32  // file indices, sorted by basename
+}
+
+// SnapshotBuilder accumulates entries before freezing them into a Snapshot.
+type SnapshotBuilder struct {
+	s        *Snapshot
+	chunkIdx map[chunk.ID]int
+}
+
+// NewSnapshotBuilder starts a snapshot for the named dataset.
+func NewSnapshotBuilder(dataset string, updatedNS int64) *SnapshotBuilder {
+	return &SnapshotBuilder{
+		s: &Snapshot{
+			Dataset:   dataset,
+			UpdatedNS: updatedNS,
+			index:     make(map[string]int),
+		},
+		chunkIdx: make(map[chunk.ID]int),
+	}
+}
+
+// AddChunk records a chunk and returns its table index; repeated IDs return
+// the existing index.
+func (b *SnapshotBuilder) AddChunk(id chunk.ID, size uint64, headerLen uint32) int {
+	if i, ok := b.chunkIdx[id]; ok {
+		return i
+	}
+	i := len(b.s.Chunks)
+	b.s.Chunks = append(b.s.Chunks, ChunkMeta{ID: id, Size: size, HeaderLen: headerLen})
+	b.chunkIdx[id] = i
+	return i
+}
+
+// AddFile records one file. Later adds of the same path replace earlier
+// ones (the newest chunk wins, matching delete-then-write update
+// semantics).
+func (b *SnapshotBuilder) AddFile(path string, m FileMeta) {
+	path = CleanPath(path)
+	if i, ok := b.s.index[path]; ok {
+		b.s.metas[i] = m
+		return
+	}
+	b.s.index[path] = len(b.s.names)
+	b.s.names = append(b.s.names, path)
+	b.s.metas = append(b.s.metas, m)
+}
+
+// Build freezes the builder into an immutable Snapshot, constructing the
+// directory tree and the chunk→files mapping.
+func (b *SnapshotBuilder) Build() *Snapshot {
+	s := b.s
+	s.buildDerived()
+	b.s = nil
+	return s
+}
+
+func (s *Snapshot) buildDerived() {
+	s.chunkFiles = make([][]int32, len(s.Chunks))
+	s.dirs = map[string]*dirNode{"": {}}
+	for i, name := range s.names {
+		m := s.metas[i]
+		if m.ChunkIdx >= 0 && m.ChunkIdx < len(s.Chunks) {
+			s.chunkFiles[m.ChunkIdx] = append(s.chunkFiles[m.ChunkIdx], int32(i))
+		}
+		dir, _ := SplitPath(name)
+		s.ensureDir(dir)
+		s.dirs[dir].files = append(s.dirs[dir].files, int32(i))
+	}
+	for _, n := range s.dirs {
+		sort.Strings(n.subdirs)
+		sort.Slice(n.files, func(a, b int) bool {
+			_, ba := SplitPath(s.names[n.files[a]])
+			_, bb := SplitPath(s.names[n.files[b]])
+			return ba < bb
+		})
+	}
+}
+
+func (s *Snapshot) ensureDir(dir string) {
+	if _, ok := s.dirs[dir]; ok {
+		return
+	}
+	s.dirs[dir] = &dirNode{}
+	parent, base := SplitPath(dir)
+	s.ensureDir(parent)
+	p := s.dirs[parent]
+	p.subdirs = append(p.subdirs, base)
+}
+
+// NumFiles returns the number of files in the snapshot.
+func (s *Snapshot) NumFiles() int { return len(s.names) }
+
+// FileName returns the full path of file i.
+func (s *Snapshot) FileName(i int) string { return s.names[i] }
+
+// FileMetaAt returns the location of file i.
+func (s *Snapshot) FileMetaAt(i int) FileMeta { return s.metas[i] }
+
+// Stat returns the location of the file at path.
+func (s *Snapshot) Stat(path string) (FileMeta, error) {
+	path = CleanPath(path)
+	i, ok := s.index[path]
+	if !ok {
+		if _, isDir := s.dirs[path]; isDir {
+			return FileMeta{}, fmt.Errorf("%w: %q", ErrIsDirectory, path)
+		}
+		return FileMeta{}, fmt.Errorf("%w: %q", ErrNotExist, path)
+	}
+	return s.metas[i], nil
+}
+
+// IsDir reports whether path names a directory.
+func (s *Snapshot) IsDir(path string) bool {
+	_, ok := s.dirs[CleanPath(path)]
+	return ok
+}
+
+// DirEntry is one row of a List result.
+type DirEntry struct {
+	Name  string // basename
+	IsDir bool
+	Size  uint64 // 0 for directories
+}
+
+// List returns the entries of a directory: child directories first, then
+// files, each sorted by name — the readdir DIESEL serves locally once a
+// snapshot is loaded.
+func (s *Snapshot) List(dir string) ([]DirEntry, error) {
+	dir = CleanPath(dir)
+	n, ok := s.dirs[dir]
+	if !ok {
+		if _, isFile := s.index[dir]; isFile {
+			return nil, fmt.Errorf("meta: %q is a file", dir)
+		}
+		return nil, fmt.Errorf("%w: %q", ErrNotExist, dir)
+	}
+	out := make([]DirEntry, 0, len(n.subdirs)+len(n.files))
+	for _, d := range n.subdirs {
+		out = append(out, DirEntry{Name: d, IsDir: true})
+	}
+	for _, fi := range n.files {
+		_, base := SplitPath(s.names[fi])
+		out = append(out, DirEntry{Name: base, Size: s.metas[fi].Length})
+	}
+	return out, nil
+}
+
+// Walk calls fn for every file under dir (recursively), in deterministic
+// order. It is the engine behind ls -R style listings.
+func (s *Snapshot) Walk(dir string, fn func(path string, m FileMeta) bool) error {
+	dir = CleanPath(dir)
+	n, ok := s.dirs[dir]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotExist, dir)
+	}
+	s.walk(dir, n, fn)
+	return nil
+}
+
+// walk reports whether traversal should continue.
+func (s *Snapshot) walk(dir string, n *dirNode, fn func(string, FileMeta) bool) bool {
+	for _, fi := range n.files {
+		if !fn(s.names[fi], s.metas[fi]) {
+			return false
+		}
+	}
+	for _, sub := range n.subdirs {
+		child := sub
+		if dir != "" {
+			child = dir + "/" + sub
+		}
+		if !s.walk(child, s.dirs[child], fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// FilesInChunk returns the indices of the files stored in chunk ci; the
+// chunk-wise shuffle uses it to expand chunk groups into file lists.
+func (s *Snapshot) FilesInChunk(ci int) []int32 { return s.chunkFiles[ci] }
+
+// TotalBytes sums all file lengths.
+func (s *Snapshot) TotalBytes() uint64 {
+	var t uint64
+	for _, m := range s.metas {
+		t += m.Length
+	}
+	return t
+}
+
+// --- serialisation ---
+
+// Encode serialises the snapshot for materialisation to disk. The layout
+// is a size-prefixed body followed by a CRC32, so torn downloads are
+// detected at load.
+func (s *Snapshot) Encode() []byte {
+	e := wire.NewEncoder(64 + len(s.names)*48)
+	e.Uint32(SnapshotMagic)
+	e.String(s.Dataset)
+	e.Int64(s.UpdatedNS)
+	e.Uint32(uint32(len(s.Chunks)))
+	for _, c := range s.Chunks {
+		e.Bytes32(c.ID[:])
+		e.Uint64(c.Size)
+		e.Uint32(c.HeaderLen)
+	}
+	e.Uint32(uint32(len(s.names)))
+	for i, name := range s.names {
+		m := s.metas[i]
+		e.String(name)
+		e.Uint32(uint32(m.ChunkIdx))
+		e.Uint32(m.Index)
+		e.Uint64(m.Offset)
+		e.Uint64(m.Length)
+	}
+	body := e.Bytes()
+	out := make([]byte, len(body)+4)
+	copy(out, body)
+	binary.BigEndian.PutUint32(out[len(body):], crc32.ChecksumIEEE(body))
+	return out
+}
+
+// DecodeSnapshot parses a snapshot encoded by Encode, rebuilding the
+// directory tree and chunk→file mapping.
+func DecodeSnapshot(b []byte) (*Snapshot, error) {
+	if len(b) < 8 {
+		return nil, ErrSnapshotCorrupt
+	}
+	body, sum := b[:len(b)-4], binary.BigEndian.Uint32(b[len(b)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrSnapshotCorrupt)
+	}
+	d := wire.NewDecoder(body)
+	if d.Uint32() != SnapshotMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrSnapshotCorrupt)
+	}
+	s := &Snapshot{
+		Dataset:   d.String(),
+		UpdatedNS: d.Int64(),
+		index:     make(map[string]int),
+	}
+	nc := int(d.Uint32())
+	if d.Err() != nil || nc < 0 || nc > len(body) {
+		return nil, ErrSnapshotCorrupt
+	}
+	s.Chunks = make([]ChunkMeta, 0, nc)
+	for range nc {
+		var cm ChunkMeta
+		copy(cm.ID[:], d.Bytes32())
+		cm.Size = d.Uint64()
+		cm.HeaderLen = d.Uint32()
+		s.Chunks = append(s.Chunks, cm)
+	}
+	nf := int(d.Uint32())
+	if d.Err() != nil || nf < 0 || nf > len(body) {
+		return nil, ErrSnapshotCorrupt
+	}
+	s.names = make([]string, 0, nf)
+	s.metas = make([]FileMeta, 0, nf)
+	for i := range nf {
+		name := d.String()
+		m := FileMeta{
+			ChunkIdx: int(int32(d.Uint32())),
+			Index:    d.Uint32(),
+			Offset:   d.Uint64(),
+			Length:   d.Uint64(),
+		}
+		if d.Err() != nil {
+			return nil, ErrSnapshotCorrupt
+		}
+		if m.ChunkIdx < 0 || m.ChunkIdx >= len(s.Chunks) {
+			return nil, fmt.Errorf("%w: file %q references chunk %d of %d",
+				ErrSnapshotCorrupt, name, m.ChunkIdx, len(s.Chunks))
+		}
+		s.index[name] = i
+		s.names = append(s.names, name)
+		s.metas = append(s.metas, m)
+	}
+	if d.Err() != nil {
+		return nil, ErrSnapshotCorrupt
+	}
+	s.buildDerived()
+	return s, nil
+}
+
+// SaveFile writes the snapshot to path atomically.
+func (s *Snapshot) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, s.Encode(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads a snapshot from disk.
+func LoadFile(path string) (*Snapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeSnapshot(b)
+}
+
+// Validate checks the snapshot against the authoritative dataset record:
+// name must match and timestamps must agree, otherwise the snapshot is
+// stale and the caller must download a fresh one.
+func (s *Snapshot) Validate(rec DatasetRecord) error {
+	if s.UpdatedNS != rec.UpdatedNS {
+		return fmt.Errorf("%w: snapshot %d vs dataset %d", ErrStaleSnapshot, s.UpdatedNS, rec.UpdatedNS)
+	}
+	return nil
+}
+
+// String summarises the snapshot for logs.
+func (s *Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "snapshot{dataset=%s files=%d chunks=%d bytes=%d}",
+		s.Dataset, len(s.names), len(s.Chunks), s.TotalBytes())
+	return b.String()
+}

@@ -1,0 +1,276 @@
+package meta
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"diesel/internal/chunk"
+)
+
+func mkID(n byte) chunk.ID {
+	var id chunk.ID
+	id[0] = n
+	id[15] = n
+	return id
+}
+
+func buildSampleSnapshot() *Snapshot {
+	b := NewSnapshotBuilder("imagenet", 12345)
+	c0 := b.AddChunk(mkID(1), 4<<20, 100)
+	c1 := b.AddChunk(mkID(2), 4<<20, 100)
+	b.AddFile("train/n01/a.jpg", FileMeta{ChunkIdx: c0, Index: 0, Offset: 0, Length: 100})
+	b.AddFile("train/n01/b.jpg", FileMeta{ChunkIdx: c0, Index: 1, Offset: 100, Length: 200})
+	b.AddFile("train/n02/c.jpg", FileMeta{ChunkIdx: c1, Index: 0, Offset: 0, Length: 300})
+	b.AddFile("val/d.jpg", FileMeta{ChunkIdx: c1, Index: 1, Offset: 300, Length: 400})
+	b.AddFile("README", FileMeta{ChunkIdx: c1, Index: 2, Offset: 700, Length: 10})
+	return b.Build()
+}
+
+func TestSnapshotStat(t *testing.T) {
+	s := buildSampleSnapshot()
+	m, err := s.Stat("train/n01/b.jpg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Length != 200 || m.Offset != 100 || m.ChunkIdx != 0 {
+		t.Errorf("Stat = %+v", m)
+	}
+	if _, err := s.Stat("missing.jpg"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("missing: %v", err)
+	}
+	if _, err := s.Stat("train/n01"); !errors.Is(err, ErrIsDirectory) {
+		t.Errorf("directory stat: %v", err)
+	}
+}
+
+func TestSnapshotList(t *testing.T) {
+	s := buildSampleSnapshot()
+	root, err := s.List("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range root {
+		suffix := ""
+		if e.IsDir {
+			suffix = "/"
+		}
+		names = append(names, e.Name+suffix)
+	}
+	want := []string{"train/", "val/", "README"}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("root list = %v, want %v", names, want)
+	}
+
+	sub, err := s.List("train/n01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) != 2 || sub[0].Name != "a.jpg" || sub[1].Name != "b.jpg" {
+		t.Errorf("train/n01 = %+v", sub)
+	}
+	if sub[1].Size != 200 {
+		t.Errorf("b.jpg size = %d", sub[1].Size)
+	}
+
+	if _, err := s.List("no/such/dir"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("missing dir: %v", err)
+	}
+	if _, err := s.List("README"); err == nil {
+		t.Error("List of a file should fail")
+	}
+}
+
+func TestSnapshotWalk(t *testing.T) {
+	s := buildSampleSnapshot()
+	var visited []string
+	s.Walk("", func(p string, m FileMeta) bool {
+		visited = append(visited, p)
+		return true
+	})
+	if len(visited) != 5 {
+		t.Fatalf("walked %d files: %v", len(visited), visited)
+	}
+	var under []string
+	s.Walk("train", func(p string, m FileMeta) bool {
+		under = append(under, p)
+		return true
+	})
+	want := []string{"train/n01/a.jpg", "train/n01/b.jpg", "train/n02/c.jpg"}
+	if !reflect.DeepEqual(under, want) {
+		t.Errorf("Walk(train) = %v", under)
+	}
+	// Early stop.
+	count := 0
+	s.Walk("", func(p string, m FileMeta) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestSnapshotFilesInChunk(t *testing.T) {
+	s := buildSampleSnapshot()
+	f0 := s.FilesInChunk(0)
+	if len(f0) != 2 {
+		t.Fatalf("chunk 0 files = %d", len(f0))
+	}
+	var names []string
+	for _, i := range f0 {
+		names = append(names, s.FileName(int(i)))
+	}
+	sort.Strings(names)
+	if !reflect.DeepEqual(names, []string{"train/n01/a.jpg", "train/n01/b.jpg"}) {
+		t.Errorf("chunk 0 = %v", names)
+	}
+	if len(s.FilesInChunk(1)) != 3 {
+		t.Errorf("chunk 1 files = %d", len(s.FilesInChunk(1)))
+	}
+}
+
+func TestSnapshotEncodeDecodeRoundTrip(t *testing.T) {
+	s := buildSampleSnapshot()
+	enc := s.Encode()
+	got, err := DecodeSnapshot(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dataset != s.Dataset || got.UpdatedNS != s.UpdatedNS {
+		t.Error("header mismatch")
+	}
+	if got.NumFiles() != s.NumFiles() || len(got.Chunks) != len(s.Chunks) {
+		t.Fatal("size mismatch")
+	}
+	for i := range s.NumFiles() {
+		if got.FileName(i) != s.FileName(i) || got.FileMetaAt(i) != s.FileMetaAt(i) {
+			t.Fatalf("file %d mismatch", i)
+		}
+	}
+	if got.TotalBytes() != s.TotalBytes() {
+		t.Error("TotalBytes mismatch")
+	}
+}
+
+func TestSnapshotDecodeRejectsCorruption(t *testing.T) {
+	enc := buildSampleSnapshot().Encode()
+	for _, pos := range []int{0, 4, len(enc) / 2, len(enc) - 1} {
+		bad := append([]byte(nil), enc...)
+		bad[pos] ^= 0xFF
+		if _, err := DecodeSnapshot(bad); err == nil {
+			t.Errorf("flip at %d: decode succeeded", pos)
+		}
+	}
+	for _, cut := range []int{0, 3, 8, len(enc) - 5} {
+		if _, err := DecodeSnapshot(enc[:cut]); err == nil {
+			t.Errorf("truncation at %d: decode succeeded", cut)
+		}
+	}
+}
+
+func TestSnapshotSaveLoadFile(t *testing.T) {
+	s := buildSampleSnapshot()
+	path := filepath.Join(t.TempDir(), "imagenet.snap")
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumFiles() != s.NumFiles() {
+		t.Error("reload mismatch")
+	}
+}
+
+func TestSnapshotValidate(t *testing.T) {
+	s := buildSampleSnapshot()
+	if err := s.Validate(DatasetRecord{UpdatedNS: 12345}); err != nil {
+		t.Errorf("fresh snapshot rejected: %v", err)
+	}
+	if err := s.Validate(DatasetRecord{UpdatedNS: 99999}); !errors.Is(err, ErrStaleSnapshot) {
+		t.Errorf("stale snapshot accepted: %v", err)
+	}
+}
+
+func TestSnapshotDuplicateAddReplaces(t *testing.T) {
+	b := NewSnapshotBuilder("ds", 1)
+	c := b.AddChunk(mkID(1), 10, 5)
+	b.AddFile("x", FileMeta{ChunkIdx: c, Length: 1})
+	b.AddFile("x", FileMeta{ChunkIdx: c, Length: 2})
+	s := b.Build()
+	if s.NumFiles() != 1 {
+		t.Fatalf("NumFiles = %d", s.NumFiles())
+	}
+	m, _ := s.Stat("x")
+	if m.Length != 2 {
+		t.Errorf("latest add did not win: %+v", m)
+	}
+}
+
+func TestSnapshotAddChunkDedup(t *testing.T) {
+	b := NewSnapshotBuilder("ds", 1)
+	i1 := b.AddChunk(mkID(7), 10, 5)
+	i2 := b.AddChunk(mkID(7), 10, 5)
+	if i1 != i2 {
+		t.Errorf("duplicate chunk got new index: %d vs %d", i1, i2)
+	}
+}
+
+// TestSnapshotLargeRandomized builds a big random tree and verifies the
+// loaded snapshot agrees with a reference model on stats and listings.
+func TestSnapshotLargeRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := NewSnapshotBuilder("big", 77)
+	ref := make(map[string]uint64)
+	nChunks := 20
+	idx := make([]int, nChunks)
+	for i := range nChunks {
+		idx[i] = b.AddChunk(mkID(byte(i)), 4<<20, 128)
+	}
+	for i := range 5000 {
+		path := fmt.Sprintf("c%02d/d%d/f%04d.bin", rng.Intn(10), rng.Intn(5), i)
+		ln := uint64(rng.Intn(100000))
+		b.AddFile(path, FileMeta{ChunkIdx: idx[rng.Intn(nChunks)], Length: ln})
+		ref[path] = ln
+	}
+	s, err := DecodeSnapshot(b.Build().Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumFiles() != len(ref) {
+		t.Fatalf("NumFiles = %d, want %d", s.NumFiles(), len(ref))
+	}
+	for p, ln := range ref {
+		m, err := s.Stat(p)
+		if err != nil || m.Length != ln {
+			t.Fatalf("Stat(%q) = %+v, %v (want len %d)", p, m, err, ln)
+		}
+	}
+	// Walk must visit every file exactly once.
+	seen := make(map[string]bool)
+	s.Walk("", func(p string, m FileMeta) bool {
+		if seen[p] {
+			t.Fatalf("Walk visited %q twice", p)
+		}
+		seen[p] = true
+		return true
+	})
+	if len(seen) != len(ref) {
+		t.Fatalf("Walk visited %d files, want %d", len(seen), len(ref))
+	}
+	// Chunk→file mapping covers every file exactly once.
+	total := 0
+	for ci := range s.Chunks {
+		total += len(s.FilesInChunk(ci))
+	}
+	if total != len(ref) {
+		t.Fatalf("chunkFiles covers %d files, want %d", total, len(ref))
+	}
+}

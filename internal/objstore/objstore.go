@@ -1,0 +1,371 @@
+// Package objstore provides the object storage layer DIESEL servers keep
+// data chunks in — the role Ceph/Lustre plays under the DIESEL server in
+// Figure 2.
+//
+// Four implementations share one interface:
+//
+//   - Memory: map-backed, for tests and simulations.
+//   - Disk: one object per file under a root directory, for real runs.
+//   - Throttled: wraps another store with modeled latency and bandwidth, so
+//     examples can show HDD-versus-SSD behaviour in real time.
+//   - Tiered: a fast store (SSD) caching a slow store (HDD) with LRU
+//     eviction — the DIESEL server-side cache of Figure 4.
+package objstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrNotFound is returned when an object does not exist.
+var ErrNotFound = errors.New("objstore: object not found")
+
+// Store is a flat object store keyed by string. Keys are chunk IDs (22
+// printable characters) possibly namespaced by dataset, e.g.
+// "imagenet/0G2xk…". List returns keys in ascending order, which for chunk
+// IDs is write-time order — the property metadata recovery scans rely on.
+type Store interface {
+	// Put stores data under key, overwriting any existing object.
+	Put(key string, data []byte) error
+	// Get returns the full object.
+	Get(key string) ([]byte, error)
+	// GetRange returns n bytes starting at off. n < 0 means "to the end".
+	GetRange(key string, off, n int64) ([]byte, error)
+	// Delete removes the object. Deleting a missing key is not an error.
+	Delete(key string) error
+	// List returns all keys with the given prefix, sorted ascending.
+	List(prefix string) ([]string, error)
+	// Size returns the object's length in bytes.
+	Size(key string) (int64, error)
+}
+
+// --- Memory ---
+
+// Memory is an in-memory Store, safe for concurrent use.
+type Memory struct {
+	mu   sync.RWMutex
+	data map[string][]byte
+
+	// Counters for experiments: number of operations and bytes moved.
+	Ops Counters
+}
+
+// Counters tallies store traffic; all fields are protected by the owning
+// store's mutex and read via Snapshot.
+type Counters struct {
+	Puts, Gets, Deletes, Lists uint64
+	BytesIn, BytesOut          uint64
+}
+
+// NewMemory returns an empty in-memory store.
+func NewMemory() *Memory {
+	return &Memory{data: make(map[string][]byte)}
+}
+
+// Put implements Store.
+func (m *Memory) Put(key string, data []byte) error {
+	cp := append([]byte(nil), data...)
+	m.mu.Lock()
+	m.data[key] = cp
+	m.Ops.Puts++
+	m.Ops.BytesIn += uint64(len(data))
+	m.mu.Unlock()
+	return nil
+}
+
+// Get implements Store.
+func (m *Memory) Get(key string) ([]byte, error) {
+	m.mu.Lock()
+	b, ok := m.data[key]
+	m.Ops.Gets++
+	m.Ops.BytesOut += uint64(len(b))
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	return append([]byte(nil), b...), nil
+}
+
+// GetRange implements Store.
+func (m *Memory) GetRange(key string, off, n int64) ([]byte, error) {
+	m.mu.Lock()
+	b, ok := m.data[key]
+	m.Ops.Gets++
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	return sliceRange(b, off, n)
+}
+
+func sliceRange(b []byte, off, n int64) ([]byte, error) {
+	if off < 0 || off > int64(len(b)) {
+		return nil, fmt.Errorf("objstore: offset %d out of range [0,%d]", off, len(b))
+	}
+	end := int64(len(b))
+	if n >= 0 && off+n < end {
+		end = off + n
+	}
+	return append([]byte(nil), b[off:end]...), nil
+}
+
+// Delete implements Store.
+func (m *Memory) Delete(key string) error {
+	m.mu.Lock()
+	delete(m.data, key)
+	m.Ops.Deletes++
+	m.mu.Unlock()
+	return nil
+}
+
+// List implements Store.
+func (m *Memory) List(prefix string) ([]string, error) {
+	m.mu.Lock()
+	out := make([]string, 0, len(m.data))
+	for k := range m.data {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	m.Ops.Lists++
+	m.mu.Unlock()
+	sort.Strings(out)
+	return out, nil
+}
+
+// Size implements Store.
+func (m *Memory) Size(key string) (int64, error) {
+	m.mu.RLock()
+	b, ok := m.data[key]
+	m.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	return int64(len(b)), nil
+}
+
+// Snapshot returns a copy of the traffic counters.
+func (m *Memory) Snapshot() Counters {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.Ops
+}
+
+// Len returns the number of stored objects.
+func (m *Memory) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.data)
+}
+
+// --- Disk ---
+
+// Disk stores each object as one file under a root directory. Key path
+// separators become directories. Writes are atomic (temp file + rename) so
+// a crash never leaves a torn object visible.
+type Disk struct {
+	root string
+	mu   sync.Mutex // guards temp-name counter only; file ops are parallel
+	tmpN int
+}
+
+// NewDisk creates (if needed) and uses root as the storage directory.
+func NewDisk(root string) (*Disk, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("objstore: create root: %w", err)
+	}
+	return &Disk{root: root}, nil
+}
+
+func (d *Disk) path(key string) (string, error) {
+	clean := filepath.Clean(key)
+	if clean == "." || clean == ".." || strings.HasPrefix(clean, "../") || filepath.IsAbs(clean) {
+		return "", fmt.Errorf("objstore: invalid key %q", key)
+	}
+	return filepath.Join(d.root, clean), nil
+}
+
+// Put implements Store.
+func (d *Disk) Put(key string, data []byte) error {
+	p, err := d.path(key)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.tmpN++
+	tmp := fmt.Sprintf("%s.tmp%d", p, d.tmpN)
+	d.mu.Unlock()
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, p)
+}
+
+// Get implements Store.
+func (d *Disk) Get(key string) ([]byte, error) {
+	p, err := d.path(key)
+	if err != nil {
+		return nil, err
+	}
+	b, err := os.ReadFile(p)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	return b, err
+}
+
+// GetRange implements Store.
+func (d *Disk) GetRange(key string, off, n int64) ([]byte, error) {
+	p, err := d.path(key)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(p)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if off < 0 || off > st.Size() {
+		return nil, fmt.Errorf("objstore: offset %d out of range [0,%d]", off, st.Size())
+	}
+	if n < 0 || off+n > st.Size() {
+		n = st.Size() - off
+	}
+	buf := make([]byte, n)
+	if _, err := f.ReadAt(buf, off); err != nil && n > 0 {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Delete implements Store.
+func (d *Disk) Delete(key string) error {
+	p, err := d.path(key)
+	if err != nil {
+		return err
+	}
+	err = os.Remove(p)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// List implements Store.
+func (d *Disk) List(prefix string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(d.root, func(p string, de os.DirEntry, err error) error {
+		if err != nil || de.IsDir() {
+			return err
+		}
+		if strings.Contains(de.Name(), ".tmp") {
+			return nil
+		}
+		rel, err := filepath.Rel(d.root, p)
+		if err != nil {
+			return err
+		}
+		key := filepath.ToSlash(rel)
+		if strings.HasPrefix(key, prefix) {
+			out = append(out, key)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Size implements Store.
+func (d *Disk) Size(key string) (int64, error) {
+	p, err := d.path(key)
+	if err != nil {
+		return 0, err
+	}
+	st, err := os.Stat(p)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// --- Throttled ---
+
+// Throttled wraps a Store with a per-operation latency and a byte
+// bandwidth, imposed with real sleeps. It turns a Memory store into an
+// "HDD" or "SSD" for runnable examples; the discrete-event simulator, not
+// this type, is used for the paper's performance figures.
+type Throttled struct {
+	Base      Store
+	Latency   time.Duration // seek/request setup cost per operation
+	BytesPerS float64       // sustained transfer bandwidth; 0 = unlimited
+}
+
+func (t *Throttled) wait(bytes int) {
+	d := t.Latency
+	if t.BytesPerS > 0 {
+		d += time.Duration(float64(bytes) / t.BytesPerS * float64(time.Second))
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Put implements Store.
+func (t *Throttled) Put(key string, data []byte) error {
+	t.wait(len(data))
+	return t.Base.Put(key, data)
+}
+
+// Get implements Store.
+func (t *Throttled) Get(key string) ([]byte, error) {
+	b, err := t.Base.Get(key)
+	t.wait(len(b))
+	return b, err
+}
+
+// GetRange implements Store.
+func (t *Throttled) GetRange(key string, off, n int64) ([]byte, error) {
+	b, err := t.Base.GetRange(key, off, n)
+	t.wait(len(b))
+	return b, err
+}
+
+// Delete implements Store.
+func (t *Throttled) Delete(key string) error {
+	t.wait(0)
+	return t.Base.Delete(key)
+}
+
+// List implements Store.
+func (t *Throttled) List(prefix string) ([]string, error) {
+	t.wait(0)
+	return t.Base.List(prefix)
+}
+
+// Size implements Store.
+func (t *Throttled) Size(key string) (int64, error) {
+	t.wait(0)
+	return t.Base.Size(key)
+}

@@ -1,0 +1,293 @@
+package objstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// storeContract runs the behaviour every Store implementation must satisfy.
+func storeContract(t *testing.T, s Store) {
+	t.Helper()
+
+	if _, err := s.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get missing: %v", err)
+	}
+	if _, err := s.Size("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Size missing: %v", err)
+	}
+	if err := s.Delete("nope"); err != nil {
+		t.Errorf("Delete missing should be nil: %v", err)
+	}
+
+	data := []byte("hello chunk world")
+	if err := s.Put("ds/c1", data); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := s.Get("ds/c1")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	n, err := s.Size("ds/c1")
+	if err != nil || n != int64(len(data)) {
+		t.Fatalf("Size = %d, %v", n, err)
+	}
+
+	// Overwrite.
+	if err := s.Put("ds/c1", []byte("short")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Get("ds/c1"); string(got) != "short" {
+		t.Fatalf("overwrite failed: %q", got)
+	}
+
+	// Ranges.
+	s.Put("ds/c2", []byte("0123456789"))
+	for _, tc := range []struct {
+		off, n int64
+		want   string
+	}{
+		{0, 4, "0123"}, {5, 3, "567"}, {5, -1, "56789"}, {9, 100, "9"}, {10, 5, ""}, {0, 0, ""},
+	} {
+		got, err := s.GetRange("ds/c2", tc.off, tc.n)
+		if err != nil {
+			t.Errorf("GetRange(%d,%d): %v", tc.off, tc.n, err)
+			continue
+		}
+		if string(got) != tc.want {
+			t.Errorf("GetRange(%d,%d) = %q, want %q", tc.off, tc.n, got, tc.want)
+		}
+	}
+	if _, err := s.GetRange("ds/c2", -1, 5); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if _, err := s.GetRange("ds/c2", 11, 5); err == nil {
+		t.Error("offset past end accepted")
+	}
+	if _, err := s.GetRange("nope", 0, 1); !errors.Is(err, ErrNotFound) {
+		t.Errorf("GetRange missing: %v", err)
+	}
+
+	// List ordering and prefix filtering.
+	s.Put("ds/c0", []byte("x"))
+	s.Put("other/c9", []byte("y"))
+	keys, err := s.List("ds/")
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	want := []string{"ds/c0", "ds/c1", "ds/c2"}
+	if len(keys) != len(want) {
+		t.Fatalf("List = %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("List[%d] = %q, want %q", i, keys[i], want[i])
+		}
+	}
+
+	// Delete removes from listing.
+	if err := s.Delete("ds/c1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("ds/c1"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("deleted object readable: %v", err)
+	}
+	keys, _ = s.List("ds/")
+	if len(keys) != 2 {
+		t.Errorf("List after delete = %v", keys)
+	}
+}
+
+func TestMemoryContract(t *testing.T) { storeContract(t, NewMemory()) }
+
+func TestDiskContract(t *testing.T) {
+	d, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeContract(t, d)
+}
+
+func TestTieredContract(t *testing.T) {
+	storeContract(t, NewTiered(NewMemory(), NewMemory(), 1<<20))
+}
+
+func TestThrottledContract(t *testing.T) {
+	storeContract(t, &Throttled{Base: NewMemory()})
+}
+
+func TestDiskRejectsEscapingKeys(t *testing.T) {
+	d, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"../evil", "..", "/abs/path", "a/../../b"} {
+		if err := d.Put(k, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted", k)
+		}
+	}
+}
+
+func TestDiskPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	d1, _ := NewDisk(dir)
+	d1.Put("a/b/c", []byte("persisted"))
+	d2, _ := NewDisk(dir)
+	got, err := d2.Get("a/b/c")
+	if err != nil || string(got) != "persisted" {
+		t.Fatalf("reopen Get = %q, %v", got, err)
+	}
+}
+
+func TestMemoryQuickRoundTrip(t *testing.T) {
+	m := NewMemory()
+	f := func(key string, val []byte) bool {
+		if err := m.Put("q/"+key, val); err != nil {
+			return false
+		}
+		got, err := m.Get("q/" + key)
+		return err == nil && bytes.Equal(got, val)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryIsolation(t *testing.T) {
+	m := NewMemory()
+	src := []byte("original")
+	m.Put("k", src)
+	src[0] = 'X' // caller mutates its buffer after Put
+	got, _ := m.Get("k")
+	if string(got) != "original" {
+		t.Error("Put did not copy input")
+	}
+	got[0] = 'Y' // caller mutates the returned buffer
+	got2, _ := m.Get("k")
+	if string(got2) != "original" {
+		t.Error("Get returned aliased buffer")
+	}
+}
+
+func TestTieredPromotionAndEviction(t *testing.T) {
+	fast, slow := NewMemory(), NewMemory()
+	tr := NewTiered(fast, slow, 100)
+
+	obj := func(i int) string { return fmt.Sprintf("o%d", i) }
+	for i := range 5 {
+		tr.Put(obj(i), bytes.Repeat([]byte{byte(i)}, 40))
+	}
+	if fast.Len() != 0 {
+		t.Fatalf("writes populated fast tier: %d objects", fast.Len())
+	}
+	// Read 0 and 1: both promoted (80 <= 100).
+	tr.Get(obj(0))
+	tr.Get(obj(1))
+	if fast.Len() != 2 {
+		t.Fatalf("fast tier has %d objects, want 2", fast.Len())
+	}
+	// Read 2: evicts LRU (0).
+	tr.Get(obj(2))
+	if _, err := fast.Get(obj(0)); !errors.Is(err, ErrNotFound) {
+		t.Error("LRU object not evicted")
+	}
+	if _, err := fast.Get(obj(1)); err != nil {
+		t.Error("recently used object evicted")
+	}
+	// Touch 1 to refresh, read 3: eviction should now take 2, not 1.
+	tr.Get(obj(1))
+	tr.Get(obj(3))
+	if _, err := fast.Get(obj(2)); !errors.Is(err, ErrNotFound) {
+		t.Error("expected 2 evicted after touching 1")
+	}
+	if _, err := fast.Get(obj(1)); err != nil {
+		t.Error("touched object was evicted")
+	}
+	if tr.FastBytes() > 100 {
+		t.Errorf("fast tier over capacity: %d", tr.FastBytes())
+	}
+}
+
+func TestTieredHitRate(t *testing.T) {
+	tr := NewTiered(NewMemory(), NewMemory(), 1000)
+	tr.Put("a", []byte("data"))
+	tr.Get("a") // miss + promote
+	tr.Get("a") // hit
+	tr.Get("a") // hit
+	if got := tr.HitRate(); got < 0.66 || got > 0.67 {
+		t.Errorf("HitRate = %f, want 2/3", got)
+	}
+}
+
+func TestTieredOversizeObjectNotCached(t *testing.T) {
+	fast := NewMemory()
+	tr := NewTiered(fast, NewMemory(), 10)
+	tr.Put("big", make([]byte, 100))
+	if _, err := tr.Get("big"); err != nil {
+		t.Fatal(err)
+	}
+	if fast.Len() != 0 {
+		t.Error("oversize object cached")
+	}
+}
+
+func TestTieredPutInvalidatesFastCopy(t *testing.T) {
+	tr := NewTiered(NewMemory(), NewMemory(), 1000)
+	tr.Put("k", []byte("v1"))
+	tr.Get("k") // promote v1
+	tr.Put("k", []byte("v2"))
+	got, err := tr.Get("k")
+	if err != nil || string(got) != "v2" {
+		t.Fatalf("stale read after overwrite: %q, %v", got, err)
+	}
+}
+
+func TestTieredConcurrent(t *testing.T) {
+	tr := NewTiered(NewMemory(), NewMemory(), 512)
+	for i := range 20 {
+		tr.Put(fmt.Sprintf("o%d", i), bytes.Repeat([]byte{byte(i)}, 64))
+	}
+	var wg sync.WaitGroup
+	for w := range 8 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range 200 {
+				key := fmt.Sprintf("o%d", (w*7+i)%20)
+				b, err := tr.Get(key)
+				if err != nil || len(b) != 64 {
+					t.Errorf("Get(%s) = %d bytes, %v", key, len(b), err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.FastBytes() > 512 {
+		t.Errorf("capacity violated under concurrency: %d", tr.FastBytes())
+	}
+}
+
+func TestThrottledLatency(t *testing.T) {
+	tr := &Throttled{Base: NewMemory(), Latency: 20 * time.Millisecond}
+	tr.Put("k", []byte("v"))
+	start := time.Now()
+	tr.Get("k")
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Errorf("Get took %v, want >= 20ms", d)
+	}
+}
+
+func TestThrottledBandwidth(t *testing.T) {
+	tr := &Throttled{Base: NewMemory(), BytesPerS: 1 << 20} // 1 MiB/s
+	data := make([]byte, 64<<10)                            // 64 KiB → ~62.5ms
+	start := time.Now()
+	tr.Put("k", data)
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Errorf("Put took %v, want >= 50ms at 1MiB/s", d)
+	}
+}

@@ -1,0 +1,180 @@
+package objstore
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Tiered layers a bounded fast store (SSD) over a slow store (HDD),
+// implementing the DIESEL server cache of Figure 4: reads check the fast
+// tier first; on a miss the object is served from the slow tier and
+// promoted, evicting least-recently-used objects when the fast tier's
+// capacity is exceeded. Writes go to the slow tier (the durable home) and
+// the fast tier is populated only by reads, matching a cache — not a
+// write buffer.
+type Tiered struct {
+	fast, slow Store
+
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	lru      *list.List // front = most recent; values are *tieredEntry
+	index    map[string]*list.Element
+
+	// Hits and Misses count fast-tier outcomes for experiments.
+	Hits, Misses uint64
+}
+
+type tieredEntry struct {
+	key  string
+	size int64
+}
+
+// NewTiered builds a tiered store with the given fast-tier byte capacity.
+func NewTiered(fast, slow Store, capacity int64) *Tiered {
+	return &Tiered{
+		fast:     fast,
+		slow:     slow,
+		capacity: capacity,
+		lru:      list.New(),
+		index:    make(map[string]*list.Element),
+	}
+}
+
+// Put implements Store: writes land in the slow tier; a stale fast copy is
+// invalidated so readers never see old data.
+func (t *Tiered) Put(key string, data []byte) error {
+	if err := t.slow.Put(key, data); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	if el, ok := t.index[key]; ok {
+		t.removeLocked(el)
+	}
+	t.mu.Unlock()
+	return t.fast.Delete(key)
+}
+
+// Get implements Store.
+func (t *Tiered) Get(key string) ([]byte, error) {
+	t.mu.Lock()
+	el, ok := t.index[key]
+	if ok {
+		t.lru.MoveToFront(el)
+		t.Hits++
+	} else {
+		t.Misses++
+	}
+	t.mu.Unlock()
+
+	if ok {
+		b, err := t.fast.Get(key)
+		if err == nil {
+			return b, nil
+		}
+		// Fast tier lied (e.g. wiped externally); fall through to slow.
+	}
+	b, err := t.slow.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	t.promote(key, b)
+	return b, nil
+}
+
+// GetRange implements Store. Ranges are served from whichever tier holds
+// the object; range reads do not promote, since promotion would read the
+// whole object and defeat the point of a partial read.
+func (t *Tiered) GetRange(key string, off, n int64) ([]byte, error) {
+	t.mu.Lock()
+	el, ok := t.index[key]
+	if ok {
+		t.lru.MoveToFront(el)
+		t.Hits++
+	} else {
+		t.Misses++
+	}
+	t.mu.Unlock()
+	if ok {
+		if b, err := t.fast.GetRange(key, off, n); err == nil {
+			return b, nil
+		}
+	}
+	return t.slow.GetRange(key, off, n)
+}
+
+// promote copies an object into the fast tier, evicting LRU entries to
+// make room. Objects larger than the whole capacity are not cached.
+func (t *Tiered) promote(key string, data []byte) {
+	size := int64(len(data))
+	if size > t.capacity {
+		return
+	}
+	t.mu.Lock()
+	if _, dup := t.index[key]; dup {
+		t.mu.Unlock()
+		return
+	}
+	var evict []string
+	for t.used+size > t.capacity {
+		back := t.lru.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*tieredEntry)
+		evict = append(evict, e.key)
+		t.removeLocked(back)
+	}
+	el := t.lru.PushFront(&tieredEntry{key: key, size: size})
+	t.index[key] = el
+	t.used += size
+	t.mu.Unlock()
+
+	for _, k := range evict {
+		t.fast.Delete(k)
+	}
+	t.fast.Put(key, data)
+}
+
+// removeLocked unlinks an LRU element; caller holds t.mu.
+func (t *Tiered) removeLocked(el *list.Element) {
+	e := el.Value.(*tieredEntry)
+	t.lru.Remove(el)
+	delete(t.index, e.key)
+	t.used -= e.size
+}
+
+// Delete implements Store: removes from both tiers.
+func (t *Tiered) Delete(key string) error {
+	t.mu.Lock()
+	if el, ok := t.index[key]; ok {
+		t.removeLocked(el)
+	}
+	t.mu.Unlock()
+	t.fast.Delete(key)
+	return t.slow.Delete(key)
+}
+
+// List implements Store, listing the durable (slow) tier.
+func (t *Tiered) List(prefix string) ([]string, error) { return t.slow.List(prefix) }
+
+// Size implements Store.
+func (t *Tiered) Size(key string) (int64, error) { return t.slow.Size(key) }
+
+// FastBytes reports the bytes currently cached in the fast tier.
+func (t *Tiered) FastBytes() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.used
+}
+
+// HitRate returns fast-tier hits / (hits+misses), or 0 before any reads.
+func (t *Tiered) HitRate() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	total := t.Hits + t.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(t.Hits) / float64(total)
+}

@@ -1,0 +1,158 @@
+package server
+
+import (
+	"fmt"
+
+	"diesel/internal/chunk"
+	"diesel/internal/meta"
+)
+
+// PurgeStats summarises a purge run.
+type PurgeStats struct {
+	ChunksRewritten int
+	ChunksDeleted   int // rewritten chunks whose old object was removed
+	BytesReclaimed  uint64
+	FilesCarried    int // live files moved into new chunks
+}
+
+// Purge is the housekeeping function that "merges chunks with holes caused
+// by file modification and deletion" (§4.1.1, DL_purge in §5). Chunks
+// whose deletion bitmap is non-empty are read back, their live files are
+// re-packed into fresh chunks through the normal ingest path, and the old
+// chunk objects and records are removed.
+//
+// Purge also makes deletions durable against total metadata loss: before
+// a purge, a deletion exists only in the KV chunk record; after it, the
+// surviving chunks' headers are authoritative again.
+func (s *Server) Purge(dataset string, gen *chunk.IDGenerator) (PurgeStats, error) {
+	var st PurgeStats
+	recs, err := s.kv.ScanPrefix(meta.ChunkScanPrefix(dataset))
+	if err != nil {
+		return st, err
+	}
+
+	builder := chunk.NewBuilder(chunk.DefaultTargetSize, gen, s.nowNS)
+	flush := func() error {
+		if builder.Count() == 0 {
+			return nil
+		}
+		_, enc, err := builder.Seal()
+		if err != nil {
+			return err
+		}
+		if _, err := s.Ingest(dataset, enc); err != nil {
+			return err
+		}
+		return nil
+	}
+
+	// Pass 1: re-pack every live file of every holed chunk into fresh
+	// chunks via the normal ingest path. Old chunks stay readable until the
+	// new ones are durably ingested, so there is no window in which a file
+	// record points at a missing object.
+	var holed []string // chunk IDs to retire
+	for _, kv := range recs {
+		cr, err := meta.DecodeChunkRecord(kv.Value)
+		if err != nil {
+			return st, err
+		}
+		if cr.NumDeleted == 0 {
+			continue
+		}
+		idStr := kv.Key[len(meta.ChunkScanPrefix(dataset)):]
+		blob, err := s.objects.Get(ObjectKey(dataset, idStr))
+		if err != nil {
+			return st, fmt.Errorf("server: purge read %s: %w", idStr, err)
+		}
+		ck, err := chunk.Parse(blob)
+		if err != nil {
+			return st, fmt.Errorf("server: purge parse %s: %w", idStr, err)
+		}
+		// The KV bitmap is authoritative (deletes update it first, and may
+		// be newer than the bitmap frozen in the chunk header).
+		for i, e := range ck.Header.Entries {
+			if cr.Deleted.Get(i) || ck.Header.Deleted.Get(i) {
+				st.BytesReclaimed += e.Length
+				continue
+			}
+			data, err := ck.FileAt(i)
+			if err != nil {
+				return st, err
+			}
+			full, err := builder.Add(e.Name, data)
+			if err != nil {
+				return st, err
+			}
+			st.FilesCarried++
+			if full {
+				if err := flush(); err != nil {
+					return st, err
+				}
+			}
+		}
+		holed = append(holed, idStr)
+	}
+	if err := flush(); err != nil {
+		return st, err
+	}
+
+	// Pass 2: retire the old chunks. Every live file record was rewritten
+	// by ingest to point at a new chunk, so the old objects and records
+	// are unreferenced.
+	for _, idStr := range holed {
+		if err := s.objects.Delete(ObjectKey(dataset, idStr)); err != nil {
+			return st, err
+		}
+		if _, err := s.kv.Del(meta.ChunkKey(dataset, idStr)); err != nil {
+			return st, err
+		}
+		s.hdrMu.Lock()
+		delete(s.hdrCache, ObjectKey(dataset, idStr))
+		s.hdrMu.Unlock()
+		st.ChunksRewritten++
+		st.ChunksDeleted++
+	}
+	if st.ChunksRewritten > 0 {
+		cc, fc, tb, err := s.recountFromChunkRecords(dataset)
+		if err != nil {
+			return st, fmt.Errorf("server: purge recount: %w", err)
+		}
+		if err := s.bumpDataset(dataset, func(r *meta.DatasetRecord) {
+			r.ChunkCount, r.FileCount, r.TotalBytes = cc, fc, tb
+		}); err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}
+
+// DeleteDataset removes a dataset entirely: every chunk object and every
+// metadata record (DL_delete_dataset in §5).
+func (s *Server) DeleteDataset(dataset string) error {
+	keys, err := s.objects.List(dataset + "/")
+	if err != nil {
+		return err
+	}
+	for _, k := range keys {
+		if err := s.objects.Delete(k); err != nil {
+			return err
+		}
+	}
+	for _, prefix := range []string{
+		meta.ChunkScanPrefix(dataset),
+		"f|" + dataset + "|",
+		"d|" + dataset + "|",
+	} {
+		kvs, err := s.kv.ScanPrefix(prefix)
+		if err != nil {
+			return err
+		}
+		for _, kv := range kvs {
+			if _, err := s.kv.Del(kv.Key); err != nil {
+				return err
+			}
+		}
+	}
+	_, err = s.kv.Del(meta.DatasetKey(dataset))
+	return err
+}

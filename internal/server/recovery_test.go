@@ -1,0 +1,246 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"diesel/internal/chunk"
+	"diesel/internal/meta"
+)
+
+func TestRecoveryFullWipe(t *testing.T) {
+	s, _, kv, gen := testStack()
+	files := writeFiles(t, s, gen, "ds", 80, 256, 2048)
+
+	before, _ := kv.DBSize()
+	kv.FlushAll() // scenario (b): total metadata loss
+	if n, _ := kv.DBSize(); n != 0 {
+		t.Fatal("flush failed")
+	}
+	if _, err := s.GetFile("ds", "class00/img00000.jpg"); err == nil {
+		t.Fatal("read succeeded with no metadata")
+	}
+
+	st, err := s.RecoverMetadata("ds", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ChunksScanned == 0 || st.ChunksSkipped != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.FilesLive != 80 {
+		t.Errorf("FilesLive = %d", st.FilesLive)
+	}
+	after, _ := kv.DBSize()
+	if after != before {
+		t.Errorf("recovered %d keys, originally %d", after, before)
+	}
+	for name, want := range files {
+		got, err := s.GetFile("ds", name)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("post-recovery read %q: %v", name, err)
+		}
+	}
+	rec, err := s.DatasetRecord("ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.FileCount != 80 || rec.TotalBytes != 80*256 {
+		t.Errorf("rebuilt record = %+v", rec)
+	}
+}
+
+func TestRecoveryFromTimestamp(t *testing.T) {
+	s, _, kv, _ := testStack()
+	// Two write generations with distinct ID timestamps.
+	sec := uint32(100)
+	gen := chunk.NewIDGeneratorAt([6]byte{9}, 1, func() uint32 { return sec })
+	writeFiles(t, s, gen, "ds", 20, 128, 1024)
+	sec = 200
+	b := chunk.NewBuilder(0, gen, s.nowNS)
+	b.Add("late/file1", []byte("recent-1"))
+	b.Add("late/file2", []byte("recent-2"))
+	_, enc, _ := b.Seal()
+	if _, err := s.Ingest("ds", enc); err != nil {
+		t.Fatal(err)
+	}
+
+	// Scenario (a): lose only the recent records.
+	for _, key := range []string{
+		meta.FileKey("ds", "late/file1"),
+		meta.FileKey("ds", "late/file2"),
+	} {
+		if _, err := kv.Del(key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.GetFile("ds", "late/file1"); err == nil {
+		t.Fatal("lost record still served")
+	}
+
+	st, err := s.RecoverMetadata("ds", 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ChunksScanned != 1 {
+		t.Errorf("scanned %d chunks, want 1 (only the recent one)", st.ChunksScanned)
+	}
+	if st.ChunksSkipped == 0 {
+		t.Error("no old chunks skipped")
+	}
+	got, err := s.GetFile("ds", "late/file1")
+	if err != nil || string(got) != "recent-1" {
+		t.Fatalf("recovered read = %q, %v", got, err)
+	}
+	// Old files were unaffected throughout.
+	if _, err := s.GetFile("ds", "class00/img00000.jpg"); err != nil {
+		t.Errorf("old file broken by partial recovery: %v", err)
+	}
+	rec, _ := s.DatasetRecord("ds")
+	if rec.FileCount != 22 {
+		t.Errorf("recounted FileCount = %d, want 22", rec.FileCount)
+	}
+}
+
+func TestRecoveryIgnoresForeignObjects(t *testing.T) {
+	s, obj, kv, gen := testStack()
+	writeFiles(t, s, gen, "ds", 10, 64, 512)
+	obj.Put("ds/not-a-chunk", []byte("junk"))
+	kv.FlushAll()
+	st, err := s.RecoverMetadata("ds", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FilesLive != 10 {
+		t.Errorf("FilesLive = %d", st.FilesLive)
+	}
+}
+
+func TestRecoveryEmptyDataset(t *testing.T) {
+	s, _, _, _ := testStack()
+	st, err := s.RecoverMetadata("empty", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ChunksScanned != 0 {
+		t.Errorf("scanned %d chunks in empty dataset", st.ChunksScanned)
+	}
+}
+
+func TestPurgeReclaimsHoles(t *testing.T) {
+	s, obj, _, gen := testStack()
+	files := writeFiles(t, s, gen, "ds", 40, 200, 1000)
+
+	// Delete every file of class03 and class07.
+	var deleted []string
+	for name := range files {
+		if name[:7] == "class03" || name[:7] == "class07" {
+			if err := s.DeleteFile("ds", name); err != nil {
+				t.Fatal(err)
+			}
+			deleted = append(deleted, name)
+		}
+	}
+	if len(deleted) != 8 {
+		t.Fatalf("deleted %d files", len(deleted))
+	}
+
+	objectsBefore := obj.Len()
+	st, err := s.Purge("ds", gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ChunksRewritten == 0 {
+		t.Fatal("purge rewrote nothing")
+	}
+	if st.BytesReclaimed != uint64(len(deleted)*200) {
+		t.Errorf("BytesReclaimed = %d, want %d", st.BytesReclaimed, len(deleted)*200)
+	}
+	// Live files intact.
+	for name, want := range files {
+		isDeleted := name[:7] == "class03" || name[:7] == "class07"
+		got, err := s.GetFile("ds", name)
+		if isDeleted {
+			if !errors.Is(err, ErrNoSuchFile) {
+				t.Fatalf("purged file %q: %v", name, err)
+			}
+			continue
+		}
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("live file %q after purge: %v", name, err)
+		}
+	}
+	// Accounting rebuilt.
+	rec, _ := s.DatasetRecord("ds")
+	if rec.FileCount != uint64(40-len(deleted)) {
+		t.Errorf("FileCount = %d", rec.FileCount)
+	}
+	// Purge should not grow the object count (holes merged).
+	if obj.Len() > objectsBefore {
+		t.Errorf("objects grew: %d -> %d", objectsBefore, obj.Len())
+	}
+}
+
+// TestPurgeMakesDeletesDurable: after a purge, even a total KV wipe and
+// rescan must not resurrect deleted files.
+func TestPurgeMakesDeletesDurable(t *testing.T) {
+	s, _, kv, gen := testStack()
+	writeFiles(t, s, gen, "ds", 20, 100, 500)
+	victim := "class02/img00002.jpg"
+	if err := s.DeleteFile("ds", victim); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Purge("ds", gen); err != nil {
+		t.Fatal(err)
+	}
+	kv.FlushAll()
+	if _, err := s.RecoverMetadata("ds", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetFile("ds", victim); !errors.Is(err, ErrNoSuchFile) {
+		t.Errorf("deleted file resurrected by recovery: %v", err)
+	}
+	rec, _ := s.DatasetRecord("ds")
+	if rec.FileCount != 19 {
+		t.Errorf("FileCount = %d", rec.FileCount)
+	}
+}
+
+func TestPurgeNoHolesIsNoop(t *testing.T) {
+	s, obj, _, gen := testStack()
+	writeFiles(t, s, gen, "ds", 10, 100, 500)
+	before := obj.Len()
+	st, err := s.Purge("ds", gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ChunksRewritten != 0 || obj.Len() != before {
+		t.Errorf("no-op purge changed state: %+v", st)
+	}
+}
+
+func TestDeleteDataset(t *testing.T) {
+	s, obj, kv, gen := testStack()
+	writeFiles(t, s, gen, "ds", 25, 64, 512)
+	writeFiles(t, s, gen, "other", 5, 64, 512)
+
+	if err := s.DeleteDataset("ds"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.DatasetRecord("ds"); !errors.Is(err, ErrNoSuchDataset) {
+		t.Errorf("dataset record survived: %v", err)
+	}
+	keys, _ := obj.List("ds/")
+	if len(keys) != 0 {
+		t.Errorf("%d chunk objects survived", len(keys))
+	}
+	// The other dataset is untouched.
+	if _, err := s.GetFile("other", "class00/img00000.jpg"); err != nil {
+		t.Errorf("other dataset damaged: %v", err)
+	}
+	n, _ := kv.DBSize()
+	if n == 0 {
+		t.Error("other dataset's metadata was wiped too")
+	}
+}

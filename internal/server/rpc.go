@@ -1,0 +1,277 @@
+package server
+
+import (
+	"time"
+
+	"diesel/internal/chunk"
+	"diesel/internal/kvstore"
+	"diesel/internal/objstore"
+	"diesel/internal/wire"
+)
+
+// RPC method names of the DIESEL server protocol.
+const (
+	MethodIngest        = "dsl.ingest"
+	MethodGet           = "dsl.get"
+	MethodGetBatch      = "dsl.getBatch"
+	MethodGetChunk      = "dsl.getChunk"
+	MethodStat          = "dsl.stat"
+	MethodList          = "dsl.ls"
+	MethodDatasetRecord = "dsl.dsrec"
+	MethodSnapshot      = "dsl.snapshot"
+	MethodDelete        = "dsl.delete"
+	MethodPurge         = "dsl.purge"
+	MethodDeleteDataset = "dsl.deleteDataset"
+	MethodRecover       = "dsl.recover"
+	MethodChunkIDs      = "dsl.chunkIDs"
+)
+
+// RPCServer exposes a Server over the wire protocol: the process a DLT
+// cluster admin deploys (cmd/diesel-server).
+type RPCServer struct {
+	S    *Server
+	rpc  *wire.Server
+	addr string
+	gen  *chunk.IDGenerator
+}
+
+// NewRPC wraps s and binds it to addr.
+func NewRPC(s *Server, addr string) (*RPCServer, error) {
+	r := &RPCServer{
+		S:   s,
+		rpc: wire.NewServer(),
+		gen: chunk.NewIDGenerator(func() uint32 { return uint32(time.Now().Unix()) }),
+	}
+	r.register()
+	bound, err := r.rpc.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	r.addr = bound
+	return r, nil
+}
+
+// Addr returns the bound address.
+func (r *RPCServer) Addr() string { return r.addr }
+
+// Requests returns the number of RPCs served.
+func (r *RPCServer) Requests() uint64 { return r.rpc.Stats.Requests.Load() }
+
+// Close stops serving.
+func (r *RPCServer) Close() error { return r.rpc.Close() }
+
+// NewLocalStack builds a complete single-process DIESEL server over an
+// in-memory KV backend and object store — the fixture tests, benchmarks
+// and the quickstart example share.
+func NewLocalStack() *Server {
+	return New(kvstore.NewLocal(), objstore.NewMemory(), func() int64 { return time.Now().UnixNano() })
+}
+
+func (r *RPCServer) register() {
+	r.rpc.Handle(MethodIngest, func(p []byte) ([]byte, error) {
+		d := wire.NewDecoder(p)
+		dataset := d.String()
+		blob := d.Bytes32()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		h, err := r.S.Ingest(dataset, append([]byte(nil), blob...))
+		if err != nil {
+			return nil, err
+		}
+		e := wire.NewEncoder(32)
+		e.String(h.ID.String())
+		e.Uint32(uint32(len(h.Entries)))
+		return e.Bytes(), nil
+	})
+
+	r.rpc.Handle(MethodGet, func(p []byte) ([]byte, error) {
+		d := wire.NewDecoder(p)
+		dataset := d.String()
+		path := d.String()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		b, err := r.S.GetFile(dataset, path)
+		if err != nil {
+			return nil, err
+		}
+		e := wire.NewEncoder(len(b) + 8)
+		e.Bytes32(b)
+		return e.Bytes(), nil
+	})
+
+	r.rpc.Handle(MethodGetBatch, func(p []byte) ([]byte, error) {
+		d := wire.NewDecoder(p)
+		dataset := d.String()
+		paths := d.StringSlice()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		files, err := r.S.GetFiles(dataset, paths)
+		if err != nil {
+			return nil, err
+		}
+		var total int
+		for _, f := range files {
+			total += len(f) + 8
+		}
+		e := wire.NewEncoder(total + 8)
+		e.Uint32(uint32(len(files)))
+		for _, f := range files {
+			e.Bool(f != nil)
+			e.Bytes32(f)
+		}
+		return e.Bytes(), nil
+	})
+
+	r.rpc.Handle(MethodGetChunk, func(p []byte) ([]byte, error) {
+		d := wire.NewDecoder(p)
+		dataset := d.String()
+		id := d.String()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		b, err := r.S.GetChunk(dataset, id)
+		if err != nil {
+			return nil, err
+		}
+		e := wire.NewEncoder(len(b) + 8)
+		e.Bytes32(b)
+		return e.Bytes(), nil
+	})
+
+	r.rpc.Handle(MethodStat, func(p []byte) ([]byte, error) {
+		d := wire.NewDecoder(p)
+		dataset := d.String()
+		path := d.String()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		fr, err := r.S.Stat(dataset, path)
+		if err != nil {
+			return nil, err
+		}
+		return fr.Encode(), nil
+	})
+
+	r.rpc.Handle(MethodList, func(p []byte) ([]byte, error) {
+		d := wire.NewDecoder(p)
+		dataset := d.String()
+		dir := d.String()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		ents, err := r.S.List(dataset, dir)
+		if err != nil {
+			return nil, err
+		}
+		e := wire.NewEncoder(256)
+		e.Uint32(uint32(len(ents)))
+		for _, ent := range ents {
+			e.String(ent.Name)
+			e.Bool(ent.IsDir)
+			e.Uint64(ent.Size)
+		}
+		return e.Bytes(), nil
+	})
+
+	r.rpc.Handle(MethodDatasetRecord, func(p []byte) ([]byte, error) {
+		d := wire.NewDecoder(p)
+		dataset := d.String()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		rec, err := r.S.DatasetRecord(dataset)
+		if err != nil {
+			return nil, err
+		}
+		return rec.Encode(), nil
+	})
+
+	r.rpc.Handle(MethodSnapshot, func(p []byte) ([]byte, error) {
+		d := wire.NewDecoder(p)
+		dataset := d.String()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		snap, err := r.S.BuildSnapshot(dataset)
+		if err != nil {
+			return nil, err
+		}
+		return snap.Encode(), nil
+	})
+
+	r.rpc.Handle(MethodDelete, func(p []byte) ([]byte, error) {
+		d := wire.NewDecoder(p)
+		dataset := d.String()
+		path := d.String()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		return nil, r.S.DeleteFile(dataset, path)
+	})
+
+	r.rpc.Handle(MethodPurge, func(p []byte) ([]byte, error) {
+		d := wire.NewDecoder(p)
+		dataset := d.String()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		st, err := r.S.Purge(dataset, r.gen)
+		if err != nil {
+			return nil, err
+		}
+		e := wire.NewEncoder(32)
+		e.Uint64(uint64(st.ChunksRewritten))
+		e.Uint64(st.BytesReclaimed)
+		e.Uint64(uint64(st.FilesCarried))
+		return e.Bytes(), nil
+	})
+
+	r.rpc.Handle(MethodDeleteDataset, func(p []byte) ([]byte, error) {
+		d := wire.NewDecoder(p)
+		dataset := d.String()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		return nil, r.S.DeleteDataset(dataset)
+	})
+
+	r.rpc.Handle(MethodRecover, func(p []byte) ([]byte, error) {
+		d := wire.NewDecoder(p)
+		dataset := d.String()
+		fromSec := d.Uint32()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		st, err := r.S.RecoverMetadata(dataset, fromSec)
+		if err != nil {
+			return nil, err
+		}
+		e := wire.NewEncoder(32)
+		e.Uint64(uint64(st.ChunksScanned))
+		e.Uint64(uint64(st.ChunksSkipped))
+		e.Uint64(uint64(st.PairsWritten))
+		return e.Bytes(), nil
+	})
+
+	r.rpc.Handle(MethodChunkIDs, func(p []byte) ([]byte, error) {
+		d := wire.NewDecoder(p)
+		dataset := d.String()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		snap, err := r.S.BuildSnapshot(dataset)
+		if err != nil {
+			return nil, err
+		}
+		e := wire.NewEncoder(len(snap.Chunks) * 32)
+		e.Uint32(uint32(len(snap.Chunks)))
+		for _, c := range snap.Chunks {
+			e.String(c.ID.String())
+			e.Uint64(c.Size)
+		}
+		return e.Bytes(), nil
+	})
+}

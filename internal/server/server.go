@@ -1,0 +1,344 @@
+// Package server implements the DIESEL server of Figure 2: the component
+// that hides the object storage and the key-value metadata database behind
+// one interface.
+//
+// On the write path it ingests client-built chunks, extracts the metadata
+// encoded in each chunk header into key-value pairs, and stores the chunk
+// in object storage (Figure 3). On the read path it answers single-file
+// gets, batched reads through the request executor (which sorts and merges
+// small file requests into chunk-wise operations), metadata queries, and
+// snapshot downloads. It also implements the §4.1.2 fault-recovery paths
+// that rebuild the metadata database by scanning self-contained chunks,
+// and the housekeeping functions (purge, dataset deletion).
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"diesel/internal/chunk"
+	"diesel/internal/kvstore"
+	"diesel/internal/meta"
+	"diesel/internal/objstore"
+)
+
+// Backend is the key-value database interface the server stores metadata
+// in. Both kvstore.Cluster (networked) and kvstore.Local (in-process)
+// satisfy it.
+type Backend interface {
+	Set(key string, value []byte) error
+	Get(key string) ([]byte, error)
+	MSet(pairs []kvstore.KV) error
+	MGet(keys []string) ([][]byte, error)
+	Del(key string) (bool, error)
+	ScanPrefix(prefix string) ([]kvstore.KV, error)
+	DBSize() (uint64, error)
+}
+
+// Errors returned by server operations.
+var (
+	ErrNoSuchDataset = errors.New("server: no such dataset")
+	ErrNoSuchFile    = errors.New("server: no such file")
+)
+
+// Server is one DIESEL server instance. Multiple servers may share the
+// same Backend and object store (the paper runs 1, 3 or 5); the server is
+// stateless apart from a header-length cache, so any instance can serve
+// any request.
+type Server struct {
+	kv      Backend
+	objects objstore.Store
+	nowNS   func() int64
+
+	dsMu sync.Mutex // serialises read-modify-write of dataset records
+
+	hdrMu    sync.RWMutex
+	hdrCache map[string]uint32 // object key → header length
+
+	// warming coalesces background dataset warmers (see WarmDatasetAsync).
+	warming sync.Map
+
+	// Exec holds request-executor tunables and statistics.
+	Exec ExecutorConfig
+}
+
+// New builds a server over the given metadata backend and object store.
+func New(kv Backend, objects objstore.Store, nowNS func() int64) *Server {
+	return &Server{
+		kv:       kv,
+		objects:  objects,
+		nowNS:    nowNS,
+		hdrCache: make(map[string]uint32),
+		Exec:     DefaultExecutorConfig(),
+	}
+}
+
+// ObjectKey returns the object-store key a chunk is stored under: the
+// dataset namespace plus the order-preserving printable chunk ID, so a
+// prefix listing returns chunks in write order.
+func ObjectKey(dataset, chunkID string) string { return dataset + "/" + chunkID }
+
+// Ingest stores one encoded chunk: the chunk goes to object storage and
+// the key-value pairs derived from its header go to the metadata database.
+// This is the server side of the write flow in Figure 3.
+func (s *Server) Ingest(dataset string, encoded []byte) (*chunk.Header, error) {
+	if err := meta.ValidDataset(dataset); err != nil {
+		return nil, err
+	}
+	h, _, err := chunk.ParseHeader(encoded)
+	if err != nil {
+		return nil, fmt.Errorf("server: ingest rejected: %w", err)
+	}
+	for _, e := range h.Entries {
+		if err := meta.ValidFilePath(e.Name); err != nil {
+			return nil, fmt.Errorf("server: ingest rejected: %w", err)
+		}
+	}
+	idStr := h.ID.String()
+	// Chunk IDs are globally unique by construction; an existing record
+	// under the same ID means a client is misconfigured (colliding ID
+	// fields) and proceeding would silently overwrite another chunk's
+	// data. Fail loudly instead.
+	if _, err := s.kv.Get(meta.ChunkKey(dataset, idStr)); err == nil {
+		return nil, fmt.Errorf("server: chunk ID collision on %s/%s: refusing to overwrite", dataset, idStr)
+	}
+	if err := s.objects.Put(ObjectKey(dataset, idStr), encoded); err != nil {
+		return nil, fmt.Errorf("server: store chunk: %w", err)
+	}
+	pairs := meta.PairsForChunk(dataset, h, uint64(len(encoded)))
+	if err := s.kv.MSet(toKVStore(pairs)); err != nil {
+		return nil, fmt.Errorf("server: store metadata: %w", err)
+	}
+	live := uint64(len(h.Entries) - h.Deleted.Count())
+	if err := s.bumpDataset(dataset, func(r *meta.DatasetRecord) {
+		r.ChunkCount++
+		r.FileCount += live
+		r.TotalBytes += h.LiveBytes()
+	}); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// bumpDataset applies fn to the dataset record under the server's record
+// mutex and stamps the update time.
+func (s *Server) bumpDataset(dataset string, fn func(*meta.DatasetRecord)) error {
+	s.dsMu.Lock()
+	defer s.dsMu.Unlock()
+	var rec meta.DatasetRecord
+	if b, err := s.kv.Get(meta.DatasetKey(dataset)); err == nil {
+		if rec, err = meta.DecodeDatasetRecord(b); err != nil {
+			return err
+		}
+	}
+	fn(&rec)
+	rec.UpdatedNS = s.nowNS()
+	return s.kv.Set(meta.DatasetKey(dataset), rec.Encode())
+}
+
+// DatasetRecord returns the summary record of a dataset.
+func (s *Server) DatasetRecord(dataset string) (meta.DatasetRecord, error) {
+	b, err := s.kv.Get(meta.DatasetKey(dataset))
+	if errors.Is(err, kvstore.ErrNotFound) {
+		return meta.DatasetRecord{}, fmt.Errorf("%w: %q", ErrNoSuchDataset, dataset)
+	}
+	if err != nil {
+		return meta.DatasetRecord{}, err
+	}
+	return meta.DecodeDatasetRecord(b)
+}
+
+// Stat returns the metadata record of one file.
+func (s *Server) Stat(dataset, path string) (meta.FileRecord, error) {
+	b, err := s.kv.Get(meta.FileKey(dataset, path))
+	if errors.Is(err, kvstore.ErrNotFound) {
+		return meta.FileRecord{}, fmt.Errorf("%w: %s/%s", ErrNoSuchFile, dataset, path)
+	}
+	if err != nil {
+		return meta.FileRecord{}, err
+	}
+	return meta.DecodeFileRecord(b)
+}
+
+// headerLen returns the header length of a chunk, consulting the chunk
+// record and caching the answer (headers are immutable once written; the
+// purge rewrites produce new chunk IDs).
+func (s *Server) headerLen(dataset, chunkID string) (uint32, error) {
+	key := ObjectKey(dataset, chunkID)
+	s.hdrMu.RLock()
+	hl, ok := s.hdrCache[key]
+	s.hdrMu.RUnlock()
+	if ok {
+		return hl, nil
+	}
+	b, err := s.kv.Get(meta.ChunkKey(dataset, chunkID))
+	if err != nil {
+		return 0, fmt.Errorf("server: chunk record %s: %w", chunkID, err)
+	}
+	cr, err := meta.DecodeChunkRecord(b)
+	if err != nil {
+		return 0, err
+	}
+	s.hdrMu.Lock()
+	s.hdrCache[key] = cr.HeaderLen
+	s.hdrMu.Unlock()
+	return cr.HeaderLen, nil
+}
+
+// GetFile reads one file's content via a metadata lookup plus an
+// object-store range read.
+func (s *Server) GetFile(dataset, path string) ([]byte, error) {
+	fr, err := s.Stat(dataset, path)
+	if err != nil {
+		return nil, err
+	}
+	idStr := fr.ChunkID.String()
+	hl, err := s.headerLen(dataset, idStr)
+	if err != nil {
+		return nil, err
+	}
+	return s.objects.GetRange(ObjectKey(dataset, idStr), int64(hl)+int64(fr.Offset), int64(fr.Length))
+}
+
+// GetChunk returns one encoded chunk in full — the operation the
+// task-grained distributed cache loads datasets with.
+func (s *Server) GetChunk(dataset, chunkID string) ([]byte, error) {
+	return s.objects.Get(ObjectKey(dataset, chunkID))
+}
+
+// ListEntry is one row of a directory listing.
+type ListEntry struct {
+	Name  string
+	IsDir bool
+	Size  uint64
+}
+
+// List performs readdir against the metadata database: two prefix scans
+// (child directories and files), exactly as §4.1.1 describes.
+func (s *Server) List(dataset, dir string) ([]ListEntry, error) {
+	dirs, err := s.kv.ScanPrefix(meta.DirScanPrefix(dataset, dir))
+	if err != nil {
+		return nil, err
+	}
+	files, err := s.kv.ScanPrefix(meta.FileScanPrefix(dataset, dir))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ListEntry, 0, len(dirs)+len(files))
+	for _, kv := range dirs {
+		out = append(out, ListEntry{Name: meta.BaseFromScanKey(kv.Key), IsDir: true})
+	}
+	for _, kv := range files {
+		fr, err := meta.DecodeFileRecord(kv.Value)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ListEntry{Name: meta.BaseFromScanKey(kv.Key), Size: fr.Length})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].IsDir != out[j].IsDir {
+			return out[i].IsDir
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out, nil
+}
+
+// BuildSnapshot materialises the dataset's current metadata into a
+// snapshot clients can download (§4.1.3).
+func (s *Server) BuildSnapshot(dataset string) (*meta.Snapshot, error) {
+	rec, err := s.DatasetRecord(dataset)
+	if err != nil {
+		return nil, err
+	}
+	b := meta.NewSnapshotBuilder(dataset, rec.UpdatedNS)
+
+	chunks, err := s.kv.ScanPrefix(meta.ChunkScanPrefix(dataset))
+	if err != nil {
+		return nil, err
+	}
+	idx := make(map[chunk.ID]int, len(chunks))
+	for _, kv := range chunks {
+		idStr := kv.Key[len(meta.ChunkScanPrefix(dataset)):]
+		id, err := chunk.ParseID(idStr)
+		if err != nil {
+			return nil, fmt.Errorf("server: bad chunk key %q: %w", kv.Key, err)
+		}
+		cr, err := meta.DecodeChunkRecord(kv.Value)
+		if err != nil {
+			return nil, err
+		}
+		idx[id] = b.AddChunk(id, cr.Size, cr.HeaderLen)
+	}
+
+	files, err := s.kv.ScanPrefix("f|" + dataset + "|")
+	if err != nil {
+		return nil, err
+	}
+	for _, kv := range files {
+		fr, err := meta.DecodeFileRecord(kv.Value)
+		if err != nil {
+			return nil, err
+		}
+		ci, ok := idx[fr.ChunkID]
+		if !ok {
+			return nil, fmt.Errorf("server: file %q references unknown chunk %s", fr.FullName, fr.ChunkID)
+		}
+		b.AddFile(fr.FullName, meta.FileMeta{
+			ChunkIdx: ci, Index: fr.Index, Offset: fr.Offset, Length: fr.Length,
+		})
+	}
+	return b.Build(), nil
+}
+
+// DeleteFile removes one file: its metadata record is deleted and its bit
+// is set in the owning chunk's deletion bitmap. The bytes stay in the
+// chunk until Purge rewrites it (§4.1.1's delete-then-rewrite model).
+func (s *Server) DeleteFile(dataset, path string) error {
+	fr, err := s.Stat(dataset, path)
+	if err != nil {
+		return err
+	}
+	idStr := fr.ChunkID.String()
+	b, err := s.kv.Get(meta.ChunkKey(dataset, idStr))
+	if err != nil {
+		return err
+	}
+	cr, err := meta.DecodeChunkRecord(b)
+	if err != nil {
+		return err
+	}
+	if !cr.Deleted.Get(int(fr.Index)) {
+		cr.Deleted.Set(int(fr.Index))
+		cr.NumDeleted++
+		cr.UpdatedNS = s.nowNS()
+		if err := s.kv.Set(meta.ChunkKey(dataset, idStr), cr.Encode()); err != nil {
+			return err
+		}
+	}
+	if _, err := s.kv.Del(meta.FileKey(dataset, path)); err != nil {
+		return err
+	}
+	return s.bumpDataset(dataset, func(r *meta.DatasetRecord) {
+		if r.FileCount > 0 {
+			r.FileCount--
+		}
+		if r.TotalBytes >= fr.Length {
+			r.TotalBytes -= fr.Length
+		}
+	})
+}
+
+// KVSize reports the metadata database's total key count, used by tests
+// and experiments.
+func (s *Server) KVSize() (uint64, error) { return s.kv.DBSize() }
+
+func toKVStore(pairs []meta.KV) []kvstore.KV {
+	out := make([]kvstore.KV, len(pairs))
+	for i, p := range pairs {
+		out[i] = kvstore.KV{Key: p.Key, Value: p.Value}
+	}
+	return out
+}

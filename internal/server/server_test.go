@@ -1,0 +1,355 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"diesel/internal/chunk"
+	"diesel/internal/kvstore"
+	"diesel/internal/objstore"
+)
+
+// testStack is an in-process server over memory KV and object stores with
+// a controllable clock.
+func testStack() (*Server, *objstore.Memory, *kvstore.Local, *chunk.IDGenerator) {
+	obj := objstore.NewMemory()
+	kv := kvstore.NewLocal()
+	var now int64 = 1_000_000
+	s := New(kv, obj, func() int64 { now++; return now })
+	gen := chunk.NewIDGeneratorAt([6]byte{1, 2, 3, 4, 5, 6}, 42, func() uint32 { return uint32(now / 1000) })
+	return s, obj, kv, gen
+}
+
+// writeFiles packs files into chunks of targetSize and ingests them,
+// returning the content map.
+func writeFiles(t testing.TB, s *Server, gen *chunk.IDGenerator, dataset string, n, fileSize, targetSize int) map[string][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	b := chunk.NewBuilder(targetSize, gen, s.nowNS)
+	files := make(map[string][]byte, n)
+	for i := range n {
+		name := fmt.Sprintf("class%02d/img%05d.jpg", i%10, i)
+		data := make([]byte, fileSize)
+		rng.Read(data)
+		files[name] = data
+		full, err := b.Add(name, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full {
+			_, enc, err := b.Seal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Ingest(dataset, enc); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if b.Count() > 0 {
+		_, enc, err := b.Seal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Ingest(dataset, enc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return files
+}
+
+func TestIngestAndGetFile(t *testing.T) {
+	s, obj, _, gen := testStack()
+	files := writeFiles(t, s, gen, "ds", 100, 512, 4096)
+
+	if obj.Len() < 10 {
+		t.Errorf("expected many chunks, got %d objects", obj.Len())
+	}
+	for name, want := range files {
+		got, err := s.GetFile("ds", name)
+		if err != nil {
+			t.Fatalf("GetFile(%q): %v", name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("GetFile(%q): content mismatch", name)
+		}
+	}
+	if _, err := s.GetFile("ds", "missing"); !errors.Is(err, ErrNoSuchFile) {
+		t.Errorf("missing file: %v", err)
+	}
+	if _, err := s.GetFile("nods", "x"); !errors.Is(err, ErrNoSuchFile) {
+		t.Errorf("missing dataset: %v", err)
+	}
+}
+
+func TestIngestRejectsCorruptChunk(t *testing.T) {
+	s, _, _, gen := testStack()
+	b := chunk.NewBuilder(0, gen, s.nowNS)
+	b.Add("f", []byte("data"))
+	_, enc, _ := b.Seal()
+	enc[30] ^= 0xFF
+	if _, err := s.Ingest("ds", enc); err == nil {
+		t.Fatal("corrupt chunk accepted")
+	}
+	if _, err := s.DatasetRecord("ds"); !errors.Is(err, ErrNoSuchDataset) {
+		t.Error("rejected ingest created a dataset record")
+	}
+}
+
+func TestDatasetRecordAccounting(t *testing.T) {
+	s, _, _, gen := testStack()
+	writeFiles(t, s, gen, "ds", 50, 100, 1000)
+	rec, err := s.DatasetRecord("ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.FileCount != 50 {
+		t.Errorf("FileCount = %d", rec.FileCount)
+	}
+	if rec.TotalBytes != 50*100 {
+		t.Errorf("TotalBytes = %d", rec.TotalBytes)
+	}
+	if rec.ChunkCount < 5 {
+		t.Errorf("ChunkCount = %d", rec.ChunkCount)
+	}
+	if rec.UpdatedNS == 0 {
+		t.Error("UpdatedNS not stamped")
+	}
+}
+
+func TestStat(t *testing.T) {
+	s, _, _, gen := testStack()
+	writeFiles(t, s, gen, "ds", 20, 256, 2048)
+	fr, err := s.Stat("ds", "class03/img00003.jpg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Length != 256 || fr.FullName != "class03/img00003.jpg" {
+		t.Errorf("Stat = %+v", fr)
+	}
+}
+
+func TestList(t *testing.T) {
+	s, _, _, gen := testStack()
+	writeFiles(t, s, gen, "ds", 20, 64, 4096)
+	root, err := s.List("ds", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(root) != 10 {
+		t.Fatalf("root has %d entries, want 10 class dirs: %+v", len(root), root)
+	}
+	for _, e := range root {
+		if !e.IsDir {
+			t.Errorf("unexpected file %q at root", e.Name)
+		}
+	}
+	sub, err := s.List("ds", "class04")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) != 2 { // img00004, img00014
+		t.Fatalf("class04 = %+v", sub)
+	}
+	if sub[0].IsDir || sub[0].Size != 64 {
+		t.Errorf("file entry = %+v", sub[0])
+	}
+}
+
+func TestGetFilesBatchExecutor(t *testing.T) {
+	s, _, _, gen := testStack()
+	files := writeFiles(t, s, gen, "ds", 200, 512, 8192)
+
+	var paths []string
+	for name := range files {
+		paths = append(paths, name)
+	}
+	paths = append(paths, "missing/file.jpg")
+
+	got, err := s.GetFiles("ds", paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range paths {
+		if p == "missing/file.jpg" {
+			if got[i] != nil {
+				t.Error("missing file returned data")
+			}
+			continue
+		}
+		if !bytes.Equal(got[i], files[p]) {
+			t.Fatalf("batch content mismatch at %q", p)
+		}
+	}
+	// Full-dataset batch must be dominated by chunk reads, not ranges.
+	cr := s.Exec.Stats.ChunkReads.Load()
+	rr := s.Exec.Stats.RangeReads.Load()
+	if cr == 0 {
+		t.Error("executor never merged into chunk reads")
+	}
+	if rr > cr {
+		t.Errorf("executor used %d range reads vs %d chunk reads on a full scan", rr, cr)
+	}
+}
+
+func TestExecutorMergeOffUsesRangeReads(t *testing.T) {
+	s, _, _, gen := testStack()
+	files := writeFiles(t, s, gen, "ds", 50, 512, 8192)
+	s.Exec.Merge = false
+	var paths []string
+	for name := range files {
+		paths = append(paths, name)
+	}
+	got, err := s.GetFiles("ds", paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range paths {
+		if !bytes.Equal(got[i], files[p]) {
+			t.Fatalf("content mismatch at %q", p)
+		}
+	}
+	if s.Exec.Stats.ChunkReads.Load() != 0 {
+		t.Error("merge disabled but chunk reads happened")
+	}
+	if s.Exec.Stats.RangeReads.Load() != 50 {
+		t.Errorf("RangeReads = %d, want 50", s.Exec.Stats.RangeReads.Load())
+	}
+}
+
+func TestExecutorSmallBatchUsesRangeReads(t *testing.T) {
+	s, _, _, gen := testStack()
+	// Large chunks, tiny files: one file per chunk group stays a range read.
+	files := writeFiles(t, s, gen, "ds", 100, 100, 1<<20)
+	var one []string
+	for name := range files {
+		one = append(one, name)
+		break
+	}
+	if _, err := s.GetFiles("ds", one); err != nil {
+		t.Fatal(err)
+	}
+	if s.Exec.Stats.ChunkReads.Load() != 0 {
+		t.Error("single small file triggered a whole-chunk read")
+	}
+}
+
+func TestGetFilesEmpty(t *testing.T) {
+	s, _, _, _ := testStack()
+	out, err := s.GetFiles("ds", nil)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: %v, %v", out, err)
+	}
+}
+
+func TestBuildSnapshotMatchesContent(t *testing.T) {
+	s, _, _, gen := testStack()
+	files := writeFiles(t, s, gen, "ds", 120, 256, 4096)
+	snap, err := s.BuildSnapshot("ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.NumFiles() != len(files) {
+		t.Fatalf("snapshot has %d files, want %d", snap.NumFiles(), len(files))
+	}
+	rec, _ := s.DatasetRecord("ds")
+	if err := snap.Validate(rec); err != nil {
+		t.Fatalf("fresh snapshot stale: %v", err)
+	}
+	// Every file is locatable and its chunk+offset resolves to the bytes.
+	for name, want := range files {
+		m, err := snap.Stat(name)
+		if err != nil {
+			t.Fatalf("snapshot Stat(%q): %v", name, err)
+		}
+		cm := snap.Chunks[m.ChunkIdx]
+		blob, err := s.GetChunk("ds", cm.ID.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := uint64(cm.HeaderLen) + m.Offset
+		if !bytes.Equal(blob[start:start+m.Length], want) {
+			t.Fatalf("snapshot-located bytes mismatch for %q", name)
+		}
+	}
+}
+
+func TestDeleteFile(t *testing.T) {
+	s, _, _, gen := testStack()
+	files := writeFiles(t, s, gen, "ds", 30, 128, 2048)
+	victim := "class05/img00005.jpg"
+	if err := s.DeleteFile("ds", victim); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetFile("ds", victim); !errors.Is(err, ErrNoSuchFile) {
+		t.Errorf("deleted file readable: %v", err)
+	}
+	rec, _ := s.DatasetRecord("ds")
+	if rec.FileCount != 29 {
+		t.Errorf("FileCount = %d", rec.FileCount)
+	}
+	if rec.TotalBytes != uint64(29*128) {
+		t.Errorf("TotalBytes = %d", rec.TotalBytes)
+	}
+	// Other files still readable.
+	for name, want := range files {
+		if name == victim {
+			continue
+		}
+		got, err := s.GetFile("ds", name)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("collateral damage on %q: %v", name, err)
+		}
+	}
+	// Double delete fails cleanly.
+	if err := s.DeleteFile("ds", victim); !errors.Is(err, ErrNoSuchFile) {
+		t.Errorf("double delete: %v", err)
+	}
+}
+
+func TestUpdateFileViaDeleteAndRewrite(t *testing.T) {
+	s, _, _, gen := testStack()
+	writeFiles(t, s, gen, "ds", 10, 64, 512)
+	name := "class01/img00001.jpg"
+	if err := s.DeleteFile("ds", name); err != nil {
+		t.Fatal(err)
+	}
+	b := chunk.NewBuilder(0, gen, s.nowNS)
+	b.Add(name, []byte("new content"))
+	_, enc, _ := b.Seal()
+	if _, err := s.Ingest("ds", enc); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetFile("ds", name)
+	if err != nil || string(got) != "new content" {
+		t.Fatalf("updated file = %q, %v", got, err)
+	}
+}
+
+func TestIngestRejectsChunkIDCollision(t *testing.T) {
+	s, _, _, gen := testStack()
+	b := chunk.NewBuilder(0, gen, s.nowNS)
+	b.Add("first", []byte("original"))
+	h, enc, _ := b.Seal()
+	if _, err := s.Ingest("ds", enc); err != nil {
+		t.Fatal(err)
+	}
+	// A second chunk reusing the same ID (misconfigured client) must be
+	// rejected, not silently overwrite the first chunk's data.
+	b2 := chunk.NewBuilder(0, chunk.NewIDGeneratorAt([6]byte{1, 2, 3, 4, 5, 6}, 42, func() uint32 { return h.ID.Timestamp() }), s.nowNS)
+	b2.Add("second", []byte("impostor"))
+	h2, enc2, _ := b2.Seal()
+	if h2.ID != h.ID {
+		t.Skip("generator did not produce a colliding ID in this configuration")
+	}
+	if _, err := s.Ingest("ds", enc2); err == nil {
+		t.Fatal("colliding ingest accepted")
+	}
+	got, err := s.GetFile("ds", "first")
+	if err != nil || string(got) != "original" {
+		t.Fatalf("original chunk damaged: %q, %v", got, err)
+	}
+}

@@ -1,0 +1,47 @@
+package server
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"diesel/internal/meta"
+)
+
+// WarmDataset promotes every chunk of a dataset into the object store's
+// fast tier by reading them once — the Figure 4 behaviour: "if a cache
+// miss occurs on the server-side, the server will start to cache the
+// dataset in the background". With a non-tiered store it is a no-op read
+// sweep. It returns the number of chunks touched.
+//
+// Call it synchronously (tests, admin tooling) or via WarmDatasetAsync.
+func (s *Server) WarmDataset(dataset string) (int, error) {
+	recs, err := s.kv.ScanPrefix(meta.ChunkScanPrefix(dataset))
+	if err != nil {
+		return 0, err
+	}
+	warmed := 0
+	for _, kv := range recs {
+		idStr := kv.Key[len(meta.ChunkScanPrefix(dataset)):]
+		if _, err := s.objects.Get(ObjectKey(dataset, idStr)); err != nil {
+			return warmed, fmt.Errorf("server: warm %s: %w", idStr, err)
+		}
+		warmed++
+	}
+	return warmed, nil
+}
+
+// WarmDatasetAsync starts WarmDataset in the background, coalescing
+// concurrent requests for the same dataset; it reports whether a new
+// warmer was started.
+func (s *Server) WarmDatasetAsync(dataset string) bool {
+	v, _ := s.warming.LoadOrStore(dataset, &atomic.Bool{})
+	running := v.(*atomic.Bool)
+	if !running.CompareAndSwap(false, true) {
+		return false
+	}
+	go func() {
+		defer running.Store(false)
+		s.WarmDataset(dataset)
+	}()
+	return true
+}

@@ -1,0 +1,137 @@
+// Package shuffle implements the epoch file-order generators of §4.3:
+//
+//   - Dataset: the conventional full shuffle over all file names, the
+//     baseline every training framework applies between epochs.
+//   - ChunkWise: DIESEL's chunk-wise shuffle (Figure 8). Chunk IDs are
+//     shuffled, the shuffled chunk list is split into groups of G chunks,
+//     and file order is randomised within each group. Reads issued in the
+//     resulting order touch at most G chunks at a time, so they convert
+//     into large sequential chunk reads and need only ~G chunks of cache
+//     memory, while the order remains random enough that model accuracy
+//     and convergence are unaffected (Figure 13).
+//
+// Both generators are deterministic in their seed, so distributed workers
+// that share a seed derive identical epoch orders without communication.
+package shuffle
+
+import (
+	"math/rand"
+
+	"diesel/internal/meta"
+)
+
+// Dataset returns a full random permutation of all file paths in the
+// snapshot — the shuffle-over-dataset baseline.
+func Dataset(snap *meta.Snapshot, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	n := snap.NumFiles()
+	idx := rng.Perm(n)
+	out := make([]string, n)
+	for i, f := range idx {
+		out[i] = snap.FileName(f)
+	}
+	return out
+}
+
+// GroupSpan describes one chunk group inside a Plan: the half-open range
+// of positions [Start, End) in the file order, and the snapshot chunk
+// indices whose files fill that range.
+type GroupSpan struct {
+	Start, End int
+	Chunks     []int32
+}
+
+// Plan is a chunk-wise shuffled epoch order with its group structure
+// exposed, so caches can prefetch exactly the chunks of the group being
+// consumed and evict finished groups (the small-memory-footprint property
+// of §4.3).
+type Plan struct {
+	Files  []int32 // snapshot file indices in read order
+	Groups []GroupSpan
+}
+
+// NumFiles returns the number of files in the plan.
+func (p *Plan) NumFiles() int { return len(p.Files) }
+
+// GroupOf returns the index of the group containing position pos.
+func (p *Plan) GroupOf(pos int) int {
+	lo, hi := 0, len(p.Groups)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case pos < p.Groups[mid].Start:
+			hi = mid
+		case pos >= p.Groups[mid].End:
+			lo = mid + 1
+		default:
+			return mid
+		}
+	}
+	return -1
+}
+
+// ChunkWisePlan builds a chunk-wise shuffled order (Figure 8):
+//
+//  1. shuffle the dataset's chunk indices,
+//  2. split the shuffled chunk list into groups of groupSize,
+//  3. collect each group's files and shuffle them within the group,
+//  4. concatenate the groups.
+//
+// groupSize <= 0 defaults to 1. Chunks with no files are skipped.
+func ChunkWisePlan(snap *meta.Snapshot, seed int64, groupSize int) *Plan {
+	if groupSize <= 0 {
+		groupSize = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	nChunks := len(snap.Chunks)
+	order := rng.Perm(nChunks)
+
+	p := &Plan{Files: make([]int32, 0, snap.NumFiles())}
+	for g := 0; g < nChunks; g += groupSize {
+		hi := min(g+groupSize, nChunks)
+		span := GroupSpan{Start: len(p.Files)}
+		for _, ci := range order[g:hi] {
+			files := snap.FilesInChunk(ci)
+			if len(files) == 0 {
+				continue
+			}
+			span.Chunks = append(span.Chunks, int32(ci))
+			p.Files = append(p.Files, files...)
+		}
+		span.End = len(p.Files)
+		if span.End == span.Start {
+			continue // group of empty chunks
+		}
+		// Shuffle within the group only.
+		grp := p.Files[span.Start:span.End]
+		rng.Shuffle(len(grp), func(i, j int) { grp[i], grp[j] = grp[j], grp[i] })
+		p.Groups = append(p.Groups, span)
+	}
+	return p
+}
+
+// ChunkWise returns the chunk-wise shuffled epoch order as file paths —
+// the list DL_shuffle hands to the training framework.
+func ChunkWise(snap *meta.Snapshot, seed int64, groupSize int) []string {
+	p := ChunkWisePlan(snap, seed, groupSize)
+	out := make([]string, len(p.Files))
+	for i, fi := range p.Files {
+		out[i] = snap.FileName(int(fi))
+	}
+	return out
+}
+
+// WorkingSetChunks returns the maximum number of distinct chunks any
+// sliding window of one group touches — i.e. the cache footprint of the
+// plan in chunks. For a well-formed plan this equals the largest group's
+// chunk count, which is what bounds the memory footprint to roughly
+// groupSize × chunkSize instead of the whole dataset.
+func (p *Plan) WorkingSetChunks() int {
+	maxC := 0
+	for _, g := range p.Groups {
+		if len(g.Chunks) > maxC {
+			maxC = len(g.Chunks)
+		}
+	}
+	return maxC
+}

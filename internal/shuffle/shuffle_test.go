@@ -1,0 +1,213 @@
+package shuffle
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"diesel/internal/chunk"
+	"diesel/internal/meta"
+)
+
+// buildSnap creates a snapshot with nChunks chunks of filesPerChunk files.
+func buildSnap(nChunks, filesPerChunk int) *meta.Snapshot {
+	b := meta.NewSnapshotBuilder("ds", 1)
+	for c := range nChunks {
+		var id chunk.ID
+		id[0], id[1] = byte(c>>8), byte(c)
+		ci := b.AddChunk(id, 4<<20, 100)
+		for f := range filesPerChunk {
+			b.AddFile(fmt.Sprintf("c%03d/f%03d", c, f), meta.FileMeta{
+				ChunkIdx: ci, Index: uint32(f), Offset: uint64(f * 100), Length: 100,
+			})
+		}
+	}
+	return b.Build()
+}
+
+// isPermutationOfAll verifies every file appears exactly once.
+func isPermutationOfAll(t *testing.T, snap *meta.Snapshot, files []string) {
+	t.Helper()
+	if len(files) != snap.NumFiles() {
+		t.Fatalf("order has %d files, snapshot has %d", len(files), snap.NumFiles())
+	}
+	seen := make(map[string]bool, len(files))
+	for _, f := range files {
+		if seen[f] {
+			t.Fatalf("file %q appears twice", f)
+		}
+		seen[f] = true
+		if _, err := snap.Stat(f); err != nil {
+			t.Fatalf("unknown file %q in order", f)
+		}
+	}
+}
+
+func TestDatasetShuffleIsPermutation(t *testing.T) {
+	snap := buildSnap(10, 20)
+	isPermutationOfAll(t, snap, Dataset(snap, 42))
+}
+
+func TestDatasetShuffleDeterministicInSeed(t *testing.T) {
+	snap := buildSnap(5, 10)
+	a, b := Dataset(snap, 7), Dataset(snap, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different orders")
+	}
+	c := Dataset(snap, 8)
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical orders")
+	}
+}
+
+func TestChunkWiseIsPermutation(t *testing.T) {
+	for _, g := range []int{1, 2, 3, 7, 10, 100} {
+		snap := buildSnap(10, 15)
+		isPermutationOfAll(t, snap, ChunkWise(snap, 99, g))
+	}
+}
+
+func TestChunkWiseDeterministicInSeed(t *testing.T) {
+	snap := buildSnap(8, 12)
+	a := ChunkWise(snap, 1, 3)
+	b := ChunkWise(snap, 1, 3)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed differs")
+	}
+	if reflect.DeepEqual(a, ChunkWise(snap, 2, 3)) {
+		t.Error("different seeds identical")
+	}
+}
+
+// TestChunkWiseGroupLocality is the core property (Figure 8): within one
+// group's span of the order, files come only from that group's chunks, and
+// the number of distinct chunks is at most groupSize.
+func TestChunkWiseGroupLocality(t *testing.T) {
+	snap := buildSnap(20, 10)
+	for _, groupSize := range []int{1, 2, 5, 7} {
+		p := ChunkWisePlan(snap, 5, groupSize)
+		coveredChunks := make(map[int32]bool)
+		for gi, g := range p.Groups {
+			if len(g.Chunks) > groupSize {
+				t.Fatalf("group %d has %d chunks > groupSize %d", gi, len(g.Chunks), groupSize)
+			}
+			inGroup := make(map[int32]bool)
+			for _, ci := range g.Chunks {
+				if coveredChunks[ci] {
+					t.Fatalf("chunk %d appears in two groups", ci)
+				}
+				coveredChunks[ci] = true
+				inGroup[ci] = true
+			}
+			for _, fi := range p.Files[g.Start:g.End] {
+				ci := int32(snap.FileMetaAt(int(fi)).ChunkIdx)
+				if !inGroup[ci] {
+					t.Fatalf("group %d (size %d) contains file of chunk %d outside its chunk set", gi, groupSize, ci)
+				}
+			}
+		}
+		if p.WorkingSetChunks() > groupSize {
+			t.Errorf("WorkingSetChunks = %d > %d", p.WorkingSetChunks(), groupSize)
+		}
+	}
+}
+
+func TestChunkWiseGroupsPartitionOrder(t *testing.T) {
+	snap := buildSnap(13, 9) // 13 not divisible by groupSize
+	p := ChunkWisePlan(snap, 3, 4)
+	pos := 0
+	for _, g := range p.Groups {
+		if g.Start != pos {
+			t.Fatalf("group starts at %d, expected %d", g.Start, pos)
+		}
+		if g.End <= g.Start {
+			t.Fatal("empty group span emitted")
+		}
+		pos = g.End
+	}
+	if pos != len(p.Files) {
+		t.Fatalf("groups cover %d of %d files", pos, len(p.Files))
+	}
+}
+
+func TestChunkWiseShufflesWithinGroup(t *testing.T) {
+	// With one giant group, chunk-wise must not preserve within-chunk file
+	// order (probability of identity permutation is negligible).
+	snap := buildSnap(4, 50)
+	p := ChunkWisePlan(snap, 11, 4)
+	if len(p.Groups) != 1 {
+		t.Fatalf("expected 1 group, got %d", len(p.Groups))
+	}
+	sorted := true
+	for i := 1; i < len(p.Files); i++ {
+		if p.Files[i] < p.Files[i-1] {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		t.Error("group files left in identity order; within-group shuffle missing")
+	}
+}
+
+func TestChunkWiseEpochsDiffer(t *testing.T) {
+	snap := buildSnap(10, 10)
+	e1 := ChunkWise(snap, 100, 3)
+	e2 := ChunkWise(snap, 101, 3)
+	same := 0
+	for i := range e1 {
+		if e1[i] == e2[i] {
+			same++
+		}
+	}
+	if same > len(e1)/2 {
+		t.Errorf("%d/%d positions identical across epochs", same, len(e1))
+	}
+}
+
+func TestGroupOf(t *testing.T) {
+	snap := buildSnap(12, 5)
+	p := ChunkWisePlan(snap, 3, 4)
+	for gi, g := range p.Groups {
+		for pos := g.Start; pos < g.End; pos++ {
+			if got := p.GroupOf(pos); got != gi {
+				t.Fatalf("GroupOf(%d) = %d, want %d", pos, got, gi)
+			}
+		}
+	}
+	if p.GroupOf(-1) != -1 || p.GroupOf(len(p.Files)) != -1 {
+		t.Error("out-of-range GroupOf should return -1")
+	}
+}
+
+func TestChunkWiseEmptyChunks(t *testing.T) {
+	b := meta.NewSnapshotBuilder("ds", 1)
+	var id1, id2 chunk.ID
+	id1[0], id2[0] = 1, 2
+	b.AddChunk(id1, 100, 10) // empty chunk
+	c2 := b.AddChunk(id2, 100, 10)
+	b.AddFile("only", meta.FileMeta{ChunkIdx: c2, Length: 5})
+	snap := b.Build()
+	p := ChunkWisePlan(snap, 1, 1)
+	if len(p.Files) != 1 {
+		t.Fatalf("plan has %d files", len(p.Files))
+	}
+	for _, g := range p.Groups {
+		if g.End == g.Start {
+			t.Error("empty group emitted")
+		}
+	}
+}
+
+func TestChunkWiseRandomizedInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := range 20 {
+		nChunks := 1 + rng.Intn(30)
+		fpc := 1 + rng.Intn(20)
+		g := 1 + rng.Intn(nChunks+2)
+		snap := buildSnap(nChunks, fpc)
+		order := ChunkWise(snap, int64(trial), g)
+		isPermutationOfAll(t, snap, order)
+	}
+}

@@ -1,0 +1,279 @@
+// Package sim is a deterministic discrete-event simulator: the substrate
+// the performance experiments run on, standing in for the paper's 16-node
+// testbed (6 Lustre storage nodes, 10 GPU test nodes, 100 Gbps
+// InfiniBand).
+//
+// The engine is single-threaded and callback-based: events fire in
+// (time, insertion) order, so a run with a fixed seed is exactly
+// reproducible. Two resource primitives cover the hardware the paper's
+// numbers depend on:
+//
+//   - Station: a FCFS service centre with one or more servers — an MDS, a
+//     Redis instance, a DIESEL server thread pool, a CPU.
+//   - Pipe: a serialised bandwidth resource — a NIC, a disk's transfer
+//     stage, a storage node's aggregate I/O path.
+//
+// Timing parameters are supplied by the cluster package; this package
+// knows nothing about DIESEL itself.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Engine is the event loop and virtual clock.
+type Engine struct {
+	now float64 // seconds
+	pq  eventQueue
+	seq uint64
+	rng *rand.Rand
+}
+
+// New creates an engine with a seeded RNG for reproducible randomness.
+func New(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Rand exposes the engine's RNG so model code shares the seed.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// At schedules fn at absolute time t (clamped to now).
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.pq, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn d seconds from now.
+func (e *Engine) After(d float64, fn func()) { e.At(e.now+d, fn) }
+
+// Run executes events until the queue drains, returning the final time.
+func (e *Engine) Run() float64 {
+	for len(e.pq) > 0 {
+		ev := heap.Pop(&e.pq).(*event)
+		e.now = ev.at
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunUntil executes events with time ≤ limit; later events stay queued.
+func (e *Engine) RunUntil(limit float64) float64 {
+	for len(e.pq) > 0 && e.pq[0].at <= limit {
+		ev := heap.Pop(&e.pq).(*event)
+		e.now = ev.at
+		ev.fn()
+	}
+	if e.now < limit {
+		e.now = limit
+	}
+	return e.now
+}
+
+type event struct {
+	at  float64
+	seq uint64 // ties broken by insertion order for determinism
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Station is a FCFS service centre with a fixed number of parallel
+// servers. Submitted jobs start on the earliest-free server and complete
+// after their service time.
+type Station struct {
+	e       *Engine
+	name    string
+	servers []float64 // each server's busy-until time
+
+	// Served and Busy accumulate statistics.
+	Served   uint64
+	BusyTime float64
+}
+
+// NewStation creates a station with the given parallelism.
+func NewStation(e *Engine, name string, servers int) *Station {
+	if servers < 1 {
+		servers = 1
+	}
+	return &Station{e: e, name: name, servers: make([]float64, servers)}
+}
+
+// Submit enqueues a job with the given service time; done (optional) fires
+// at completion. It returns the completion time.
+func (s *Station) Submit(serviceTime float64, done func()) float64 {
+	// Earliest-free server.
+	best := 0
+	for i, b := range s.servers {
+		if b < s.servers[best] {
+			best = i
+		}
+	}
+	start := s.servers[best]
+	if start < s.e.now {
+		start = s.e.now
+	}
+	finish := start + serviceTime
+	s.servers[best] = finish
+	s.Served++
+	s.BusyTime += serviceTime
+	if done != nil {
+		s.e.At(finish, done)
+	}
+	return finish
+}
+
+// Utilization returns busy time divided by (servers × elapsed).
+func (s *Station) Utilization() float64 {
+	if s.e.now == 0 {
+		return 0
+	}
+	return s.BusyTime / (float64(len(s.servers)) * s.e.now)
+}
+
+// QueueDelay reports how long a job submitted now would wait to start.
+func (s *Station) QueueDelay() float64 {
+	best := s.servers[0]
+	for _, b := range s.servers[1:] {
+		if b < best {
+			best = b
+		}
+	}
+	if best < s.e.now {
+		return 0
+	}
+	return best - s.e.now
+}
+
+// String describes the station.
+func (s *Station) String() string {
+	return fmt.Sprintf("station{%s servers=%d served=%d}", s.name, len(s.servers), s.Served)
+}
+
+// Pipe is a serialised bandwidth resource: transfers queue FCFS and each
+// occupies the pipe for latency + bytes/bandwidth. Serialising transfers
+// models fair sharing's aggregate behaviour (total throughput equals link
+// capacity) without per-flow bookkeeping.
+type Pipe struct {
+	e         *Engine
+	name      string
+	bytesPerS float64
+	latency   float64
+	busyUntil float64
+
+	// Transferred accumulates bytes moved.
+	Transferred uint64
+}
+
+// NewPipe creates a bandwidth resource. latency is charged per transfer.
+func NewPipe(e *Engine, name string, bytesPerS, latency float64) *Pipe {
+	return &Pipe{e: e, name: name, bytesPerS: bytesPerS, latency: latency}
+}
+
+// Transfer schedules a transfer of n bytes; done (optional) fires at
+// completion. It returns the completion time.
+func (p *Pipe) Transfer(n int64, done func()) float64 {
+	start := p.busyUntil
+	if start < p.e.now {
+		start = p.e.now
+	}
+	dur := p.latency
+	if p.bytesPerS > 0 {
+		dur += float64(n) / p.bytesPerS
+	}
+	finish := start + dur
+	p.busyUntil = finish
+	p.Transferred += uint64(n)
+	if done != nil {
+		p.e.At(finish, done)
+	}
+	return finish
+}
+
+// Free reports when the pipe next becomes idle.
+func (p *Pipe) Free() float64 {
+	if p.busyUntil < p.e.now {
+		return p.e.now
+	}
+	return p.busyUntil
+}
+
+// String describes the pipe.
+func (p *Pipe) String() string {
+	return fmt.Sprintf("pipe{%s %.0fB/s}", p.name, p.bytesPerS)
+}
+
+// Gather runs fn for each of n workers and calls done once all workers
+// have called their completion callback — the join primitive simulated
+// parallel clients use.
+func Gather(n int, fn func(worker int, finished func()), done func()) {
+	if n == 0 {
+		done()
+		return
+	}
+	remaining := n
+	for w := range n {
+		fn(w, func() {
+			remaining--
+			if remaining == 0 {
+				done()
+			}
+		})
+	}
+}
+
+// Sequence runs steps one after another: each step receives a `next`
+// callback it must invoke to advance. It models a simulated thread
+// performing sequential blocking operations.
+func Sequence(steps ...func(next func())) func(done func()) {
+	return func(done func()) {
+		var run func(i int)
+		run = func(i int) {
+			if i >= len(steps) {
+				done()
+				return
+			}
+			steps[i](func() { run(i + 1) })
+		}
+		run(0)
+	}
+}
+
+// Loop runs body n times sequentially (body receives the iteration index
+// and a next callback), then calls done — a simulated worker's main loop.
+func Loop(n int, body func(i int, next func()), done func()) {
+	var run func(i int)
+	run = func(i int) {
+		if i >= n {
+			done()
+			return
+		}
+		body(i, func() { run(i + 1) })
+	}
+	run(0)
+}

@@ -1,0 +1,286 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %g, want %g (±%g)", what, got, want, tol)
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	e := New(1)
+	var order []int
+	e.At(3, func() { order = append(order, 3) })
+	e.At(1, func() { order = append(order, 1) })
+	e.At(2, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	almost(t, e.Now(), 3, 0, "final time")
+}
+
+func TestEventTieBreakByInsertion(t *testing.T) {
+	e := New(1)
+	var order []int
+	for i := range 10 {
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie order broken: %v", order)
+		}
+	}
+}
+
+func TestAfterAndNesting(t *testing.T) {
+	e := New(1)
+	var fired []float64
+	e.After(1, func() {
+		fired = append(fired, e.Now())
+		e.After(2, func() { fired = append(fired, e.Now()) })
+	})
+	e.Run()
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v", fired)
+	}
+	almost(t, fired[0], 1, 1e-12, "first")
+	almost(t, fired[1], 3, 1e-12, "nested")
+}
+
+func TestPastEventClamped(t *testing.T) {
+	e := New(1)
+	e.At(5, func() {
+		e.At(1, func() {
+			almost(t, e.Now(), 5, 0, "clamped past event")
+		})
+	})
+	e.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(float64(i), func() { count++ })
+	}
+	e.RunUntil(5)
+	if count != 5 {
+		t.Errorf("ran %d events by t=5", count)
+	}
+	almost(t, e.Now(), 5, 0, "time after RunUntil")
+	e.Run()
+	if count != 10 {
+		t.Errorf("ran %d events total", count)
+	}
+}
+
+func TestStationSingleServerFCFS(t *testing.T) {
+	e := New(1)
+	st := NewStation(e, "mds", 1)
+	var done []float64
+	for range 3 {
+		st.Submit(2, func() { done = append(done, e.Now()) })
+	}
+	e.Run()
+	// Three 2s jobs on one server: finish at 2, 4, 6.
+	want := []float64{2, 4, 6}
+	for i, w := range want {
+		almost(t, done[i], w, 1e-9, "completion")
+	}
+	if st.Served != 3 {
+		t.Errorf("Served = %d", st.Served)
+	}
+}
+
+func TestStationMultiServer(t *testing.T) {
+	e := New(1)
+	st := NewStation(e, "pool", 2)
+	var last float64
+	for range 4 {
+		st.Submit(3, func() { last = e.Now() })
+	}
+	e.Run()
+	// 4 × 3s jobs on 2 servers: makespan 6.
+	almost(t, last, 6, 1e-9, "makespan")
+	almost(t, st.Utilization(), 1.0, 1e-9, "utilization")
+}
+
+func TestStationQueueDelay(t *testing.T) {
+	e := New(1)
+	st := NewStation(e, "s", 1)
+	st.Submit(10, nil)
+	almost(t, st.QueueDelay(), 10, 1e-9, "queue delay behind one job")
+}
+
+func TestPipeBandwidth(t *testing.T) {
+	e := New(1)
+	p := NewPipe(e, "nic", 100, 0) // 100 B/s
+	var t1, t2 float64
+	p.Transfer(200, func() { t1 = e.Now() })
+	p.Transfer(100, func() { t2 = e.Now() })
+	e.Run()
+	almost(t, t1, 2, 1e-9, "first transfer")
+	almost(t, t2, 3, 1e-9, "serialized second transfer")
+	if p.Transferred != 300 {
+		t.Errorf("Transferred = %d", p.Transferred)
+	}
+}
+
+func TestPipeLatency(t *testing.T) {
+	e := New(1)
+	p := NewPipe(e, "disk", 1000, 0.5)
+	var fin float64
+	p.Transfer(500, func() { fin = e.Now() })
+	e.Run()
+	almost(t, fin, 1.0, 1e-9, "latency + transfer")
+}
+
+// TestPipeAggregateThroughput: N concurrent transfers through one pipe
+// complete in total-bytes/bandwidth — the fair-sharing aggregate.
+func TestPipeAggregateThroughput(t *testing.T) {
+	e := New(1)
+	p := NewPipe(e, "link", 1e6, 0)
+	var last float64
+	for range 10 {
+		p.Transfer(1e5, func() { last = e.Now() })
+	}
+	e.Run()
+	almost(t, last, 1.0, 1e-9, "10×100kB over 1MB/s")
+}
+
+func TestGather(t *testing.T) {
+	e := New(1)
+	st := NewStation(e, "s", 4)
+	var joinedAt float64
+	Gather(8, func(w int, finished func()) {
+		st.Submit(float64(w+1), finished)
+	}, func() { joinedAt = e.Now() })
+	e.Run()
+	if joinedAt == 0 {
+		t.Fatal("gather never joined")
+	}
+	// Jobs 1..8 on 4 servers, greedy assignment: makespan 9s
+	// (pairs 1+8? no — greedy earliest-free: 1,2,3,4 then 5..8 → 1+5=6,
+	// 2+6=8, 3+7=10? let's not over-specify; just require > 8/4 lower bound)
+	if joinedAt < 36.0/4 {
+		t.Errorf("joinedAt = %g below work conservation bound", joinedAt)
+	}
+}
+
+func TestGatherEmpty(t *testing.T) {
+	called := false
+	Gather(0, func(int, func()) { t.Fatal("worker spawned") }, func() { called = true })
+	if !called {
+		t.Fatal("done not called for n=0")
+	}
+}
+
+func TestLoopSequential(t *testing.T) {
+	e := New(1)
+	st := NewStation(e, "s", 1)
+	var finished float64
+	Loop(5, func(i int, next func()) {
+		st.Submit(1, next)
+	}, func() { finished = e.Now() })
+	e.Run()
+	almost(t, finished, 5, 1e-9, "5 sequential 1s ops")
+}
+
+func TestSequence(t *testing.T) {
+	e := New(1)
+	st := NewStation(e, "s", 1)
+	var end float64
+	run := Sequence(
+		func(next func()) { st.Submit(1, next) },
+		func(next func()) { st.Submit(2, next) },
+		func(next func()) { st.Submit(3, next) },
+	)
+	run(func() { end = e.Now() })
+	e.Run()
+	almost(t, end, 6, 1e-9, "sequence of 1+2+3")
+}
+
+func TestDeterminism(t *testing.T) {
+	trace := func() []float64 {
+		e := New(42)
+		st := NewStation(e, "s", 2)
+		p := NewPipe(e, "n", 1e6, 1e-4)
+		var out []float64
+		for i := range 50 {
+			size := int64(e.Rand().Intn(10000) + 1)
+			if i%2 == 0 {
+				st.Submit(e.Rand().Float64()*0.01, func() { out = append(out, e.Now()) })
+			} else {
+				p.Transfer(size, func() { out = append(out, e.Now()) })
+			}
+		}
+		e.Run()
+		return out
+	}
+	a, b := trace(), trace()
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+// TestStationLittlesLaw validates the FCFS station against queueing
+// theory: for a deterministic arrival stream at rate λ with service time
+// S on one server (ρ = λS < 1), the long-run throughput equals λ and no
+// queue builds up; at ρ > 1 throughput saturates at 1/S.
+func TestStationLittlesLaw(t *testing.T) {
+	run := func(interarrival, service float64, n int) (throughput float64) {
+		e := New(1)
+		st := NewStation(e, "s", 1)
+		for i := range n {
+			e.At(float64(i)*interarrival, func() { st.Submit(service, nil) })
+		}
+		end := e.Run()
+		// Completion of the last job: Run ends at the last event time,
+		// which for submissions is the arrival; ask the station.
+		if d := st.QueueDelay(); d > 0 {
+			end += d
+		}
+		return float64(st.Served) / end
+	}
+	// ρ = 0.5: throughput ≈ arrival rate (1 per 2s ⇒ 0.5/s).
+	if tp := run(2.0, 1.0, 1000); math.Abs(tp-0.5) > 0.01 {
+		t.Errorf("underloaded throughput = %.3f, want 0.5", tp)
+	}
+	// ρ = 2: throughput saturates at 1/S = 1.
+	if tp := run(0.5, 1.0, 1000); math.Abs(tp-1.0) > 0.01 {
+		t.Errorf("overloaded throughput = %.3f, want 1.0", tp)
+	}
+}
+
+// TestPipeWorkConservation: a pipe is work-conserving — total transfer
+// time equals total bytes over bandwidth plus per-transfer latencies,
+// regardless of arrival pattern.
+func TestPipeWorkConservation(t *testing.T) {
+	e := New(2)
+	p := NewPipe(e, "link", 1000, 0.01)
+	totalBytes := int64(0)
+	n := 50
+	for i := range n {
+		sz := int64(100 + 10*i)
+		totalBytes += sz
+		e.At(float64(i)*0.001, func() { p.Transfer(sz, nil) })
+	}
+	e.Run()
+	end := p.Free()
+	want := float64(totalBytes)/1000 + float64(n)*0.01
+	if math.Abs(end-want) > 1e-6 {
+		t.Errorf("pipe drained at %.4f, want %.4f", end, want)
+	}
+}

@@ -1,0 +1,186 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrClientClosed is returned by Call after Close, or when the connection
+// drops while a call is in flight.
+var ErrClientClosed = errors.New("wire: client closed")
+
+// RemoteError wraps an error string returned by the server so callers can
+// distinguish transport failures from application failures.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return e.Msg }
+
+// IsRemote reports whether err originated on the server side.
+func IsRemote(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re)
+}
+
+// Client is a multiplexed RPC client over a single TCP connection. Many
+// goroutines may Call concurrently; responses are matched to callers by
+// sequence number, so slow calls do not block fast ones.
+type Client struct {
+	conn net.Conn
+	addr string
+
+	wmu sync.Mutex // serialises request frames
+
+	mu      sync.Mutex
+	pending map[uint64]chan *Frame
+	closed  bool
+	readErr error
+
+	seq atomic.Uint64
+}
+
+// Dial connects to a wire server at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		conn:    conn,
+		addr:    addr,
+		pending: make(map[uint64]chan *Frame),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Addr returns the address the client dialed.
+func (c *Client) Addr() string { return c.addr }
+
+func (c *Client) readLoop() {
+	for {
+		f, err := ReadFrame(c.conn)
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[f.Seq]
+		delete(c.pending, f.Seq)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- f
+		}
+	}
+}
+
+// failAll wakes every pending caller with a closed-channel signal after a
+// read error or Close.
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.readErr == nil {
+		c.readErr = err
+	}
+	for seq, ch := range c.pending {
+		close(ch)
+		delete(c.pending, seq)
+	}
+	c.closed = true
+}
+
+// Call sends a request and blocks for its response. It returns the response
+// payload, a *RemoteError if the server's handler failed, or a transport
+// error if the connection broke.
+func (c *Client) Call(method string, payload []byte) ([]byte, error) {
+	seq := c.seq.Add(1)
+	ch := make(chan *Frame, 1)
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	c.pending[seq] = ch
+	c.mu.Unlock()
+
+	req := &Frame{Kind: KindRequest, Seq: seq, Method: method, Payload: payload}
+	c.wmu.Lock()
+	err := WriteFrame(c.conn, req)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, seq)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("wire: call %s: %w", method, err)
+	}
+
+	f, ok := <-ch
+	if !ok {
+		return nil, ErrClientClosed
+	}
+	if f.Kind == KindError {
+		return nil, &RemoteError{Msg: string(f.Payload)}
+	}
+	return f.Payload, nil
+}
+
+// Oneway sends a request without waiting for a reply.
+func (c *Client) Oneway(method string, payload []byte) error {
+	req := &Frame{Kind: KindOneway, Seq: c.seq.Add(1), Method: method, Payload: payload}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return WriteFrame(c.conn, req)
+}
+
+// Close tears down the connection and fails all pending calls.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	c.failAll(ErrClientClosed)
+	return err
+}
+
+// Pool is a fixed-size pool of clients to one address; Call picks a
+// connection round-robin. Heavily concurrent components (the request
+// executor, cache peers) use pools to avoid head-of-line blocking on a
+// single socket's write mutex.
+type Pool struct {
+	clients []*Client
+	next    atomic.Uint64
+}
+
+// DialPool opens n connections to addr.
+func DialPool(addr string, n int) (*Pool, error) {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{clients: make([]*Client, 0, n)}
+	for range n {
+		c, err := Dial(addr)
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		p.clients = append(p.clients, c)
+	}
+	return p, nil
+}
+
+// Call forwards to one of the pooled clients.
+func (p *Pool) Call(method string, payload []byte) ([]byte, error) {
+	i := p.next.Add(1)
+	return p.clients[i%uint64(len(p.clients))].Call(method, payload)
+}
+
+// Close closes every pooled connection.
+func (p *Pool) Close() error {
+	var first error
+	for _, c := range p.clients {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,51 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrame hardens the frame reader against hostile streams: never
+// panic, never allocate beyond MaxFrame, and accepted frames re-encode
+// identically.
+func FuzzReadFrame(f *testing.F) {
+	var buf bytes.Buffer
+	WriteFrame(&buf, &Frame{Kind: KindRequest, Seq: 9, Method: "m", Payload: []byte("p")})
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:5])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteFrame(&out, fr); err != nil {
+			t.Fatalf("accepted frame fails to re-encode: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), data[:out.Len()]) {
+			t.Fatal("accepted frame does not round-trip")
+		}
+	})
+}
+
+// FuzzDecoder hardens the payload decoder: arbitrary field sequences on
+// arbitrary bytes must never panic.
+func FuzzDecoder(f *testing.F) {
+	e := NewEncoder(32)
+	e.String("x")
+	e.Uint64(7)
+	e.StringSlice([]string{"a", "b"})
+	f.Add(e.Bytes())
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDecoder(data)
+		_ = d.String()
+		_ = d.Uint64()
+		_ = d.StringSlice()
+		_ = d.Bytes32()
+		_ = d.Uint64Slice()
+		_ = d.Bool()
+		_ = d.Float64()
+	})
+}

@@ -1,0 +1,194 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Handler processes one request payload and returns the response payload.
+// Handlers run concurrently; implementations must be safe for concurrent
+// use. The returned slice is written to the wire immediately, so handlers
+// may reuse buffers only after WriteFrame returns (i.e. never — return
+// fresh or read-only slices).
+type Handler func(payload []byte) ([]byte, error)
+
+// Server is a multiplexed RPC server: many in-flight requests per
+// connection, each dispatched to its own goroutine, responses matched by
+// sequence number. One Server instance backs one listening socket.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+
+	lis      net.Listener
+	conns    sync.WaitGroup
+	closed   atomic.Bool
+	connsMu  sync.Mutex
+	connsSet map[net.Conn]struct{}
+
+	// Stats counts served requests; experiments read it to report QPS.
+	Stats ServerStats
+}
+
+// ServerStats holds monotonically increasing counters, safe to read while
+// the server runs.
+type ServerStats struct {
+	Requests atomic.Uint64
+	Errors   atomic.Uint64
+	BytesIn  atomic.Uint64
+	BytesOut atomic.Uint64
+}
+
+// NewServer returns a server with no registered methods.
+func NewServer() *Server {
+	return &Server{
+		handlers: make(map[string]Handler),
+		connsSet: make(map[net.Conn]struct{}),
+	}
+}
+
+// Handle registers fn for the given method name, replacing any previous
+// registration. Registration after Serve has started is allowed.
+func (s *Server) Handle(method string, fn Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[method] = fn
+}
+
+// Listen binds addr ("host:port"; ":0" picks a free port) and starts
+// accepting in a background goroutine. It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("wire: listen %s: %w", addr, err)
+	}
+	s.lis = lis
+	go s.acceptLoop()
+	return lis.Addr().String(), nil
+}
+
+// Addr returns the bound address, or "" before Listen.
+func (s *Server) Addr() string {
+	if s.lis == nil {
+		return ""
+	}
+	return s.lis.Addr().String()
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if s.closed.Load() {
+			conn.Close()
+			return
+		}
+		s.connsMu.Lock()
+		s.connsSet[conn] = struct{}{}
+		s.connsMu.Unlock()
+		s.conns.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.conns.Done()
+	defer func() {
+		s.connsMu.Lock()
+		delete(s.connsSet, conn)
+		s.connsMu.Unlock()
+		conn.Close()
+	}()
+
+	var wmu sync.Mutex // serialises response frames on this connection
+	for {
+		f, err := ReadFrame(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !s.closed.Load() {
+				var ne net.Error
+				if !errors.As(err, &ne) {
+					log.Printf("wire: server read: %v", err)
+				}
+			}
+			return
+		}
+		s.Stats.BytesIn.Add(uint64(len(f.Payload)))
+		switch f.Kind {
+		case KindRequest, KindOneway:
+			go s.dispatch(conn, &wmu, f)
+		default:
+			// Clients must not send response frames; drop them.
+		}
+	}
+}
+
+func (s *Server) dispatch(conn net.Conn, wmu *sync.Mutex, req *Frame) {
+	s.mu.RLock()
+	fn := s.handlers[req.Method]
+	s.mu.RUnlock()
+
+	var resp Frame
+	resp.Seq = req.Seq
+	if fn == nil {
+		resp.Kind = KindError
+		resp.Payload = []byte("wire: unknown method " + req.Method)
+		s.Stats.Errors.Add(1)
+	} else {
+		out, err := s.safeCall(fn, req)
+		if err != nil {
+			resp.Kind = KindError
+			resp.Payload = []byte(err.Error())
+			s.Stats.Errors.Add(1)
+		} else {
+			resp.Kind = KindResponse
+			resp.Payload = out
+		}
+	}
+	s.Stats.Requests.Add(1)
+	if req.Kind == KindOneway {
+		return
+	}
+	wmu.Lock()
+	err := WriteFrame(conn, &resp)
+	wmu.Unlock()
+	if err == nil {
+		s.Stats.BytesOut.Add(uint64(len(resp.Payload)))
+	}
+}
+
+// safeCall invokes a handler, converting a panic into an error so one
+// malformed request cannot take the whole server process down.
+func (s *Server) safeCall(fn Handler, req *Frame) (out []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			log.Printf("wire: handler %s panicked: %v", req.Method, r)
+			out, err = nil, fmt.Errorf("wire: handler %s panicked: %v", req.Method, r)
+		}
+	}()
+	return fn(req.Payload)
+}
+
+// Close stops accepting, closes every open connection, and waits for
+// in-flight connection goroutines to finish.
+func (s *Server) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	var err error
+	if s.lis != nil {
+		err = s.lis.Close()
+	}
+	s.connsMu.Lock()
+	for c := range s.connsSet {
+		c.Close()
+	}
+	s.connsMu.Unlock()
+	s.conns.Wait()
+	return err
+}
