@@ -23,17 +23,21 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 
 	"diesel/internal/cluster"
+	"diesel/internal/obs"
 	"diesel/internal/train"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table2, fig6, fig9, fig10a, fig10b, fig10c, fig11a, fig11b, fig12, fig13, fig14, fig15, ablation-group, all)")
+	exp := flag.String("exp", "all", "experiment to run (table2, fig6, fig9, fig10a, fig10b, fig10c, fig11a, fig11b, fig12, fig13, fig14, fig15, ablation-group, live, all)")
+	jsonDir := flag.String("json", "", "directory to write a BENCH_<exp>.json metrics snapshot after each experiment (empty = disabled)")
 	flag.Parse()
 
 	runs := map[string]func(cluster.Params){
@@ -42,6 +46,7 @@ func main() {
 		"fig11a": fig11a, "fig11b": fig11b, "fig12": fig12,
 		"fig13": fig13, "fig14": fig14, "fig15": fig15,
 		"ablation-group": ablationGroup, "ablation-topology": ablationTopology,
+		"live": live,
 	}
 	p := cluster.Default()
 	if *exp == "all" {
@@ -52,6 +57,7 @@ func main() {
 		sort.Strings(names)
 		for _, n := range names {
 			runs[n](p)
+			writeSnapshot(*jsonDir, n)
 			fmt.Println()
 		}
 		return
@@ -62,6 +68,33 @@ func main() {
 		os.Exit(2)
 	}
 	fn(p)
+	writeSnapshot(*jsonDir, *exp)
+}
+
+// writeSnapshot dumps the default registry into BENCH_<exp>.json so the
+// emitted numbers carry cache hit-rates and tail latencies alongside the
+// experiment's printed rows. The registry is cumulative across the
+// process, so under -exp all each snapshot subsumes the previous one;
+// the "live" experiment is the one that exercises every real layer.
+func writeSnapshot(dir, exp string) {
+	if dir == "" {
+		return
+	}
+	data := struct {
+		Experiment string       `json:"experiment"`
+		Metrics    []obs.Metric `json:"metrics"`
+	}{exp, obs.Default().Export()}
+	b, err := json.MarshalIndent(data, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: snapshot %s: %v\n", exp, err)
+		return
+	}
+	path := filepath.Join(dir, "BENCH_"+exp+".json")
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: snapshot %s: %v\n", exp, err)
+		return
+	}
+	fmt.Printf("metrics snapshot: %s\n", path)
 }
 
 func table2(p cluster.Params) {

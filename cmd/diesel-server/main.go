@@ -23,6 +23,7 @@ import (
 
 	"diesel/internal/kvstore"
 	"diesel/internal/objstore"
+	"diesel/internal/obs"
 	"diesel/internal/server"
 )
 
@@ -31,6 +32,7 @@ func main() {
 	kvAddrs := flag.String("kv", "", "comma-separated kvnode addresses (required)")
 	storeDir := flag.String("store", "", "chunk storage directory (empty = in-memory)")
 	ssdCache := flag.Int64("ssd-cache", 0, "fast-tier cache capacity in bytes (0 = disabled)")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /healthz and /debug/pprof on this address (empty = disabled)")
 	flag.Parse()
 
 	if *kvAddrs == "" {
@@ -60,6 +62,16 @@ func main() {
 		log.Fatalf("diesel-server: %v", err)
 	}
 	log.Printf("diesel-server serving on %s (kv=%s store=%q)", rpc.Addr(), *kvAddrs, *storeDir)
+
+	if *metricsAddr != "" {
+		rpc.RegisterMetrics(obs.Default())
+		bound, stop, err := obs.Serve(*metricsAddr, obs.Default())
+		if err != nil {
+			log.Fatalf("diesel-server: metrics: %v", err)
+		}
+		defer stop()
+		log.Printf("diesel-server metrics on http://%s/metrics", bound)
+	}
 
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt)

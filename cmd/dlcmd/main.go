@@ -18,6 +18,7 @@
 //	recover [from-unix-seconds]      rebuild metadata from chunks (§4.1.2)
 //	rm-dataset                       delete the entire dataset
 //	gen <files> <mean-size>          generate a synthetic dataset
+//	stats <host:port | url>          scrape and pretty-print a -metrics endpoint
 package main
 
 import (
@@ -39,6 +40,14 @@ func main() {
 	servers := flag.String("servers", "127.0.0.1:7400", "comma-separated DIESEL server addresses")
 	dataset := flag.String("dataset", "", "dataset name (required)")
 	flag.Parse()
+	// stats talks HTTP to a -metrics endpoint, not RPC to a server, so it
+	// needs neither -dataset nor a client connection.
+	if flag.NArg() > 0 && flag.Arg(0) == "stats" {
+		if err := runStats(flag.Args()[1:]); err != nil {
+			log.Fatalf("dlcmd stats: %v", err)
+		}
+		return
+	}
 	if *dataset == "" || flag.NArg() < 1 {
 		flag.Usage()
 		os.Exit(2)

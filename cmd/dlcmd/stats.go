@@ -1,0 +1,89 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"diesel/internal/obs"
+)
+
+// runStats scrapes a /metrics endpoint (diesel-server or kvnode started
+// with -metrics) and pretty-prints it: counters and gauges as plain
+// values, histograms as count/mean/p50/p95/p99. It needs no -dataset and
+// no DIESEL connection — just HTTP reachability to the metrics address.
+func runStats(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: stats <host:port | url>")
+	}
+	url := args[0]
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	if !strings.Contains(url[strings.Index(url, "://")+3:], "/") {
+		url += "/metrics"
+	}
+	hc := &http.Client{Timeout: 5 * time.Second}
+	resp, err := hc.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("stats: %s returned %s", url, resp.Status)
+	}
+	sc, err := obs.ParseText(resp.Body)
+	if err != nil {
+		return err
+	}
+
+	if len(sc.Samples) > 0 {
+		fmt.Println("# counters and gauges")
+		for _, s := range sc.Samples {
+			fmt.Printf("%-64s %g\n", s.Name+fmtLabels(s.Labels), s.Value)
+		}
+	}
+	if len(sc.Histograms) > 0 {
+		fmt.Println("# histograms (count / mean / p50 / p95 / p99)")
+		for _, h := range sc.Histograms {
+			mean := 0.0
+			if h.Count > 0 {
+				mean = h.Sum / h.Count
+			}
+			fmt.Printf("%-64s n=%-8g mean=%-11s p50=%-11s p95=%-11s p99=%s\n",
+				h.Name+fmtLabels(h.Labels), h.Count,
+				fmtQuantity(h.Name, mean),
+				fmtQuantity(h.Name, h.Quantile(0.50)),
+				fmtQuantity(h.Name, h.Quantile(0.95)),
+				fmtQuantity(h.Name, h.Quantile(0.99)))
+		}
+	}
+	return nil
+}
+
+func fmtLabels(m map[string]string) string {
+	if len(m) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%q", k, m[k])
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// fmtQuantity renders seconds-unit histogram values as durations and
+// everything else (batch sizes, byte counts) as plain numbers.
+func fmtQuantity(name string, v float64) string {
+	if strings.HasSuffix(name, "_seconds") {
+		return time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
+	}
+	return fmt.Sprintf("%g", v)
+}

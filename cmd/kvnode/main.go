@@ -14,10 +14,12 @@ import (
 	"os/signal"
 
 	"diesel/internal/kvstore"
+	"diesel/internal/obs"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7401", "listen address")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /healthz and /debug/pprof on this address (empty = disabled)")
 	flag.Parse()
 
 	s, err := kvstore.NewServer(*addr)
@@ -25,6 +27,16 @@ func main() {
 		log.Fatalf("kvnode: %v", err)
 	}
 	log.Printf("kvnode serving on %s", s.Addr())
+
+	if *metricsAddr != "" {
+		s.RegisterMetrics(obs.Default())
+		bound, stop, err := obs.Serve(*metricsAddr, obs.Default())
+		if err != nil {
+			log.Fatalf("kvnode: metrics: %v", err)
+		}
+		defer stop()
+		log.Printf("kvnode metrics on http://%s/metrics", bound)
+	}
 
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt)

@@ -35,6 +35,7 @@ import (
 
 	"diesel/internal/chunk"
 	"diesel/internal/meta"
+	"diesel/internal/obs"
 	"diesel/internal/server"
 	"diesel/internal/shuffle"
 	"diesel/internal/wire"
@@ -88,11 +89,13 @@ type Client struct {
 	Stats ClientStats
 }
 
-// ClientStats are monotonic operation counters.
+// ClientStats are monotonic operation counters. The fields are obs
+// counters (same Add/Load shape as atomic.Uint64), so they double as the
+// per-context view of the process-wide aggregates in metrics.go.
 type ClientStats struct {
-	Puts, Gets, Stats, Lists atomic.Uint64
-	LocalMetaHits            atomic.Uint64 // metadata ops served by the snapshot
-	ServerMetaOps            atomic.Uint64 // metadata ops that hit the server
+	Puts, Gets, Stats, Lists obs.Counter
+	LocalMetaHits            obs.Counter // metadata ops served by the snapshot
+	ServerMetaOps            obs.Counter // metadata ops that hit the server
 }
 
 // ErrNoSnapshot is returned by operations that need a loaded snapshot.
@@ -233,6 +236,7 @@ func (c *Client) flushLocked() error {
 // Get reads one file (DL_get). With a cache reader installed the request
 // goes to the owning cache peer; otherwise it goes to a server.
 func (c *Client) Get(path string) ([]byte, error) {
+	defer mGetLat.Since(time.Now())
 	c.Stats.Gets.Add(1)
 	c.smu.RLock()
 	r := c.reader
@@ -261,6 +265,7 @@ func (c *Client) GetDirect(path string) ([]byte, error) {
 // GetBatch reads many files in one server round trip, exercising the
 // request executor's sort-and-merge (missing files yield nil entries).
 func (c *Client) GetBatch(paths []string) ([][]byte, error) {
+	defer mGetBatchLat.Since(time.Now())
 	cleaned := make([]string, len(paths))
 	for i, p := range paths {
 		cleaned[i] = meta.CleanPath(p)
@@ -292,6 +297,7 @@ func (c *Client) GetBatch(paths []string) ([][]byte, error) {
 // GetChunk fetches one whole encoded chunk from a server — the operation
 // the distributed cache loads its partition with.
 func (c *Client) GetChunk(chunkID string) ([]byte, error) {
+	defer mGetChunkLat.Since(time.Now())
 	e := wire.NewEncoder(len(chunkID) + len(c.opts.Dataset) + 16)
 	e.String(c.opts.Dataset)
 	e.String(chunkID)
@@ -326,6 +332,7 @@ func (c *Client) Stat(path string) (StatInfo, error) {
 			return StatInfo{}, err
 		}
 		c.Stats.LocalMetaHits.Add(1)
+		mMetaSnapshot.Inc()
 		return StatInfo{
 			Size:      m.Length,
 			UpdatedNS: snap.UpdatedNS,
@@ -333,6 +340,7 @@ func (c *Client) Stat(path string) (StatInfo, error) {
 		}, nil
 	}
 	c.Stats.ServerMetaOps.Add(1)
+	mMetaServer.Inc()
 	e := wire.NewEncoder(64)
 	e.String(c.opts.Dataset)
 	e.String(meta.CleanPath(path))
@@ -367,6 +375,7 @@ func (c *Client) Ls(dir string) ([]Entry, error) {
 			return nil, err
 		}
 		c.Stats.LocalMetaHits.Add(1)
+		mMetaSnapshot.Inc()
 		out := make([]Entry, len(des))
 		for i, de := range des {
 			out[i] = Entry{Name: de.Name, IsDir: de.IsDir, Size: de.Size}
@@ -374,6 +383,7 @@ func (c *Client) Ls(dir string) ([]Entry, error) {
 		return out, nil
 	}
 	c.Stats.ServerMetaOps.Add(1)
+	mMetaServer.Inc()
 	e := wire.NewEncoder(64)
 	e.String(c.opts.Dataset)
 	e.String(meta.CleanPath(dir))

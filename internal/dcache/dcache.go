@@ -31,6 +31,7 @@ import (
 	"diesel/internal/client"
 	"diesel/internal/etcd"
 	"diesel/internal/meta"
+	"diesel/internal/obs"
 	"diesel/internal/wire"
 )
 
@@ -68,14 +69,16 @@ type Registrar interface {
 	List(prefix string) ([]etcd.Entry, error)
 }
 
-// Stats counts cache behaviour.
+// Stats counts cache behaviour. The fields are obs counters (same
+// Add/Load shape as atomic.Uint64); process-wide aggregates of the same
+// events live on the default registry (see metrics.go).
 type Stats struct {
-	LocalHits      atomic.Uint64 // served from this peer's own master cache
-	PeerReads      atomic.Uint64 // served by a remote master
-	ChunkLoads     atomic.Uint64 // chunks pulled from DIESEL servers
-	BytesLoaded    atomic.Uint64
-	ServerFallback atomic.Uint64 // reads that bypassed the cache after a failure
-	Evictions      atomic.Uint64
+	LocalHits      obs.Counter // served from this peer's own master cache
+	PeerReads      obs.Counter // served by a remote master
+	ChunkLoads     obs.Counter // chunks pulled from DIESEL servers
+	BytesLoaded    obs.Counter
+	ServerFallback obs.Counter // reads that bypassed the cache after a failure
+	Evictions      obs.Counter
 }
 
 // Peer is one I/O process's handle on the task-grained cache. It
@@ -216,6 +219,7 @@ func Join(cl *client.Client, reg Registrar, cfg Config) (*Peer, error) {
 		p.srv.Close()
 		p.srv = nil
 	}
+	trackPeer(p)
 	return p, nil
 }
 
@@ -315,9 +319,13 @@ func (p *Peer) fetchChunk(id string) (*cachedChunk, error) {
 		return nil, fmt.Errorf("dcache: chunk %s corrupt: %w", id, err)
 	}
 	cc := newCachedChunk(ck)
+	evicted := p.store.put(id, cc)
 	p.Stats.ChunkLoads.Add(1)
 	p.Stats.BytesLoaded.Add(uint64(len(blob)))
-	p.Stats.Evictions.Add(p.store.put(id, cc))
+	p.Stats.Evictions.Add(evicted)
+	mChunkLoads.Inc()
+	mBytesLoaded.Add(uint64(len(blob)))
+	mEvictions.Add(evicted)
 	return cc, nil
 }
 
@@ -366,16 +374,19 @@ func (p *Peer) ReadFile(path string) ([]byte, error) {
 		b, err := p.readLocal(path)
 		if err == nil {
 			p.Stats.LocalHits.Add(1)
+			mLocalHits.Inc()
 			return b, nil
 		}
 	} else {
 		b, err := p.readFromMaster(p.masters[owner].addr, path)
 		if err == nil {
 			p.Stats.PeerReads.Add(1)
+			mPeerReads.Inc()
 			return b, nil
 		}
 	}
 	p.Stats.ServerFallback.Add(1)
+	mFallbacks.Inc()
 	return p.cl.GetDirect(path)
 }
 
@@ -451,6 +462,7 @@ func (p *Peer) Close() error {
 	if p.closed.Swap(true) {
 		return nil
 	}
+	untrackPeer(p)
 	var first error
 	if p.srv != nil {
 		first = p.srv.Close()

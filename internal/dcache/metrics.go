@@ -1,0 +1,78 @@
+package dcache
+
+import (
+	"sync"
+
+	"diesel/internal/obs"
+)
+
+// Process-wide cache metrics on the default registry. Read-outcome
+// counters mirror the per-peer Stats struct; the gauges sum over every
+// live peer in the process, so one scrape sees the whole task's cache
+// footprint even when several peers share a process (as tests and the
+// single-node quickstart do):
+//
+//	diesel_dcache_reads_total{source}      reads by answering tier
+//	                                       ("local", "peer", "server")
+//	diesel_dcache_chunk_loads_total        chunks pulled from DIESEL servers
+//	diesel_dcache_loaded_bytes_total       bytes pulled from DIESEL servers
+//	diesel_dcache_evictions_total          chunks evicted under capacity
+//	diesel_dcache_cached_bytes             payload bytes cached (live peers)
+//	diesel_dcache_cached_chunks            chunks cached (live peers)
+//	diesel_dcache_dialed_masters           distinct remote masters dialed
+var (
+	mLocalHits = obs.Default().Counter("diesel_dcache_reads_total",
+		"Cache reads by answering tier.", obs.L("source", "local"))
+	mPeerReads = obs.Default().Counter("diesel_dcache_reads_total",
+		"Cache reads by answering tier.", obs.L("source", "peer"))
+	mFallbacks = obs.Default().Counter("diesel_dcache_reads_total",
+		"Cache reads by answering tier.", obs.L("source", "server"))
+	mChunkLoads = obs.Default().Counter("diesel_dcache_chunk_loads_total",
+		"Chunks pulled from DIESEL servers by cache masters.")
+	mBytesLoaded = obs.Default().Counter("diesel_dcache_loaded_bytes_total",
+		"Encoded chunk bytes pulled from DIESEL servers by cache masters.")
+	mEvictions = obs.Default().Counter("diesel_dcache_evictions_total",
+		"Chunks evicted from master caches under capacity pressure.")
+)
+
+// livePeers tracks every open Peer so the gauges below can sum over
+// them. Join adds, Close removes; a closed peer contributes nothing.
+var (
+	peersMu   sync.Mutex
+	livePeers = make(map[*Peer]struct{})
+)
+
+func init() {
+	sumOver := func(f func(*Peer) float64) func() float64 {
+		return func() float64 {
+			peersMu.Lock()
+			defer peersMu.Unlock()
+			var total float64
+			for p := range livePeers {
+				total += f(p)
+			}
+			return total
+		}
+	}
+	obs.Default().Func("diesel_dcache_cached_bytes",
+		"Payload bytes cached across this process's live cache masters.",
+		sumOver(func(p *Peer) float64 { return float64(p.CachedBytes()) }))
+	obs.Default().Func("diesel_dcache_cached_chunks",
+		"Chunks cached across this process's live cache masters.",
+		sumOver(func(p *Peer) float64 { return float64(p.CachedChunks()) }))
+	obs.Default().Func("diesel_dcache_dialed_masters",
+		"Distinct remote masters dialed across this process's live peers.",
+		sumOver(func(p *Peer) float64 { return float64(p.DialedMasters()) }))
+}
+
+func trackPeer(p *Peer) {
+	peersMu.Lock()
+	livePeers[p] = struct{}{}
+	peersMu.Unlock()
+}
+
+func untrackPeer(p *Peer) {
+	peersMu.Lock()
+	delete(livePeers, p)
+	peersMu.Unlock()
+}

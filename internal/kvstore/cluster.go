@@ -67,7 +67,7 @@ func (c *Cluster) Set(key string, value []byte) error {
 	e := wire.NewEncoder(len(key) + len(value) + 16)
 	e.String(key)
 	e.Bytes32(value)
-	_, err := c.pool(c.nodeFor(key)).Call(methodSet, e.Bytes())
+	_, err := c.call(c.nodeFor(key), methodSet, e.Bytes())
 	return err
 }
 
@@ -75,7 +75,7 @@ func (c *Cluster) Set(key string, value []byte) error {
 func (c *Cluster) Get(key string) ([]byte, error) {
 	e := wire.NewEncoder(len(key) + 8)
 	e.String(key)
-	resp, err := c.pool(c.nodeFor(key)).Call(methodGet, e.Bytes())
+	resp, err := c.call(c.nodeFor(key), methodGet, e.Bytes())
 	if err != nil {
 		return nil, err
 	}
@@ -101,6 +101,7 @@ type KV struct {
 // receives one RPC. This batching is why DIESEL's metadata ingest is fast:
 // a chunk's worth of file metadata costs O(nodes) round trips, not O(files).
 func (c *Cluster) MSet(pairs []KV) error {
+	mBatchMSet.Observe(uint64(len(pairs)))
 	byNode := make(map[int][]KV)
 	for _, kv := range pairs {
 		n := c.nodeFor(kv.Key)
@@ -118,7 +119,7 @@ func (c *Cluster) MSet(pairs []KV) error {
 				e.String(kv.Key)
 				e.Bytes32(kv.Value)
 			}
-			if _, err := c.pool(n).Call(methodMSet, e.Bytes()); err != nil {
+			if _, err := c.call(n, methodMSet, e.Bytes()); err != nil {
 				errCh <- fmt.Errorf("kvstore: mset on node %d: %w", n, err)
 			}
 		}(n, batch)
@@ -131,6 +132,7 @@ func (c *Cluster) MSet(pairs []KV) error {
 // MGet fetches many keys, grouped by node. The result preserves input
 // order; missing keys yield nil entries.
 func (c *Cluster) MGet(keys []string) ([][]byte, error) {
+	mBatchMGet.Observe(uint64(len(keys)))
 	type idxKey struct {
 		idx int
 		key string
@@ -153,7 +155,7 @@ func (c *Cluster) MGet(keys []string) ([][]byte, error) {
 			}
 			e := wire.NewEncoder(256)
 			e.StringSlice(ks)
-			resp, err := c.pool(n).Call(methodMGet, e.Bytes())
+			resp, err := c.call(n, methodMGet, e.Bytes())
 			if err != nil {
 				errCh <- err
 				return
@@ -188,7 +190,7 @@ func (c *Cluster) MGet(keys []string) ([][]byte, error) {
 func (c *Cluster) Del(key string) (bool, error) {
 	e := wire.NewEncoder(len(key) + 8)
 	e.String(key)
-	resp, err := c.pool(c.nodeFor(key)).Call(methodDel, e.Bytes())
+	resp, err := c.call(c.nodeFor(key), methodDel, e.Bytes())
 	if err != nil {
 		return false, err
 	}
@@ -212,7 +214,7 @@ func (c *Cluster) ScanPrefix(prefix string) ([]KV, error) {
 		wg.Add(1)
 		go func(n int) {
 			defer wg.Done()
-			resp, err := c.pool(n).Call(methodPScan, req)
+			resp, err := c.call(n, methodPScan, req)
 			if err != nil {
 				errCh <- err
 				return
@@ -248,7 +250,7 @@ func (c *Cluster) ScanPrefix(prefix string) ([]KV, error) {
 // FlushAll empties every node.
 func (c *Cluster) FlushAll() error {
 	for n := range c.addrs {
-		if _, err := c.pool(n).Call(methodFlush, nil); err != nil {
+		if _, err := c.call(n, methodFlush, nil); err != nil {
 			return err
 		}
 	}
@@ -259,7 +261,7 @@ func (c *Cluster) FlushAll() error {
 func (c *Cluster) DBSize() (uint64, error) {
 	var total uint64
 	for n := range c.addrs {
-		resp, err := c.pool(n).Call(methodDBSize, nil)
+		resp, err := c.call(n, methodDBSize, nil)
 		if err != nil {
 			return 0, err
 		}
@@ -275,7 +277,7 @@ func (c *Cluster) DBSize() (uint64, error) {
 // Ping checks liveness of every node, returning the first error.
 func (c *Cluster) Ping() error {
 	for n := range c.addrs {
-		if _, err := c.pool(n).Call(methodPing, nil); err != nil {
+		if _, err := c.call(n, methodPing, nil); err != nil {
 			return fmt.Errorf("kvstore: node %d (%s): %w", n, c.addrs[n], err)
 		}
 	}

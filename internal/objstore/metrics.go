@@ -1,0 +1,18 @@
+package objstore
+
+import "diesel/internal/obs"
+
+// RegisterMetrics registers scrape-time views of the tiered store's
+// fast-tier (SSD cache) behaviour — the server-side cache of Figure 4 and
+// the hit-rate axis of the paper's Figures 9–12.
+func (t *Tiered) RegisterMetrics(reg *obs.Registry) {
+	reg.FuncCounter("diesel_objstore_fast_hits_total",
+		"Reads answered by the fast tier (SSD cache).",
+		func() float64 { return float64(t.HitCount()) })
+	reg.FuncCounter("diesel_objstore_fast_misses_total",
+		"Reads that fell through to the slow tier (HDD).",
+		func() float64 { return float64(t.MissCount()) })
+	reg.Func("diesel_objstore_fast_bytes",
+		"Bytes currently resident in the fast tier.",
+		func() float64 { return float64(t.FastBytes()) })
+}

@@ -168,6 +168,22 @@ func (t *Tiered) FastBytes() int64 {
 	return t.used
 }
 
+// HitCount returns the fast-tier hit count under the lock; the public
+// Hits field stays for callers that read it while holding no lock (tests
+// do so after quiescing).
+func (t *Tiered) HitCount() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.Hits
+}
+
+// MissCount returns the fast-tier miss count under the lock.
+func (t *Tiered) MissCount() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.Misses
+}
+
 // HitRate returns fast-tier hits / (hits+misses), or 0 before any reads.
 func (t *Tiered) HitRate() float64 {
 	t.mu.Lock()

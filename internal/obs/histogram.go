@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the fixed bucket count of every Histogram. Bucket i
+// (i < NumBuckets-1) covers values v with 2^(i-1) < v ≤ 2^i (bucket 0
+// covers v ≤ 1); the last bucket is the +Inf overflow. With nanosecond
+// observations the covered range is 1ns .. 2^38ns (~4.6 min), which
+// brackets every latency this system produces, from a cache-hit probe to
+// a cold ImageNet load.
+const NumBuckets = 40
+
+// Histogram is a fixed-bucket, lock-free histogram over uint64 values.
+// Power-of-two buckets make Observe one bits.Len64 plus two atomic adds —
+// cheap enough for the per-frame wire path — at the cost of quantile
+// estimates that are exact only to within one power of two (§ Quantile).
+//
+// The zero value is usable but renders with scale 0; create histograms
+// through a Registry, which sets the rendering scale.
+type Histogram struct {
+	// scale converts raw observed units to the exposed unit when
+	// rendering (1e-9 for nanosecond observations exposed as seconds;
+	// 1 for dimensionless sizes). Immutable after creation.
+	scale float64
+
+	counts [NumBuckets]atomic.Uint64
+	sum    atomic.Uint64
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v uint64) int {
+	if v <= 1 {
+		return 0
+	}
+	b := bits.Len64(v - 1) // v in (2^(b-1), 2^b]
+	if b >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return b
+}
+
+// Observe records one value. Allocation-free and safe for concurrent use.
+func (h *Histogram) Observe(v uint64) {
+	h.counts[bucketOf(v)].Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveDuration records a duration in nanoseconds (negative durations
+// clamp to zero).
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(uint64(d))
+}
+
+// Since records the time elapsed since start — the idiomatic hot-path
+// form: `defer h.Since(time.Now())` or an explicit start/stop pair.
+func (h *Histogram) Since(start time.Time) { h.ObserveDuration(time.Since(start)) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Snapshot copies the histogram's state. Buckets are read individually
+// without a global lock, so a snapshot taken during heavy concurrent
+// observation can be torn by a handful of in-flight observations — fine
+// for monitoring, which is the only consumer.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	s.Scale = h.scale
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram, mergeable across
+// components and serialisable by encoding/json.
+type HistSnapshot struct {
+	Counts [NumBuckets]uint64 `json:"counts"`
+	Sum    uint64             `json:"sum"`
+	Count  uint64             `json:"count"`
+	Scale  float64            `json:"scale,omitempty"`
+}
+
+// Merge folds o into s. Buckets are fixed and aligned by construction,
+// so merging is exact.
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	for i := range s.Counts {
+		s.Counts[i] += o.Counts[i]
+	}
+	s.Sum += o.Sum
+	s.Count += o.Count
+}
+
+// bucketBounds returns the raw-unit (lower, upper] bounds of bucket i.
+// The overflow bucket is capped at 2^(NumBuckets-1) for interpolation.
+func bucketBounds(i int) (lo, hi float64) {
+	if i == 0 {
+		return 0, 1
+	}
+	return float64(uint64(1) << (i - 1)), float64(uint64(1) << i)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) in raw units, by linear
+// interpolation within the bucket holding the target rank. The estimate
+// is within one power-of-two bucket of the true sample quantile. Returns
+// 0 for an empty histogram.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			lo, hi := bucketBounds(i)
+			return lo + (rank-cum)/float64(c)*(hi-lo)
+		}
+		cum = next
+	}
+	lo, _ := bucketBounds(NumBuckets - 1)
+	return lo
+}
+
+// Mean returns the mean observed value in raw units (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

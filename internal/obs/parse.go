@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the scrape side of the exposition format: `dlcmd stats`
+// fetches a server's /metrics and parses it back into values and
+// histogram quantiles. The parser accepts the subset of the format this
+// package emits (which is also what any standard exporter emits for
+// counters, gauges and histograms).
+
+// Sample is one parsed non-histogram sample line.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ScrapedHistogram is one histogram series reassembled from its _bucket,
+// _sum and _count lines.
+type ScrapedHistogram struct {
+	Name   string
+	Labels map[string]string // without "le"
+	// Buckets are (upper bound, cumulative count) pairs in ascending
+	// bound order; the +Inf bound is math.Inf(1).
+	Buckets []BucketPoint
+	Sum     float64
+	Count   float64
+}
+
+// BucketPoint is one cumulative histogram bucket.
+type BucketPoint struct {
+	LE  float64
+	Cum float64
+}
+
+// Quantile estimates the q-quantile by linear interpolation between
+// bucket bounds, the same estimate Prometheus's histogram_quantile
+// computes server-side.
+func (h *ScrapedHistogram) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Buckets) == 0 {
+		return 0
+	}
+	rank := q * h.Count
+	if rank < 1 {
+		rank = 1
+	}
+	var prevLE, prevCum float64
+	for _, b := range h.Buckets {
+		if rank <= b.Cum {
+			if math.IsInf(b.LE, 1) {
+				return prevLE // best effort for the overflow bucket
+			}
+			inBucket := b.Cum - prevCum
+			if inBucket <= 0 {
+				return b.LE
+			}
+			return prevLE + (rank-prevCum)/inBucket*(b.LE-prevLE)
+		}
+		if !math.IsInf(b.LE, 1) {
+			prevLE = b.LE
+		}
+		prevCum = b.Cum
+	}
+	return prevLE
+}
+
+// Scrape is the parsed form of one /metrics response.
+type Scrape struct {
+	Types      map[string]string // family name → counter|gauge|histogram|…
+	Help       map[string]string
+	Samples    []Sample // counters and gauges
+	Histograms []*ScrapedHistogram
+}
+
+// ParseText parses a Prometheus text exposition.
+func ParseText(r io.Reader) (*Scrape, error) {
+	s := &Scrape{Types: make(map[string]string), Help: make(map[string]string)}
+	hists := make(map[string]*ScrapedHistogram) // family+labels key
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 4 && fields[1] == "HELP" {
+				s.Help[fields[2]] = fields[3]
+			} else if len(fields) >= 4 && fields[1] == "TYPE" {
+				s.Types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: /metrics line %d: %w", lineNo, err)
+		}
+		fam, suffix := histFamily(name, s.Types)
+		if fam == "" {
+			s.Samples = append(s.Samples, Sample{Name: name, Labels: labels, Value: value})
+			continue
+		}
+		le, hasLE := labels["le"]
+		delete(labels, "le")
+		k := key(fam, sortedLabels(labels))
+		h, ok := hists[k]
+		if !ok {
+			h = &ScrapedHistogram{Name: fam, Labels: labels}
+			hists[k] = h
+			s.Histograms = append(s.Histograms, h)
+		}
+		switch suffix {
+		case "_bucket":
+			if !hasLE {
+				return nil, fmt.Errorf("obs: /metrics line %d: bucket without le", lineNo)
+			}
+			bound, err := parseLE(le)
+			if err != nil {
+				return nil, fmt.Errorf("obs: /metrics line %d: %w", lineNo, err)
+			}
+			h.Buckets = append(h.Buckets, BucketPoint{LE: bound, Cum: value})
+		case "_sum":
+			h.Sum = value
+		case "_count":
+			h.Count = value
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, h := range s.Histograms {
+		sort.Slice(h.Buckets, func(i, j int) bool { return h.Buckets[i].LE < h.Buckets[j].LE })
+	}
+	return s, nil
+}
+
+// histFamily maps a sample name to its histogram family when the TYPE
+// declarations say it belongs to one.
+func histFamily(name string, types map[string]string) (fam, suffix string) {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok && types[base] == "histogram" {
+			return base, suf
+		}
+	}
+	return "", ""
+}
+
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func sortedLabels(m map[string]string) []Label {
+	ls := make([]Label, 0, len(m))
+	for k, v := range m {
+		ls = append(ls, Label{Name: k, Value: v})
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	return ls
+}
+
+// parseSample splits `name{k="v",...} value`.
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	labels = make(map[string]string)
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		name = line[:i]
+		end := strings.LastIndexByte(line, '}')
+		if end < i {
+			return "", nil, 0, fmt.Errorf("unterminated label set")
+		}
+		if err := parseLabels(line[i+1:end], labels); err != nil {
+			return "", nil, 0, err
+		}
+		rest = strings.TrimSpace(line[end+1:])
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+		}
+		name = fields[0]
+		rest = fields[1]
+	}
+	rest = strings.Fields(rest)[0] // drop optional timestamp
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	return name, labels, v, nil
+}
+
+// parseLabels parses `k="v",k2="v2"` with exposition-format unescaping.
+func parseLabels(s string, out map[string]string) error {
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return fmt.Errorf("malformed labels %q", s)
+		}
+		k := strings.TrimSpace(s[:eq])
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return fmt.Errorf("label %s: value not quoted", k)
+		}
+		s = s[1:]
+		var b strings.Builder
+		i := 0
+		for ; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					b.WriteByte('\n')
+				case '\\', '"':
+					b.WriteByte(s[i])
+				default:
+					b.WriteByte('\\')
+					b.WriteByte(s[i])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			b.WriteByte(c)
+		}
+		if i >= len(s) {
+			return fmt.Errorf("label %s: unterminated value", k)
+		}
+		out[k] = b.String()
+		s = strings.TrimPrefix(strings.TrimSpace(s[i+1:]), ",")
+		s = strings.TrimSpace(s)
+	}
+	return nil
+}

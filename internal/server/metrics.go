@@ -1,0 +1,55 @@
+package server
+
+import (
+	"diesel/internal/objstore"
+	"diesel/internal/obs"
+)
+
+// RegisterMetrics registers scrape-time views of the server's state on
+// reg. Per-RPC latency and error counters come for free from the wire
+// layer (diesel_wire_served_seconds{method}, diesel_wire_errors_total);
+// what the server adds is what only it can see: metadata database size,
+// request-executor decisions, and the tiered store's fast-tier cache.
+//
+// FuncGauge callbacks run at scrape time, so diesel_server_kv_keys costs
+// one DBSize round per scrape — cheap against any sane scrape interval.
+// It reports -1 when the metadata database is unreachable, which a
+// dashboard can alert on without conflating it with "empty".
+func (s *Server) RegisterMetrics(reg *obs.Registry) {
+	reg.Func("diesel_server_kv_keys",
+		"Total keys in the metadata database (-1 if unreachable).",
+		func() float64 {
+			n, err := s.kv.DBSize()
+			if err != nil {
+				return -1
+			}
+			return float64(n)
+		})
+	reg.FuncCounter("diesel_server_exec_chunk_reads_total",
+		"Whole-chunk backend reads chosen by the request executor.",
+		func() float64 { return float64(s.Exec.Stats.ChunkReads.Load()) })
+	reg.FuncCounter("diesel_server_exec_range_reads_total",
+		"Per-file range backend reads issued by the request executor.",
+		func() float64 { return float64(s.Exec.Stats.RangeReads.Load()) })
+	reg.FuncCounter("diesel_server_exec_backend_bytes_total",
+		"Bytes pulled from the object store by the request executor.",
+		func() float64 { return float64(s.Exec.Stats.BackendBytes.Load()) })
+	reg.FuncCounter("diesel_server_exec_files_served_total",
+		"Files served through batched reads.",
+		func() float64 { return float64(s.Exec.Stats.FilesServed.Load()) })
+	if t, ok := s.objects.(*objstore.Tiered); ok {
+		t.RegisterMetrics(reg)
+	}
+}
+
+// RegisterMetrics registers the wrapped server's metrics plus this RPC
+// front-end's request counters.
+func (r *RPCServer) RegisterMetrics(reg *obs.Registry) {
+	r.S.RegisterMetrics(reg)
+	reg.FuncCounter("diesel_server_rpc_requests_total",
+		"RPCs served by this DIESEL server.",
+		func() float64 { return float64(r.rpc.Stats.Requests.Load()) })
+	reg.FuncCounter("diesel_server_rpc_errors_total",
+		"Failed RPCs served by this DIESEL server.",
+		func() float64 { return float64(r.rpc.Stats.Errors.Load()) })
+}

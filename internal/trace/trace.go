@@ -11,6 +11,7 @@ package trace
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"math/rand"
@@ -175,7 +176,17 @@ func Write(spec Spec, mk func(worker int) (Putter, error), workers int) error {
 	}
 	wg.Wait()
 	close(errCh)
-	return <-errCh
+	return drain(errCh)
+}
+
+// drain joins every worker error so a multi-worker failure reports all
+// causes, not whichever worker happened to enqueue first.
+func drain(errCh chan error) error {
+	var errs []error
+	for err := range errCh {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
 }
 
 // ReadOrder reads files in the given index order with concurrent workers
@@ -211,5 +222,5 @@ func ReadOrder(spec Spec, mk func(worker int) (Getter, error), workers int, orde
 	}
 	wg.Wait()
 	close(errCh)
-	return <-errCh
+	return drain(errCh)
 }

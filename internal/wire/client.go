@@ -6,6 +6,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ErrClientClosed is returned by Call after Close, or when the connection
@@ -46,6 +47,9 @@ func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	if metricsOn() {
+		mDials.Inc()
 	}
 	c := &Client{
 		conn:    conn,
@@ -95,6 +99,7 @@ func (c *Client) failAll(err error) {
 // payload, a *RemoteError if the server's handler failed, or a transport
 // error if the connection broke.
 func (c *Client) Call(method string, payload []byte) ([]byte, error) {
+	defer observeCall(method, time.Now())
 	seq := c.seq.Add(1)
 	ch := make(chan *Frame, 1)
 
@@ -170,6 +175,9 @@ func DialPool(addr string, n int) (*Pool, error) {
 
 // Call forwards to one of the pooled clients.
 func (p *Pool) Call(method string, payload []byte) ([]byte, error) {
+	if metricsOn() {
+		mPoolCalls.Inc()
+	}
 	i := p.next.Add(1)
 	return p.clients[i%uint64(len(p.clients))].Call(method, payload)
 }

@@ -8,6 +8,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Handler processes one request payload and returns the response payload.
@@ -129,13 +130,18 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 func (s *Server) dispatch(conn net.Conn, wmu *sync.Mutex, req *Frame) {
+	start := time.Now()
 	s.mu.RLock()
 	fn := s.handlers[req.Method]
 	s.mu.RUnlock()
 
 	var resp Frame
 	resp.Seq = req.Seq
+	// Unknown methods are observed under method="?" so a misbehaving
+	// client cannot blow up the registry's label cardinality.
+	observedMethod := req.Method
 	if fn == nil {
+		observedMethod = "?"
 		resp.Kind = KindError
 		resp.Payload = []byte("wire: unknown method " + req.Method)
 		s.Stats.Errors.Add(1)
@@ -151,6 +157,7 @@ func (s *Server) dispatch(conn net.Conn, wmu *sync.Mutex, req *Frame) {
 		}
 	}
 	s.Stats.Requests.Add(1)
+	observeServe(observedMethod, start, resp.Kind == KindError)
 	if req.Kind == KindOneway {
 		return
 	}

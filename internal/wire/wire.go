@@ -80,6 +80,10 @@ func WriteFrame(w io.Writer, f *Frame) error {
 	copy(buf[headerSize:], f.Method)
 	copy(buf[headerSize+len(f.Method):], f.Payload)
 	_, err := w.Write(buf)
+	if err == nil && metricsOn() {
+		mFramesOut.Inc()
+		mBytesOut.Add(uint64(len(f.Payload)))
+	}
 	return err
 }
 
@@ -111,5 +115,9 @@ func ReadFrame(r io.Reader) (*Frame, error) {
 	}
 	f.Method = string(rest[:mlen])
 	f.Payload = rest[mlen:]
+	if metricsOn() {
+		mFramesIn.Inc()
+		mBytesIn.Add(uint64(plen))
+	}
 	return f, nil
 }
