@@ -33,12 +33,22 @@ func main() {
 	storeDir := flag.String("store", "", "chunk storage directory (empty = in-memory)")
 	ssdCache := flag.Int64("ssd-cache", 0, "fast-tier cache capacity in bytes (0 = disabled)")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /healthz and /debug/pprof on this address (empty = disabled)")
+	kvTimeout := flag.Duration("kv-timeout", 5*time.Second, "per-RPC deadline for metadata KV calls (0 = none)")
+	kvRetries := flag.Int("kv-retries", 2, "extra attempts for idempotent KV reads after a transport failure (writes never retry; negative disables)")
 	flag.Parse()
 
 	if *kvAddrs == "" {
 		log.Fatal("diesel-server: -kv is required")
 	}
-	kv, err := kvstore.DialCluster(strings.Split(*kvAddrs, ","), 4)
+	maxRetries := *kvRetries
+	if maxRetries <= 0 {
+		maxRetries = -1 // Options treats 0 as "default"; negative disables
+	}
+	kv, err := kvstore.DialClusterOpts(strings.Split(*kvAddrs, ","), kvstore.Options{
+		ConnsPerNode: 4,
+		CallTimeout:  *kvTimeout,
+		MaxRetries:   maxRetries,
+	})
 	if err != nil {
 		log.Fatalf("diesel-server: %v", err)
 	}

@@ -39,6 +39,8 @@ import (
 func main() {
 	servers := flag.String("servers", "127.0.0.1:7400", "comma-separated DIESEL server addresses")
 	dataset := flag.String("dataset", "", "dataset name (required)")
+	callTimeout := flag.Duration("call-timeout", 0, "per-RPC deadline (0 = none; a hung server then blocks forever)")
+	retries := flag.Int("retries", 2, "extra attempts for idempotent reads after a transport failure (writes never retry; negative disables)")
 	flag.Parse()
 	// stats talks HTTP to a -metrics endpoint, not RPC to a server, so it
 	// needs neither -dataset nor a client connection.
@@ -53,10 +55,16 @@ func main() {
 		os.Exit(2)
 	}
 
+	maxRetries := *retries
+	if maxRetries <= 0 {
+		maxRetries = -1 // Options treats 0 as "default"; negative disables
+	}
 	c, err := client.Connect(client.Options{
 		User: "dlcmd", Key: "",
-		Servers: strings.Split(*servers, ","),
-		Dataset: *dataset,
+		Servers:     strings.Split(*servers, ","),
+		Dataset:     *dataset,
+		CallTimeout: *callTimeout,
+		MaxRetries:  maxRetries,
 	})
 	if err != nil {
 		log.Fatalf("dlcmd: %v", err)

@@ -133,11 +133,16 @@ func main() {
 		}
 		ok++
 	}
-	var fallbacks uint64
+	var fallbacks, deaths uint64
+	deadNow := 0
 	for _, p := range task.Peers {
 		fallbacks += p.Stats.ServerFallback.Load()
+		deaths += p.Stats.MasterDeaths.Load()
+		deadNow += p.DeadMasters()
 	}
 	fmt.Printf("containment: %d reads succeeded after master death (%d via server fallback) ✓\n", ok, fallbacks)
+	fmt.Printf("breaker: %d master-death events; %d remote masters currently marked dead — their chunks route straight to server fallback ✓\n",
+		deaths, deadNow)
 
 	// Chunk-granular cache recovery: drop and reload the survivor.
 	var survivor *dcache.Peer

@@ -28,6 +28,7 @@ import (
 	"crypto/rand"
 	"errors"
 	"fmt"
+	mrand "math/rand"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -62,6 +63,19 @@ type Options struct {
 	Rank int
 	// NowNS supplies timestamps (defaults to time.Now).
 	NowNS func() int64
+	// CallTimeout bounds every RPC round trip; 0 disables deadlines. A
+	// hung server then fails calls instead of wedging the training loop.
+	CallTimeout time.Duration
+	// MaxRetries is how many extra attempts idempotent read operations
+	// (Get, GetBatch, GetChunk, Stat, Ls, DatasetRecord, snapshot
+	// download) make after a transport failure, each against the next
+	// server in the round-robin. Writes (Put/Flush ingest) never retry:
+	// a retried ingest that actually landed would duplicate a chunk.
+	// Default 2; negative disables retries.
+	MaxRetries int
+	// RetryBackoff is the base delay between attempts, doubled per retry
+	// with ±50% jitter (default 10ms, capped at 100×base).
+	RetryBackoff time.Duration
 }
 
 // Reader intercepts file reads. The task-grained distributed cache
@@ -96,6 +110,7 @@ type ClientStats struct {
 	Puts, Gets, Stats, Lists obs.Counter
 	LocalMetaHits            obs.Counter // metadata ops served by the snapshot
 	ServerMetaOps            obs.Counter // metadata ops that hit the server
+	Retries                  obs.Counter // idempotent RPCs retried after transport failures
 }
 
 // ErrNoSnapshot is returned by operations that need a loaded snapshot.
@@ -115,9 +130,17 @@ func Connect(opts Options) (*Client, error) {
 	if opts.NowNS == nil {
 		opts.NowNS = func() int64 { return time.Now().UnixNano() }
 	}
+	if opts.MaxRetries == 0 {
+		opts.MaxRetries = 2
+	} else if opts.MaxRetries < 0 {
+		opts.MaxRetries = 0
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = 10 * time.Millisecond
+	}
 	c := &Client{opts: opts}
 	for _, addr := range opts.Servers {
-		p, err := wire.DialPool(addr, opts.ConnsPerServer)
+		p, err := wire.DialPool(addr, opts.ConnsPerServer, wire.WithCallTimeout(opts.CallTimeout))
 		if err != nil {
 			c.Close()
 			return nil, fmt.Errorf("client: connect %s: %w", addr, err)
@@ -158,10 +181,45 @@ func clientPID() uint32 {
 	return uint32(os.Getpid()&0xFFFF)<<8 | (clientInstances.Add(1) & 0xFF)
 }
 
-// call invokes an RPC on one of the servers, round-robin.
+// call invokes an RPC on one of the servers, round-robin. Used directly
+// by the write path, which must never retry.
 func (c *Client) call(method string, payload []byte) ([]byte, error) {
 	i := c.next.Add(1)
 	return c.pools[i%uint64(len(c.pools))].Call(method, payload)
+}
+
+// callIdem is call with bounded retry for idempotent reads: a transport
+// failure backs off with jitter and tries again, and because call
+// round-robins, each retry lands on the next server — the paper's
+// interchangeable-servers property is what makes this safe and useful.
+// Application errors (RemoteError) are returned immediately, and all
+// attempts' transport errors are joined on exhaustion.
+func (c *Client) callIdem(method string, payload []byte) ([]byte, error) {
+	var errs []error
+	for attempt := 0; ; attempt++ {
+		resp, err := c.call(method, payload)
+		if err == nil || wire.IsRemote(err) {
+			return resp, err
+		}
+		errs = append(errs, err)
+		if attempt >= c.opts.MaxRetries {
+			return nil, fmt.Errorf("client: %s failed after %d attempts: %w",
+				method, attempt+1, errors.Join(errs...))
+		}
+		c.Stats.Retries.Add(1)
+		mRetries.Inc()
+		time.Sleep(retryDelay(c.opts.RetryBackoff, attempt))
+	}
+}
+
+// retryDelay is the backoff before retry number attempt+1: base doubled
+// per attempt, ±50% jitter, capped at 100×base.
+func retryDelay(base time.Duration, attempt int) time.Duration {
+	d := base << min(attempt, 20)
+	if limit := 100 * base; d > limit {
+		d = limit
+	}
+	return d/2 + time.Duration(mrand.Int63n(int64(d)))
 }
 
 // Dataset returns the dataset this context is bound to.
@@ -253,7 +311,7 @@ func (c *Client) GetDirect(path string) ([]byte, error) {
 	e := wire.NewEncoder(len(path) + len(c.opts.Dataset) + 16)
 	e.String(c.opts.Dataset)
 	e.String(meta.CleanPath(path))
-	resp, err := c.call(server.MethodGet, e.Bytes())
+	resp, err := c.callIdem(server.MethodGet, e.Bytes())
 	if err != nil {
 		return nil, err
 	}
@@ -273,7 +331,7 @@ func (c *Client) GetBatch(paths []string) ([][]byte, error) {
 	e := wire.NewEncoder(64)
 	e.String(c.opts.Dataset)
 	e.StringSlice(cleaned)
-	resp, err := c.call(server.MethodGetBatch, e.Bytes())
+	resp, err := c.callIdem(server.MethodGetBatch, e.Bytes())
 	if err != nil {
 		return nil, err
 	}
@@ -301,7 +359,7 @@ func (c *Client) GetChunk(chunkID string) ([]byte, error) {
 	e := wire.NewEncoder(len(chunkID) + len(c.opts.Dataset) + 16)
 	e.String(c.opts.Dataset)
 	e.String(chunkID)
-	resp, err := c.call(server.MethodGetChunk, e.Bytes())
+	resp, err := c.callIdem(server.MethodGetChunk, e.Bytes())
 	if err != nil {
 		return nil, err
 	}
@@ -344,7 +402,7 @@ func (c *Client) Stat(path string) (StatInfo, error) {
 	e := wire.NewEncoder(64)
 	e.String(c.opts.Dataset)
 	e.String(meta.CleanPath(path))
-	resp, err := c.call(server.MethodStat, e.Bytes())
+	resp, err := c.callIdem(server.MethodStat, e.Bytes())
 	if err != nil {
 		return StatInfo{}, err
 	}
@@ -387,7 +445,7 @@ func (c *Client) Ls(dir string) ([]Entry, error) {
 	e := wire.NewEncoder(64)
 	e.String(c.opts.Dataset)
 	e.String(meta.CleanPath(dir))
-	resp, err := c.call(server.MethodList, e.Bytes())
+	resp, err := c.callIdem(server.MethodList, e.Bytes())
 	if err != nil {
 		return nil, err
 	}
@@ -413,7 +471,7 @@ func (c *Client) Delete(path string) error {
 func (c *Client) DatasetRecord() (meta.DatasetRecord, error) {
 	e := wire.NewEncoder(32)
 	e.String(c.opts.Dataset)
-	resp, err := c.call(server.MethodDatasetRecord, e.Bytes())
+	resp, err := c.callIdem(server.MethodDatasetRecord, e.Bytes())
 	if err != nil {
 		return meta.DatasetRecord{}, err
 	}
@@ -425,7 +483,7 @@ func (c *Client) DatasetRecord() (meta.DatasetRecord, error) {
 func (c *Client) DownloadSnapshot() (*meta.Snapshot, error) {
 	e := wire.NewEncoder(32)
 	e.String(c.opts.Dataset)
-	resp, err := c.call(server.MethodSnapshot, e.Bytes())
+	resp, err := c.callIdem(server.MethodSnapshot, e.Bytes())
 	if err != nil {
 		return nil, err
 	}

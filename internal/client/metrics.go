@@ -10,6 +10,8 @@ import "diesel/internal/obs"
 //	diesel_client_meta_ops_total{source}   metadata ops by where they were
 //	                                       answered ("snapshot" = local
 //	                                       hashmap probe, "server" = RPC)
+//	diesel_client_retries_total            idempotent reads retried after
+//	                                       transport failures
 //	diesel_client_get_seconds              DL_get latency
 //	diesel_client_getbatch_seconds         batched read latency
 //	diesel_client_getchunk_seconds         whole-chunk fetch latency
@@ -20,6 +22,9 @@ var (
 	mMetaServer = obs.Default().Counter("diesel_client_meta_ops_total",
 		"Client metadata operations by answering source.",
 		obs.L("source", "server"))
+
+	mRetries = obs.Default().Counter("diesel_client_retries_total",
+		"Idempotent client reads retried after a transport failure.")
 
 	mGetLat = obs.Default().Duration("diesel_client_get_seconds",
 		"DL_get latency (cache reader or direct server read).")

@@ -60,6 +60,18 @@ type Config struct {
 	CapacityBytes int64
 	// JoinTimeout bounds the registration barrier (default 10s).
 	JoinTimeout time.Duration
+	// DeadAfter marks a remote master dead after this many consecutive
+	// transport failures; its chunks then route straight to server
+	// fallback without paying a doomed RPC per read (default 3).
+	DeadAfter int
+	// DeadCooldown is how long a dead master is skipped before a single
+	// read re-probes it; a successful probe restores the p×(n−1) peer
+	// topology (default 5s).
+	DeadCooldown time.Duration
+	// PeerCallTimeout bounds each cache.get RPC to a remote master, so a
+	// hung master degrades to server fallback instead of stalling the
+	// training loop (default 2s).
+	PeerCallTimeout time.Duration
 }
 
 // Registrar is the registry interface Join needs; both *etcd.Registry
@@ -79,6 +91,8 @@ type Stats struct {
 	BytesLoaded    obs.Counter
 	ServerFallback obs.Counter // reads that bypassed the cache after a failure
 	Evictions      obs.Counter
+	MasterDeaths   obs.Counter // remote masters marked dead after repeated failures
+	PrefetchErrors obs.Counter // background Oneshot prefetch failures
 }
 
 // Peer is one I/O process's handle on the task-grained cache. It
@@ -101,12 +115,88 @@ type Peer struct {
 
 	// inflight deduplicates concurrent loads of the same chunk: the
 	// Oneshot prefetch, peer requests and local reads may race on a chunk,
-	// and it must be fetched from the server exactly once.
+	// and it must be fetched from the server exactly once. Waiters receive
+	// the fetcher's result — including its error — so a failed fetch does
+	// not turn coalesced waiters into a thundering herd of fresh fetchers.
 	inflightMu sync.Mutex
-	inflight   map[string]chan struct{}
+	inflight   map[string]*inflightLoad
+
+	// health tracks remote-master liveness, parallel to masters.
+	health []masterHealth
+
+	perrMu sync.Mutex
+	perr   error // last background prefetch failure
 
 	Stats  Stats
 	closed atomic.Bool
+}
+
+// inflightLoad carries one in-progress chunk fetch and its outcome.
+type inflightLoad struct {
+	done chan struct{}
+	cc   *cachedChunk
+	err  error
+}
+
+// masterHealth is a tiny per-remote-master circuit breaker: DeadAfter
+// consecutive transport failures open it (reads skip the master entirely),
+// and after DeadCooldown a single half-open probe is let through; success
+// closes it again, restoring peer reads.
+type masterHealth struct {
+	mu        sync.Mutex
+	failures  int
+	deadUntil time.Time // zero while alive
+	probing   bool      // a half-open probe is in flight
+}
+
+// tryUse reports whether a read may attempt this master now. When the
+// master is dead and its cooldown has expired, exactly one caller is
+// admitted as the probe.
+func (h *masterHealth) tryUse(now time.Time) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.deadUntil.IsZero() {
+		return true
+	}
+	if now.Before(h.deadUntil) || h.probing {
+		return false
+	}
+	h.probing = true
+	return true
+}
+
+// succeeded records a successful RPC, reviving a dead master.
+func (h *masterHealth) succeeded() (revived bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	revived = !h.deadUntil.IsZero()
+	h.failures = 0
+	h.deadUntil = time.Time{}
+	h.probing = false
+	return revived
+}
+
+// failed records a transport failure, returning whether this one marked
+// the master dead (an already-dead master just extends its cooldown).
+func (h *masterHealth) failed(now time.Time, deadAfter int, cooldown time.Duration) (died bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.probing = false
+	h.failures++
+	if h.failures < deadAfter {
+		return false
+	}
+	died = h.deadUntil.IsZero()
+	h.deadUntil = now.Add(cooldown)
+	return died
+}
+
+// dead reports whether the master is marked dead (it stays dead until a
+// successful probe revives it, even after the cooldown expires).
+func (h *masterHealth) dead() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return !h.deadUntil.IsZero()
 }
 
 const methodCacheGet = "cache.get"
@@ -128,6 +218,15 @@ func Join(cl *client.Client, reg Registrar, cfg Config) (*Peer, error) {
 	}
 	if cfg.JoinTimeout <= 0 {
 		cfg.JoinTimeout = 10 * time.Second
+	}
+	if cfg.DeadAfter <= 0 {
+		cfg.DeadAfter = 3
+	}
+	if cfg.DeadCooldown <= 0 {
+		cfg.DeadCooldown = 5 * time.Second
+	}
+	if cfg.PeerCallTimeout <= 0 {
+		cfg.PeerCallTimeout = 2 * time.Second
 	}
 
 	p := &Peer{
@@ -209,11 +308,17 @@ func Join(cl *client.Client, reg Registrar, cfg Config) (*Peer, error) {
 		}
 	}
 
+	p.health = make([]masterHealth, len(p.masters))
+
 	if p.IsMaster() {
 		p.store = newChunkStore(cfg.CapacityBytes)
 		p.srv.Handle(methodCacheGet, p.handleCacheGet)
 		if cfg.Policy == Oneshot {
-			go p.LoadOwned()
+			go func() {
+				if err := p.LoadOwned(); err != nil {
+					p.notePrefetchError(err)
+				}
+			}()
 		}
 	} else {
 		p.srv.Close()
@@ -279,36 +384,39 @@ func (p *Peer) LoadOwned() error {
 
 // loadChunk ensures chunk ci is cached locally, fetching it from a DIESEL
 // server if needed, and returns it. Concurrent loads of the same chunk
-// coalesce into a single server fetch.
+// coalesce into a single server fetch whose result — success or failure —
+// is shared with every waiter; a failed fetch therefore costs one RPC, not
+// one per blocked reader.
 func (p *Peer) loadChunk(ci int) (*cachedChunk, error) {
 	id := p.snap.Chunks[ci].ID.String()
-	for {
-		if cc := p.store.get(id); cc != nil {
-			return cc, nil
-		}
-		p.inflightMu.Lock()
-		if p.inflight == nil {
-			p.inflight = make(map[string]chan struct{})
-		}
-		done, loading := p.inflight[id]
-		if !loading {
-			done = make(chan struct{})
-			p.inflight[id] = done
-		}
-		p.inflightMu.Unlock()
-		if !loading {
-			cc, err := p.fetchChunk(id)
-			p.inflightMu.Lock()
-			delete(p.inflight, id)
-			p.inflightMu.Unlock()
-			close(done)
-			return cc, err
-		}
-		<-done // another goroutine is fetching; retry from the store
+	if cc := p.store.get(id); cc != nil {
+		return cc, nil
 	}
+	p.inflightMu.Lock()
+	if p.inflight == nil {
+		p.inflight = make(map[string]*inflightLoad)
+	}
+	fl, loading := p.inflight[id]
+	if !loading {
+		fl = &inflightLoad{done: make(chan struct{})}
+		p.inflight[id] = fl
+	}
+	p.inflightMu.Unlock()
+	if loading {
+		<-fl.done
+		return fl.cc, fl.err
+	}
+	fl.cc, fl.err = p.fetchChunk(id)
+	p.inflightMu.Lock()
+	delete(p.inflight, id)
+	p.inflightMu.Unlock()
+	close(fl.done)
+	return fl.cc, fl.err
 }
 
-// fetchChunk pulls one chunk from a DIESEL server into the store.
+// fetchChunk pulls one chunk from a DIESEL server into the store. A chunk
+// too large for the store's capacity is still returned (the read succeeds)
+// but not cached.
 func (p *Peer) fetchChunk(id string) (*cachedChunk, error) {
 	blob, err := p.cl.GetChunk(id)
 	if err != nil {
@@ -319,14 +427,36 @@ func (p *Peer) fetchChunk(id string) (*cachedChunk, error) {
 		return nil, fmt.Errorf("dcache: chunk %s corrupt: %w", id, err)
 	}
 	cc := newCachedChunk(ck)
-	evicted := p.store.put(id, cc)
+	evicted, cached := p.store.put(id, cc)
 	p.Stats.ChunkLoads.Add(1)
 	p.Stats.BytesLoaded.Add(uint64(len(blob)))
 	p.Stats.Evictions.Add(evicted)
 	mChunkLoads.Inc()
 	mBytesLoaded.Add(uint64(len(blob)))
 	mEvictions.Add(evicted)
+	if !cached {
+		mOversized.Inc()
+	}
 	return cc, nil
+}
+
+// notePrefetchError records a background Oneshot prefetch failure so it is
+// observable instead of silently discarded.
+func (p *Peer) notePrefetchError(err error) {
+	p.perrMu.Lock()
+	p.perr = err
+	p.perrMu.Unlock()
+	p.Stats.PrefetchErrors.Add(1)
+	mPrefetchErrors.Inc()
+}
+
+// PrefetchErr returns the most recent background prefetch failure, or nil.
+// A later successful LoadOwned does not clear it; callers who retry the
+// prefetch synchronously get their error from LoadOwned itself.
+func (p *Peer) PrefetchErr() error {
+	p.perrMu.Lock()
+	defer p.perrMu.Unlock()
+	return p.perr
 }
 
 // handleCacheGet serves a file from this master's cache (loading the chunk
@@ -364,6 +494,11 @@ func (p *Peer) readLocal(path string) ([]byte, error) {
 // remote ones are one RPC hop; on any failure the read falls back to the
 // DIESEL servers so a dead cache node degrades throughput, not
 // correctness.
+//
+// A remote master that keeps failing is marked dead (Config.DeadAfter)
+// and its chunks route straight to server fallback without paying a
+// doomed RPC per read; after Config.DeadCooldown one read re-probes it,
+// and a successful probe restores the p×(n−1) peer topology.
 func (p *Peer) ReadFile(path string) ([]byte, error) {
 	m, err := p.snap.Stat(path)
 	if err != nil {
@@ -377,12 +512,23 @@ func (p *Peer) ReadFile(path string) ([]byte, error) {
 			mLocalHits.Inc()
 			return b, nil
 		}
-	} else {
+	} else if h := &p.health[owner]; h.tryUse(time.Now()) {
 		b, err := p.readFromMaster(p.masters[owner].addr, path)
 		if err == nil {
+			if h.succeeded() {
+				mMasterRevivals.Inc()
+			}
 			p.Stats.PeerReads.Add(1)
 			mPeerReads.Inc()
 			return b, nil
+		}
+		if wire.IsRemote(err) {
+			// The master answered; this is an application error, not a
+			// liveness signal. Leave the breaker alone and fall back.
+			h.succeeded()
+		} else if h.failed(time.Now(), p.cfg.DeadAfter, p.cfg.DeadCooldown) {
+			p.Stats.MasterDeaths.Add(1)
+			mMasterDeaths.Inc()
 		}
 	}
 	p.Stats.ServerFallback.Add(1)
@@ -414,7 +560,7 @@ func (p *Peer) poolFor(addr string) (*wire.Pool, error) {
 	if pool, ok := p.pools[addr]; ok {
 		return pool, nil
 	}
-	pool, err := wire.DialPool(addr, 2)
+	pool, err := wire.DialPool(addr, 2, wire.WithCallTimeout(p.cfg.PeerCallTimeout))
 	if err != nil {
 		return nil, err
 	}
@@ -430,6 +576,20 @@ func (p *Peer) DialedMasters() int {
 	p.pmu.Lock()
 	defer p.pmu.Unlock()
 	return len(p.pools)
+}
+
+// DeadMasters reports how many remote masters this peer currently
+// considers dead. Healthy topology is 0; the Figure 6 degraded phase shows
+// here as a nonzero count until the masters rejoin and a probe revives
+// them.
+func (p *Peer) DeadMasters() int {
+	n := 0
+	for i := range p.health {
+		if p.health[i].dead() {
+			n++
+		}
+	}
+	return n
 }
 
 // CachedBytes reports the payload bytes currently cached on this master.
@@ -529,14 +689,19 @@ func (s *chunkStore) get(id string) *cachedChunk {
 	return el.Value.(*storeEntry).cc
 }
 
-// put inserts a chunk, returning the number of evictions it caused.
-func (s *chunkStore) put(id string, cc *cachedChunk) uint64 {
+// put inserts a chunk, returning the number of evictions it caused and
+// whether the chunk was actually cached. A chunk larger than the whole
+// capacity is refused outright: evicting everything could not make it
+// fit, and inserting it anyway would leave used > capacity permanently.
+func (s *chunkStore) put(id string, cc *cachedChunk) (evicted uint64, cached bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.items[id]; dup {
-		return 0
+		return 0, true
 	}
-	var evicted uint64
+	if s.capacity > 0 && cc.size() > s.capacity {
+		return 0, false
+	}
 	if s.capacity > 0 {
 		for s.used+cc.size() > s.capacity && s.lru.Len() > 0 {
 			back := s.lru.Back()
@@ -549,7 +714,7 @@ func (s *chunkStore) put(id string, cc *cachedChunk) uint64 {
 	}
 	s.items[id] = s.lru.PushFront(&storeEntry{id: id, cc: cc})
 	s.used += cc.size()
-	return evicted
+	return evicted, true
 }
 
 func (s *chunkStore) bytes() int64 {

@@ -17,9 +17,14 @@ import (
 //	diesel_dcache_chunk_loads_total        chunks pulled from DIESEL servers
 //	diesel_dcache_loaded_bytes_total       bytes pulled from DIESEL servers
 //	diesel_dcache_evictions_total          chunks evicted under capacity
+//	diesel_dcache_oversized_chunks_total   chunks too large to cache at all
+//	diesel_dcache_master_deaths_total      masters marked dead by the breaker
+//	diesel_dcache_master_revivals_total    dead masters revived by a probe
+//	diesel_dcache_prefetch_errors_total    background Oneshot prefetch failures
 //	diesel_dcache_cached_bytes             payload bytes cached (live peers)
 //	diesel_dcache_cached_chunks            chunks cached (live peers)
 //	diesel_dcache_dialed_masters           distinct remote masters dialed
+//	diesel_dcache_dead_masters             masters currently marked dead
 var (
 	mLocalHits = obs.Default().Counter("diesel_dcache_reads_total",
 		"Cache reads by answering tier.", obs.L("source", "local"))
@@ -33,6 +38,14 @@ var (
 		"Encoded chunk bytes pulled from DIESEL servers by cache masters.")
 	mEvictions = obs.Default().Counter("diesel_dcache_evictions_total",
 		"Chunks evicted from master caches under capacity pressure.")
+	mOversized = obs.Default().Counter("diesel_dcache_oversized_chunks_total",
+		"Chunks served read-through but too large for the cache capacity.")
+	mMasterDeaths = obs.Default().Counter("diesel_dcache_master_deaths_total",
+		"Remote masters marked dead after consecutive transport failures.")
+	mMasterRevivals = obs.Default().Counter("diesel_dcache_master_revivals_total",
+		"Dead masters revived by a successful re-probe.")
+	mPrefetchErrors = obs.Default().Counter("diesel_dcache_prefetch_errors_total",
+		"Background Oneshot prefetch runs that failed.")
 )
 
 // livePeers tracks every open Peer so the gauges below can sum over
@@ -63,6 +76,9 @@ func init() {
 	obs.Default().Func("diesel_dcache_dialed_masters",
 		"Distinct remote masters dialed across this process's live peers.",
 		sumOver(func(p *Peer) float64 { return float64(p.DialedMasters()) }))
+	obs.Default().Func("diesel_dcache_dead_masters",
+		"Remote masters currently marked dead across this process's live peers.",
+		sumOver(func(p *Peer) float64 { return float64(p.DeadMasters()) }))
 }
 
 func trackPeer(p *Peer) {

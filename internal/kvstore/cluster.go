@@ -1,10 +1,13 @@
 package kvstore
 
 import (
+	"errors"
 	"fmt"
 	"hash/crc32"
+	"math/rand"
 	"sort"
 	"sync"
+	"time"
 
 	"diesel/internal/wire"
 )
@@ -23,22 +26,64 @@ func Slot(key string) int {
 // concurrent use.
 type Cluster struct {
 	addrs []string
+	opts  Options
 
 	mu    sync.RWMutex
 	pools []*wire.Pool
 }
 
+// Options tunes the cluster client's failure handling. The zero value
+// gets the defaults noted per field.
+type Options struct {
+	// ConnsPerNode sizes each node's connection pool (default 2).
+	ConnsPerNode int
+	// CallTimeout bounds every RPC round trip; 0 disables deadlines. A
+	// hung node then fails calls instead of wedging the caller.
+	CallTimeout time.Duration
+	// MaxRetries is how many extra attempts idempotent operations (Get,
+	// MGet, ScanPrefix, DBSize, Ping) make after a transport failure.
+	// Writes (Set, MSet, Del, FlushAll) never retry: a retried write that
+	// actually landed would be a silent double-apply. Default 2; negative
+	// disables retries.
+	MaxRetries int
+	// RetryBackoff is the base delay between attempts, doubled per retry
+	// with ±50% jitter (default 5ms, capped at 100×base).
+	RetryBackoff time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.ConnsPerNode < 1 {
+		o.ConnsPerNode = 2
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 2
+	} else if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 5 * time.Millisecond
+	}
+	return o
+}
+
 // DialCluster connects to the given node addresses with connsPerNode
-// connections each. The address order defines the slot assignment, so all
-// clients of one cluster must use the same order.
+// connections each and default failure handling. The address order
+// defines the slot assignment, so all clients of one cluster must use the
+// same order.
 func DialCluster(addrs []string, connsPerNode int) (*Cluster, error) {
+	return DialClusterOpts(addrs, Options{ConnsPerNode: connsPerNode})
+}
+
+// DialClusterOpts is DialCluster with explicit failure-handling options.
+func DialClusterOpts(addrs []string, opts Options) (*Cluster, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("kvstore: empty cluster")
 	}
-	c := &Cluster{addrs: append([]string(nil), addrs...)}
+	opts = opts.withDefaults()
+	c := &Cluster{addrs: append([]string(nil), addrs...), opts: opts}
 	c.pools = make([]*wire.Pool, len(addrs))
 	for i, a := range addrs {
-		p, err := wire.DialPool(a, connsPerNode)
+		p, err := wire.DialPool(a, opts.ConnsPerNode, wire.WithCallTimeout(opts.CallTimeout))
 		if err != nil {
 			c.Close()
 			return nil, fmt.Errorf("kvstore: dial node %d (%s): %w", i, a, err)
@@ -46,6 +91,38 @@ func DialCluster(addrs []string, connsPerNode int) (*Cluster, error) {
 		c.pools[i] = p
 	}
 	return c, nil
+}
+
+// callIdem is call with bounded retry for idempotent operations: transport
+// failures (including deadlines — the op is idempotent, so a duplicate
+// execution is harmless) back off with jitter and try again; application
+// errors from the node are returned immediately. All attempts' errors are
+// joined so a post-mortem sees every failure, not an arbitrary one.
+func (c *Cluster) callIdem(n int, method string, payload []byte) ([]byte, error) {
+	var errs []error
+	for attempt := 0; ; attempt++ {
+		resp, err := c.call(n, method, payload)
+		if err == nil || wire.IsRemote(err) {
+			return resp, err
+		}
+		errs = append(errs, err)
+		if attempt >= c.opts.MaxRetries {
+			return nil, fmt.Errorf("kvstore: node %d (%s) %s failed after %d attempts: %w",
+				n, c.addrs[n], method, attempt+1, errors.Join(errs...))
+		}
+		mRetries(method).Inc()
+		time.Sleep(retryDelay(c.opts.RetryBackoff, attempt))
+	}
+}
+
+// retryDelay is the backoff before retry number attempt+1: base doubled
+// per attempt, ±50% jitter, capped at 100×base.
+func retryDelay(base time.Duration, attempt int) time.Duration {
+	d := base << min(attempt, 20)
+	if limit := 100 * base; d > limit {
+		d = limit
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
 }
 
 // NodeCount returns the number of nodes in the cluster.
@@ -75,7 +152,7 @@ func (c *Cluster) Set(key string, value []byte) error {
 func (c *Cluster) Get(key string) ([]byte, error) {
 	e := wire.NewEncoder(len(key) + 8)
 	e.String(key)
-	resp, err := c.call(c.nodeFor(key), methodGet, e.Bytes())
+	resp, err := c.callIdem(c.nodeFor(key), methodGet, e.Bytes())
 	if err != nil {
 		return nil, err
 	}
@@ -107,8 +184,11 @@ func (c *Cluster) MSet(pairs []KV) error {
 		n := c.nodeFor(kv.Key)
 		byNode[n] = append(byNode[n], kv)
 	}
-	var wg sync.WaitGroup
-	errCh := make(chan error, len(byNode))
+	var (
+		wg   sync.WaitGroup
+		emu  sync.Mutex
+		errs []error
+	)
 	for n, batch := range byNode {
 		wg.Add(1)
 		go func(n int, batch []KV) {
@@ -120,13 +200,14 @@ func (c *Cluster) MSet(pairs []KV) error {
 				e.Bytes32(kv.Value)
 			}
 			if _, err := c.call(n, methodMSet, e.Bytes()); err != nil {
-				errCh <- fmt.Errorf("kvstore: mset on node %d: %w", n, err)
+				emu.Lock()
+				errs = append(errs, fmt.Errorf("kvstore: mset on node %d: %w", n, err))
+				emu.Unlock()
 			}
 		}(n, batch)
 	}
 	wg.Wait()
-	close(errCh)
-	return <-errCh
+	return errors.Join(errs...)
 }
 
 // MGet fetches many keys, grouped by node. The result preserves input
@@ -143,8 +224,16 @@ func (c *Cluster) MGet(keys []string) ([][]byte, error) {
 		byNode[n] = append(byNode[n], idxKey{i, k})
 	}
 	out := make([][]byte, len(keys))
-	var wg sync.WaitGroup
-	errCh := make(chan error, len(byNode))
+	var (
+		wg   sync.WaitGroup
+		emu  sync.Mutex
+		errs []error
+	)
+	fail := func(err error) {
+		emu.Lock()
+		errs = append(errs, err)
+		emu.Unlock()
+	}
 	for n, batch := range byNode {
 		wg.Add(1)
 		go func(n int, batch []idxKey) {
@@ -155,15 +244,15 @@ func (c *Cluster) MGet(keys []string) ([][]byte, error) {
 			}
 			e := wire.NewEncoder(256)
 			e.StringSlice(ks)
-			resp, err := c.call(n, methodMGet, e.Bytes())
+			resp, err := c.callIdem(n, methodMGet, e.Bytes())
 			if err != nil {
-				errCh <- err
+				fail(err)
 				return
 			}
 			d := wire.NewDecoder(resp)
 			cnt := int(d.Uint32())
 			if cnt != len(batch) {
-				errCh <- fmt.Errorf("kvstore: mget count mismatch: %d vs %d", cnt, len(batch))
+				fail(fmt.Errorf("kvstore: mget count mismatch: %d vs %d", cnt, len(batch)))
 				return
 			}
 			for _, ik := range batch {
@@ -174,13 +263,12 @@ func (c *Cluster) MGet(keys []string) ([][]byte, error) {
 				}
 			}
 			if err := d.Err(); err != nil {
-				errCh <- err
+				fail(err)
 			}
 		}(n, batch)
 	}
 	wg.Wait()
-	close(errCh)
-	if err := <-errCh; err != nil {
+	if err := errors.Join(errs...); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -208,35 +296,37 @@ func (c *Cluster) ScanPrefix(prefix string) ([]KV, error) {
 	req := e.Bytes()
 
 	results := make([][]KV, len(c.addrs))
-	var wg sync.WaitGroup
-	errCh := make(chan error, len(c.addrs))
+	var (
+		wg   sync.WaitGroup
+		emu  sync.Mutex
+		errs []error
+	)
 	for n := range c.addrs {
 		wg.Add(1)
 		go func(n int) {
 			defer wg.Done()
-			resp, err := c.call(n, methodPScan, req)
-			if err != nil {
-				errCh <- err
-				return
+			resp, err := c.callIdem(n, methodPScan, req)
+			if err == nil {
+				d := wire.NewDecoder(resp)
+				cnt := int(d.Uint32())
+				kvs := make([]KV, 0, cnt)
+				for range cnt {
+					k := d.String()
+					v := append([]byte(nil), d.Bytes32()...)
+					kvs = append(kvs, KV{k, v})
+				}
+				if err = d.Err(); err == nil {
+					results[n] = kvs
+					return
+				}
 			}
-			d := wire.NewDecoder(resp)
-			cnt := int(d.Uint32())
-			kvs := make([]KV, 0, cnt)
-			for range cnt {
-				k := d.String()
-				v := append([]byte(nil), d.Bytes32()...)
-				kvs = append(kvs, KV{k, v})
-			}
-			if err := d.Err(); err != nil {
-				errCh <- err
-				return
-			}
-			results[n] = kvs
+			emu.Lock()
+			errs = append(errs, err)
+			emu.Unlock()
 		}(n)
 	}
 	wg.Wait()
-	close(errCh)
-	if err := <-errCh; err != nil {
+	if err := errors.Join(errs...); err != nil {
 		return nil, err
 	}
 	var merged []KV
@@ -261,7 +351,7 @@ func (c *Cluster) FlushAll() error {
 func (c *Cluster) DBSize() (uint64, error) {
 	var total uint64
 	for n := range c.addrs {
-		resp, err := c.call(n, methodDBSize, nil)
+		resp, err := c.callIdem(n, methodDBSize, nil)
 		if err != nil {
 			return 0, err
 		}
@@ -277,15 +367,18 @@ func (c *Cluster) DBSize() (uint64, error) {
 // Ping checks liveness of every node, returning the first error.
 func (c *Cluster) Ping() error {
 	for n := range c.addrs {
-		if _, err := c.call(n, methodPing, nil); err != nil {
+		if _, err := c.callIdem(n, methodPing, nil); err != nil {
 			return fmt.Errorf("kvstore: node %d (%s): %w", n, c.addrs[n], err)
 		}
 	}
 	return nil
 }
 
-// Close tears down all connections.
+// Close tears down all connections. It takes the pools lock, so it is
+// safe against concurrent callers going through pool(i).
 func (c *Cluster) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var first error
 	for _, p := range c.pools {
 		if p == nil {

@@ -15,6 +15,7 @@ import (
 // argument is about:
 //
 //	diesel_kv_ops_total{op}        cluster operations by type
+//	diesel_kv_retries_total{op}    retried idempotent operations
 //	diesel_kv_batch_size{op}       pairs per MSet / keys per MGet
 //	diesel_kv_call_seconds{node}   per-node RPC latency
 var (
@@ -25,9 +26,23 @@ var (
 		"Batch sizes of grouped KV operations (pairs per MSet, keys per MGet).",
 		1, obs.L("op", "mget"))
 
-	opCounters sync.Map // method → *obs.Counter
-	nodeHists  sync.Map // node index (int) → *obs.Histogram
+	opCounters    sync.Map // method → *obs.Counter
+	retryCounters sync.Map // method → *obs.Counter
+	nodeHists     sync.Map // node index (int) → *obs.Histogram
 )
+
+// mRetries returns the retry counter for one idempotent method.
+func mRetries(method string) *obs.Counter {
+	if c, ok := retryCounters.Load(method); ok {
+		return c.(*obs.Counter)
+	}
+	op := strings.TrimPrefix(method, "kv.")
+	c := obs.Default().Counter("diesel_kv_retries_total",
+		"Idempotent KV operations retried after a transport failure, by operation.",
+		obs.L("op", op))
+	retryCounters.Store(method, c)
+	return c
+}
 
 func opCounter(method string) *obs.Counter {
 	if c, ok := opCounters.Load(method); ok {

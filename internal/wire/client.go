@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -12,6 +13,13 @@ import (
 // ErrClientClosed is returned by Call after Close, or when the connection
 // drops while a call is in flight.
 var ErrClientClosed = errors.New("wire: client closed")
+
+// ErrNotSent marks transport failures that happened before the request
+// reached the wire (client already closed, write failed, connection down
+// and in redial backoff). A call failing with ErrNotSent is safe to retry
+// on another connection even for non-idempotent operations; the Pool uses
+// this to fail over between its connections transparently.
+var ErrNotSent = errors.New("wire: request not sent")
 
 // RemoteError wraps an error string returned by the server so callers can
 // distinguish transport failures from application failures.
@@ -29,8 +37,9 @@ func IsRemote(err error) bool {
 // goroutines may Call concurrently; responses are matched to callers by
 // sequence number, so slow calls do not block fast ones.
 type Client struct {
-	conn net.Conn
-	addr string
+	conn        net.Conn
+	addr        string
+	callTimeout time.Duration
 
 	wmu sync.Mutex // serialises request frames
 
@@ -43,8 +52,13 @@ type Client struct {
 }
 
 // Dial connects to a wire server at addr.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+func Dial(addr string, opts ...Option) (*Client, error) {
+	o := buildOptions(opts)
+	return dialOpts(addr, &o)
+}
+
+func dialOpts(addr string, o *options) (*Client, error) {
+	conn, err := o.dialConn(addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
 	}
@@ -52,9 +66,10 @@ func Dial(addr string) (*Client, error) {
 		mDials.Inc()
 	}
 	c := &Client{
-		conn:    conn,
-		addr:    addr,
-		pending: make(map[uint64]chan *Frame),
+		conn:        conn,
+		addr:        addr,
+		callTimeout: o.callTimeout,
+		pending:     make(map[uint64]chan *Frame),
 	}
 	go c.readLoop()
 	return c, nil
@@ -62,6 +77,14 @@ func Dial(addr string) (*Client, error) {
 
 // Addr returns the address the client dialed.
 func (c *Client) Addr() string { return c.addr }
+
+// Closed reports whether the connection is dead (explicit Close or a read
+// error). A closed client never recovers; redial instead.
+func (c *Client) Closed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
 
 func (c *Client) readLoop() {
 	for {
@@ -95,10 +118,24 @@ func (c *Client) failAll(err error) {
 	c.closed = true
 }
 
-// Call sends a request and blocks for its response. It returns the response
+// Call sends a request and blocks for its response, bounded by the
+// client's CallTimeout option if one was set. It returns the response
 // payload, a *RemoteError if the server's handler failed, or a transport
-// error if the connection broke.
+// error if the connection broke or the deadline fired.
 func (c *Client) Call(method string, payload []byte) ([]byte, error) {
+	if c.callTimeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), c.callTimeout)
+		defer cancel()
+		return c.CallContext(ctx, method, payload)
+	}
+	return c.CallContext(context.Background(), method, payload)
+}
+
+// CallContext is Call with an explicit deadline/cancellation. When ctx
+// expires the call returns an error wrapping ctx.Err() without waiting for
+// the server; the request may still execute remotely, so callers must only
+// retry idempotent operations after a deadline.
+func (c *Client) CallContext(ctx context.Context, method string, payload []byte) ([]byte, error) {
 	defer observeCall(method, time.Now())
 	seq := c.seq.Add(1)
 	ch := make(chan *Frame, 1)
@@ -106,7 +143,7 @@ func (c *Client) Call(method string, payload []byte) ([]byte, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return nil, ErrClientClosed
+		return nil, fmt.Errorf("wire: call %s: %w", method, errors.Join(ErrClientClosed, ErrNotSent))
 	}
 	c.pending[seq] = ch
 	c.mu.Unlock()
@@ -119,12 +156,34 @@ func (c *Client) Call(method string, payload []byte) ([]byte, error) {
 		c.mu.Lock()
 		delete(c.pending, seq)
 		c.mu.Unlock()
-		return nil, fmt.Errorf("wire: call %s: %w", method, err)
+		return nil, fmt.Errorf("wire: call %s: %w", method, errors.Join(ErrNotSent, err))
 	}
 
-	f, ok := <-ch
+	select {
+	case f, ok := <-ch:
+		return c.finish(method, f, ok)
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, seq)
+		c.mu.Unlock()
+		// The response may have been matched between the read loop's
+		// delete and ours; both run under c.mu, so a non-blocking receive
+		// settles it.
+		select {
+		case f, ok := <-ch:
+			return c.finish(method, f, ok)
+		default:
+		}
+		if metricsOn() {
+			mCallTimeouts.Inc()
+		}
+		return nil, fmt.Errorf("wire: call %s: %w", method, ctx.Err())
+	}
+}
+
+func (c *Client) finish(method string, f *Frame, ok bool) ([]byte, error) {
 	if !ok {
-		return nil, ErrClientClosed
+		return nil, fmt.Errorf("wire: call %s: %w", method, ErrClientClosed)
 	}
 	if f.Kind == KindError {
 		return nil, &RemoteError{Msg: string(f.Payload)}
@@ -147,48 +206,147 @@ func (c *Client) Close() error {
 	return err
 }
 
-// Pool is a fixed-size pool of clients to one address; Call picks a
-// connection round-robin. Heavily concurrent components (the request
-// executor, cache peers) use pools to avoid head-of-line blocking on a
-// single socket's write mutex.
+// Pool is a fixed-size pool of connections to one address; Call picks one
+// round-robin. Heavily concurrent components (the request executor, cache
+// peers) use pools to avoid head-of-line blocking on a single socket's
+// write mutex.
+//
+// A broken connection does not poison its slot: the pool detects closed
+// clients, skips them while failing over to healthy slots, and redials
+// them lazily with capped exponential backoff, so a severed connection or
+// a restarted server heals without intervention.
 type Pool struct {
-	clients []*Client
-	next    atomic.Uint64
+	addr string
+	o    options
+	next atomic.Uint64
+
+	slots []*poolSlot
 }
 
-// DialPool opens n connections to addr.
-func DialPool(addr string, n int) (*Pool, error) {
+// poolSlot is one connection slot with its redial state.
+type poolSlot struct {
+	mu       sync.Mutex
+	c        *Client // nil while down
+	failures int     // consecutive failed redials
+	retryAt  time.Time
+}
+
+// DialPool opens n connections to addr. All n initial dials must succeed;
+// failures after that are handled by lazy redial.
+func DialPool(addr string, n int, opts ...Option) (*Pool, error) {
 	if n < 1 {
 		n = 1
 	}
-	p := &Pool{clients: make([]*Client, 0, n)}
+	p := &Pool{addr: addr, o: buildOptions(opts)}
 	for range n {
-		c, err := Dial(addr)
+		c, err := dialOpts(addr, &p.o)
 		if err != nil {
 			p.Close()
 			return nil, err
 		}
-		p.clients = append(p.clients, c)
+		p.slots = append(p.slots, &poolSlot{c: c})
 	}
 	return p, nil
 }
 
-// Call forwards to one of the pooled clients.
+// Addr returns the address the pool dials.
+func (p *Pool) Addr() string { return p.addr }
+
+// Call forwards to one of the pooled connections, round-robin. If the
+// chosen connection is broken it fails over to the remaining slots; a call
+// whose request never reached the wire (ErrNotSent) is retried on the next
+// slot transparently, while an in-flight failure or deadline is returned
+// to the caller, who alone knows whether the operation is idempotent.
 func (p *Pool) Call(method string, payload []byte) ([]byte, error) {
 	if metricsOn() {
 		mPoolCalls.Inc()
 	}
-	i := p.next.Add(1)
-	return p.clients[i%uint64(len(p.clients))].Call(method, payload)
+	start := int(p.next.Add(1))
+	var firstErr error
+	for k := range len(p.slots) {
+		s := p.slots[(start+k)%len(p.slots)]
+		c, err := s.acquire(p.addr, &p.o)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		resp, err := c.Call(method, payload)
+		if err == nil || IsRemote(err) {
+			return resp, err
+		}
+		s.markBroken(c)
+		if !errors.Is(err, ErrNotSent) {
+			return nil, err
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr == nil {
+		firstErr = fmt.Errorf("wire: pool %s: %w", p.addr, ErrNotSent)
+	}
+	return nil, firstErr
 }
 
-// Close closes every pooled connection.
+// acquire returns the slot's live client, redialing if the previous one
+// broke and the backoff window has passed.
+func (s *poolSlot) acquire(addr string, o *options) (*Client, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.c != nil {
+		if !s.c.Closed() {
+			return s.c, nil
+		}
+		s.c = nil
+	}
+	now := time.Now()
+	if now.Before(s.retryAt) {
+		return nil, fmt.Errorf("wire: pool %s: connection down, redial in %v: %w",
+			addr, s.retryAt.Sub(now).Round(time.Millisecond), ErrNotSent)
+	}
+	c, err := dialOpts(addr, o)
+	if err != nil {
+		s.failures++
+		s.retryAt = now.Add(o.backoffFor(s.failures))
+		return nil, fmt.Errorf("%w: %w", ErrNotSent, err)
+	}
+	if metricsOn() {
+		mRedials.Inc()
+	}
+	s.failures = 0
+	s.retryAt = time.Time{}
+	s.c = c
+	return c, nil
+}
+
+// markBroken closes and clears the slot's client after a call-level
+// transport failure, making the next acquire redial immediately (the
+// backoff only grows on failed dials).
+func (s *poolSlot) markBroken(old *Client) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.c == old && old != nil {
+		old.Close()
+		s.c = nil
+	}
+}
+
+// Close closes every pooled connection. The pool must not be used after.
 func (p *Pool) Close() error {
 	var first error
-	for _, c := range p.clients {
-		if err := c.Close(); err != nil && first == nil {
-			first = err
+	for _, s := range p.slots {
+		s.mu.Lock()
+		if s.c != nil {
+			if err := s.c.Close(); err != nil && first == nil {
+				first = err
+			}
+			s.c = nil
 		}
+		// Park the slot so a racing Call cannot redial a closed pool.
+		s.retryAt = time.Now().Add(24 * time.Hour)
+		s.mu.Unlock()
 	}
 	return first
 }

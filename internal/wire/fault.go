@@ -1,0 +1,88 @@
+package wire
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrFaultSevered is returned by writes on a fault-injected connection
+// after the injector has severed it.
+var ErrFaultSevered = errors.New("wire: fault injection severed connection")
+
+// FaultPlan configures InjectFaults. Probabilities are evaluated per
+// write with a private seeded RNG, so a given (plan, traffic) pair
+// replays the same fault sequence every run.
+type FaultPlan struct {
+	// Seed seeds the injector's RNG; the same seed replays the same
+	// decisions.
+	Seed int64
+	// DropProb is the probability that a write is silently swallowed:
+	// the caller sees success, the peer sees nothing — a lost request,
+	// the case only deadlines can unstick.
+	DropProb float64
+	// SeverProb is the probability that a write kills the connection
+	// instead of transmitting — a mid-call connection failure.
+	SeverProb float64
+	// Delay is added to every write before it is transmitted (or
+	// dropped), simulating a slow or congested link.
+	Delay time.Duration
+}
+
+// faultConn wraps a net.Conn, injecting the plan's faults on writes.
+// Reads pass through untouched: request loss, delay and severing are all
+// expressible on the write side, and keeping reads clean means a response
+// already in flight still arrives.
+type faultConn struct {
+	net.Conn
+	plan FaultPlan
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	severed bool
+}
+
+// InjectFaults wraps conn so that writes are delayed, dropped or severed
+// according to plan. Combine with WithDialer to fault-inject every
+// connection a Client or Pool opens.
+func InjectFaults(conn net.Conn, plan FaultPlan) net.Conn {
+	return &faultConn{Conn: conn, plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+}
+
+// FaultDialer returns a dialer for WithDialer whose every connection is
+// fault-injected with plan.
+func FaultDialer(plan FaultPlan) func(addr string) (net.Conn, error) {
+	return func(addr string) (net.Conn, error) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return InjectFaults(conn, plan), nil
+	}
+}
+
+func (f *faultConn) Write(b []byte) (int, error) {
+	if f.plan.Delay > 0 {
+		time.Sleep(f.plan.Delay)
+	}
+	f.mu.Lock()
+	if f.severed {
+		f.mu.Unlock()
+		return 0, ErrFaultSevered
+	}
+	r := f.rng.Float64()
+	switch {
+	case r < f.plan.SeverProb:
+		f.severed = true
+		f.mu.Unlock()
+		f.Conn.Close()
+		return 0, ErrFaultSevered
+	case r < f.plan.SeverProb+f.plan.DropProb:
+		f.mu.Unlock()
+		return len(b), nil // swallowed: caller believes it was sent
+	}
+	f.mu.Unlock()
+	return f.Conn.Write(b)
+}

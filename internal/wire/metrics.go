@@ -17,16 +17,20 @@ import (
 //	diesel_wire_bytes_total{dir}        payload bytes read / written
 //	diesel_wire_dials_total             TCP connections opened by clients
 //	diesel_wire_pool_calls_total        calls multiplexed over pooled conns
+//	diesel_wire_redials_total           broken pool connections redialed
+//	diesel_wire_call_timeouts_total     calls abandoned at their deadline
 //	diesel_wire_call_seconds{method}    client-side RPC round-trip latency
 //	diesel_wire_served_seconds{method}  server-side handler latency
 //	diesel_wire_errors_total{method}    server-side handler failures
 var (
-	mFramesIn  = obs.Default().Counter("diesel_wire_frames_total", "Frames read or written by the wire transport.", obs.L("dir", "in"))
-	mFramesOut = obs.Default().Counter("diesel_wire_frames_total", "Frames read or written by the wire transport.", obs.L("dir", "out"))
-	mBytesIn   = obs.Default().Counter("diesel_wire_bytes_total", "Payload bytes read or written by the wire transport.", obs.L("dir", "in"))
-	mBytesOut  = obs.Default().Counter("diesel_wire_bytes_total", "Payload bytes read or written by the wire transport.", obs.L("dir", "out"))
-	mDials     = obs.Default().Counter("diesel_wire_dials_total", "TCP connections dialed by wire clients.")
-	mPoolCalls = obs.Default().Counter("diesel_wire_pool_calls_total", "Calls issued through pooled connections (reuse = pool_calls - dials).")
+	mFramesIn     = obs.Default().Counter("diesel_wire_frames_total", "Frames read or written by the wire transport.", obs.L("dir", "in"))
+	mFramesOut    = obs.Default().Counter("diesel_wire_frames_total", "Frames read or written by the wire transport.", obs.L("dir", "out"))
+	mBytesIn      = obs.Default().Counter("diesel_wire_bytes_total", "Payload bytes read or written by the wire transport.", obs.L("dir", "in"))
+	mBytesOut     = obs.Default().Counter("diesel_wire_bytes_total", "Payload bytes read or written by the wire transport.", obs.L("dir", "out"))
+	mDials        = obs.Default().Counter("diesel_wire_dials_total", "TCP connections dialed by wire clients.")
+	mPoolCalls    = obs.Default().Counter("diesel_wire_pool_calls_total", "Calls issued through pooled connections (reuse = pool_calls - dials).")
+	mRedials      = obs.Default().Counter("diesel_wire_redials_total", "Broken pool connections successfully redialed.")
+	mCallTimeouts = obs.Default().Counter("diesel_wire_call_timeouts_total", "RPC calls abandoned because their deadline or context expired.")
 )
 
 // metricsOff gates hot-path metric updates; the zero value means ENABLED.

@@ -1,0 +1,83 @@
+package wire
+
+import (
+	"net"
+	"time"
+)
+
+// options collects the knobs shared by Dial and DialPool. The zero value
+// (no call deadline, default TCP dialer, 50ms–2s redial backoff) matches
+// the pre-option behaviour of the transport.
+type options struct {
+	callTimeout time.Duration
+	dialer      func(addr string) (net.Conn, error)
+	backoffBase time.Duration
+	backoffMax  time.Duration
+}
+
+// Option configures Dial or DialPool.
+type Option func(*options)
+
+// WithCallTimeout sets a per-call deadline applied by Call (and by every
+// pooled call). Zero means calls block until the connection breaks — the
+// pre-deadline behaviour, only safe against servers that always answer.
+func WithCallTimeout(d time.Duration) Option {
+	return func(o *options) { o.callTimeout = d }
+}
+
+// WithDialer replaces the TCP dialer. Tests use it to interpose
+// fault-injecting connections (see InjectFaults) or to capture the raw
+// conns so they can be severed deliberately.
+func WithDialer(fn func(addr string) (net.Conn, error)) Option {
+	return func(o *options) { o.dialer = fn }
+}
+
+// WithRedialBackoff sets the capped exponential backoff a Pool applies
+// between redial attempts of a broken connection: the first failed redial
+// waits base, then 2×base, 4×base, … capped at max.
+func WithRedialBackoff(base, max time.Duration) Option {
+	return func(o *options) {
+		o.backoffBase = base
+		o.backoffMax = max
+	}
+}
+
+func buildOptions(opts []Option) options {
+	o := options{
+		backoffBase: 50 * time.Millisecond,
+		backoffMax:  2 * time.Second,
+	}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if o.backoffBase <= 0 {
+		o.backoffBase = 50 * time.Millisecond
+	}
+	if o.backoffMax < o.backoffBase {
+		o.backoffMax = o.backoffBase
+	}
+	return o
+}
+
+func (o *options) dialConn(addr string) (net.Conn, error) {
+	if o.dialer != nil {
+		return o.dialer(addr)
+	}
+	return net.Dial("tcp", addr)
+}
+
+// backoffFor returns the capped exponential delay after `failures`
+// consecutive redial failures (failures ≥ 1).
+func (o *options) backoffFor(failures int) time.Duration {
+	d := o.backoffBase
+	for i := 1; i < failures; i++ {
+		d *= 2
+		if d >= o.backoffMax {
+			return o.backoffMax
+		}
+	}
+	if d > o.backoffMax {
+		return o.backoffMax
+	}
+	return d
+}
