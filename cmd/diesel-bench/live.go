@@ -8,6 +8,7 @@ import (
 	"diesel/internal/cluster"
 	"diesel/internal/core"
 	"diesel/internal/dcache"
+	"diesel/internal/epoch"
 	"diesel/internal/obs"
 )
 
@@ -68,18 +69,39 @@ func live(cluster.Params) {
 	if err != nil {
 		log.Fatalf("live: start task: %v", err)
 	}
-	for epoch := range 2 {
-		for rank, cl := range task.Clients {
-			order, err := cl.Shuffle(int64(epoch*len(task.Clients)+rank), 4)
-			if err != nil {
-				log.Fatalf("live: shuffle: %v", err)
+	// Epoch 0: each client reads its rank's stripe of the shuffled order,
+	// as a DLT data loader would, filling the cache.
+	for rank, cl := range task.Clients {
+		plan, err := cl.ShufflePlan(int64(rank), 4)
+		if err != nil {
+			log.Fatalf("live: shuffle: %v", err)
+		}
+		order := plan.Paths(cl.Snapshot())
+		for i := rank; i < len(order); i += len(task.Clients) {
+			if _, err := cl.Get(order[i]); err != nil {
+				log.Fatalf("live: get %s: %v", order[i], err)
 			}
-			// Each client reads its rank's stripe, as a DLT data loader would.
-			for i := rank; i < len(order); i += len(task.Clients) {
-				if _, err := cl.Get(order[i]); err != nil {
-					log.Fatalf("live: get %s: %v", order[i], err)
-				}
+		}
+	}
+	// Epoch 1: one client streams the whole reshuffled epoch through the
+	// pipelined reader over the warm cache (diesel_epoch_* metrics fire).
+	{
+		cl := task.Clients[0]
+		plan, err := cl.ShufflePlan(int64(len(task.Clients)), 4)
+		if err != nil {
+			log.Fatalf("live: shuffle: %v", err)
+		}
+		snap := cl.Snapshot()
+		r := epoch.NewReader(plan, snap, epoch.NewCacheSource(task.Peers[0], snap, 0),
+			epoch.WithWindow(2))
+		for {
+			if _, err := r.Next(); err != nil {
+				break
 			}
+		}
+		r.Close()
+		if err := r.Err(); err != nil {
+			log.Fatalf("live: epoch read: %v", err)
 		}
 	}
 

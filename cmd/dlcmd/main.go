@@ -18,21 +18,27 @@
 //	recover [from-unix-seconds]      rebuild metadata from chunks (§4.1.2)
 //	rm-dataset                       delete the entire dataset
 //	gen <files> <mean-size>          generate a synthetic dataset
+//	read-epoch [seed [group [window]]]  stream one chunk-wise shuffled epoch
+//	                                 through the pipelined reader and report
+//	                                 throughput (Ctrl-C cancels cleanly)
 //	stats <host:port | url>          scrape and pretty-print a -metrics endpoint
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io/fs"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
 
 	"diesel/internal/client"
+	"diesel/internal/epoch"
 	"diesel/internal/trace"
 )
 
@@ -218,6 +224,31 @@ func run(c *client.Client, dataset, cmd string, args []string) error {
 	case "rm-dataset":
 		return c.DeleteDataset()
 
+	case "read-epoch":
+		seed, group, window := int64(1), 8, 2
+		if len(args) > 0 {
+			v, err := strconv.ParseInt(args[0], 10, 64)
+			if err != nil {
+				return fmt.Errorf("read-epoch: bad seed %q", args[0])
+			}
+			seed = v
+		}
+		if len(args) > 1 {
+			v, err := strconv.Atoi(args[1])
+			if err != nil {
+				return fmt.Errorf("read-epoch: bad group size %q", args[1])
+			}
+			group = v
+		}
+		if len(args) > 2 {
+			v, err := strconv.Atoi(args[2])
+			if err != nil {
+				return fmt.Errorf("read-epoch: bad window %q", args[2])
+			}
+			window = v
+		}
+		return readEpoch(c, seed, group, window)
+
 	case "gen":
 		if len(args) != 2 {
 			return fmt.Errorf("usage: gen <files> <mean-size>")
@@ -244,4 +275,42 @@ func run(c *client.Client, dataset, cmd string, args []string) error {
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// readEpoch streams one shuffled epoch through the pipelined reader,
+// fetching whole chunks from the servers, and reports throughput.
+// Interrupting cancels the context, which unwinds every in-flight RPC.
+func readEpoch(c *client.Client, seed int64, group, window int) error {
+	snap, err := c.DownloadSnapshot()
+	if err != nil {
+		return err
+	}
+	plan, err := c.ShufflePlan(seed, group)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	r := epoch.NewReader(plan, snap, epoch.NewClientSource(c, snap, 0),
+		epoch.WithWindow(window), epoch.WithContext(ctx))
+	defer r.Close()
+	start := time.Now()
+	files, bytes := 0, uint64(0)
+	for {
+		s, err := r.Next()
+		if err != nil {
+			break
+		}
+		files++
+		bytes += uint64(len(s.Data))
+	}
+	el := time.Since(start)
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("after %d files: %w", files, err)
+	}
+	fmt.Printf("epoch: %d files, %d bytes in %v (%.0f files/s, %.1f MB/s, %d groups, window %d)\n",
+		files, bytes, el.Round(time.Millisecond),
+		float64(files)/el.Seconds(), float64(bytes)/el.Seconds()/1e6,
+		len(plan.Groups), window)
+	return nil
 }

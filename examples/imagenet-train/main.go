@@ -21,6 +21,7 @@ import (
 
 	"diesel/internal/core"
 	"diesel/internal/dcache"
+	"diesel/internal/epoch"
 	"diesel/internal/trace"
 	"diesel/internal/train"
 )
@@ -73,33 +74,29 @@ func main() {
 	fmt.Printf("task started: %d clients on %d nodes, %d cache masters\n",
 		len(task.Clients), nodes, masters)
 
-	// Training epochs: every worker reads its stride of the shared
-	// chunk-wise shuffled order, verifying every byte.
-	for epoch := range epochs {
-		order, err := task.Clients[0].Shuffle(int64(epoch), groupSize)
+	// Training epochs, the Figure 1 pattern: each epoch builds a chunk-wise
+	// shuffle plan, and the pipelined epoch reader prefetches whole chunk
+	// groups through the distributed cache while the "training loop" (here:
+	// verification) consumes batches in plan order.
+	cl := task.Clients[0]
+	snap := cl.Snapshot()
+	for ep := range epochs {
+		plan, err := cl.ShufflePlan(int64(ep), groupSize)
 		if err != nil {
 			log.Fatal(err)
 		}
+		order := plan.Paths(snap)
 		idx := make([]int, len(order))
-		snap := task.Clients[0].Snapshot()
 		for i, path := range order {
-			m, err := snap.Stat(path)
-			if err != nil {
-				log.Fatal(err)
-			}
-			_ = m
 			// Recover the trace index from the file name suffix.
 			fmt.Sscanf(path[len(path)-11:], "%07d.bin", &idx[i])
 		}
 
-		// Pipelined data loading: the train.Loader prefetches through the
-		// distributed cache while the "training loop" (here: verification)
-		// consumes batches in order — the Figure 1 pattern.
 		epochStart := time.Now()
-		cl := task.Clients[0]
-		loader := train.NewLoader(cl.Get, order, train.LoaderConfig{
-			Workers: 8, BatchSize: 64,
-		})
+		reader := epoch.NewReader(plan, snap,
+			epoch.NewCacheSource(task.Peers[0], snap, 8),
+			epoch.WithWindow(2))
+		loader := train.NewEpochLoader(reader, train.WithBatchSize(64))
 		pos := 0
 		for {
 			b, ok, err := loader.Next()
@@ -119,7 +116,7 @@ func main() {
 		loader.Close()
 		elapsed := time.Since(epochStart)
 		fmt.Printf("epoch %d: %d files in %v (%.0f files/s, %.1f MB/s)\n",
-			epoch, len(order), elapsed,
+			ep, len(order), elapsed,
 			float64(len(order))/elapsed.Seconds(),
 			float64(spec.TotalBytes())/1e6/elapsed.Seconds())
 	}

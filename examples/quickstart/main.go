@@ -97,11 +97,13 @@ func main() {
 	fmt.Printf("batched read returned %d files\n", len(batch))
 
 	// 6. Chunk-wise shuffled epoch order (DL_shuffle).
-	order, err := r.Shuffle(1, 2)
+	plan, err := r.ShufflePlan(1, 2)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("chunk-wise shuffle: %d files, first 3: %v\n", len(order), order[:3])
+	order := plan.Paths(r.Snapshot())
+	fmt.Printf("chunk-wise shuffle: %d files in %d groups, first 3: %v\n",
+		len(order), len(plan.Groups), order[:3])
 
 	// 7. The same dataset as a POSIX filesystem (DIESEL-FUSE).
 	fsys, err := fuselite.Mount(fuselite.Config{Clients: []*client.Client{r}})

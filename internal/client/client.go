@@ -25,6 +25,7 @@
 package client
 
 import (
+	"context"
 	"crypto/rand"
 	"errors"
 	"fmt"
@@ -82,6 +83,15 @@ type Options struct {
 // implements it; when set, Get routes through it instead of the server.
 type Reader interface {
 	ReadFile(path string) ([]byte, error)
+}
+
+// ContextReader is the context-aware extension of Reader. A Reader that
+// also implements it (dcache.Peer does) receives the caller's context from
+// GetContext, so deadlines and cancellation injected by the epoch reader
+// reach the cache's peer RPCs instead of stopping at the client boundary.
+type ContextReader interface {
+	Reader
+	ReadFileContext(ctx context.Context, path string) ([]byte, error)
 }
 
 // Client is a libDIESEL context. All methods are safe for concurrent use;
@@ -184,8 +194,12 @@ func clientPID() uint32 {
 // call invokes an RPC on one of the servers, round-robin. Used directly
 // by the write path, which must never retry.
 func (c *Client) call(method string, payload []byte) ([]byte, error) {
+	return c.callContext(context.Background(), method, payload)
+}
+
+func (c *Client) callContext(ctx context.Context, method string, payload []byte) ([]byte, error) {
 	i := c.next.Add(1)
-	return c.pools[i%uint64(len(c.pools))].Call(method, payload)
+	return c.pools[i%uint64(len(c.pools))].CallContext(ctx, method, payload)
 }
 
 // callIdem is call with bounded retry for idempotent reads: a transport
@@ -195,20 +209,33 @@ func (c *Client) call(method string, payload []byte) ([]byte, error) {
 // Application errors (RemoteError) are returned immediately, and all
 // attempts' transport errors are joined on exhaustion.
 func (c *Client) callIdem(method string, payload []byte) ([]byte, error) {
+	return c.callIdemContext(context.Background(), method, payload)
+}
+
+// callIdemContext is callIdem under a caller deadline: a cancelled or
+// expired context stops the retry loop immediately — mid-backoff included —
+// since retrying work nobody is waiting for only burns server capacity.
+func (c *Client) callIdemContext(ctx context.Context, method string, payload []byte) ([]byte, error) {
 	var errs []error
 	for attempt := 0; ; attempt++ {
-		resp, err := c.call(method, payload)
+		resp, err := c.callContext(ctx, method, payload)
 		if err == nil || wire.IsRemote(err) {
 			return resp, err
 		}
 		errs = append(errs, err)
-		if attempt >= c.opts.MaxRetries {
+		if ctx.Err() != nil || attempt >= c.opts.MaxRetries {
 			return nil, fmt.Errorf("client: %s failed after %d attempts: %w",
 				method, attempt+1, errors.Join(errs...))
 		}
 		c.Stats.Retries.Add(1)
 		mRetries.Inc()
-		time.Sleep(retryDelay(c.opts.RetryBackoff, attempt))
+		select {
+		case <-time.After(retryDelay(c.opts.RetryBackoff, attempt)):
+		case <-ctx.Done():
+			errs = append(errs, ctx.Err())
+			return nil, fmt.Errorf("client: %s failed after %d attempts: %w",
+				method, attempt+1, errors.Join(errs...))
+		}
 	}
 }
 
@@ -294,24 +321,40 @@ func (c *Client) flushLocked() error {
 // Get reads one file (DL_get). With a cache reader installed the request
 // goes to the owning cache peer; otherwise it goes to a server.
 func (c *Client) Get(path string) ([]byte, error) {
+	return c.GetContext(context.Background(), path)
+}
+
+// GetContext is Get under a caller deadline/cancellation. The context
+// reaches the transport's CallContext — and, when the installed cache
+// reader implements ContextReader, the cache's peer RPCs too — so a
+// cancelled epoch read stops waiting within one call round trip.
+func (c *Client) GetContext(ctx context.Context, path string) ([]byte, error) {
 	defer mGetLat.Since(time.Now())
 	c.Stats.Gets.Add(1)
 	c.smu.RLock()
 	r := c.reader
 	c.smu.RUnlock()
+	if cr, ok := r.(ContextReader); ok {
+		return cr.ReadFileContext(ctx, meta.CleanPath(path))
+	}
 	if r != nil {
 		return r.ReadFile(meta.CleanPath(path))
 	}
-	return c.GetDirect(path)
+	return c.GetDirectContext(ctx, path)
 }
 
 // GetDirect reads one file from a server, bypassing any installed cache.
 // The distributed cache itself uses it as its miss path.
 func (c *Client) GetDirect(path string) ([]byte, error) {
+	return c.GetDirectContext(context.Background(), path)
+}
+
+// GetDirectContext is GetDirect under a caller deadline/cancellation.
+func (c *Client) GetDirectContext(ctx context.Context, path string) ([]byte, error) {
 	e := wire.NewEncoder(len(path) + len(c.opts.Dataset) + 16)
 	e.String(c.opts.Dataset)
 	e.String(meta.CleanPath(path))
-	resp, err := c.callIdem(server.MethodGet, e.Bytes())
+	resp, err := c.callIdemContext(ctx, server.MethodGet, e.Bytes())
 	if err != nil {
 		return nil, err
 	}
@@ -323,6 +366,11 @@ func (c *Client) GetDirect(path string) ([]byte, error) {
 // GetBatch reads many files in one server round trip, exercising the
 // request executor's sort-and-merge (missing files yield nil entries).
 func (c *Client) GetBatch(paths []string) ([][]byte, error) {
+	return c.GetBatchContext(context.Background(), paths)
+}
+
+// GetBatchContext is GetBatch under a caller deadline/cancellation.
+func (c *Client) GetBatchContext(ctx context.Context, paths []string) ([][]byte, error) {
 	defer mGetBatchLat.Since(time.Now())
 	cleaned := make([]string, len(paths))
 	for i, p := range paths {
@@ -331,7 +379,7 @@ func (c *Client) GetBatch(paths []string) ([][]byte, error) {
 	e := wire.NewEncoder(64)
 	e.String(c.opts.Dataset)
 	e.StringSlice(cleaned)
-	resp, err := c.callIdem(server.MethodGetBatch, e.Bytes())
+	resp, err := c.callIdemContext(ctx, server.MethodGetBatch, e.Bytes())
 	if err != nil {
 		return nil, err
 	}
@@ -355,11 +403,18 @@ func (c *Client) GetBatch(paths []string) ([][]byte, error) {
 // GetChunk fetches one whole encoded chunk from a server — the operation
 // the distributed cache loads its partition with.
 func (c *Client) GetChunk(chunkID string) ([]byte, error) {
+	return c.GetChunkContext(context.Background(), chunkID)
+}
+
+// GetChunkContext is GetChunk under a caller deadline/cancellation — the
+// fetch unit of the epoch reader's prefetch pipeline, whose window
+// cancellation must be able to abandon an in-flight chunk.
+func (c *Client) GetChunkContext(ctx context.Context, chunkID string) ([]byte, error) {
 	defer mGetChunkLat.Since(time.Now())
 	e := wire.NewEncoder(len(chunkID) + len(c.opts.Dataset) + 16)
 	e.String(c.opts.Dataset)
 	e.String(chunkID)
-	resp, err := c.callIdem(server.MethodGetChunk, e.Bytes())
+	resp, err := c.callIdemContext(ctx, server.MethodGetChunk, e.Bytes())
 	if err != nil {
 		return nil, err
 	}
@@ -532,17 +587,34 @@ func (c *Client) LoadMeta(path string) error {
 	return nil
 }
 
-// Shuffle generates a chunk-wise shuffled file list for one epoch
-// (DL_shuffle, §4.3): chunk IDs are shuffled, grouped groupSize at a time,
-// and file order is randomised within each group. Requires a snapshot.
-func (c *Client) Shuffle(seed int64, groupSize int) ([]string, error) {
+// ShufflePlan generates the chunk-wise shuffled epoch order for one epoch
+// (DL_shuffle, §4.3) with its group structure exposed: chunk IDs are
+// shuffled, grouped groupSize at a time, and file order is randomised
+// within each group. The group spans are what the epoch reader's prefetch
+// pipeline and a capacity-bounded cache need — a flat file list hides
+// exactly the structure that makes chunk reads sequential. Requires a
+// snapshot.
+func (c *Client) ShufflePlan(seed int64, groupSize int) (*shuffle.Plan, error) {
 	c.smu.RLock()
 	snap := c.snap
 	c.smu.RUnlock()
 	if snap == nil {
 		return nil, ErrNoSnapshot
 	}
-	return shuffle.ChunkWise(snap, seed, groupSize), nil
+	return shuffle.ChunkWisePlan(snap, seed, groupSize), nil
+}
+
+// Shuffle generates a chunk-wise shuffled file list for one epoch.
+//
+// Deprecated: use ShufflePlan, which exposes the group spans the epoch
+// read pipeline prefetches by; Shuffle flattens them away. Kept for
+// callers that only need the paper's DL_shuffle file-list shape.
+func (c *Client) Shuffle(seed int64, groupSize int) ([]string, error) {
+	plan, err := c.ShufflePlan(seed, groupSize)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Paths(c.Snapshot()), nil
 }
 
 // Recover asks a server to rebuild the dataset's metadata from its

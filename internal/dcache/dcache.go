@@ -18,6 +18,7 @@ package dcache
 
 import (
 	"container/list"
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -174,6 +175,15 @@ func (h *masterHealth) succeeded() (revived bool) {
 	h.deadUntil = time.Time{}
 	h.probing = false
 	return revived
+}
+
+// aborted clears an in-flight probe without recording an outcome — the
+// caller gave up before the master could answer, so the read is neither a
+// success nor a liveness failure.
+func (h *masterHealth) aborted() {
+	h.mu.Lock()
+	h.probing = false
+	h.mu.Unlock()
 }
 
 // failed records a transport failure, returning whether this one marked
@@ -375,7 +385,7 @@ func (p *Peer) LoadOwned() error {
 		if p.closed.Load() {
 			return nil
 		}
-		if _, err := p.loadChunk(ci); err != nil {
+		if _, err := p.loadChunk(context.Background(), ci); err != nil {
 			return err
 		}
 	}
@@ -387,7 +397,7 @@ func (p *Peer) LoadOwned() error {
 // coalesce into a single server fetch whose result — success or failure —
 // is shared with every waiter; a failed fetch therefore costs one RPC, not
 // one per blocked reader.
-func (p *Peer) loadChunk(ci int) (*cachedChunk, error) {
+func (p *Peer) loadChunk(ctx context.Context, ci int) (*cachedChunk, error) {
 	id := p.snap.Chunks[ci].ID.String()
 	if cc := p.store.get(id); cc != nil {
 		return cc, nil
@@ -406,7 +416,7 @@ func (p *Peer) loadChunk(ci int) (*cachedChunk, error) {
 		<-fl.done
 		return fl.cc, fl.err
 	}
-	fl.cc, fl.err = p.fetchChunk(id)
+	fl.cc, fl.err = p.fetchChunk(ctx, id)
 	p.inflightMu.Lock()
 	delete(p.inflight, id)
 	p.inflightMu.Unlock()
@@ -417,8 +427,11 @@ func (p *Peer) loadChunk(ci int) (*cachedChunk, error) {
 // fetchChunk pulls one chunk from a DIESEL server into the store. A chunk
 // too large for the store's capacity is still returned (the read succeeds)
 // but not cached.
-func (p *Peer) fetchChunk(id string) (*cachedChunk, error) {
-	blob, err := p.cl.GetChunk(id)
+// The fetcher's context governs the server RPC; coalesced waiters share
+// its outcome, so a cancelled fetcher fails its waiters once and the next
+// read starts a fresh fetch.
+func (p *Peer) fetchChunk(ctx context.Context, id string) (*cachedChunk, error) {
+	blob, err := p.cl.GetChunkContext(ctx, id)
 	if err != nil {
 		return nil, fmt.Errorf("dcache: load chunk %s: %w", id, err)
 	}
@@ -467,7 +480,7 @@ func (p *Peer) handleCacheGet(payload []byte) ([]byte, error) {
 	if err := d.Err(); err != nil {
 		return nil, err
 	}
-	b, err := p.readLocal(path)
+	b, err := p.readLocal(context.Background(), path)
 	if err != nil {
 		return nil, err
 	}
@@ -477,12 +490,12 @@ func (p *Peer) handleCacheGet(payload []byte) ([]byte, error) {
 }
 
 // readLocal serves a path from this master's own cache.
-func (p *Peer) readLocal(path string) ([]byte, error) {
+func (p *Peer) readLocal(ctx context.Context, path string) ([]byte, error) {
 	m, err := p.snap.Stat(path)
 	if err != nil {
 		return nil, err
 	}
-	cc, err := p.loadChunk(m.ChunkIdx)
+	cc, err := p.loadChunk(ctx, m.ChunkIdx)
 	if err != nil {
 		return nil, err
 	}
@@ -500,20 +513,31 @@ func (p *Peer) readLocal(path string) ([]byte, error) {
 // doomed RPC per read; after Config.DeadCooldown one read re-probes it,
 // and a successful probe restores the p×(n−1) peer topology.
 func (p *Peer) ReadFile(path string) ([]byte, error) {
+	return p.ReadFileContext(context.Background(), path)
+}
+
+// ReadFileContext is ReadFile under a caller deadline/cancellation
+// (implementing client.ContextReader). The context bounds the peer RPC,
+// the chunk load it may trigger and the server fallback, so a cancelled
+// epoch reader stops waiting within one call round trip.
+func (p *Peer) ReadFileContext(ctx context.Context, path string) ([]byte, error) {
 	m, err := p.snap.Stat(path)
 	if err != nil {
 		return nil, err
 	}
 	owner := p.ownerOf(m.ChunkIdx)
 	if owner == p.selfIdx {
-		b, err := p.readLocal(path)
+		b, err := p.readLocal(ctx, path)
 		if err == nil {
 			p.Stats.LocalHits.Add(1)
 			mLocalHits.Inc()
 			return b, nil
 		}
+		if ctx.Err() != nil {
+			return nil, err
+		}
 	} else if h := &p.health[owner]; h.tryUse(time.Now()) {
-		b, err := p.readFromMaster(p.masters[owner].addr, path)
+		b, err := p.readFromMaster(ctx, p.masters[owner].addr, path)
 		if err == nil {
 			if h.succeeded() {
 				mMasterRevivals.Inc()
@@ -526,6 +550,11 @@ func (p *Peer) ReadFile(path string) ([]byte, error) {
 			// The master answered; this is an application error, not a
 			// liveness signal. Leave the breaker alone and fall back.
 			h.succeeded()
+		} else if ctx.Err() != nil {
+			// The caller gave up, which says nothing about the master's
+			// health. Clear any probe flag without recording an outcome.
+			h.aborted()
+			return nil, err
 		} else if h.failed(time.Now(), p.cfg.DeadAfter, p.cfg.DeadCooldown) {
 			p.Stats.MasterDeaths.Add(1)
 			mMasterDeaths.Inc()
@@ -533,19 +562,19 @@ func (p *Peer) ReadFile(path string) ([]byte, error) {
 	}
 	p.Stats.ServerFallback.Add(1)
 	mFallbacks.Inc()
-	return p.cl.GetDirect(path)
+	return p.cl.GetDirectContext(ctx, path)
 }
 
 // readFromMaster fetches a file from a remote master, dialing lazily and
 // pooling connections.
-func (p *Peer) readFromMaster(addr, path string) ([]byte, error) {
+func (p *Peer) readFromMaster(ctx context.Context, addr, path string) ([]byte, error) {
 	pool, err := p.poolFor(addr)
 	if err != nil {
 		return nil, err
 	}
 	e := wire.NewEncoder(len(path) + 8)
 	e.String(path)
-	resp, err := pool.Call(methodCacheGet, e.Bytes())
+	resp, err := pool.CallContext(ctx, methodCacheGet, e.Bytes())
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package dcache
 
 import (
+	"context"
 	"bytes"
 	"errors"
 	"fmt"
@@ -202,7 +203,7 @@ func TestCoalescedFetchSharesError(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			<-start
-			_, errsCh[i] = p.loadChunk(ci)
+			_, errsCh[i] = p.loadChunk(context.Background(), ci)
 		}(i)
 	}
 	close(start)

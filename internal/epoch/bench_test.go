@@ -1,0 +1,43 @@
+package epoch
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"diesel/internal/shuffle"
+)
+
+// BenchmarkReaderWindow sweeps the prefetch window over a latency-bound
+// source (2 ms per group — a cheap stand-in for a networked chunk fetch).
+// window=0 is the synchronous baseline; any window >= 2 should sustain
+// at least twice its samples/s because group fetches overlap consumption.
+// The real-stack counterpart is BenchmarkEpochRead at the repo root.
+func BenchmarkReaderWindow(b *testing.B) {
+	snap := buildSnap(16, 8)
+	plan := shuffle.ChunkWisePlan(snap, 1, 2)
+	for _, window := range []int{0, 1, 2, 4} {
+		b.Run(fmt.Sprintf("window=%d", window), func(b *testing.B) {
+			for b.Loop() {
+				src := newFakeSource(snap, 2*time.Millisecond)
+				r := NewReader(plan, snap, src, WithWindow(window))
+				n := 0
+				for {
+					_, err := r.Next()
+					if err != nil {
+						break
+					}
+					n++
+				}
+				r.Close()
+				if r.Err() != nil {
+					b.Fatal(r.Err())
+				}
+				if n != snap.NumFiles() {
+					b.Fatalf("consumed %d of %d", n, snap.NumFiles())
+				}
+			}
+			b.ReportMetric(float64(snap.NumFiles())*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+		})
+	}
+}

@@ -1,0 +1,289 @@
+// Package epoch implements the pipelined epoch read path of a DIESEL
+// training task: the consumer of a chunk-wise shuffle plan (§4.3,
+// Figure 8).
+//
+// DIESEL's headline win is turning shuffled small-file reads into large
+// sequential chunk reads (Table 2). The shuffle plan already guarantees
+// that consecutive positions stay within one group of chunks; what is
+// left on the table without this package is *overlap* — the network fetch
+// of group k+1 hiding behind the consumption of group k, which is where
+// most of the wall-clock saving of a network loader lives. An EpochReader
+// prefetches whole groups a bounded window ahead with backpressure,
+// decodes files in exact plan order, and serves them through a simple
+// iterator, propagating one context end to end so a cancelled training
+// loop abandons in-flight RPCs instead of leaking them.
+//
+// The fetch strategy is pluggable (Source): ClientSource pulls whole
+// chunks from the DIESEL servers (DL_get_chunk) and slices files locally,
+// CacheSource reads through the task-grained distributed cache when the
+// task has one joined.
+package epoch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"diesel/internal/meta"
+	"diesel/internal/shuffle"
+)
+
+// Sample is one file served in epoch order.
+type Sample struct {
+	Pos   int    // position in the epoch order (index into plan.Files)
+	Group int    // plan group the position belongs to
+	Path  string // full file path
+	Data  []byte // file contents
+}
+
+// ErrClosed is returned by Next after Close (or after the reader's
+// context is cancelled).
+var ErrClosed = errors.New("epoch: reader closed")
+
+// Option configures a Reader (functional options, matching the style of
+// internal/wire).
+type Option func(*config)
+
+type config struct {
+	ctx    context.Context
+	window int
+}
+
+// WithWindow bounds how many groups may be fetched ahead of the one being
+// consumed — the pipeline's memory footprint is window+1 groups of files.
+// Window 0 is fully synchronous: each group is fetched only when the
+// consumer reaches it (no overlap, the baseline the benchmarks compare
+// against). Default 2.
+//
+// With a capacity-bounded task cache, window×groupSize+groupSize chunks
+// must fit the cache or prefetch evicts the group being read.
+func WithWindow(n int) Option {
+	return func(c *config) {
+		if n >= 0 {
+			c.window = n
+		}
+	}
+}
+
+// WithContext attaches a context to the whole epoch: cancellation or
+// deadline expiry stops the prefetch pipeline and propagates to every
+// in-flight RPC (client → wire.CallContext), so Next returns within one
+// call round trip of the cancellation.
+func WithContext(ctx context.Context) Option {
+	return func(c *config) {
+		if ctx != nil {
+			c.ctx = ctx
+		}
+	}
+}
+
+type groupResult struct {
+	data [][]byte
+	err  error
+}
+
+// Reader streams one epoch in plan order while prefetching whole chunk
+// groups ahead of the consumer. Next must be called from one goroutine;
+// Close may be called from any goroutine at any time.
+type Reader struct {
+	plan *shuffle.Plan
+	snap *meta.Snapshot
+	src  Source
+	cfg  config
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	results []chan groupResult // one slot per group, buffered(1)
+	sem     chan struct{}      // bounds groups in flight or ready ahead
+	wg      sync.WaitGroup
+	closing sync.Once
+
+	// Consumer state, owned by Next's caller.
+	cur       [][]byte // current group's payloads, nil'd as consumed
+	curStart  int      // plan position of cur[0]
+	curGroup  int      // plan group index of cur
+	offset    int      // next index within cur
+	nextGroup int      // next group to take from the pipeline
+	err       error    // terminal error (never io.EOF)
+}
+
+// NewReader starts the pipeline over one epoch plan. The snapshot must be
+// the one the plan was built from; src decides where the bytes come from.
+func NewReader(plan *shuffle.Plan, snap *meta.Snapshot, src Source, opts ...Option) *Reader {
+	cfg := config{ctx: context.Background(), window: 2}
+	for _, fn := range opts {
+		fn(&cfg)
+	}
+	ctx, cancel := context.WithCancel(cfg.ctx)
+	r := &Reader{
+		plan: plan, snap: snap, src: src, cfg: cfg,
+		ctx: ctx, cancel: cancel,
+	}
+	if cfg.window > 0 && len(plan.Groups) > 0 {
+		r.start()
+	}
+	return r
+}
+
+// start launches the dispatcher and fetch workers. The dispatcher admits
+// one group per window slot; the consumer releases a slot as it takes
+// each group, keeping the window sliding. Workers fetch whole groups
+// concurrently, so a window of w overlaps up to w group fetches.
+func (r *Reader) start() {
+	nGroups := len(r.plan.Groups)
+	r.results = make([]chan groupResult, nGroups)
+	for i := range r.results {
+		r.results[i] = make(chan groupResult, 1)
+	}
+	r.sem = make(chan struct{}, r.cfg.window)
+	jobs := make(chan int)
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		defer close(jobs)
+		for g := range nGroups {
+			select {
+			case r.sem <- struct{}{}:
+			case <-r.ctx.Done():
+				return
+			}
+			select {
+			case jobs <- g:
+			case <-r.ctx.Done():
+				return
+			}
+		}
+	}()
+	workers := min(r.cfg.window, nGroups)
+	for range workers {
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			for g := range jobs {
+				start := time.Now()
+				data, err := r.src.ReadGroup(r.ctx, r.plan, g)
+				mGroupFetchLat.Since(start)
+				if err == nil {
+					mGroups.Inc()
+				}
+				mDepth.Add(1)
+				r.results[g] <- groupResult{data: data, err: err} // buffered(1): never blocks
+			}
+		}()
+	}
+}
+
+// Next returns the next sample in plan order. It returns io.EOF when the
+// epoch is complete, ErrClosed after Close or context cancellation, and
+// the fetch error that ended the epoch otherwise (also available via Err).
+func (r *Reader) Next() (Sample, error) {
+	if r.err != nil {
+		return Sample{}, r.err
+	}
+	if r.ctx.Err() != nil {
+		// Closed (or caller-cancelled) between calls: don't keep serving
+		// the buffered remainder of the current group.
+		return Sample{}, r.fail(fmt.Errorf("%w: %w", ErrClosed, context.Cause(r.ctx)))
+	}
+	for r.cur == nil || r.offset >= len(r.cur) {
+		if r.nextGroup >= len(r.plan.Groups) {
+			return Sample{}, io.EOF
+		}
+		if err := r.advance(); err != nil {
+			return Sample{}, err
+		}
+	}
+	pos := r.curStart + r.offset
+	s := Sample{
+		Pos:   pos,
+		Group: r.curGroup,
+		Path:  r.snap.FileName(int(r.plan.Files[pos])),
+		Data:  r.cur[r.offset],
+	}
+	r.cur[r.offset] = nil // let consumed payloads be collected mid-group
+	r.offset++
+	mSamples.Inc()
+	mBytes.Add(uint64(len(s.Data)))
+	return s, nil
+}
+
+// advance blocks until the next group is ready (fetching it inline when
+// the window is 0) and installs it as the current group. The time spent
+// blocked here is the pipeline's exposed stall — the quantity prefetch
+// exists to hide.
+func (r *Reader) advance() error {
+	g := r.nextGroup
+	start := time.Now()
+	var res groupResult
+	if r.cfg.window <= 0 {
+		res.data, res.err = r.src.ReadGroup(r.ctx, r.plan, g)
+		if res.err == nil {
+			mGroups.Inc()
+		}
+	} else {
+		select {
+		case res = <-r.results[g]:
+			mDepth.Add(-1)
+			<-r.sem // free the window slot this group occupied
+		case <-r.ctx.Done():
+			return r.fail(fmt.Errorf("%w: %w", ErrClosed, context.Cause(r.ctx)))
+		}
+	}
+	mStallLat.Since(start)
+	if res.err != nil {
+		if r.ctx.Err() != nil {
+			return r.fail(fmt.Errorf("%w: %w", ErrClosed, res.err))
+		}
+		return r.fail(res.err)
+	}
+	span := r.plan.Groups[g]
+	r.cur = res.data
+	r.curStart = span.Start
+	r.curGroup = g
+	r.offset = 0
+	r.nextGroup++
+	return nil
+}
+
+// fail records the terminal error (consumer-owned state), tears the
+// pipeline down and returns the error.
+func (r *Reader) fail(err error) error {
+	r.err = err
+	r.Close()
+	return err
+}
+
+// Err returns the error that terminated the epoch, or nil after a clean
+// run (io.EOF from Next is completion, not an error). Like Next, it
+// belongs to the consuming goroutine.
+func (r *Reader) Err() error {
+	if errors.Is(r.err, ErrClosed) && r.cfg.ctx.Err() == nil {
+		// Closed locally, not by the caller's context: not a data error.
+		return nil
+	}
+	return r.err
+}
+
+// Close cancels the pipeline and waits for its goroutines to exit. Safe
+// to call multiple times and concurrently with Next (which then returns
+// ErrClosed). Close only cancels and waits; all iterator state stays
+// owned by the consuming goroutine.
+func (r *Reader) Close() error {
+	r.closing.Do(func() { r.cancel() })
+	r.wg.Wait()
+	// Drain ready groups so the depth gauge doesn't drift across epochs.
+	// All worker sends happened-before wg.Wait returned, so non-blocking
+	// receives observe every unconsumed result.
+	for _, ch := range r.results {
+		select {
+		case <-ch:
+			mDepth.Add(-1)
+		default:
+		}
+	}
+	return nil
+}

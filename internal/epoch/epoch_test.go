@@ -1,0 +1,318 @@
+package epoch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"diesel/internal/chunk"
+	"diesel/internal/meta"
+	"diesel/internal/shuffle"
+)
+
+// buildSnap creates a snapshot with nChunks chunks of filesPerChunk files
+// (the shuffle package's test fixture shape).
+func buildSnap(nChunks, filesPerChunk int) *meta.Snapshot {
+	b := meta.NewSnapshotBuilder("ds", 1)
+	for c := range nChunks {
+		var id chunk.ID
+		id[0], id[1] = byte(c>>8), byte(c)
+		ci := b.AddChunk(id, 4<<20, 100)
+		for f := range filesPerChunk {
+			b.AddFile(fmt.Sprintf("c%03d/f%03d", c, f), meta.FileMeta{
+				ChunkIdx: ci, Index: uint32(f), Offset: uint64(f * 100), Length: 100,
+			})
+		}
+	}
+	return b.Build()
+}
+
+// fakeSource serves groups from the snapshot itself: each file's payload
+// is its own path, with optional per-group latency and failure injection.
+type fakeSource struct {
+	snap      *meta.Snapshot
+	latency   time.Duration
+	failGroup int // -1: never fail
+	reads     atomic.Int64
+	active    atomic.Int64
+	maxActive atomic.Int64
+}
+
+func newFakeSource(snap *meta.Snapshot, latency time.Duration) *fakeSource {
+	return &fakeSource{snap: snap, latency: latency, failGroup: -1}
+}
+
+func (s *fakeSource) ReadGroup(ctx context.Context, plan *shuffle.Plan, g int) ([][]byte, error) {
+	cur := s.active.Add(1)
+	defer s.active.Add(-1)
+	for {
+		m := s.maxActive.Load()
+		if cur <= m || s.maxActive.CompareAndSwap(m, cur) {
+			break
+		}
+	}
+	if s.latency > 0 {
+		select {
+		case <-time.After(s.latency):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if g == s.failGroup {
+		return nil, errors.New("injected group failure")
+	}
+	s.reads.Add(1)
+	span := plan.Groups[g]
+	out := make([][]byte, span.End-span.Start)
+	for pos := span.Start; pos < span.End; pos++ {
+		out[pos-span.Start] = []byte(s.snap.FileName(int(plan.Files[pos])))
+	}
+	return out, nil
+}
+
+// drainAll consumes the reader to completion, asserting exact plan order.
+func drainAll(t *testing.T, r *Reader, plan *shuffle.Plan, snap *meta.Snapshot) int {
+	t.Helper()
+	n := 0
+	for {
+		s, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next at pos %d: %v", n, err)
+		}
+		if s.Pos != n {
+			t.Fatalf("sample %d has Pos %d", n, s.Pos)
+		}
+		wantPath := snap.FileName(int(plan.Files[n]))
+		if s.Path != wantPath {
+			t.Fatalf("pos %d: path %q, want %q", n, s.Path, wantPath)
+		}
+		if string(s.Data) != wantPath {
+			t.Fatalf("pos %d: data %q, want %q", n, s.Data, wantPath)
+		}
+		if want := plan.GroupOf(n); s.Group != want {
+			t.Fatalf("pos %d: group %d, want %d", n, s.Group, want)
+		}
+		n++
+	}
+	if r.Err() != nil {
+		t.Fatalf("Err after clean drain: %v", r.Err())
+	}
+	return n
+}
+
+func TestReaderOrderFidelity(t *testing.T) {
+	snap := buildSnap(12, 7)
+	plan := shuffle.ChunkWisePlan(snap, 42, 3)
+	for _, window := range []int{0, 1, 2, 5, 100} {
+		t.Run(fmt.Sprintf("window=%d", window), func(t *testing.T) {
+			src := newFakeSource(snap, 200*time.Microsecond)
+			r := NewReader(plan, snap, src, WithWindow(window))
+			defer r.Close()
+			if n := drainAll(t, r, plan, snap); n != snap.NumFiles() {
+				t.Fatalf("consumed %d of %d files", n, snap.NumFiles())
+			}
+			if got := src.reads.Load(); got != int64(len(plan.Groups)) {
+				t.Errorf("source read %d groups, plan has %d", got, len(plan.Groups))
+			}
+		})
+	}
+}
+
+func TestReaderPrefetchOverlaps(t *testing.T) {
+	snap := buildSnap(8, 4)
+	plan := shuffle.ChunkWisePlan(snap, 1, 1)
+	src := newFakeSource(snap, 10*time.Millisecond)
+	r := NewReader(plan, snap, src, WithWindow(4))
+	defer r.Close()
+	drainAll(t, r, plan, snap)
+	if src.maxActive.Load() < 2 {
+		t.Errorf("max concurrent group fetches = %d; window not overlapping", src.maxActive.Load())
+	}
+}
+
+func TestReaderWindowBoundsPrefetch(t *testing.T) {
+	snap := buildSnap(10, 2)
+	plan := shuffle.ChunkWisePlan(snap, 3, 1)
+	src := newFakeSource(snap, 0)
+	r := NewReader(plan, snap, src, WithWindow(3))
+	defer r.Close()
+	// Without consuming, at most window groups may be fetched.
+	time.Sleep(30 * time.Millisecond)
+	if got := src.reads.Load(); got > 3 {
+		t.Errorf("%d groups fetched before any consumption; window is 3", got)
+	}
+	drainAll(t, r, plan, snap)
+}
+
+func TestReaderSynchronousWindowZero(t *testing.T) {
+	snap := buildSnap(6, 3)
+	plan := shuffle.ChunkWisePlan(snap, 9, 2)
+	src := newFakeSource(snap, 0)
+	r := NewReader(plan, snap, src, WithWindow(0))
+	defer r.Close()
+	// Nothing may be fetched until the consumer asks.
+	time.Sleep(10 * time.Millisecond)
+	if got := src.reads.Load(); got != 0 {
+		t.Fatalf("window=0 fetched %d groups before first Next", got)
+	}
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if got := src.reads.Load(); got != 1 {
+		t.Fatalf("after first Next: %d groups fetched, want 1", got)
+	}
+}
+
+func TestReaderErrorEndsEpoch(t *testing.T) {
+	snap := buildSnap(6, 3)
+	plan := shuffle.ChunkWisePlan(snap, 5, 2)
+	src := newFakeSource(snap, 0)
+	src.failGroup = 1
+	r := NewReader(plan, snap, src, WithWindow(2))
+	defer r.Close()
+	var lastErr error
+	for {
+		_, err := r.Next()
+		if err != nil {
+			lastErr = err
+			break
+		}
+	}
+	if lastErr == nil || lastErr == io.EOF {
+		t.Fatalf("injected failure never surfaced: %v", lastErr)
+	}
+	if r.Err() == nil {
+		t.Fatal("Err() nil after failed epoch")
+	}
+	if _, err := r.Next(); err != lastErr {
+		t.Errorf("Next after failure: %v, want sticky %v", err, lastErr)
+	}
+}
+
+func TestReaderCancelMidEpoch(t *testing.T) {
+	before := runtime.NumGoroutine()
+	snap := buildSnap(20, 4)
+	plan := shuffle.ChunkWisePlan(snap, 7, 2)
+	src := newFakeSource(snap, 50*time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	r := NewReader(plan, snap, src, WithWindow(3), WithContext(ctx))
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	start := time.Now()
+	var err error
+	for {
+		if _, err = r.Next(); err != nil {
+			break
+		}
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("Next took %v to observe cancellation", waited)
+	}
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed after cancel, got %v", err)
+	}
+	if r.Err() == nil {
+		t.Error("Err() should report the caller-cancelled epoch")
+	}
+	r.Close()
+	assertNoGoroutineLeak(t, before)
+}
+
+func TestReaderCloseMidEpochNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	snap := buildSnap(20, 4)
+	plan := shuffle.ChunkWisePlan(snap, 8, 2)
+	src := newFakeSource(snap, 5*time.Millisecond)
+	r := NewReader(plan, snap, src, WithWindow(4))
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		r.Close() // concurrent with the consumer's Next below
+		close(done)
+	}()
+	for {
+		if _, err := r.Next(); err != nil {
+			break
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung")
+	}
+	// Locally closed, not a data failure: Err is nil by contract.
+	if err := r.Err(); err != nil {
+		t.Errorf("Err after local Close: %v", err)
+	}
+	assertNoGoroutineLeak(t, before)
+}
+
+func TestReaderEmptyPlan(t *testing.T) {
+	snap := buildSnap(1, 1)
+	r := NewReader(&shuffle.Plan{}, snap, newFakeSource(snap, 0), WithWindow(2))
+	defer r.Close()
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("empty plan: %v, want io.EOF", err)
+	}
+}
+
+func TestReaderDoubleCloseSafe(t *testing.T) {
+	snap := buildSnap(2, 2)
+	plan := shuffle.ChunkWisePlan(snap, 1, 1)
+	r := NewReader(plan, snap, newFakeSource(snap, 0), WithWindow(1))
+	r.Close()
+	r.Close()
+}
+
+// TestReaderPipelineSpeedup is the acceptance property as a test: with a
+// latency-bound source, a window >= 2 must finish the epoch at least 2x
+// faster than the synchronous window=0 configuration.
+func TestReaderPipelineSpeedup(t *testing.T) {
+	snap := buildSnap(8, 4)
+	plan := shuffle.ChunkWisePlan(snap, 11, 1)
+	run := func(window int) time.Duration {
+		src := newFakeSource(snap, 20*time.Millisecond)
+		r := NewReader(plan, snap, src, WithWindow(window))
+		defer r.Close()
+		start := time.Now()
+		drainAll(t, r, plan, snap)
+		return time.Since(start)
+	}
+	sync := run(0)
+	piped := run(4)
+	if piped*2 > sync {
+		t.Errorf("window=4 epoch took %v vs sync %v; want >= 2x speedup", piped, sync)
+	}
+}
+
+// assertNoGoroutineLeak waits for the goroutine count to settle back to
+// (at most) its starting point, tolerating runtime background goroutines.
+func assertNoGoroutineLeak(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d -> %d\n%s", before, now, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,188 @@
+package epoch
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"diesel/internal/chunk"
+	"diesel/internal/client"
+	"diesel/internal/meta"
+	"diesel/internal/shuffle"
+)
+
+// Source fetches the payloads of one plan group. Implementations decide
+// the transfer granularity: whole chunks from the servers (ClientSource)
+// or per-file reads through the task-grained cache (CacheSource). A
+// Source must be safe for concurrent ReadGroup calls — the reader's
+// window overlaps group fetches.
+type Source interface {
+	// ReadGroup returns the payloads of plan positions
+	// [plan.Groups[g].Start, plan.Groups[g].End) in plan order.
+	ReadGroup(ctx context.Context, plan *shuffle.Plan, g int) ([][]byte, error)
+}
+
+// FileReader is the cache-side read surface CacheSource needs;
+// *dcache.Peer implements it (and so does any client.ContextReader).
+type FileReader interface {
+	ReadFileContext(ctx context.Context, path string) ([]byte, error)
+}
+
+// ClientSource feeds an epoch reader straight from the DIESEL servers:
+// each group fetch pulls the group's chunks whole (DL_get_chunk — the
+// large sequential read of Table 2) and slices the files out locally
+// using snapshot metadata. If a chunk cannot be fetched or parsed (e.g.
+// purged mid-epoch), its files are re-read through the batched file API
+// instead, so one stale chunk degrades to a batch RPC rather than
+// failing the epoch.
+type ClientSource struct {
+	cl       *client.Client
+	snap     *meta.Snapshot
+	parallel int
+}
+
+// NewClientSource builds a server-direct source. parallel bounds the
+// concurrent chunk fetches within one group (<=0 means 4).
+func NewClientSource(cl *client.Client, snap *meta.Snapshot, parallel int) *ClientSource {
+	if parallel <= 0 {
+		parallel = 4
+	}
+	return &ClientSource{cl: cl, snap: snap, parallel: parallel}
+}
+
+// ReadGroup implements Source.
+func (s *ClientSource) ReadGroup(ctx context.Context, plan *shuffle.Plan, g int) ([][]byte, error) {
+	span := plan.Groups[g]
+
+	// Fetch the group's chunks concurrently, bounded by parallel.
+	chunks := make(map[int32]*fetched, len(span.Chunks))
+	for _, ci := range span.Chunks {
+		chunks[ci] = &fetched{}
+	}
+	sem := make(chan struct{}, s.parallel)
+	var wg sync.WaitGroup
+	for _, ci := range span.Chunks {
+		wg.Add(1)
+		go func(ci int32) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			f := chunks[ci]
+			blob, err := s.cl.GetChunkContext(ctx, s.snap.Chunks[ci].ID.String())
+			if err != nil {
+				f.err = err
+				return
+			}
+			f.ck, f.err = chunk.Parse(blob)
+		}(ci)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Files whose chunk failed fall back to one batched read.
+	out := make([][]byte, span.End-span.Start)
+	var missPos []int
+	for pos := span.Start; pos < span.End; pos++ {
+		m := s.snap.FileMetaAt(int(plan.Files[pos]))
+		f := chunks[int32(m.ChunkIdx)]
+		if f == nil || f.err != nil || f.ck == nil {
+			missPos = append(missPos, pos)
+			continue
+		}
+		pay := f.ck.Payload()
+		if m.Offset+m.Length > uint64(len(pay)) {
+			return nil, fmt.Errorf("epoch: file %q range [%d,%d) outside chunk payload %d",
+				s.snap.FileName(int(plan.Files[pos])), m.Offset, m.Offset+m.Length, len(pay))
+		}
+		out[pos-span.Start] = append([]byte(nil), pay[m.Offset:m.Offset+m.Length]...)
+	}
+	if len(missPos) > 0 {
+		paths := make([]string, len(missPos))
+		for i, pos := range missPos {
+			paths[i] = s.snap.FileName(int(plan.Files[pos]))
+		}
+		mChunkFallbacks.Add(uint64(len(missPos)))
+		batch, err := s.cl.GetBatchContext(ctx, paths)
+		if err != nil {
+			return nil, joinChunkErrors(chunks, err)
+		}
+		for i, pos := range missPos {
+			if batch[i] == nil {
+				return nil, joinChunkErrors(chunks,
+					fmt.Errorf("epoch: file %q missing from batch fallback", paths[i]))
+			}
+			out[pos-span.Start] = batch[i]
+		}
+	}
+	return out, nil
+}
+
+// fetched is one chunk's fetch-and-parse outcome within a group read.
+type fetched struct {
+	ck  *chunk.Chunk
+	err error
+}
+
+// joinChunkErrors decorates a fallback failure with the chunk errors that
+// forced the fallback, so the surfaced error names the root cause.
+func joinChunkErrors(chunks map[int32]*fetched, err error) error {
+	for _, f := range chunks {
+		if f.err != nil {
+			return fmt.Errorf("%w (chunk fetch: %w)", err, f.err)
+		}
+	}
+	return err
+}
+
+// CacheSource feeds an epoch reader through the task-grained distributed
+// cache: each file goes to its owning master in one hop (Figure 7), and
+// prefetching a group ahead pulls the group's chunks into the cache
+// before the consumer arrives. parallel bounds concurrent file reads
+// within one group.
+type CacheSource struct {
+	fr       FileReader
+	snap     *meta.Snapshot
+	parallel int
+}
+
+// NewCacheSource builds a cache-backed source (fr is typically a
+// *dcache.Peer). parallel <=0 means 8.
+func NewCacheSource(fr FileReader, snap *meta.Snapshot, parallel int) *CacheSource {
+	if parallel <= 0 {
+		parallel = 8
+	}
+	return &CacheSource{fr: fr, snap: snap, parallel: parallel}
+}
+
+// ReadGroup implements Source.
+func (s *CacheSource) ReadGroup(ctx context.Context, plan *shuffle.Plan, g int) ([][]byte, error) {
+	span := plan.Groups[g]
+	out := make([][]byte, span.End-span.Start)
+	errs := make([]error, span.End-span.Start)
+	sem := make(chan struct{}, s.parallel)
+	var wg sync.WaitGroup
+	for pos := span.Start; pos < span.End; pos++ {
+		wg.Add(1)
+		go func(pos int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				errs[pos-span.Start] = ctx.Err()
+				return
+			}
+			path := s.snap.FileName(int(plan.Files[pos]))
+			out[pos-span.Start], errs[pos-span.Start] = s.fr.ReadFileContext(ctx, path)
+		}(pos)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("epoch: read %q: %w",
+				s.snap.FileName(int(plan.Files[span.Start+i])), err)
+		}
+	}
+	return out, nil
+}

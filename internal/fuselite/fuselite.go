@@ -182,12 +182,13 @@ func (f *FS) ReadFile(name string) ([]byte, error) {
 // file list to POSIX-only training code: it returns the epoch's file list
 // as newline-separated paths, as if read from a virtual list file.
 func (f *FS) ShuffleList(seed int64, groupSize int) ([]byte, error) {
-	order, err := f.cfg.Clients[0].Shuffle(seed, groupSize)
+	cl := f.cfg.Clients[0]
+	plan, err := cl.ShufflePlan(seed, groupSize)
 	if err != nil {
 		return nil, err
 	}
 	var buf bytes.Buffer
-	for _, p := range order {
+	for _, p := range plan.Paths(cl.Snapshot()) {
 		buf.WriteString(p)
 		buf.WriteByte('\n')
 	}

@@ -110,15 +110,21 @@ func ChunkWisePlan(snap *meta.Snapshot, seed int64, groupSize int) *Plan {
 	return p
 }
 
-// ChunkWise returns the chunk-wise shuffled epoch order as file paths —
-// the list DL_shuffle hands to the training framework.
-func ChunkWise(snap *meta.Snapshot, seed int64, groupSize int) []string {
-	p := ChunkWisePlan(snap, seed, groupSize)
+// Paths materialises the plan's file order as full paths against the
+// snapshot it was built from — the flat list DL_shuffle hands to a
+// training framework that wants no group structure.
+func (p *Plan) Paths(snap *meta.Snapshot) []string {
 	out := make([]string, len(p.Files))
 	for i, fi := range p.Files {
 		out[i] = snap.FileName(int(fi))
 	}
 	return out
+}
+
+// ChunkWise returns the chunk-wise shuffled epoch order as file paths —
+// the list DL_shuffle hands to the training framework.
+func ChunkWise(snap *meta.Snapshot, seed int64, groupSize int) []string {
+	return ChunkWisePlan(snap, seed, groupSize).Paths(snap)
 }
 
 // WorkingSetChunks returns the maximum number of distinct chunks any

@@ -181,6 +181,66 @@ func TestGroupOf(t *testing.T) {
 	}
 }
 
+func TestGroupOfBoundaries(t *testing.T) {
+	snap := buildSnap(13, 9) // 13 chunks, group size 4: last group is short
+	p := ChunkWisePlan(snap, 7, 4)
+	for gi, g := range p.Groups {
+		if got := p.GroupOf(g.Start); got != gi {
+			t.Errorf("GroupOf(first pos %d) = %d, want %d", g.Start, got, gi)
+		}
+		if got := p.GroupOf(g.End - 1); got != gi {
+			t.Errorf("GroupOf(last pos %d) = %d, want %d", g.End-1, got, gi)
+		}
+	}
+	// One past a group's last file belongs to the next group (or is out of
+	// range after the final group).
+	for gi, g := range p.Groups {
+		want := gi + 1
+		if want == len(p.Groups) {
+			want = -1
+		}
+		if got := p.GroupOf(g.End); got != want {
+			t.Errorf("GroupOf(%d) = %d, want %d", g.End, got, want)
+		}
+	}
+}
+
+func TestGroupOfSingleGroup(t *testing.T) {
+	snap := buildSnap(3, 5)
+	// Group size larger than the chunk count: the whole epoch is one group.
+	p := ChunkWisePlan(snap, 2, 100)
+	if len(p.Groups) != 1 {
+		t.Fatalf("plan has %d groups, want 1", len(p.Groups))
+	}
+	for pos := range len(p.Files) {
+		if got := p.GroupOf(pos); got != 0 {
+			t.Fatalf("GroupOf(%d) = %d, want 0", pos, got)
+		}
+	}
+	if p.GroupOf(-1) != -1 || p.GroupOf(len(p.Files)) != -1 {
+		t.Error("out-of-range GroupOf should return -1")
+	}
+}
+
+func TestPlanPaths(t *testing.T) {
+	snap := buildSnap(6, 4)
+	p := ChunkWisePlan(snap, 5, 2)
+	paths := p.Paths(snap)
+	isPermutationOfAll(t, snap, paths)
+	for i, fi := range p.Files {
+		if paths[i] != snap.FileName(int(fi)) {
+			t.Fatalf("Paths[%d] = %q, want %q", i, paths[i], snap.FileName(int(fi)))
+		}
+	}
+	// The flat helper must agree with the plan it is derived from.
+	flat := ChunkWise(snap, 5, 2)
+	for i := range flat {
+		if flat[i] != paths[i] {
+			t.Fatalf("ChunkWise[%d] = %q, Plan.Paths = %q", i, flat[i], paths[i])
+		}
+	}
+}
+
 func TestChunkWiseEmptyChunks(t *testing.T) {
 	b := meta.NewSnapshotBuilder("ds", 1)
 	var id1, id2 chunk.ID

@@ -1,0 +1,64 @@
+package train
+
+import (
+	"errors"
+	"io"
+
+	"diesel/internal/epoch"
+)
+
+// EpochLoader adapts a pipelined epoch.Reader to the Loader's minibatch
+// surface. Where Loader prefetches file-by-file, an EpochLoader rides the
+// reader's group-granular pipeline: whole chunk groups are fetched ahead
+// (the window set on the reader), and this type only slices the ordered
+// sample stream into batches. Of the loader options only WithBatchSize
+// applies — concurrency and prefetch depth belong to the reader.
+type EpochLoader struct {
+	r     *epoch.Reader
+	batch int
+	index int
+}
+
+// NewEpochLoader batches the reader's samples. The caller keeps ownership
+// of the reader's lifecycle, but Close on the loader closes it too.
+func NewEpochLoader(r *epoch.Reader, opts ...LoaderOption) *EpochLoader {
+	var cfg LoaderConfig
+	for _, fn := range opts {
+		fn(&cfg)
+	}
+	if cfg.BatchSize < 1 {
+		cfg.BatchSize = 32
+	}
+	return &EpochLoader{r: r, batch: cfg.BatchSize}
+}
+
+// Next returns the next batch in plan order; ok is false when the epoch
+// is complete. A reader closed locally surfaces as ErrLoaderClosed; any
+// fetch error ends the epoch with that error.
+func (l *EpochLoader) Next() (Batch, bool, error) {
+	b := Batch{Index: l.index}
+	for len(b.Data) < l.batch {
+		s, err := l.r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if errors.Is(err, epoch.ErrClosed) && l.r.Err() == nil {
+				return Batch{}, false, ErrLoaderClosed
+			}
+			return Batch{}, false, err
+		}
+		b.Paths = append(b.Paths, s.Path)
+		b.Data = append(b.Data, s.Data)
+	}
+	if len(b.Data) == 0 {
+		return Batch{}, false, nil
+	}
+	l.index++
+	return b, true, nil
+}
+
+// Close tears down the underlying reader. Safe to call multiple times.
+func (l *EpochLoader) Close() {
+	l.r.Close()
+}

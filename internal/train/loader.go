@@ -5,6 +5,42 @@ import (
 	"sync"
 )
 
+// Source supplies file contents to a Loader. client.Client and
+// *dcache.Peer satisfy it structurally (both expose
+// ReadFile-equivalent surfaces via Get and ReadFile respectively);
+// FetchFunc adapts a bare function.
+type Source interface {
+	ReadFile(path string) ([]byte, error)
+}
+
+// FetchFunc adapts a fetch function (typically client.Get) to a Source.
+type FetchFunc func(path string) ([]byte, error)
+
+// ReadFile implements Source.
+func (f FetchFunc) ReadFile(path string) ([]byte, error) { return f(path) }
+
+// LoaderOption configures a Loader (functional options, matching the
+// style of internal/wire and internal/epoch).
+type LoaderOption func(*LoaderConfig)
+
+// WithWorkers sets the number of concurrent I/O goroutines (PyTorch's
+// num_workers). Default 4.
+func WithWorkers(n int) LoaderOption {
+	return func(c *LoaderConfig) { c.Workers = n }
+}
+
+// WithBatchSize sets the number of files per batch. Default 32.
+func WithBatchSize(n int) LoaderOption {
+	return func(c *LoaderConfig) { c.BatchSize = n }
+}
+
+// WithPrefetch bounds how many files may be in flight or buffered ahead
+// of the consumer — the loader's memory footprint in files. Default
+// 2×Workers×BatchSize.
+func WithPrefetch(n int) LoaderOption {
+	return func(c *LoaderConfig) { c.Prefetch = n }
+}
+
 // Loader streams minibatches of files in a fixed epoch order with
 // parallel prefetching I/O workers — the role PyTorch's DataLoader plays
 // in Figure 1 of the paper. The training loop consumes batches in order
@@ -58,10 +94,26 @@ type fileResult struct {
 // ErrLoaderClosed is returned by Next after Close.
 var ErrLoaderClosed = errors.New("train: loader closed")
 
+// New starts the prefetch pipeline over the given epoch order. src must
+// be safe for concurrent use; it is typically FetchFunc(client.Get)
+// (routed through the task-grained cache) or a *dcache.Peer.
+func New(src Source, order []string, opts ...LoaderOption) *Loader {
+	var cfg LoaderConfig
+	for _, fn := range opts {
+		fn(&cfg)
+	}
+	return newLoader(src.ReadFile, order, cfg)
+}
+
 // NewLoader starts the prefetch pipeline over the given epoch order.
-// fetch must be safe for concurrent use; it is typically client.Get
-// (routed through the task-grained cache).
+//
+// Deprecated: use New with a Source and LoaderOptions; this positional
+// form is kept for existing callers.
 func NewLoader(fetch func(string) ([]byte, error), order []string, cfg LoaderConfig) *Loader {
+	return newLoader(fetch, order, cfg)
+}
+
+func newLoader(fetch func(string) ([]byte, error), order []string, cfg LoaderConfig) *Loader {
 	if cfg.Workers < 1 {
 		cfg.Workers = 4
 	}

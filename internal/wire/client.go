@@ -258,12 +258,27 @@ func (p *Pool) Addr() string { return p.addr }
 // slot transparently, while an in-flight failure or deadline is returned
 // to the caller, who alone knows whether the operation is idempotent.
 func (p *Pool) Call(method string, payload []byte) ([]byte, error) {
+	return p.CallContext(context.Background(), method, payload)
+}
+
+// CallContext is Call with an explicit deadline/cancellation, so callers
+// (the epoch reader, the distributed cache) can bound a whole read rather
+// than each RPC individually. The pool's WithCallTimeout option still
+// applies per attempt: each attempt's effective deadline is the earlier of
+// the caller's deadline and the per-call timeout.
+func (p *Pool) CallContext(ctx context.Context, method string, payload []byte) ([]byte, error) {
 	if metricsOn() {
 		mPoolCalls.Inc()
 	}
 	start := int(p.next.Add(1))
 	var firstErr error
 	for k := range len(p.slots) {
+		if err := ctx.Err(); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("wire: pool %s: %w", p.addr, err)
+			}
+			break
+		}
 		s := p.slots[(start+k)%len(p.slots)]
 		c, err := s.acquire(p.addr, &p.o)
 		if err != nil {
@@ -272,9 +287,14 @@ func (p *Pool) Call(method string, payload []byte) ([]byte, error) {
 			}
 			continue
 		}
-		resp, err := c.Call(method, payload)
+		resp, err := p.callOne(ctx, c, method, payload)
 		if err == nil || IsRemote(err) {
 			return resp, err
+		}
+		if ctx.Err() != nil && !c.Closed() {
+			// The caller gave up; the connection itself is healthy. Closing
+			// it would fail other goroutines' in-flight calls for nothing.
+			return nil, err
 		}
 		s.markBroken(c)
 		if !errors.Is(err, ErrNotSent) {
@@ -288,6 +308,18 @@ func (p *Pool) Call(method string, payload []byte) ([]byte, error) {
 		firstErr = fmt.Errorf("wire: pool %s: %w", p.addr, ErrNotSent)
 	}
 	return nil, firstErr
+}
+
+// callOne performs one attempt on one pooled connection, bounding it with
+// the pool's per-call timeout (if configured) on top of the caller's
+// context.
+func (p *Pool) callOne(ctx context.Context, c *Client, method string, payload []byte) ([]byte, error) {
+	if p.o.callTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.o.callTimeout)
+		defer cancel()
+	}
+	return c.CallContext(ctx, method, payload)
 }
 
 // acquire returns the slot's live client, redialing if the previous one
