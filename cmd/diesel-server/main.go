@@ -15,7 +15,7 @@ package main
 
 import (
 	"flag"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -25,6 +25,7 @@ import (
 	"diesel/internal/objstore"
 	"diesel/internal/obs"
 	"diesel/internal/server"
+	"diesel/internal/tracing"
 )
 
 func main() {
@@ -32,13 +33,22 @@ func main() {
 	kvAddrs := flag.String("kv", "", "comma-separated kvnode addresses (required)")
 	storeDir := flag.String("store", "", "chunk storage directory (empty = in-memory)")
 	ssdCache := flag.Int64("ssd-cache", 0, "fast-tier cache capacity in bytes (0 = disabled)")
-	metricsAddr := flag.String("metrics", "", "serve /metrics, /healthz and /debug/pprof on this address (empty = disabled)")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /healthz, /debug/pprof and /debug/traces on this address (empty = disabled)")
 	kvTimeout := flag.Duration("kv-timeout", 5*time.Second, "per-RPC deadline for metadata KV calls (0 = none)")
 	kvRetries := flag.Int("kv-retries", 2, "extra attempts for idempotent KV reads after a transport failure (writes never retry; negative disables)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	traceRate := flag.Float64("trace", 0, "record locally-rooted trace sample rate in [0,1] (remotely-sampled requests are always recorded)")
 	flag.Parse()
 
+	logger := newLogger(*logLevel)
+	slog.SetDefault(logger)
+	tracing.SetProcess("diesel-server")
+	tracing.SetSampleRate(*traceRate)
+	tracing.EnableTracing(true)
+
 	if *kvAddrs == "" {
-		log.Fatal("diesel-server: -kv is required")
+		logger.Error("diesel-server: -kv is required")
+		os.Exit(1)
 	}
 	maxRetries := *kvRetries
 	if maxRetries <= 0 {
@@ -50,14 +60,16 @@ func main() {
 		MaxRetries:   maxRetries,
 	})
 	if err != nil {
-		log.Fatalf("diesel-server: %v", err)
+		logger.Error("diesel-server: dial kv cluster failed", "err", err)
+		os.Exit(1)
 	}
 
 	var objects objstore.Store
 	if *storeDir != "" {
 		objects, err = objstore.NewDisk(*storeDir)
 		if err != nil {
-			log.Fatalf("diesel-server: %v", err)
+			logger.Error("diesel-server: open store failed", "dir", *storeDir, "err", err)
+			os.Exit(1)
 		}
 	} else {
 		objects = objstore.NewMemory()
@@ -69,23 +81,36 @@ func main() {
 	core := server.New(kv, objects, func() int64 { return time.Now().UnixNano() })
 	rpc, err := server.NewRPC(core, *addr)
 	if err != nil {
-		log.Fatalf("diesel-server: %v", err)
+		logger.Error("diesel-server: listen failed", "addr", *addr, "err", err)
+		os.Exit(1)
 	}
-	log.Printf("diesel-server serving on %s (kv=%s store=%q)", rpc.Addr(), *kvAddrs, *storeDir)
+	logger.Info("diesel-server serving", "addr", rpc.Addr(), "kv", *kvAddrs, "store", *storeDir)
 
 	if *metricsAddr != "" {
 		rpc.RegisterMetrics(obs.Default())
 		bound, stop, err := obs.Serve(*metricsAddr, obs.Default())
 		if err != nil {
-			log.Fatalf("diesel-server: metrics: %v", err)
+			logger.Error("diesel-server: metrics listen failed", "addr", *metricsAddr, "err", err)
+			os.Exit(1)
 		}
 		defer stop()
-		log.Printf("diesel-server metrics on http://%s/metrics", bound)
+		logger.Info("diesel-server metrics", "url", "http://"+bound+"/metrics",
+			"traces", "http://"+bound+"/debug/traces")
 	}
 
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt)
 	<-ch
-	log.Printf("diesel-server: %d requests served, shutting down", rpc.Requests())
+	logger.Info("diesel-server shutting down", "requests", rpc.Requests())
 	rpc.Close()
+}
+
+// newLogger builds the process logger at the requested level. Text output
+// to stderr, same as the log package these binaries used before.
+func newLogger(level string) *slog.Logger {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		lvl = slog.LevelInfo
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
 }

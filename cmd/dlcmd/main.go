@@ -22,6 +22,13 @@
 //	                                 through the pipelined reader and report
 //	                                 throughput (Ctrl-C cancels cleanly)
 //	stats <host:port | url>          scrape and pretty-print a -metrics endpoint
+//	trace [-id hex] <endpoint>...    scrape /debug/traces from one or more
+//	                                 endpoints and stitch cross-process span
+//	                                 trees by trace ID
+//
+// With -trace <rate> the client side records spans too: read-epoch then
+// prints its slowest local traces (with trace IDs), which `dlcmd trace`
+// can look up on the server endpoints for the remote half of the tree.
 package main
 
 import (
@@ -40,6 +47,7 @@ import (
 	"diesel/internal/client"
 	"diesel/internal/epoch"
 	"diesel/internal/trace"
+	"diesel/internal/tracing"
 )
 
 func main() {
@@ -47,12 +55,24 @@ func main() {
 	dataset := flag.String("dataset", "", "dataset name (required)")
 	callTimeout := flag.Duration("call-timeout", 0, "per-RPC deadline (0 = none; a hung server then blocks forever)")
 	retries := flag.Int("retries", 2, "extra attempts for idempotent reads after a transport failure (writes never retry; negative disables)")
+	traceRate := flag.Float64("trace", 0, "trace sample rate in [0,1] (0 = tracing off)")
 	flag.Parse()
-	// stats talks HTTP to a -metrics endpoint, not RPC to a server, so it
-	// needs neither -dataset nor a client connection.
+	if *traceRate > 0 {
+		tracing.SetProcess("dlcmd")
+		tracing.SetSampleRate(*traceRate)
+		tracing.EnableTracing(true)
+	}
+	// stats and trace talk HTTP to a -metrics endpoint, not RPC to a
+	// server, so they need neither -dataset nor a client connection.
 	if flag.NArg() > 0 && flag.Arg(0) == "stats" {
 		if err := runStats(flag.Args()[1:]); err != nil {
 			log.Fatalf("dlcmd stats: %v", err)
+		}
+		return
+	}
+	if flag.NArg() > 0 && flag.Arg(0) == "trace" {
+		if err := runTrace(flag.Args()[1:]); err != nil {
+			log.Fatalf("dlcmd trace: %v", err)
 		}
 		return
 	}
@@ -312,5 +332,32 @@ func readEpoch(c *client.Client, seed int64, group, window int) error {
 		files, bytes, el.Round(time.Millisecond),
 		float64(files)/el.Seconds(), float64(bytes)/el.Seconds()/1e6,
 		len(plan.Groups), window)
+	printLocalTraces()
 	return nil
+}
+
+// printLocalTraces shows the client-side half of the slowest traces this
+// run recorded (when -trace is on). The printed IDs are what to pass to
+// `dlcmd trace -id <id> <server-metrics-endpoint> <kvnode-endpoints...>`
+// to see the server-side spans of the same traces.
+func printLocalTraces() {
+	if !tracing.Enabled() {
+		return
+	}
+	slowest := tracing.Slowest(3)
+	if len(slowest) == 0 {
+		// Nothing crossed the slow threshold; show the last few anyway.
+		slowest = tracing.Recent(3)
+	}
+	if len(slowest) == 0 {
+		return
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "\nslowest client-side traces (%d collected; dlcmd trace -id <id> <endpoints> for the server half):\n", tracing.CollectedTotal())
+	for _, td := range slowest {
+		fmt.Fprintf(&b, "\n%s  %s  %v  (%d spans)\n",
+			tracing.FormatID(td.TraceID), td.Root, td.Duration().Round(time.Microsecond), len(td.Spans))
+		tracing.WriteTree(&b, td.Spans)
+	}
+	fmt.Print(b.String())
 }

@@ -38,6 +38,21 @@ func runStats(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Alphabetical within each section: stable diffs between scrapes.
+	sort.SliceStable(sc.Samples, func(i, j int) bool {
+		a, b := sc.Samples[i], sc.Samples[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return fmtLabels(a.Labels) < fmtLabels(b.Labels)
+	})
+	sort.SliceStable(sc.Histograms, func(i, j int) bool {
+		a, b := sc.Histograms[i], sc.Histograms[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return fmtLabels(a.Labels) < fmtLabels(b.Labels)
+	})
 
 	if len(sc.Samples) > 0 {
 		fmt.Println("# counters and gauges")

@@ -9,38 +9,61 @@ package main
 
 import (
 	"flag"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 
 	"diesel/internal/kvstore"
 	"diesel/internal/obs"
+	"diesel/internal/tracing"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7401", "listen address")
-	metricsAddr := flag.String("metrics", "", "serve /metrics, /healthz and /debug/pprof on this address (empty = disabled)")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /healthz, /debug/pprof and /debug/traces on this address (empty = disabled)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
+
+	logger := newLogger(*logLevel)
+	slog.SetDefault(logger)
+	// A KV node never roots traces of its own; it records the spans of
+	// requests whose callers sampled them (the trace block on the wire).
+	tracing.SetProcess("kvnode")
+	tracing.SetSampleRate(0)
+	tracing.EnableTracing(true)
 
 	s, err := kvstore.NewServer(*addr)
 	if err != nil {
-		log.Fatalf("kvnode: %v", err)
+		logger.Error("kvnode: listen failed", "addr", *addr, "err", err)
+		os.Exit(1)
 	}
-	log.Printf("kvnode serving on %s", s.Addr())
+	logger.Info("kvnode serving", "addr", s.Addr())
 
 	if *metricsAddr != "" {
 		s.RegisterMetrics(obs.Default())
 		bound, stop, err := obs.Serve(*metricsAddr, obs.Default())
 		if err != nil {
-			log.Fatalf("kvnode: metrics: %v", err)
+			logger.Error("kvnode: metrics listen failed", "addr", *metricsAddr, "err", err)
+			os.Exit(1)
 		}
 		defer stop()
-		log.Printf("kvnode metrics on http://%s/metrics", bound)
+		logger.Info("kvnode metrics", "url", "http://"+bound+"/metrics",
+			"traces", "http://"+bound+"/debug/traces")
 	}
 
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt)
 	<-ch
-	log.Printf("kvnode: %d requests served, shutting down", s.Requests())
+	logger.Info("kvnode shutting down", "requests", s.Requests())
 	s.Close()
+}
+
+// newLogger builds the process logger at the requested level. Text output
+// to stderr, same as the log package this binary used before.
+func newLogger(level string) *slog.Logger {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		lvl = slog.LevelInfo
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
 }

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	mrand "math/rand"
 	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,6 +41,7 @@ import (
 	"diesel/internal/obs"
 	"diesel/internal/server"
 	"diesel/internal/shuffle"
+	"diesel/internal/tracing"
 	"diesel/internal/wire"
 )
 
@@ -328,8 +330,16 @@ func (c *Client) Get(path string) ([]byte, error) {
 // reaches the transport's CallContext — and, when the installed cache
 // reader implements ContextReader, the cache's peer RPCs too — so a
 // cancelled epoch read stops waiting within one call round trip.
-func (c *Client) GetContext(ctx context.Context, path string) ([]byte, error) {
-	defer mGetLat.Since(time.Now())
+func (c *Client) GetContext(ctx context.Context, path string) (out []byte, err error) {
+	start := time.Now()
+	ctx, sp := tracing.StartSpan(ctx, "client.get")
+	sp.SetAttr("path", path)
+	defer func() {
+		mGetLat.Since(start)
+		sp.SetError(err)
+		sp.End()
+		tracing.ObserveSlow(sp, "diesel_client_get_seconds", time.Since(start))
+	}()
 	c.Stats.Gets.Add(1)
 	c.smu.RLock()
 	r := c.reader
@@ -350,7 +360,10 @@ func (c *Client) GetDirect(path string) ([]byte, error) {
 }
 
 // GetDirectContext is GetDirect under a caller deadline/cancellation.
-func (c *Client) GetDirectContext(ctx context.Context, path string) ([]byte, error) {
+func (c *Client) GetDirectContext(ctx context.Context, path string) (out []byte, err error) {
+	ctx, sp := tracing.StartSpan(ctx, "client.getDirect")
+	sp.SetAttr("path", path)
+	defer func() { sp.SetError(err); sp.End() }()
 	e := wire.NewEncoder(len(path) + len(c.opts.Dataset) + 16)
 	e.String(c.opts.Dataset)
 	e.String(meta.CleanPath(path))
@@ -370,8 +383,16 @@ func (c *Client) GetBatch(paths []string) ([][]byte, error) {
 }
 
 // GetBatchContext is GetBatch under a caller deadline/cancellation.
-func (c *Client) GetBatchContext(ctx context.Context, paths []string) ([][]byte, error) {
-	defer mGetBatchLat.Since(time.Now())
+func (c *Client) GetBatchContext(ctx context.Context, paths []string) (out [][]byte, err error) {
+	start := time.Now()
+	ctx, sp := tracing.StartSpan(ctx, "client.getBatch")
+	sp.SetAttr("files", strconv.Itoa(len(paths)))
+	defer func() {
+		mGetBatchLat.Since(start)
+		sp.SetError(err)
+		sp.End()
+		tracing.ObserveSlow(sp, "diesel_client_get_batch_seconds", time.Since(start))
+	}()
 	cleaned := make([]string, len(paths))
 	for i, p := range paths {
 		cleaned[i] = meta.CleanPath(p)
@@ -388,7 +409,7 @@ func (c *Client) GetBatchContext(ctx context.Context, paths []string) ([][]byte,
 	if n != len(paths) {
 		return nil, fmt.Errorf("client: batch size mismatch: %d vs %d", n, len(paths))
 	}
-	out := make([][]byte, n)
+	out = make([][]byte, n)
 	for i := range n {
 		present := d.Bool()
 		b := d.Bytes32()
@@ -409,8 +430,16 @@ func (c *Client) GetChunk(chunkID string) ([]byte, error) {
 // GetChunkContext is GetChunk under a caller deadline/cancellation — the
 // fetch unit of the epoch reader's prefetch pipeline, whose window
 // cancellation must be able to abandon an in-flight chunk.
-func (c *Client) GetChunkContext(ctx context.Context, chunkID string) ([]byte, error) {
-	defer mGetChunkLat.Since(time.Now())
+func (c *Client) GetChunkContext(ctx context.Context, chunkID string) (out []byte, err error) {
+	start := time.Now()
+	ctx, sp := tracing.StartSpan(ctx, "client.getChunk")
+	sp.SetAttr("chunk", chunkID)
+	defer func() {
+		mGetChunkLat.Since(start)
+		sp.SetError(err)
+		sp.End()
+		tracing.ObserveSlow(sp, "diesel_client_get_chunk_seconds", time.Since(start))
+	}()
 	e := wire.NewEncoder(len(chunkID) + len(c.opts.Dataset) + 16)
 	e.String(c.opts.Dataset)
 	e.String(chunkID)

@@ -33,6 +33,7 @@ import (
 	"diesel/internal/etcd"
 	"diesel/internal/meta"
 	"diesel/internal/obs"
+	"diesel/internal/tracing"
 	"diesel/internal/wire"
 )
 
@@ -322,7 +323,7 @@ func Join(cl *client.Client, reg Registrar, cfg Config) (*Peer, error) {
 
 	if p.IsMaster() {
 		p.store = newChunkStore(cfg.CapacityBytes)
-		p.srv.Handle(methodCacheGet, p.handleCacheGet)
+		p.srv.HandleContext(methodCacheGet, p.handleCacheGet)
 		if cfg.Policy == Oneshot {
 			go func() {
 				if err := p.LoadOwned(); err != nil {
@@ -416,7 +417,14 @@ func (p *Peer) loadChunk(ctx context.Context, ci int) (*cachedChunk, error) {
 		<-fl.done
 		return fl.cc, fl.err
 	}
+	sp := tracing.ChildOf(ctx, "dcache.loadChunk")
+	if sp != nil {
+		sp.SetAttr("chunk", id)
+		ctx = tracing.ContextWith(ctx, sp)
+	}
 	fl.cc, fl.err = p.fetchChunk(ctx, id)
+	sp.SetError(fl.err)
+	sp.End()
 	p.inflightMu.Lock()
 	delete(p.inflight, id)
 	p.inflightMu.Unlock()
@@ -473,14 +481,16 @@ func (p *Peer) PrefetchErr() error {
 }
 
 // handleCacheGet serves a file from this master's cache (loading the chunk
-// on demand), for requests arriving from peers.
-func (p *Peer) handleCacheGet(payload []byte) ([]byte, error) {
+// on demand), for requests arriving from peers. The context carries the
+// server-side trace span, so an on-demand chunk load triggered by a peer
+// read shows up under the requesting peer's trace.
+func (p *Peer) handleCacheGet(ctx context.Context, payload []byte) ([]byte, error) {
 	d := wire.NewDecoder(payload)
 	path := d.String()
 	if err := d.Err(); err != nil {
 		return nil, err
 	}
-	b, err := p.readLocal(context.Background(), path)
+	b, err := p.readLocal(ctx, path)
 	if err != nil {
 		return nil, err
 	}
@@ -520,7 +530,13 @@ func (p *Peer) ReadFile(path string) ([]byte, error) {
 // (implementing client.ContextReader). The context bounds the peer RPC,
 // the chunk load it may trigger and the server fallback, so a cancelled
 // epoch reader stops waiting within one call round trip.
-func (p *Peer) ReadFileContext(ctx context.Context, path string) ([]byte, error) {
+func (p *Peer) ReadFileContext(ctx context.Context, path string) (b []byte, err error) {
+	sp := tracing.ChildOf(ctx, "dcache.read")
+	if sp != nil {
+		sp.SetAttr("path", path)
+		ctx = tracing.ContextWith(ctx, sp)
+		defer func() { sp.SetError(err); sp.End() }()
+	}
 	m, err := p.snap.Stat(path)
 	if err != nil {
 		return nil, err
@@ -531,6 +547,7 @@ func (p *Peer) ReadFileContext(ctx context.Context, path string) ([]byte, error)
 		if err == nil {
 			p.Stats.LocalHits.Add(1)
 			mLocalHits.Inc()
+			sp.SetAttr("branch", "local")
 			return b, nil
 		}
 		if ctx.Err() != nil {
@@ -544,6 +561,8 @@ func (p *Peer) ReadFileContext(ctx context.Context, path string) ([]byte, error)
 			}
 			p.Stats.PeerReads.Add(1)
 			mPeerReads.Inc()
+			sp.SetAttr("branch", "peer-master")
+			sp.SetAttr("owner", strconv.Itoa(owner))
 			return b, nil
 		}
 		if wire.IsRemote(err) {
@@ -562,6 +581,7 @@ func (p *Peer) ReadFileContext(ctx context.Context, path string) ([]byte, error)
 	}
 	p.Stats.ServerFallback.Add(1)
 	mFallbacks.Inc()
+	sp.SetAttr("branch", "server-fallback")
 	return p.cl.GetDirectContext(ctx, path)
 }
 

@@ -1,8 +1,8 @@
 package dcache
 
 import (
-	"context"
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"

@@ -24,11 +24,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strconv"
 	"sync"
 	"time"
 
 	"diesel/internal/meta"
 	"diesel/internal/shuffle"
+	"diesel/internal/tracing"
 )
 
 // Sample is one file served in epoch order.
@@ -83,6 +85,7 @@ func WithContext(ctx context.Context) Option {
 type groupResult struct {
 	data [][]byte
 	err  error
+	sp   *tracing.Span // the group's fetch span (ended), for stall exemplars
 }
 
 // Reader streams one epoch in plan order while prefetching whole chunk
@@ -164,14 +167,26 @@ func (r *Reader) start() {
 		go func() {
 			defer r.wg.Done()
 			for g := range jobs {
+				// Each group fetch is its own trace root: one epoch is
+				// unbounded in spans, one group is not, and the slow unit
+				// worth attributing is the group.
+				gctx, gsp := tracing.StartSpan(r.ctx, "epoch.group")
+				if gsp != nil {
+					gsp.SetAttr("group", strconv.Itoa(g))
+					gs := r.plan.Groups[g]
+					gsp.SetAttr("files", strconv.Itoa(gs.End-gs.Start))
+				}
 				start := time.Now()
-				data, err := r.src.ReadGroup(r.ctx, r.plan, g)
+				data, err := r.src.ReadGroup(gctx, r.plan, g)
 				mGroupFetchLat.Since(start)
+				gsp.SetError(err)
+				gsp.End()
+				tracing.ObserveSlow(gsp, "diesel_epoch_group_fetch_seconds", time.Since(start))
 				if err == nil {
 					mGroups.Inc()
 				}
 				mDepth.Add(1)
-				r.results[g] <- groupResult{data: data, err: err} // buffered(1): never blocks
+				r.results[g] <- groupResult{data: data, err: err, sp: gsp} // buffered(1): never blocks
 			}
 		}()
 	}
@@ -220,7 +235,15 @@ func (r *Reader) advance() error {
 	start := time.Now()
 	var res groupResult
 	if r.cfg.window <= 0 {
-		res.data, res.err = r.src.ReadGroup(r.ctx, r.plan, g)
+		gctx, gsp := tracing.StartSpan(r.ctx, "epoch.group")
+		if gsp != nil {
+			gsp.SetAttr("group", strconv.Itoa(g))
+			gsp.SetAttr("window", "0")
+		}
+		res.data, res.err = r.src.ReadGroup(gctx, r.plan, g)
+		gsp.SetError(res.err)
+		gsp.End()
+		res.sp = gsp
 		if res.err == nil {
 			mGroups.Inc()
 		}
@@ -234,6 +257,9 @@ func (r *Reader) advance() error {
 		}
 	}
 	mStallLat.Since(start)
+	// A slow stall means prefetch failed to hide this group's fetch; the
+	// exemplar points at that group's trace, which shows why it was slow.
+	tracing.ObserveSlow(res.sp, "diesel_epoch_stall_seconds", time.Since(start))
 	if res.err != nil {
 		if r.ctx.Err() != nil {
 			return r.fail(fmt.Errorf("%w: %w", ErrClosed, res.err))

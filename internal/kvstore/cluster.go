@@ -1,14 +1,17 @@
 package kvstore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/crc32"
 	"math/rand"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
+	"diesel/internal/tracing"
 	"diesel/internal/wire"
 )
 
@@ -99,19 +102,32 @@ func DialClusterOpts(addrs []string, opts Options) (*Cluster, error) {
 // errors from the node are returned immediately. All attempts' errors are
 // joined so a post-mortem sees every failure, not an arbitrary one.
 func (c *Cluster) callIdem(n int, method string, payload []byte) ([]byte, error) {
+	return c.callIdemContext(context.Background(), n, method, payload)
+}
+
+// callIdemContext is callIdem under the caller's context: cancellation
+// stops the retry loop (mid-backoff included), and trace spans propagate
+// to the node RPCs.
+func (c *Cluster) callIdemContext(ctx context.Context, n int, method string, payload []byte) ([]byte, error) {
 	var errs []error
 	for attempt := 0; ; attempt++ {
-		resp, err := c.call(n, method, payload)
+		resp, err := c.callContext(ctx, n, method, payload)
 		if err == nil || wire.IsRemote(err) {
 			return resp, err
 		}
 		errs = append(errs, err)
-		if attempt >= c.opts.MaxRetries {
+		if ctx.Err() != nil || attempt >= c.opts.MaxRetries {
 			return nil, fmt.Errorf("kvstore: node %d (%s) %s failed after %d attempts: %w",
 				n, c.addrs[n], method, attempt+1, errors.Join(errs...))
 		}
 		mRetries(method).Inc()
-		time.Sleep(retryDelay(c.opts.RetryBackoff, attempt))
+		select {
+		case <-time.After(retryDelay(c.opts.RetryBackoff, attempt)):
+		case <-ctx.Done():
+			errs = append(errs, ctx.Err())
+			return nil, fmt.Errorf("kvstore: node %d (%s) %s failed after %d attempts: %w",
+				n, c.addrs[n], method, attempt+1, errors.Join(errs...))
+		}
 	}
 }
 
@@ -150,9 +166,23 @@ func (c *Cluster) Set(key string, value []byte) error {
 
 // Get fetches key from the owning node. Missing keys return ErrNotFound.
 func (c *Cluster) Get(key string) ([]byte, error) {
+	return c.GetContext(context.Background(), key)
+}
+
+// GetContext is Get under the caller's context. Under a sampled trace the
+// lookup appears as a kv.get span carrying the owning node's index, so a
+// slow metadata probe is attributable to a specific node.
+func (c *Cluster) GetContext(ctx context.Context, key string) (val []byte, err error) {
+	n := c.nodeFor(key)
+	sp := tracing.ChildOf(ctx, "kv.get")
+	if sp != nil {
+		sp.SetAttr("node", strconv.Itoa(n))
+		ctx = tracing.ContextWith(ctx, sp)
+		defer func() { sp.SetError(err); sp.End() }()
+	}
 	e := wire.NewEncoder(len(key) + 8)
 	e.String(key)
-	resp, err := c.callIdem(c.nodeFor(key), methodGet, e.Bytes())
+	resp, err := c.callIdemContext(ctx, n, methodGet, e.Bytes())
 	if err != nil {
 		return nil, err
 	}
@@ -178,6 +208,13 @@ type KV struct {
 // receives one RPC. This batching is why DIESEL's metadata ingest is fast:
 // a chunk's worth of file metadata costs O(nodes) round trips, not O(files).
 func (c *Cluster) MSet(pairs []KV) error {
+	return c.MSetContext(context.Background(), pairs)
+}
+
+// MSetContext is MSet under the caller's context. Each node's batch write
+// becomes one kv.mset span under a sampled trace, so ingest skew across
+// nodes is visible per batch.
+func (c *Cluster) MSetContext(ctx context.Context, pairs []KV) error {
 	mBatchMSet.Observe(uint64(len(pairs)))
 	byNode := make(map[int][]KV)
 	for _, kv := range pairs {
@@ -193,13 +230,23 @@ func (c *Cluster) MSet(pairs []KV) error {
 		wg.Add(1)
 		go func(n int, batch []KV) {
 			defer wg.Done()
+			ctx := ctx
+			sp := tracing.ChildOf(ctx, "kv.mset")
+			if sp != nil {
+				sp.SetAttr("node", strconv.Itoa(n))
+				sp.SetAttr("pairs", strconv.Itoa(len(batch)))
+				ctx = tracing.ContextWith(ctx, sp)
+			}
 			e := wire.NewEncoder(1024)
 			e.Uint32(uint32(len(batch)))
 			for _, kv := range batch {
 				e.String(kv.Key)
 				e.Bytes32(kv.Value)
 			}
-			if _, err := c.call(n, methodMSet, e.Bytes()); err != nil {
+			_, err := c.callContext(ctx, n, methodMSet, e.Bytes())
+			sp.SetError(err)
+			sp.End()
+			if err != nil {
 				emu.Lock()
 				errs = append(errs, fmt.Errorf("kvstore: mset on node %d: %w", n, err))
 				emu.Unlock()
@@ -213,6 +260,13 @@ func (c *Cluster) MSet(pairs []KV) error {
 // MGet fetches many keys, grouped by node. The result preserves input
 // order; missing keys yield nil entries.
 func (c *Cluster) MGet(keys []string) ([][]byte, error) {
+	return c.MGetContext(context.Background(), keys)
+}
+
+// MGetContext is MGet under the caller's context. The per-node fan-out is
+// traced as sibling kv.mget spans — the paper's batched-stat path — so a
+// sampled slow batch shows which node the caller actually waited on.
+func (c *Cluster) MGetContext(ctx context.Context, keys []string) ([][]byte, error) {
 	mBatchMGet.Observe(uint64(len(keys)))
 	type idxKey struct {
 		idx int
@@ -238,13 +292,22 @@ func (c *Cluster) MGet(keys []string) ([][]byte, error) {
 		wg.Add(1)
 		go func(n int, batch []idxKey) {
 			defer wg.Done()
+			ctx := ctx
+			sp := tracing.ChildOf(ctx, "kv.mget")
+			if sp != nil {
+				sp.SetAttr("node", strconv.Itoa(n))
+				sp.SetAttr("keys", strconv.Itoa(len(batch)))
+				ctx = tracing.ContextWith(ctx, sp)
+			}
 			ks := make([]string, len(batch))
 			for i, ik := range batch {
 				ks[i] = ik.key
 			}
 			e := wire.NewEncoder(256)
 			e.StringSlice(ks)
-			resp, err := c.callIdem(n, methodMGet, e.Bytes())
+			resp, err := c.callIdemContext(ctx, n, methodMGet, e.Bytes())
+			sp.SetError(err)
+			sp.End()
 			if err != nil {
 				fail(err)
 				return

@@ -1,6 +1,7 @@
 package kvstore
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"sync"
@@ -70,8 +71,14 @@ func nodeHist(n int) *obs.Histogram {
 // call routes one RPC to node n, recording the op count and per-node
 // latency. Every Cluster method funnels through here.
 func (c *Cluster) call(n int, method string, payload []byte) ([]byte, error) {
+	return c.callContext(context.Background(), n, method, payload)
+}
+
+// callContext is call under the caller's context, which carries both the
+// deadline and any active trace span down to the wire transport.
+func (c *Cluster) callContext(ctx context.Context, n int, method string, payload []byte) ([]byte, error) {
 	start := time.Now()
-	resp, err := c.pool(n).Call(method, payload)
+	resp, err := c.pool(n).CallContext(ctx, method, payload)
 	opCounter(method).Inc()
 	nodeHist(n).Since(start)
 	return resp, err

@@ -7,6 +7,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+
+	"diesel/internal/tracing"
 )
 
 // Handler returns an http.Handler serving only the registry's /metrics
@@ -28,6 +30,7 @@ func Handler(r *Registry) http.Handler {
 //	/healthz       liveness: 200 "ok"
 //	/debug/pprof/  the standard runtime profiles (CPU, heap, goroutine…)
 //	/debug/vars    expvar JSON (cmdline, memstats)
+//	/debug/traces  recent + slowest request traces (internal/tracing)
 //
 // pprof is wired explicitly rather than through net/http/pprof's
 // DefaultServeMux side effects, so importing this package never exposes
@@ -45,6 +48,7 @@ func NewMux(reg *Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/debug/traces", tracing.Handler())
 	return mux
 }
 

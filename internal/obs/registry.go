@@ -187,12 +187,34 @@ type Metric struct {
 	Labels map[string]string `json:"labels,omitempty"`
 	// Value carries counter/gauge readings.
 	Value float64 `json:"value"`
-	// Histogram-only fields; Sum and the quantiles are in rendered units.
+	// Histogram-only fields; Sum, Mean and the quantiles are in rendered
+	// units.
 	Count uint64  `json:"count,omitempty"`
 	Sum   float64 `json:"sum,omitempty"`
+	Mean  float64 `json:"mean,omitempty"`
 	P50   float64 `json:"p50,omitempty"`
 	P95   float64 `json:"p95,omitempty"`
 	P99   float64 `json:"p99,omitempty"`
+}
+
+// labelKey renders a metric's labels as a canonical sort key.
+func (m Metric) labelKey() string {
+	if len(m.Labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(m.Labels))
+	for k := range m.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(m.Labels[k])
+		b.WriteByte(',')
+	}
+	return b.String()
 }
 
 // snapshotFamilies copies the family list and each family's entry slice
@@ -213,7 +235,8 @@ func (r *Registry) snapshotFamilies() []family {
 	return out
 }
 
-// Export snapshots every registered metric.
+// Export snapshots every registered metric, sorted by name and labels so
+// successive snapshots diff cleanly.
 func (r *Registry) Export() []Metric {
 	var out []Metric
 	for _, fam := range r.snapshotFamilies() {
@@ -237,6 +260,9 @@ func (r *Registry) Export() []Metric {
 				scale := e.h.scale
 				m.Count = s.Count
 				m.Sum = float64(s.Sum) * scale
+				if s.Count > 0 {
+					m.Mean = m.Sum / float64(s.Count)
+				}
 				m.P50 = s.Quantile(0.50) * scale
 				m.P95 = s.Quantile(0.95) * scale
 				m.P99 = s.Quantile(0.99) * scale
@@ -244,5 +270,11 @@ func (r *Registry) Export() []Metric {
 			out = append(out, m)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].labelKey() < out[j].labelKey()
+	})
 	return out
 }

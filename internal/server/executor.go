@@ -1,13 +1,16 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"diesel/internal/chunk"
 	"diesel/internal/meta"
+	"diesel/internal/tracing"
 )
 
 // ExecutorConfig tunes the request executor, the component that "sorts and
@@ -58,6 +61,13 @@ func DefaultExecutorConfig() ExecutorConfig {
 // chunk, sorts each group by offset, and chooses per group between one
 // whole-chunk read and per-file range reads.
 func (s *Server) GetFiles(dataset string, paths []string) ([][]byte, error) {
+	return s.GetFilesContext(context.Background(), dataset, paths)
+}
+
+// GetFilesContext is GetFiles with the request context threaded through
+// the batch stat and each group read, so a sampled trace decomposes one
+// batch into its metadata fan-out and its per-chunk backend reads.
+func (s *Server) GetFilesContext(ctx context.Context, dataset string, paths []string) ([][]byte, error) {
 	out := make([][]byte, len(paths))
 	if len(paths) == 0 {
 		return out, nil
@@ -67,7 +77,15 @@ func (s *Server) GetFiles(dataset string, paths []string) ([][]byte, error) {
 	for i, p := range paths {
 		keys[i] = meta.FileKey(dataset, p)
 	}
-	recs, err := s.kv.MGet(keys)
+	sp := tracing.ChildOf(ctx, "exec.batchStat")
+	sp.SetAttr("files", strconv.Itoa(len(keys)))
+	statCtx := ctx
+	if sp != nil {
+		statCtx = tracing.ContextWith(ctx, sp)
+	}
+	recs, err := s.kvMGet(statCtx, keys)
+	sp.SetError(err)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("server: batch stat: %w", err)
 	}
@@ -116,7 +134,7 @@ func (s *Server) GetFiles(dataset string, paths []string) ([][]byte, error) {
 		go func(id chunk.ID, grp []fileReq) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			if err := s.serveGroup(dataset, id, grp, func(i int, b []byte) { out[i] = b }); err != nil {
+			if err := s.serveGroup(ctx, dataset, id, grp, func(i int, b []byte) { out[i] = b }); err != nil {
 				fail(err)
 			}
 		}(id, grp)
@@ -136,8 +154,16 @@ type fileReq struct {
 }
 
 // serveGroup serves all requests that fall in one chunk.
-func (s *Server) serveGroup(dataset string, id chunk.ID, grp []fileReq, emit func(int, []byte)) error {
+func (s *Server) serveGroup(ctx context.Context, dataset string, id chunk.ID, grp []fileReq, emit func(int, []byte)) (err error) {
 	idStr := id.String()
+
+	sp := tracing.ChildOf(ctx, "exec.group")
+	if sp != nil {
+		sp.SetAttr("chunk", idStr)
+		sp.SetAttr("files", strconv.Itoa(len(grp)))
+		ctx = tracing.ContextWith(ctx, sp)
+		defer func() { sp.SetError(err); sp.End() }()
+	}
 
 	var wantBytes uint64
 	for _, r := range grp {
@@ -147,7 +173,7 @@ func (s *Server) serveGroup(dataset string, id chunk.ID, grp []fileReq, emit fun
 	merge := false
 	var hl uint32
 	if s.Exec.Merge {
-		crBytes, err := s.kv.Get(meta.ChunkKey(dataset, idStr))
+		crBytes, err := s.kvGet(ctx, meta.ChunkKey(dataset, idStr))
 		if err != nil {
 			return fmt.Errorf("server: chunk record %s: %w", idStr, err)
 		}
@@ -162,11 +188,12 @@ func (s *Server) serveGroup(dataset string, id chunk.ID, grp []fileReq, emit fun
 		}
 	} else {
 		var err error
-		hl, err = s.headerLen(dataset, idStr)
+		hl, err = s.headerLenContext(ctx, dataset, idStr)
 		if err != nil {
 			return err
 		}
 	}
+	sp.SetAttr("merge", strconv.FormatBool(merge))
 
 	key := ObjectKey(dataset, idStr)
 	if merge {

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"time"
 
 	"diesel/internal/chunk"
@@ -85,14 +86,14 @@ func (r *RPCServer) register() {
 		return e.Bytes(), nil
 	})
 
-	r.rpc.Handle(MethodGet, func(p []byte) ([]byte, error) {
+	r.rpc.HandleContext(MethodGet, func(ctx context.Context, p []byte) ([]byte, error) {
 		d := wire.NewDecoder(p)
 		dataset := d.String()
 		path := d.String()
 		if err := d.Err(); err != nil {
 			return nil, err
 		}
-		b, err := r.S.GetFile(dataset, path)
+		b, err := r.S.GetFileContext(ctx, dataset, path)
 		if err != nil {
 			return nil, err
 		}
@@ -101,14 +102,14 @@ func (r *RPCServer) register() {
 		return e.Bytes(), nil
 	})
 
-	r.rpc.Handle(MethodGetBatch, func(p []byte) ([]byte, error) {
+	r.rpc.HandleContext(MethodGetBatch, func(ctx context.Context, p []byte) ([]byte, error) {
 		d := wire.NewDecoder(p)
 		dataset := d.String()
 		paths := d.StringSlice()
 		if err := d.Err(); err != nil {
 			return nil, err
 		}
-		files, err := r.S.GetFiles(dataset, paths)
+		files, err := r.S.GetFilesContext(ctx, dataset, paths)
 		if err != nil {
 			return nil, err
 		}
@@ -125,14 +126,14 @@ func (r *RPCServer) register() {
 		return e.Bytes(), nil
 	})
 
-	r.rpc.Handle(MethodGetChunk, func(p []byte) ([]byte, error) {
+	r.rpc.HandleContext(MethodGetChunk, func(ctx context.Context, p []byte) ([]byte, error) {
 		d := wire.NewDecoder(p)
 		dataset := d.String()
 		id := d.String()
 		if err := d.Err(); err != nil {
 			return nil, err
 		}
-		b, err := r.S.GetChunk(dataset, id)
+		b, err := r.S.GetChunkContext(ctx, dataset, id)
 		if err != nil {
 			return nil, err
 		}
@@ -141,14 +142,14 @@ func (r *RPCServer) register() {
 		return e.Bytes(), nil
 	})
 
-	r.rpc.Handle(MethodStat, func(p []byte) ([]byte, error) {
+	r.rpc.HandleContext(MethodStat, func(ctx context.Context, p []byte) ([]byte, error) {
 		d := wire.NewDecoder(p)
 		dataset := d.String()
 		path := d.String()
 		if err := d.Err(); err != nil {
 			return nil, err
 		}
-		fr, err := r.S.Stat(dataset, path)
+		fr, err := r.S.StatContext(ctx, dataset, path)
 		if err != nil {
 			return nil, err
 		}

@@ -13,6 +13,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -22,6 +23,7 @@ import (
 	"diesel/internal/kvstore"
 	"diesel/internal/meta"
 	"diesel/internal/objstore"
+	"diesel/internal/tracing"
 )
 
 // Backend is the key-value database interface the server stores metadata
@@ -35,6 +37,32 @@ type Backend interface {
 	Del(key string) (bool, error)
 	ScanPrefix(prefix string) ([]kvstore.KV, error)
 	DBSize() (uint64, error)
+}
+
+// ctxBackend is the optional context-aware extension of Backend (the same
+// idiom as client.ContextReader). kvstore.Cluster implements it; when the
+// configured backend does, the server's read path threads its request
+// context through, so trace spans and deadlines reach the metadata
+// cluster's RPCs instead of stopping at the Backend boundary.
+type ctxBackend interface {
+	GetContext(ctx context.Context, key string) ([]byte, error)
+	MGetContext(ctx context.Context, keys []string) ([][]byte, error)
+}
+
+// kvGet is Backend.Get with ctx threading when the backend supports it.
+func (s *Server) kvGet(ctx context.Context, key string) ([]byte, error) {
+	if cb, ok := s.kv.(ctxBackend); ok {
+		return cb.GetContext(ctx, key)
+	}
+	return s.kv.Get(key)
+}
+
+// kvMGet is Backend.MGet with ctx threading when the backend supports it.
+func (s *Server) kvMGet(ctx context.Context, keys []string) ([][]byte, error) {
+	if cb, ok := s.kv.(ctxBackend); ok {
+		return cb.MGetContext(ctx, keys)
+	}
+	return s.kv.MGet(keys)
 }
 
 // Errors returned by server operations.
@@ -152,7 +180,13 @@ func (s *Server) DatasetRecord(dataset string) (meta.DatasetRecord, error) {
 
 // Stat returns the metadata record of one file.
 func (s *Server) Stat(dataset, path string) (meta.FileRecord, error) {
-	b, err := s.kv.Get(meta.FileKey(dataset, path))
+	return s.StatContext(context.Background(), dataset, path)
+}
+
+// StatContext is Stat with the request context threaded to the metadata
+// backend.
+func (s *Server) StatContext(ctx context.Context, dataset, path string) (meta.FileRecord, error) {
+	b, err := s.kvGet(ctx, meta.FileKey(dataset, path))
 	if errors.Is(err, kvstore.ErrNotFound) {
 		return meta.FileRecord{}, fmt.Errorf("%w: %s/%s", ErrNoSuchFile, dataset, path)
 	}
@@ -166,6 +200,10 @@ func (s *Server) Stat(dataset, path string) (meta.FileRecord, error) {
 // record and caching the answer (headers are immutable once written; the
 // purge rewrites produce new chunk IDs).
 func (s *Server) headerLen(dataset, chunkID string) (uint32, error) {
+	return s.headerLenContext(context.Background(), dataset, chunkID)
+}
+
+func (s *Server) headerLenContext(ctx context.Context, dataset, chunkID string) (uint32, error) {
 	key := ObjectKey(dataset, chunkID)
 	s.hdrMu.RLock()
 	hl, ok := s.hdrCache[key]
@@ -173,7 +211,7 @@ func (s *Server) headerLen(dataset, chunkID string) (uint32, error) {
 	if ok {
 		return hl, nil
 	}
-	b, err := s.kv.Get(meta.ChunkKey(dataset, chunkID))
+	b, err := s.kvGet(ctx, meta.ChunkKey(dataset, chunkID))
 	if err != nil {
 		return 0, fmt.Errorf("server: chunk record %s: %w", chunkID, err)
 	}
@@ -190,22 +228,53 @@ func (s *Server) headerLen(dataset, chunkID string) (uint32, error) {
 // GetFile reads one file's content via a metadata lookup plus an
 // object-store range read.
 func (s *Server) GetFile(dataset, path string) ([]byte, error) {
-	fr, err := s.Stat(dataset, path)
+	return s.GetFileContext(context.Background(), dataset, path)
+}
+
+// GetFileContext is GetFile with the request context threaded through;
+// under a sampled trace the metadata probe and the object-store range
+// read appear as separate spans, which is the split Fig. 8's latency
+// breakdown needs.
+func (s *Server) GetFileContext(ctx context.Context, dataset, path string) ([]byte, error) {
+	sp := tracing.ChildOf(ctx, "server.stat")
+	statCtx := ctx
+	if sp != nil {
+		statCtx = tracing.ContextWith(ctx, sp)
+	}
+	fr, err := s.StatContext(statCtx, dataset, path)
+	sp.SetError(err)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	idStr := fr.ChunkID.String()
-	hl, err := s.headerLen(dataset, idStr)
+	hl, err := s.headerLenContext(ctx, dataset, idStr)
 	if err != nil {
 		return nil, err
 	}
-	return s.objects.GetRange(ObjectKey(dataset, idStr), int64(hl)+int64(fr.Offset), int64(fr.Length))
+	sp = tracing.ChildOf(ctx, "objstore.getRange")
+	b, err := s.objects.GetRange(ObjectKey(dataset, idStr), int64(hl)+int64(fr.Offset), int64(fr.Length))
+	sp.SetAttr("bytes", fmt.Sprint(len(b)))
+	sp.SetError(err)
+	sp.End()
+	return b, err
 }
 
 // GetChunk returns one encoded chunk in full — the operation the
 // task-grained distributed cache loads datasets with.
 func (s *Server) GetChunk(dataset, chunkID string) ([]byte, error) {
-	return s.objects.Get(ObjectKey(dataset, chunkID))
+	return s.GetChunkContext(context.Background(), dataset, chunkID)
+}
+
+// GetChunkContext is GetChunk with the request context threaded through.
+func (s *Server) GetChunkContext(ctx context.Context, dataset, chunkID string) ([]byte, error) {
+	sp := tracing.ChildOf(ctx, "objstore.get")
+	sp.SetAttr("chunk", chunkID)
+	b, err := s.objects.Get(ObjectKey(dataset, chunkID))
+	sp.SetAttr("bytes", fmt.Sprint(len(b)))
+	sp.SetError(err)
+	sp.End()
+	return b, err
 }
 
 // ListEntry is one row of a directory listing.

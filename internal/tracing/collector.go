@@ -1,0 +1,202 @@
+package tracing
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Retention sizing. The recent ring answers "what just happened"; the
+// slow store answers "what were the worst reads this process ever served"
+// and survives ring churn, which is the tail-based half of the sampling
+// story: probabilistic sampling decides what is *recorded*, the slow
+// store decides what is *kept*.
+const (
+	recentCap = 256
+	slowCap   = 64
+)
+
+// SpanData is the immutable, exportable form of one completed (or
+// abandoned) span. DurNS is 0 for spans still unfinished when their local
+// root ended.
+type SpanData struct {
+	TraceID  uint64 `json:"traceID,string"`
+	SpanID   uint64 `json:"spanID,string"`
+	ParentID uint64 `json:"parentID,string"`
+	Name     string `json:"name"`
+	Process  string `json:"process"`
+	StartNS  int64  `json:"startNS"`
+	DurNS    int64  `json:"durNS"`
+	Err      bool   `json:"err,omitempty"`
+	Attrs    []Attr `json:"attrs,omitempty"`
+}
+
+// TraceData is one trace as recorded in this process: the local root plus
+// every descendant span started here. Spans from other processes in the
+// same trace live in those processes' collectors; `dlcmd trace` stitches
+// them by TraceID.
+type TraceData struct {
+	TraceID uint64     `json:"traceID,string"`
+	Root    string     `json:"root"`
+	StartNS int64      `json:"startNS"`
+	DurNS   int64      `json:"durNS"`
+	Err     bool       `json:"err,omitempty"`
+	Dropped int        `json:"droppedSpans,omitempty"`
+	Spans   []SpanData `json:"spans"`
+}
+
+type collector struct {
+	mu sync.Mutex
+
+	recent  [recentCap]*TraceData
+	nextRec int
+	total   uint64
+
+	// slow holds the slowest completed traces at or above the slow
+	// threshold, kept sorted fastest-first so eviction is O(1) at the
+	// front.
+	slow []*TraceData
+}
+
+var defaultCollector collector
+
+// offer snapshots a finished local trace into the retention stores.
+func (c *collector) offer(tr *traceLocal) {
+	td := snapshot(tr)
+	c.mu.Lock()
+	c.total++
+	c.recent[c.nextRec] = td
+	c.nextRec = (c.nextRec + 1) % recentCap
+	if td.DurNS >= slowNS.Load() {
+		i := sort.Search(len(c.slow), func(i int) bool { return c.slow[i].DurNS >= td.DurNS })
+		if len(c.slow) < slowCap {
+			c.slow = append(c.slow, nil)
+			copy(c.slow[i+1:], c.slow[i:])
+			c.slow[i] = td
+		} else if i > 0 {
+			copy(c.slow[:i], c.slow[1:i])
+			c.slow[i-1] = td
+		}
+	}
+	c.mu.Unlock()
+}
+
+func snapshot(tr *traceLocal) *TraceData {
+	proc := Process()
+	tr.mu.Lock()
+	spans := make([]SpanData, 0, len(tr.spans))
+	for _, s := range tr.spans {
+		s.mu.Lock()
+		sd := SpanData{
+			TraceID:  tr.traceID,
+			SpanID:   s.spanID,
+			ParentID: s.parentID,
+			Name:     s.name,
+			Process:  proc,
+			StartNS:  s.startNS,
+			Err:      s.errs,
+		}
+		if s.endNS != 0 {
+			sd.DurNS = s.endNS - s.startNS
+		}
+		if len(s.attrs) > 0 {
+			sd.Attrs = append([]Attr(nil), s.attrs...)
+		}
+		s.mu.Unlock()
+		spans = append(spans, sd)
+	}
+	dropped := tr.dropped
+	tr.mu.Unlock()
+
+	root := spans[0] // startRoot always appends the root first
+	return &TraceData{
+		TraceID: tr.traceID,
+		Root:    root.Name,
+		StartNS: root.StartNS,
+		DurNS:   root.DurNS,
+		Err:     root.Err,
+		Dropped: dropped,
+		Spans:   spans,
+	}
+}
+
+// Recent returns up to n most recently completed traces, newest first.
+func Recent(n int) []*TraceData {
+	c := &defaultCollector
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n <= 0 || n > recentCap {
+		n = recentCap
+	}
+	out := make([]*TraceData, 0, n)
+	for i := 1; i <= recentCap && len(out) < n; i++ {
+		td := c.recent[(c.nextRec-i+recentCap)%recentCap]
+		if td == nil {
+			break
+		}
+		out = append(out, td)
+	}
+	return out
+}
+
+// Slowest returns up to n retained slow traces, slowest first.
+func Slowest(n int) []*TraceData {
+	c := &defaultCollector
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n <= 0 || n > len(c.slow) {
+		n = len(c.slow)
+	}
+	out := make([]*TraceData, 0, n)
+	for i := len(c.slow) - 1; i >= len(c.slow)-n; i-- {
+		out = append(out, c.slow[i])
+	}
+	return out
+}
+
+// ByID returns every retained trace with the given trace ID (at most one
+// from each store; duplicates are collapsed).
+func ByID(id uint64) []*TraceData {
+	c := &defaultCollector
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*TraceData
+	seen := map[*TraceData]bool{}
+	for _, td := range c.recent {
+		if td != nil && td.TraceID == id && !seen[td] {
+			seen[td] = true
+			out = append(out, td)
+		}
+	}
+	for _, td := range c.slow {
+		if td.TraceID == id && !seen[td] {
+			seen[td] = true
+			out = append(out, td)
+		}
+	}
+	return out
+}
+
+// CollectedTotal returns how many local traces have completed since
+// process start (including ones since evicted).
+func CollectedTotal() uint64 {
+	c := &defaultCollector
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// Reset clears all retained traces (tests and benchmarks).
+func Reset() {
+	c := &defaultCollector
+	c.mu.Lock()
+	c.recent = [recentCap]*TraceData{}
+	c.nextRec = 0
+	c.total = 0
+	c.slow = nil
+	c.mu.Unlock()
+	resetExemplars()
+}
+
+// Duration returns the trace's wall time as a time.Duration.
+func (td *TraceData) Duration() time.Duration { return time.Duration(td.DurNS) }

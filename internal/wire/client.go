@@ -8,7 +8,22 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"diesel/internal/tracing"
 )
+
+// helloMethod is the oneway capability advert a trace-aware server sends
+// on every new connection (Seq 0, V1-encoded so any client can parse it).
+// A client that sees it knows the peer accepts MagicV2 frames; a client
+// that predates it drops the frame in its read loop — Seq 0 is never a
+// pending call, so the lookup misses harmlessly — and keeps speaking V1.
+const helloMethod = "wire.hello"
+
+// helloWait bounds the one-time wait a traced call performs for the hello
+// advert on a fresh connection. Against a pre-trace server the advert
+// never comes and exactly one call pays this wait; after it, the
+// connection is assumed V1-only.
+const helloWait = 25 * time.Millisecond
 
 // ErrClientClosed is returned by Call after Close, or when the connection
 // drops while a call is in flight.
@@ -49,6 +64,13 @@ type Client struct {
 	readErr error
 
 	seq atomic.Uint64
+
+	// peerTraces is set when the server advertises MagicV2 support via
+	// the hello frame; only then does CallContext attach trace blocks.
+	peerTraces  atomic.Bool
+	helloDone   chan struct{} // closed once the hello arrives (or the conn dies)
+	helloOnce   sync.Once
+	helloWaited atomic.Bool // a traced call already waited for the hello
 }
 
 // Dial connects to a wire server at addr.
@@ -70,6 +92,7 @@ func dialOpts(addr string, o *options) (*Client, error) {
 		addr:        addr,
 		callTimeout: o.callTimeout,
 		pending:     make(map[uint64]chan *Frame),
+		helloDone:   make(chan struct{}),
 	}
 	go c.readLoop()
 	return c, nil
@@ -92,6 +115,13 @@ func (c *Client) readLoop() {
 		if err != nil {
 			c.failAll(err)
 			return
+		}
+		if f.Kind == KindOneway {
+			if f.Method == helloMethod {
+				c.peerTraces.Store(true)
+				c.helloOnce.Do(func() { close(c.helloDone) })
+			}
+			continue // server-initiated oneways are adverts, not replies
 		}
 		c.mu.Lock()
 		ch := c.pending[f.Seq]
@@ -116,6 +146,7 @@ func (c *Client) failAll(err error) {
 		delete(c.pending, seq)
 	}
 	c.closed = true
+	c.helloOnce.Do(func() { close(c.helloDone) })
 }
 
 // Call sends a request and blocks for its response, bounded by the
@@ -135,8 +166,30 @@ func (c *Client) Call(method string, payload []byte) ([]byte, error) {
 // expires the call returns an error wrapping ctx.Err() without waiting for
 // the server; the request may still execute remotely, so callers must only
 // retry idempotent operations after a deadline.
-func (c *Client) CallContext(ctx context.Context, method string, payload []byte) ([]byte, error) {
-	defer observeCall(method, time.Now())
+func (c *Client) CallContext(ctx context.Context, method string, payload []byte) (out []byte, err error) {
+	start := time.Now()
+	var sp *tracing.Span
+	if tracing.Enabled() {
+		sp = tracing.ChildOf(ctx, "call "+method)
+	}
+	defer func() {
+		observeCall(method, start)
+		if sp != nil {
+			sp.SetError(err)
+			sp.End()
+			tracing.ObserveSlow(sp, "diesel_wire_call_seconds:"+method, time.Since(start))
+		}
+	}()
+	if sp != nil && !c.peerTraces.Load() && c.helloWaited.CompareAndSwap(false, true) {
+		// First traced call on this connection: the server's hello advert
+		// may still be in flight, and sending now would silently drop the
+		// trace link. One bounded wait settles the capability.
+		select {
+		case <-c.helloDone:
+		case <-time.After(helloWait):
+		case <-ctx.Done():
+		}
+	}
 	seq := c.seq.Add(1)
 	ch := make(chan *Frame, 1)
 
@@ -149,8 +202,13 @@ func (c *Client) CallContext(ctx context.Context, method string, payload []byte)
 	c.mu.Unlock()
 
 	req := &Frame{Kind: KindRequest, Seq: seq, Method: method, Payload: payload}
+	if sp != nil && c.peerTraces.Load() {
+		// The span rides the frame so the server's handler spans parent
+		// under this call span; only advertised (V2-aware) peers get it.
+		req.TraceID, req.SpanID, req.Sampled = sp.TraceID(), sp.SpanID(), true
+	}
 	c.wmu.Lock()
-	err := WriteFrame(c.conn, req)
+	err = WriteFrame(c.conn, req)
 	c.wmu.Unlock()
 	if err != nil {
 		c.mu.Lock()

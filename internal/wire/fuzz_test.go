@@ -14,6 +14,16 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add(buf.Bytes())
 	f.Add(buf.Bytes()[:5])
 	f.Add([]byte{})
+	// V2 seeds: a well-formed traced frame, one with the sampled flag
+	// clear, and a truncated trace block.
+	var v2 bytes.Buffer
+	WriteFrame(&v2, &Frame{Kind: KindRequest, Seq: 9, Method: "m", Payload: []byte("p"),
+		TraceID: 0x1234, SpanID: 0x5678, Sampled: true})
+	f.Add(v2.Bytes())
+	var v2u bytes.Buffer
+	WriteFrame(&v2u, &Frame{Kind: KindOneway, Method: "n", TraceID: 1})
+	f.Add(v2u.Bytes())
+	f.Add(v2.Bytes()[:headerSize+3])
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, err := ReadFrame(bytes.NewReader(data))
 		if err != nil {

@@ -1,14 +1,17 @@
 package wire
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"diesel/internal/tracing"
 )
 
 // Handler processes one request payload and returns the response payload.
@@ -18,12 +21,20 @@ import (
 // fresh or read-only slices).
 type Handler func(payload []byte) ([]byte, error)
 
+// ContextHandler is a Handler that also receives a per-request context.
+// The context carries the rehydrated trace span when the request frame
+// had a sampled trace block, so everything the handler calls through it
+// lands in the caller's cross-process span tree. The context is not
+// cancelled when the client disconnects (the protocol has no cancel
+// frames); it exists for trace propagation and future deadline plumbing.
+type ContextHandler func(ctx context.Context, payload []byte) ([]byte, error)
+
 // Server is a multiplexed RPC server: many in-flight requests per
 // connection, each dispatched to its own goroutine, responses matched by
 // sequence number. One Server instance backs one listening socket.
 type Server struct {
 	mu       sync.RWMutex
-	handlers map[string]Handler
+	handlers map[string]ContextHandler
 
 	lis      net.Listener
 	conns    sync.WaitGroup
@@ -47,7 +58,7 @@ type ServerStats struct {
 // NewServer returns a server with no registered methods.
 func NewServer() *Server {
 	return &Server{
-		handlers: make(map[string]Handler),
+		handlers: make(map[string]ContextHandler),
 		connsSet: make(map[net.Conn]struct{}),
 	}
 }
@@ -55,6 +66,15 @@ func NewServer() *Server {
 // Handle registers fn for the given method name, replacing any previous
 // registration. Registration after Serve has started is allowed.
 func (s *Server) Handle(method string, fn Handler) {
+	s.HandleContext(method, func(_ context.Context, payload []byte) ([]byte, error) {
+		return fn(payload)
+	})
+}
+
+// HandleContext registers a context-aware handler, replacing any previous
+// registration for the method. Handlers that fan out further RPCs should
+// prefer this form so trace context propagates through them.
+func (s *Server) HandleContext(method string, fn ContextHandler) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.handlers[method] = fn
@@ -108,13 +128,21 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 
 	var wmu sync.Mutex // serialises response frames on this connection
+	// Advertise V2 (trace block) support before serving. Old clients drop
+	// the frame — Seq 0 never matches a pending call — so the advert is
+	// invisible to them; new clients flip peerTraces and may now send V2
+	// frames. A failed write means the connection is already broken and
+	// the ReadFrame below will surface it.
+	wmu.Lock()
+	_ = WriteFrame(conn, &Frame{Kind: KindOneway, Seq: 0, Method: helloMethod})
+	wmu.Unlock()
 	for {
 		f, err := ReadFrame(conn)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !s.closed.Load() {
 				var ne net.Error
 				if !errors.As(err, &ne) {
-					log.Printf("wire: server read: %v", err)
+					slog.Error("wire: server read failed", "err", err)
 				}
 			}
 			return
@@ -135,6 +163,16 @@ func (s *Server) dispatch(conn net.Conn, wmu *sync.Mutex, req *Frame) {
 	fn := s.handlers[req.Method]
 	s.mu.RUnlock()
 
+	// Rehydrate the caller's trace context: the handler's spans (kvstore
+	// fan-out, cache branches, nested RPCs) become children of the span
+	// that sent this frame, in a trace recorded in *this* process's
+	// collector under the caller's trace ID.
+	ctx := context.Background()
+	var sp *tracing.Span
+	if req.Sampled && req.TraceID != 0 {
+		ctx, sp = tracing.StartRemote(ctx, "serve "+req.Method, req.TraceID, req.SpanID)
+	}
+
 	var resp Frame
 	resp.Seq = req.Seq
 	// Unknown methods are observed under method="?" so a misbehaving
@@ -146,7 +184,7 @@ func (s *Server) dispatch(conn net.Conn, wmu *sync.Mutex, req *Frame) {
 		resp.Payload = []byte("wire: unknown method " + req.Method)
 		s.Stats.Errors.Add(1)
 	} else {
-		out, err := s.safeCall(fn, req)
+		out, err := s.safeCall(ctx, fn, req)
 		if err != nil {
 			resp.Kind = KindError
 			resp.Payload = []byte(err.Error())
@@ -158,7 +196,13 @@ func (s *Server) dispatch(conn net.Conn, wmu *sync.Mutex, req *Frame) {
 	}
 	s.Stats.Requests.Add(1)
 	observeServe(observedMethod, start, resp.Kind == KindError)
+	if sp != nil {
+		if resp.Kind == KindError {
+			sp.SetError(errors.New(string(resp.Payload)))
+		}
+	}
 	if req.Kind == KindOneway {
+		sp.End()
 		return
 	}
 	wmu.Lock()
@@ -167,18 +211,27 @@ func (s *Server) dispatch(conn net.Conn, wmu *sync.Mutex, req *Frame) {
 	if err == nil {
 		s.Stats.BytesOut.Add(uint64(len(resp.Payload)))
 	}
+	// End after the response write so a slow flush of a chunk-sized
+	// payload shows up inside the server span, not as unexplained gap
+	// between it and the client's call span.
+	if sp != nil {
+		sp.SetAttr("resp_bytes", fmt.Sprint(len(resp.Payload)))
+		sp.End()
+		tracing.ObserveSlow(sp, "diesel_wire_served_seconds:"+observedMethod, time.Since(start))
+	}
 }
 
 // safeCall invokes a handler, converting a panic into an error so one
 // malformed request cannot take the whole server process down.
-func (s *Server) safeCall(fn Handler, req *Frame) (out []byte, err error) {
+func (s *Server) safeCall(ctx context.Context, fn ContextHandler, req *Frame) (out []byte, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			log.Printf("wire: handler %s panicked: %v", req.Method, r)
+			slog.Error("wire: handler panicked", "method", req.Method, "panic", r,
+				"trace", tracing.FormatID(req.TraceID))
 			out, err = nil, fmt.Errorf("wire: handler %s panicked: %v", req.Method, r)
 		}
 	}()
-	return fn(req.Payload)
+	return fn(ctx, req.Payload)
 }
 
 // Close stops accepting, closes every open connection, and waits for

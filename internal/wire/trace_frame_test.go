@@ -1,0 +1,277 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"diesel/internal/tracing"
+)
+
+// enableTracing flips the process-wide tracer on for one test.
+func enableTracing(t *testing.T) {
+	t.Helper()
+	tracing.Reset()
+	tracing.EnableTracing(true)
+	tracing.SetSampleRate(1)
+	t.Cleanup(func() {
+		tracing.EnableTracing(false)
+		tracing.Reset()
+	})
+}
+
+func TestFrameV2RoundTrip(t *testing.T) {
+	want := Frame{
+		Kind: KindRequest, Seq: 7, Method: "dsl.get", Payload: []byte("p"),
+		TraceID: 0xDEADBEEF, SpanID: 0xCAFE, Sampled: true,
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	if m := binary.BigEndian.Uint32(buf.Bytes()[:4]); m != MagicV2 {
+		t.Fatalf("magic %08x, want V2 %08x", m, MagicV2)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceID != want.TraceID || got.SpanID != want.SpanID || got.Sampled != want.Sampled {
+		t.Fatalf("trace block mismatch: %+v", got)
+	}
+	if got.Method != want.Method || !bytes.Equal(got.Payload, want.Payload) {
+		t.Fatalf("body mismatch: %+v", got)
+	}
+}
+
+func TestFrameWithoutTraceStaysV1(t *testing.T) {
+	// A traceless frame must serialise exactly as it did before the trace
+	// block existed — old readers depend on it.
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, &Frame{Kind: KindResponse, Seq: 3, Method: "m", Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if m := binary.BigEndian.Uint32(b[:4]); m != Magic {
+		t.Fatalf("magic %08x, want V1 %08x", m, Magic)
+	}
+	if len(b) != headerSize+1+1 {
+		t.Fatalf("V1 frame is %d bytes, want %d", len(b), headerSize+2)
+	}
+}
+
+func TestFrameV2RoundTripUnsampledFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, &Frame{Kind: KindRequest, Method: "m", TraceID: 9, SpanID: 8}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceID != 9 || got.SpanID != 8 || got.Sampled {
+		t.Fatalf("unsampled V2 mismatch: %+v", got)
+	}
+}
+
+// craftV2 builds a raw V2 frame so tests can corrupt the trace block.
+func craftV2(traceID, spanID uint64, flags byte) []byte {
+	var buf bytes.Buffer
+	WriteFrame(&buf, &Frame{Kind: KindRequest, Method: "m", TraceID: 1, SpanID: spanID, Sampled: false})
+	b := buf.Bytes()
+	binary.BigEndian.PutUint64(b[19:27], traceID)
+	b[35] = flags
+	return b
+}
+
+func TestReadFrameRejectsBadTraceBlock(t *testing.T) {
+	if _, err := ReadFrame(bytes.NewReader(craftV2(0, 5, 0))); !errors.Is(err, ErrBadTraceBlock) {
+		t.Fatalf("zero trace ID: want ErrBadTraceBlock, got %v", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(craftV2(1, 5, 0x80))); !errors.Is(err, ErrBadTraceBlock) {
+		t.Fatalf("unknown flags: want ErrBadTraceBlock, got %v", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(craftV2(1, 5, flagSampled))); err != nil {
+		t.Fatalf("valid trace block rejected: %v", err)
+	}
+}
+
+func TestReadFrameV2Truncated(t *testing.T) {
+	full := craftV2(7, 8, flagSampled)
+	for cut := 1; cut < len(full); cut++ {
+		if _, err := ReadFrame(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("cut=%d: truncated V2 frame accepted", cut)
+		}
+	}
+}
+
+// TestTracePropagationAcrossRPC is the package-level acceptance check for
+// the tentpole mechanism: a client call span's IDs must arrive in the
+// server handler's context, and the server-side trace must land in the
+// collector keyed by the same trace ID with the client span as parent.
+func TestTracePropagationAcrossRPC(t *testing.T) {
+	enableTracing(t)
+	srv := NewServer()
+	handlerTrace := make(chan uint64, 1)
+	srv.HandleContext("echo", func(ctx context.Context, p []byte) ([]byte, error) {
+		_, inner := tracing.StartSpan(ctx, "handler.work")
+		inner.End()
+		handlerTrace <- tracing.FromContext(ctx).TraceID()
+		return p, nil
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	waitHello(t, c)
+
+	ctx, root := tracing.StartSpan(context.Background(), "client.op")
+	if _, err := c.CallContext(ctx, "echo", []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	var remoteID uint64
+	select {
+	case remoteID = <-handlerTrace:
+	case <-time.After(2 * time.Second):
+		t.Fatal("handler never saw a span")
+	}
+	if remoteID != root.TraceID() {
+		t.Fatalf("server trace %x, client trace %x", remoteID, root.TraceID())
+	}
+
+	// Both local traces (client root + server serve) share the ID; the
+	// serve root's parent must be the client's "call echo" span.
+	tds := tracing.ByID(root.TraceID())
+	if len(tds) != 2 {
+		t.Fatalf("collector has %d traces for the ID, want 2 (client+server)", len(tds))
+	}
+	var callSpanID uint64
+	var serveParent uint64
+	for _, td := range tds {
+		for _, s := range td.Spans {
+			if s.Name == "call echo" {
+				callSpanID = s.SpanID
+			}
+			if s.Name == "serve echo" {
+				serveParent = s.ParentID
+			}
+		}
+	}
+	if callSpanID == 0 || serveParent != callSpanID {
+		t.Fatalf("serve span parent %x, want client call span %x", serveParent, callSpanID)
+	}
+}
+
+// TestNewClientOldServerNeverSendsV2 simulates a pre-trace server (no
+// hello advert) and asserts a tracing client still emits V1 frames.
+func TestNewClientOldServerNeverSendsV2(t *testing.T) {
+	enableTracing(t)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	gotTrace := make(chan uint64, 1)
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		// Old server: no hello, V1 responses only.
+		f, err := ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		gotTrace <- f.TraceID
+		WriteFrame(conn, &Frame{Kind: KindResponse, Seq: f.Seq, Payload: []byte("ok")})
+	}()
+
+	c, err := Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, root := tracing.StartSpan(context.Background(), "client.op")
+	defer root.End()
+	if _, err := c.CallContext(ctx, "echo", nil); err != nil {
+		t.Fatal(err)
+	}
+	if id := <-gotTrace; id != 0 {
+		t.Fatalf("client sent trace block (trace %x) to a server that never advertised V2", id)
+	}
+}
+
+// TestOldClientNewServerIgnoresHello simulates a pre-trace client (raw
+// V1 frames, no hello handling beyond dropping unknown seqs) against the
+// current server.
+func TestOldClientNewServerIgnoresHello(t *testing.T) {
+	srv := NewServer()
+	srv.Handle("echo", func(p []byte) ([]byte, error) { return p, nil })
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// The old client writes its request first and reads frames in order,
+	// discarding ones that match no pending call — exactly what the
+	// pre-trace readLoop did.
+	if err := WriteFrame(conn, &Frame{Kind: KindRequest, Seq: 41, Method: "echo", Payload: []byte("v1")}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		conn.SetReadDeadline(deadline)
+		f, err := ReadFrame(conn)
+		if err != nil {
+			t.Fatalf("old client read: %v", err)
+		}
+		if f.Seq != 41 {
+			continue // the hello advert; an old client drops it
+		}
+		if f.Kind != KindResponse || string(f.Payload) != "v1" {
+			t.Fatalf("bad response: %+v", f)
+		}
+		if binaryMagicIsV2(t, f) {
+			t.Fatal("server answered a V1 client with a V2 frame")
+		}
+		return
+	}
+}
+
+func binaryMagicIsV2(t *testing.T, f *Frame) bool {
+	t.Helper()
+	return f.TraceID != 0 // ReadFrame only sets TraceID from a V2 frame
+}
+
+// waitHello blocks until the client has processed the server's capability
+// advert (the hello races the first call otherwise).
+func waitHello(t *testing.T, c *Client) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !c.peerTraces.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("client never saw the hello advert")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -18,6 +18,22 @@
 //	15      4     payload length N
 //	19      M     method name (UTF-8)
 //	19+M    N     payload
+//
+// A frame carrying trace context (see internal/tracing) uses MagicV2 and
+// inserts a 17-byte trace block between the fixed header and the method
+// name:
+//
+//	19      8     trace ID (non-zero)
+//	27      8     parent span ID
+//	35      1     flags (bit 0: sampled)
+//	36      M     method name (UTF-8)
+//	36+M    N     payload
+//
+// The two formats interoperate: readers accept both, and writers emit V2
+// only when a frame actually carries a trace ID — which clients only set
+// after the server has advertised V2 support (the "wire.hello" oneway
+// frame, see client.go), so a new client never sends V2 at an old server
+// and an old client ignores the hello it does not understand.
 package wire
 
 import (
@@ -39,23 +55,46 @@ const (
 // speaking this protocol (or the stream is corrupted).
 const Magic uint32 = 0xD1E5E101
 
+// MagicV2 identifies a frame that carries the 17-byte trace block after
+// the fixed header. Everything else is identical to Magic frames.
+const MagicV2 uint32 = 0xD1E5E102
+
 // MaxFrame bounds a single frame. Chunks are ≥4MB, and the distributed cache
 // ships whole chunks between peers, so the cap is generous but finite to
 // protect servers from corrupted length fields.
 const MaxFrame = 1 << 30 // 1 GiB
 
-const headerSize = 4 + 1 + 8 + 2 + 4
+const (
+	headerSize     = 4 + 1 + 8 + 2 + 4
+	traceBlockSize = 8 + 8 + 1
+	flagSampled    = 0x01
+)
 
-// Frame is one message on the wire.
+// Frame is one message on the wire. TraceID/SpanID/Sampled are the
+// optional trace block: a zero TraceID means "no trace context" and the
+// frame is encoded in the original (V1) format.
 type Frame struct {
 	Kind    byte
 	Seq     uint64
 	Method  string
 	Payload []byte
+
+	// Trace context (internal/tracing). TraceID 0 = absent; when set,
+	// SpanID is the sender's span, which the receiver's spans adopt as
+	// parent so cross-process trees stitch together.
+	TraceID uint64
+	SpanID  uint64
+	Sampled bool
 }
 
 // ErrBadMagic is returned when an incoming frame does not begin with Magic.
 var ErrBadMagic = errors.New("wire: bad magic")
+
+// ErrBadTraceBlock is returned for a V2 frame whose trace block is
+// malformed (zero trace ID or unknown flag bits). Rejecting these keeps
+// encoding canonical: every accepted frame re-encodes byte-identically,
+// which the fuzz round-trip test relies on.
+var ErrBadTraceBlock = errors.New("wire: bad trace block")
 
 // ErrFrameTooLarge is returned when a frame advertises a payload larger than
 // MaxFrame.
@@ -71,14 +110,27 @@ func WriteFrame(w io.Writer, f *Frame) error {
 	if len(f.Payload) > MaxFrame {
 		return ErrFrameTooLarge
 	}
-	buf := make([]byte, headerSize+len(f.Method)+len(f.Payload))
-	binary.BigEndian.PutUint32(buf[0:4], Magic)
+	hdr := headerSize
+	magic := Magic
+	if f.TraceID != 0 {
+		hdr += traceBlockSize
+		magic = MagicV2
+	}
+	buf := make([]byte, hdr+len(f.Method)+len(f.Payload))
+	binary.BigEndian.PutUint32(buf[0:4], magic)
 	buf[4] = f.Kind
 	binary.BigEndian.PutUint64(buf[5:13], f.Seq)
 	binary.BigEndian.PutUint16(buf[13:15], uint16(len(f.Method)))
 	binary.BigEndian.PutUint32(buf[15:19], uint32(len(f.Payload)))
-	copy(buf[headerSize:], f.Method)
-	copy(buf[headerSize+len(f.Method):], f.Payload)
+	if f.TraceID != 0 {
+		binary.BigEndian.PutUint64(buf[19:27], f.TraceID)
+		binary.BigEndian.PutUint64(buf[27:35], f.SpanID)
+		if f.Sampled {
+			buf[35] = flagSampled
+		}
+	}
+	copy(buf[hdr:], f.Method)
+	copy(buf[hdr+len(f.Method):], f.Payload)
 	_, err := w.Write(buf)
 	if err == nil && metricsOn() {
 		mFramesOut.Inc()
@@ -97,7 +149,8 @@ func ReadFrame(r io.Reader) (*Frame, error) {
 		}
 		return nil, err
 	}
-	if binary.BigEndian.Uint32(hdr[0:4]) != Magic {
+	magic := binary.BigEndian.Uint32(hdr[0:4])
+	if magic != Magic && magic != MagicV2 {
 		return nil, ErrBadMagic
 	}
 	f := &Frame{
@@ -108,6 +161,18 @@ func ReadFrame(r io.Reader) (*Frame, error) {
 	plen := int(binary.BigEndian.Uint32(hdr[15:19]))
 	if plen > MaxFrame {
 		return nil, ErrFrameTooLarge
+	}
+	if magic == MagicV2 {
+		var tb [traceBlockSize]byte
+		if _, err := io.ReadFull(r, tb[:]); err != nil {
+			return nil, fmt.Errorf("wire: truncated trace block: %w", err)
+		}
+		f.TraceID = binary.BigEndian.Uint64(tb[0:8])
+		f.SpanID = binary.BigEndian.Uint64(tb[8:16])
+		if f.TraceID == 0 || tb[16]&^flagSampled != 0 {
+			return nil, ErrBadTraceBlock
+		}
+		f.Sampled = tb[16]&flagSampled != 0
 	}
 	rest := make([]byte, mlen+plen)
 	if _, err := io.ReadFull(r, rest); err != nil {
