@@ -1,0 +1,181 @@
+// Command benchguard compares `go test -benchmem` output against a
+// checked-in allocation baseline and fails on regressions. It exists to
+// keep the zero-copy read path honest: an accidental extra allocation on
+// the frame, cache-hit or epoch path is caught by CI, not by a profiler
+// six months later.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'WireFrame|DcacheHit|EpochRead' -benchmem ./... |
+//	    go run ./cmd/benchguard -baseline BENCH_baseline.json
+//
+// The guard reads benchmark lines from stdin and fails (exit 1) when a
+// benchmark's allocs/op exceeds its baseline by more than the threshold
+// (default 10%). A benchmark whose baseline is 0 allocs/op must stay at
+// 0 — the zero-allocation guarantee is exact, not proportional.
+//
+// Refresh the baseline after an intentional change with -update, which
+// rewrites the JSON from the measured input instead of comparing.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type entry struct {
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	NsPerOp     float64 `json:"ns_per_op"`
+}
+
+type baseline struct {
+	// Threshold is the tolerated fractional allocs/op growth (0.10 = 10%).
+	Threshold  float64          `json:"threshold"`
+	Benchmarks map[string]entry `json:"benchmarks"`
+}
+
+func main() {
+	basePath := flag.String("baseline", "BENCH_baseline.json", "baseline JSON file")
+	update := flag.Bool("update", false, "rewrite the baseline from stdin instead of comparing")
+	threshold := flag.Float64("threshold", 0, "override the baseline's regression threshold (fraction)")
+	flag.Parse()
+
+	got, err := parseBench(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(got) == 0 {
+		fatal(fmt.Errorf("no benchmark lines on stdin (did the bench run fail?)"))
+	}
+
+	if *update {
+		th := *threshold
+		if th == 0 {
+			th = 0.10
+		}
+		if err := writeBaseline(*basePath, baseline{Threshold: th, Benchmarks: got}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchguard: wrote %d benchmarks to %s\n", len(got), *basePath)
+		return
+	}
+
+	raw, err := os.ReadFile(*basePath)
+	if err != nil {
+		fatal(err)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(fmt.Errorf("parse %s: %w", *basePath, err))
+	}
+	th := base.Threshold
+	if *threshold != 0 {
+		th = *threshold
+	}
+	if th == 0 {
+		th = 0.10
+	}
+
+	names := make([]string, 0, len(got))
+	for name := range got {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		cur := got[name]
+		ref, ok := base.Benchmarks[name]
+		if !ok {
+			fmt.Printf("benchguard: NEW   %-48s %8.0f allocs/op (no baseline, not compared)\n",
+				name, cur.AllocsPerOp)
+			continue
+		}
+		limit := ref.AllocsPerOp * (1 + th)
+		if cur.AllocsPerOp > limit && cur.AllocsPerOp > ref.AllocsPerOp {
+			failed = true
+			fmt.Printf("benchguard: FAIL  %-48s %8.0f allocs/op, baseline %.0f (limit %.1f)\n",
+				name, cur.AllocsPerOp, ref.AllocsPerOp, limit)
+		} else {
+			fmt.Printf("benchguard: ok    %-48s %8.0f allocs/op, baseline %.0f\n",
+				name, cur.AllocsPerOp, ref.AllocsPerOp)
+		}
+	}
+	for name := range base.Benchmarks {
+		if _, ok := got[name]; !ok {
+			fmt.Printf("benchguard: MISS  %-48s in baseline but not measured\n", name)
+		}
+	}
+	if failed {
+		fmt.Println("benchguard: allocation regression detected")
+		os.Exit(1)
+	}
+}
+
+// parseBench extracts per-benchmark metrics from `go test -benchmem`
+// output. Lines look like:
+//
+//	BenchmarkWireFrameRead/64KB-8  1000  1234 ns/op  53.1 MB/s  0 B/op  0 allocs/op
+//
+// The trailing "-8" GOMAXPROCS suffix is stripped so baselines compare
+// across machines.
+func parseBench(f *os.File) (map[string]entry, error) {
+	out := make(map[string]entry)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // echo so the CI log keeps the raw numbers
+		fields := strings.Fields(line)
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		var e entry
+		seen := false
+		for i := 2; i < len(fields)-1; i++ {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				e.NsPerOp = v
+			case "B/op":
+				e.BytesPerOp = v
+			case "allocs/op":
+				e.AllocsPerOp = v
+				seen = true
+			}
+		}
+		if seen {
+			out[name] = e
+		}
+	}
+	return out, sc.Err()
+}
+
+func writeBaseline(path string, b baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}

@@ -16,6 +16,7 @@
 //	diesel-bench -exp fig14      # per-iteration data access time
 //	diesel-bench -exp fig15      # total training time comparison
 //	diesel-bench -exp epoch      # pipelined vs synchronous epoch reader
+//	diesel-bench -exp alloc      # allocs/op + B/op on the hot read paths
 //	diesel-bench -exp all
 //
 // Performance experiments run on the deterministic cluster simulator
@@ -37,7 +38,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table2, fig6, fig9, fig10a, fig10b, fig10c, fig11a, fig11b, fig12, fig13, fig14, fig15, ablation-group, live, epoch, all)")
+	exp := flag.String("exp", "all", "experiment to run (table2, fig6, fig9, fig10a, fig10b, fig10c, fig11a, fig11b, fig12, fig13, fig14, fig15, ablation-group, live, epoch, alloc, all)")
 	jsonDir := flag.String("json", "", "directory to write a BENCH_<exp>.json metrics snapshot after each experiment (empty = disabled)")
 	flag.Parse()
 
@@ -47,7 +48,7 @@ func main() {
 		"fig11a": fig11a, "fig11b": fig11b, "fig12": fig12,
 		"fig13": fig13, "fig14": fig14, "fig15": fig15,
 		"ablation-group": ablationGroup, "ablation-topology": ablationTopology,
-		"live": live, "epoch": epochExp,
+		"live": live, "epoch": epochExp, "alloc": allocExp,
 	}
 	p := cluster.Default()
 	if *exp == "all" {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"sync"
 )
 
 // DefaultTargetSize is the chunk payload size at which a Builder seals,
@@ -244,10 +245,19 @@ func ParseHeader(b []byte) (*Header, int, error) {
 	return h, off, nil
 }
 
-// Chunk is a parsed, readable chunk.
+// Chunk is a parsed, readable chunk. Accessors return windows into the
+// chunk buffer (never copies), so a Chunk is the unit of sharing on the
+// zero-copy read path: as long as any returned view is referenced the
+// whole payload stays reachable, and views must be treated read-only.
 type Chunk struct {
 	Header  *Header
 	payload []byte
+
+	// nameIdx maps entry name → index, built lazily on the first File
+	// lookup so sequential whole-chunk consumers (the epoch reader walks
+	// entries by position) never pay for it.
+	nameOnce sync.Once
+	nameIdx  map[string]int
 }
 
 // Parse decodes a full serialised chunk and verifies both checksums.
@@ -285,12 +295,30 @@ func (c *Chunk) FileAt(i int) ([]byte, error) {
 	return c.payload[e.Offset : e.Offset+e.Length], nil
 }
 
-// File returns the content of the file with the given name.
+// File returns the content of the file with the given name. The first
+// lookup builds a cached name index, so repeated by-name reads of one
+// parsed chunk cost one map hit instead of an entry-table scan.
 func (c *Chunk) File(name string) ([]byte, error) {
-	for i, e := range c.Header.Entries {
-		if e.Name == name {
-			return c.FileAt(i)
+	c.nameOnce.Do(func() {
+		c.nameIdx = make(map[string]int, len(c.Header.Entries))
+		for i, e := range c.Header.Entries {
+			c.nameIdx[e.Name] = i
 		}
+	})
+	if i, ok := c.nameIdx[name]; ok {
+		return c.FileAt(i)
 	}
 	return nil, fmt.Errorf("%w: %q", ErrNoSuchFile, name)
+}
+
+// Window returns the [off, off+length) sub-slice of the payload region —
+// the accessor components holding external offset/length metadata (the
+// cache's FileMeta from the snapshot) use to extract a file without a
+// copy. The returned view aliases the chunk buffer: read-only, and alive
+// exactly as long as the chunk is.
+func (c *Chunk) Window(off, length uint64) ([]byte, error) {
+	if off+length < off || off+length > uint64(len(c.payload)) {
+		return nil, ErrTruncated
+	}
+	return c.payload[off : off+length], nil
 }

@@ -217,10 +217,26 @@ func (c *Client) callIdem(method string, payload []byte) ([]byte, error) {
 // callIdemContext is callIdem under a caller deadline: a cancelled or
 // expired context stops the retry loop immediately — mid-backoff included —
 // since retrying work nobody is waiting for only burns server capacity.
+// The returned payload is owned by the caller (the backing frame is left
+// to the GC, never recycled).
 func (c *Client) callIdemContext(ctx context.Context, method string, payload []byte) ([]byte, error) {
+	f, err := c.callIdemBorrowContext(ctx, method, payload)
+	if err != nil {
+		return nil, err
+	}
+	// Intentionally no f.Release(): the payload escapes to the caller.
+	return f.Payload, nil
+}
+
+// callIdemBorrowContext is callIdemContext on the zero-copy path: the
+// response frame's payload aliases a pooled buffer, and the caller must
+// Release the frame exactly once after it is done reading (or copying
+// out of) the payload.
+func (c *Client) callIdemBorrowContext(ctx context.Context, method string, payload []byte) (*wire.Frame, error) {
 	var errs []error
 	for attempt := 0; ; attempt++ {
-		resp, err := c.callContext(ctx, method, payload)
+		i := c.next.Add(1)
+		resp, err := c.pools[i%uint64(len(c.pools))].CallBorrowContext(ctx, method, payload)
 		if err == nil || wire.IsRemote(err) {
 			return resp, err
 		}
@@ -364,16 +380,23 @@ func (c *Client) GetDirectContext(ctx context.Context, path string) (out []byte,
 	ctx, sp := tracing.StartSpan(ctx, "client.getDirect")
 	sp.SetAttr("path", path)
 	defer func() { sp.SetError(err); sp.End() }()
-	e := wire.NewEncoder(len(path) + len(c.opts.Dataset) + 16)
+	e := wire.AcquireEncoder(len(path) + len(c.opts.Dataset) + 16)
 	e.String(c.opts.Dataset)
 	e.String(meta.CleanPath(path))
-	resp, err := c.callIdemContext(ctx, server.MethodGet, e.Bytes())
+	resp, err := c.callIdemBorrowContext(ctx, server.MethodGet, e.Bytes())
+	e.Release()
 	if err != nil {
 		return nil, err
 	}
-	d := wire.NewDecoder(resp)
+	// One copy out of the borrowed frame, then recycle it.
+	d := wire.NewDecoder(resp.Borrow())
 	b := append([]byte(nil), d.Bytes32()...)
-	return b, d.Err()
+	err = d.Err()
+	resp.Release()
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
 }
 
 // GetBatch reads many files in one server round trip, exercising the
@@ -397,16 +420,20 @@ func (c *Client) GetBatchContext(ctx context.Context, paths []string) (out [][]b
 	for i, p := range paths {
 		cleaned[i] = meta.CleanPath(p)
 	}
-	e := wire.NewEncoder(64)
+	e := wire.AcquireEncoder(64)
 	e.String(c.opts.Dataset)
 	e.StringSlice(cleaned)
-	resp, err := c.callIdemContext(ctx, server.MethodGetBatch, e.Bytes())
+	resp, err := c.callIdemBorrowContext(ctx, server.MethodGetBatch, e.Bytes())
+	e.Release()
 	if err != nil {
 		return nil, err
 	}
-	d := wire.NewDecoder(resp)
+	// Each present entry is copied out of the borrowed frame; the frame
+	// itself is recycled once the batch is unpacked.
+	d := wire.NewDecoder(resp.Borrow())
 	n := int(d.Uint32())
 	if n != len(paths) {
+		resp.Release()
 		return nil, fmt.Errorf("client: batch size mismatch: %d vs %d", n, len(paths))
 	}
 	out = make([][]byte, n)
@@ -418,7 +445,12 @@ func (c *Client) GetBatchContext(ctx context.Context, paths []string) (out [][]b
 		}
 	}
 	c.Stats.Gets.Add(uint64(n))
-	return out, d.Err()
+	err = d.Err()
+	resp.Release()
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // GetChunk fetches one whole encoded chunk from a server — the operation
@@ -440,16 +472,25 @@ func (c *Client) GetChunkContext(ctx context.Context, chunkID string) (out []byt
 		sp.End()
 		tracing.ObserveSlow(sp, "diesel_client_get_chunk_seconds", time.Since(start))
 	}()
-	e := wire.NewEncoder(len(chunkID) + len(c.opts.Dataset) + 16)
+	e := wire.AcquireEncoder(len(chunkID) + len(c.opts.Dataset) + 16)
 	e.String(c.opts.Dataset)
 	e.String(chunkID)
-	resp, err := c.callIdemContext(ctx, server.MethodGetChunk, e.Bytes())
+	resp, err := c.callIdemBorrowContext(ctx, server.MethodGetChunk, e.Bytes())
+	e.Release()
 	if err != nil {
 		return nil, err
 	}
-	d := wire.NewDecoder(resp)
+	// The chunk is copied once — borrowed frame body to caller-owned
+	// slice — instead of the old allocate-then-copy double cost: the
+	// frame body comes from and returns to the wire pool.
+	d := wire.NewDecoder(resp.Borrow())
 	b := append([]byte(nil), d.Bytes32()...)
-	return b, d.Err()
+	err = d.Err()
+	resp.Release()
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
 }
 
 // --- metadata path ---

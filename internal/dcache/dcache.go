@@ -17,7 +17,6 @@
 package dcache
 
 import (
-	"container/list"
 	"context"
 	"errors"
 	"fmt"
@@ -104,6 +103,11 @@ type Peer struct {
 	cfg  Config
 	cl   *client.Client
 	snap *meta.Snapshot
+
+	// chunkIDs caches snap.Chunks[i].ID.String(): the snapshot is
+	// immutable for the peer's lifetime and the hot read path needs the
+	// string form (store and inflight keys) on every chunk access.
+	chunkIDs []string
 
 	masters []masterInfo // sorted by node ID; partition targets
 	selfIdx int          // index into masters if this peer is a master, else -1
@@ -246,6 +250,10 @@ func Join(cl *client.Client, reg Registrar, cfg Config) (*Peer, error) {
 		snap:    snap,
 		selfIdx: -1,
 		pools:   make(map[string]*wire.Pool),
+	}
+	p.chunkIDs = make([]string, len(snap.Chunks))
+	for i := range snap.Chunks {
+		p.chunkIDs[i] = snap.Chunks[i].ID.String()
 	}
 
 	// Every peer listens before registering; non-masters close their
@@ -399,7 +407,7 @@ func (p *Peer) LoadOwned() error {
 // is shared with every waiter; a failed fetch therefore costs one RPC, not
 // one per blocked reader.
 func (p *Peer) loadChunk(ctx context.Context, ci int) (*cachedChunk, error) {
-	id := p.snap.Chunks[ci].ID.String()
+	id := p.chunkIDs[ci]
 	if cc := p.store.get(id); cc != nil {
 		return cc, nil
 	}
@@ -490,7 +498,10 @@ func (p *Peer) handleCacheGet(ctx context.Context, payload []byte) ([]byte, erro
 	if err := d.Err(); err != nil {
 		return nil, err
 	}
-	b, err := p.readLocal(ctx, path)
+	// The view is only read while encoding the response, so no copy is
+	// needed between cache and encoder — one memcpy per peer read, into
+	// the response payload itself.
+	b, err := p.readLocal(ctx, path, true)
 	if err != nil {
 		return nil, err
 	}
@@ -499,8 +510,10 @@ func (p *Peer) handleCacheGet(ctx context.Context, payload []byte) ([]byte, erro
 	return e.Bytes(), nil
 }
 
-// readLocal serves a path from this master's own cache.
-func (p *Peer) readLocal(ctx context.Context, path string) ([]byte, error) {
+// readLocal serves a path from this master's own cache. With view set the
+// returned slice is a read-only window into the cached chunk; otherwise
+// it is an owned copy.
+func (p *Peer) readLocal(ctx context.Context, path string, view bool) ([]byte, error) {
 	m, err := p.snap.Stat(path)
 	if err != nil {
 		return nil, err
@@ -508,6 +521,9 @@ func (p *Peer) readLocal(ctx context.Context, path string) ([]byte, error) {
 	cc, err := p.loadChunk(ctx, m.ChunkIdx)
 	if err != nil {
 		return nil, err
+	}
+	if view {
+		return cc.fileView(m)
 	}
 	return cc.file(m)
 }
@@ -530,7 +546,24 @@ func (p *Peer) ReadFile(path string) ([]byte, error) {
 // (implementing client.ContextReader). The context bounds the peer RPC,
 // the chunk load it may trigger and the server fallback, so a cancelled
 // epoch reader stops waiting within one call round trip.
-func (p *Peer) ReadFileContext(ctx context.Context, path string) (b []byte, err error) {
+func (p *Peer) ReadFileContext(ctx context.Context, path string) ([]byte, error) {
+	return p.readFile(ctx, path, false)
+}
+
+// ReadFileViewContext is ReadFileContext minus the defensive copy on the
+// local-hit path: when the file's chunk is cached on this peer, the
+// returned slice is a read-only window into the cached chunk payload.
+// Views are GC-safe — chunk buffers are never pooled, so a view stays
+// readable even after its chunk is evicted — but callers must not write
+// through them and must copy anything they mutate. On the peer-master and
+// server-fallback paths the returned bytes are an owned copy, so the
+// caller-side contract is uniformly "treat as read-only". The epoch
+// reader's CacheSource rides this to make a cache-hit epoch copy-free.
+func (p *Peer) ReadFileViewContext(ctx context.Context, path string) ([]byte, error) {
+	return p.readFile(ctx, path, true)
+}
+
+func (p *Peer) readFile(ctx context.Context, path string, view bool) (b []byte, err error) {
 	sp := tracing.ChildOf(ctx, "dcache.read")
 	if sp != nil {
 		sp.SetAttr("path", path)
@@ -543,7 +576,7 @@ func (p *Peer) ReadFileContext(ctx context.Context, path string) (b []byte, err 
 	}
 	owner := p.ownerOf(m.ChunkIdx)
 	if owner == p.selfIdx {
-		b, err := p.readLocal(ctx, path)
+		b, err := p.readLocal(ctx, path, view)
 		if err == nil {
 			p.Stats.LocalHits.Add(1)
 			mLocalHits.Inc()
@@ -592,15 +625,21 @@ func (p *Peer) readFromMaster(ctx context.Context, addr, path string) ([]byte, e
 	if err != nil {
 		return nil, err
 	}
-	e := wire.NewEncoder(len(path) + 8)
+	e := wire.AcquireEncoder(len(path) + 8)
 	e.String(path)
-	resp, err := pool.CallContext(ctx, methodCacheGet, e.Bytes())
+	f, err := pool.CallBorrowContext(ctx, methodCacheGet, e.Bytes())
+	e.Release()
 	if err != nil {
 		return nil, err
 	}
-	d := wire.NewDecoder(resp)
+	// One copy out of the borrowed response, then the frame buffer
+	// recycles — the file bytes escape to the training loop, the
+	// file-sized RPC buffer does not.
+	d := wire.NewDecoder(f.Borrow())
 	b := append([]byte(nil), d.Bytes32()...)
-	return b, d.Err()
+	err = d.Err()
+	f.Release()
+	return b, err
 }
 
 func (p *Peer) poolFor(addr string) (*wire.Pool, error) {
@@ -685,7 +724,7 @@ func (p *Peer) Close() error {
 	return first
 }
 
-// --- master-side chunk store with LRU eviction ---
+// --- cached chunks: the unit the sharded store (store.go) holds ---
 
 type cachedChunk struct {
 	ck *chunk.Chunk
@@ -695,93 +734,26 @@ func newCachedChunk(ck *chunk.Chunk) *cachedChunk { return &cachedChunk{ck: ck} 
 
 func (cc *cachedChunk) size() int64 { return int64(len(cc.ck.Payload())) }
 
-// file extracts one file's bytes using snapshot metadata. The copy keeps
-// the returned slice independent of eviction.
-func (cc *cachedChunk) file(m meta.FileMeta) ([]byte, error) {
-	pay := cc.ck.Payload()
-	if m.Offset+m.Length > uint64(len(pay)) {
+// fileView extracts one file's bytes as a read-only window into the
+// cached chunk — no copy. Chunk buffers are plain GC-owned slices (never
+// pooled), so a view stays valid even after its chunk is evicted from the
+// store: eviction drops the store's reference, and the GC frees the chunk
+// only once the last view is gone.
+func (cc *cachedChunk) fileView(m meta.FileMeta) ([]byte, error) {
+	v, err := cc.ck.Window(m.Offset, m.Length)
+	if err != nil {
 		return nil, fmt.Errorf("dcache: file range [%d,%d) outside chunk payload %d",
-			m.Offset, m.Offset+m.Length, len(pay))
+			m.Offset, m.Offset+m.Length, len(cc.ck.Payload()))
 	}
-	return append([]byte(nil), pay[m.Offset:m.Offset+m.Length]...), nil
+	return v, nil
 }
 
-type chunkStore struct {
-	mu       sync.Mutex
-	capacity int64
-	used     int64
-	items    map[string]*list.Element
-	lru      *list.List // front = most recent
-}
-
-type storeEntry struct {
-	id string
-	cc *cachedChunk
-}
-
-func newChunkStore(capacity int64) *chunkStore {
-	return &chunkStore{
-		capacity: capacity,
-		items:    make(map[string]*list.Element),
-		lru:      list.New(),
+// file extracts one file's bytes as an owned copy — the mutable-slice
+// contract of the public ReadFile API.
+func (cc *cachedChunk) file(m meta.FileMeta) ([]byte, error) {
+	v, err := cc.fileView(m)
+	if err != nil {
+		return nil, err
 	}
-}
-
-func (s *chunkStore) get(id string) *cachedChunk {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	el, ok := s.items[id]
-	if !ok {
-		return nil
-	}
-	s.lru.MoveToFront(el)
-	return el.Value.(*storeEntry).cc
-}
-
-// put inserts a chunk, returning the number of evictions it caused and
-// whether the chunk was actually cached. A chunk larger than the whole
-// capacity is refused outright: evicting everything could not make it
-// fit, and inserting it anyway would leave used > capacity permanently.
-func (s *chunkStore) put(id string, cc *cachedChunk) (evicted uint64, cached bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.items[id]; dup {
-		return 0, true
-	}
-	if s.capacity > 0 && cc.size() > s.capacity {
-		return 0, false
-	}
-	if s.capacity > 0 {
-		for s.used+cc.size() > s.capacity && s.lru.Len() > 0 {
-			back := s.lru.Back()
-			e := back.Value.(*storeEntry)
-			s.lru.Remove(back)
-			delete(s.items, e.id)
-			s.used -= e.cc.size()
-			evicted++
-		}
-	}
-	s.items[id] = s.lru.PushFront(&storeEntry{id: id, cc: cc})
-	s.used += cc.size()
-	return evicted, true
-}
-
-func (s *chunkStore) bytes() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.used
-}
-
-func (s *chunkStore) count() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.lru.Len()
-}
-
-func (s *chunkStore) clear() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.items = make(map[string]*list.Element)
-	s.lru = list.New()
-	s.used = 0
+	return append([]byte(nil), v...), nil
 }

@@ -26,11 +26,12 @@ func buildTestCachedChunk(t *testing.T, payloadSize int) *cachedChunk {
 	if _, err := b.Add("f", make([]byte, payloadSize)); err != nil {
 		t.Fatal(err)
 	}
-	h, payload, err := b.Seal()
+	// Seal already returns the fully encoded chunk bytes.
+	_, encoded, err := b.Seal()
 	if err != nil {
 		t.Fatal(err)
 	}
-	ck, err := chunk.Parse(chunk.Encode(h, payload))
+	ck, err := chunk.Parse(encoded)
 	if err != nil {
 		t.Fatal(err)
 	}

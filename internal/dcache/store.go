@@ -1,0 +1,168 @@
+package dcache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// The master-side chunk store, sharded so concurrent epoch readers on one
+// node stop convoying on a single mutex: get/put touch only the shard the
+// chunk-ID hash selects, each shard with its own lock and LRU clock.
+//
+// The byte budget stays global — a single atomic — rather than capacity/N
+// per shard. That preserves the unsharded store's semantics exactly: a
+// chunk is refused only when it exceeds the *whole* capacity, and the
+// store never strands capacity in shards the hash happens to leave cold.
+//
+// Eviction is still exact global LRU: every entry carries a tick from a
+// shared recency clock, and since each shard's list is recency-ordered,
+// the globally least-recent chunk is always one of the shard tails. The
+// evictor scans the tails (one short lock hold per shard, never two locks
+// at once) and removes the oldest, so a capacity-bound chunk-wise reader
+// keeps the one-load-per-chunk behaviour the shuffle integration test
+// pins, while lock contention on the hit path drops by ~the shard count.
+const storeShardCount = 16 // must be a power of two
+
+type chunkStore struct {
+	capacity int64         // 0 = unlimited; immutable after newChunkStore
+	used     atomic.Int64  // payload bytes across all shards
+	clock    atomic.Uint64 // global recency tick source
+
+	shards [storeShardCount]storeShard
+}
+
+type storeShard struct {
+	mu    sync.Mutex
+	items map[string]*list.Element
+	lru   *list.List // front = most recent
+}
+
+type storeEntry struct {
+	id   string
+	cc   *cachedChunk
+	tick uint64 // recency stamp; read/written under the owning shard's lock
+}
+
+func newChunkStore(capacity int64) *chunkStore {
+	s := &chunkStore{capacity: capacity}
+	for i := range s.shards {
+		s.shards[i].items = make(map[string]*list.Element)
+		s.shards[i].lru = list.New()
+	}
+	return s
+}
+
+// shardOf hashes a chunk ID (FNV-1a) onto a shard index.
+func shardOf(id string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return int(h & (storeShardCount - 1))
+}
+
+func (s *chunkStore) get(id string) *cachedChunk {
+	sh := &s.shards[shardOf(id)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.items[id]
+	if !ok {
+		return nil
+	}
+	sh.lru.MoveToFront(el)
+	el.Value.(*storeEntry).tick = s.clock.Add(1)
+	return el.Value.(*storeEntry).cc
+}
+
+// put inserts a chunk, returning the number of evictions it caused and
+// whether the chunk was actually cached. A chunk larger than the whole
+// capacity is refused outright: evicting everything could not make it
+// fit, and inserting it anyway would leave used > capacity permanently.
+func (s *chunkStore) put(id string, cc *cachedChunk) (evicted uint64, cached bool) {
+	size := cc.size()
+	if s.capacity > 0 && size > s.capacity {
+		return 0, false
+	}
+	sh := &s.shards[shardOf(id)]
+	sh.mu.Lock()
+	if _, dup := sh.items[id]; dup {
+		sh.mu.Unlock()
+		return 0, true
+	}
+	sh.items[id] = sh.lru.PushFront(&storeEntry{id: id, cc: cc, tick: s.clock.Add(1)})
+	sh.mu.Unlock()
+	s.used.Add(size)
+	if s.capacity > 0 {
+		evicted = s.evictOver(s.capacity, id)
+	}
+	return evicted, true
+}
+
+// evictOver removes globally least-recent chunks until used fits the
+// budget. The freshly inserted chunk (keep) is exempt — the unsharded
+// store made room before inserting, so the newcomer was never a victim.
+// Locks are taken one shard at a time; a shard whose tail changes between
+// the scan and the removal just triggers a rescan.
+func (s *chunkStore) evictOver(capacity int64, keep string) (evicted uint64) {
+	for s.used.Load() > capacity {
+		victim := -1
+		var oldest uint64
+		for i := range s.shards {
+			sh := &s.shards[i]
+			sh.mu.Lock()
+			if back := sh.lru.Back(); back != nil {
+				e := back.Value.(*storeEntry)
+				if e.id != keep && (victim < 0 || e.tick < oldest) {
+					victim, oldest = i, e.tick
+				}
+			}
+			sh.mu.Unlock()
+		}
+		if victim < 0 {
+			// Nothing evictable remains (only the protected chunk is left).
+			return evicted
+		}
+		sh := &s.shards[victim]
+		sh.mu.Lock()
+		back := sh.lru.Back()
+		if back == nil || back.Value.(*storeEntry).id == keep {
+			sh.mu.Unlock()
+			continue // raced with a concurrent get/put; rescan
+		}
+		e := back.Value.(*storeEntry)
+		sh.lru.Remove(back)
+		delete(sh.items, e.id)
+		sh.mu.Unlock()
+		s.used.Add(-e.cc.size())
+		evicted++
+	}
+	return evicted
+}
+
+func (s *chunkStore) bytes() int64 { return s.used.Load() }
+
+func (s *chunkStore) count() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+func (s *chunkStore) clear() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for el := sh.lru.Front(); el != nil; el = el.Next() {
+			s.used.Add(-el.Value.(*storeEntry).cc.size())
+		}
+		sh.items = make(map[string]*list.Element)
+		sh.lru = list.New()
+		sh.mu.Unlock()
+	}
+}

@@ -1,0 +1,174 @@
+package dcache
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"diesel/internal/chunk"
+	"diesel/internal/meta"
+)
+
+// buildPatternedChunk is buildTestCachedChunk with recognisable payload
+// bytes, so a view can be checked for corruption after eviction.
+func buildPatternedChunk(t *testing.T, payloadSize int, fill byte) *cachedChunk {
+	t.Helper()
+	gen := chunk.NewIDGenerator(func() uint32 { return 1 })
+	b := chunk.NewBuilder(1<<30, gen, func() int64 { return 1 })
+	data := bytes.Repeat([]byte{fill}, payloadSize)
+	if _, err := b.Add("f", data); err != nil {
+		t.Fatal(err)
+	}
+	_, encoded, err := b.Seal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := chunk.Parse(encoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newCachedChunk(ck)
+}
+
+// TestShardedStoreConcurrentAccess hammers get/put from many goroutines
+// over a key space wide enough to hit every shard, with a capacity tight
+// enough that evictions run concurrently with hits. Run under -race this
+// is the shard-locking proof; the invariant checks catch accounting that
+// drifts when eviction and insert interleave.
+func TestShardedStoreConcurrentAccess(t *testing.T) {
+	const (
+		workers   = 8
+		opsPer    = 500
+		keySpace  = 64
+		chunkSize = 100
+	)
+	cc := buildTestCachedChunk(t, chunkSize)
+	size := cc.size()
+	s := newChunkStore(size * 8) // room for 8 of 64 keys → constant eviction
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < opsPer; i++ {
+				id := fmt.Sprintf("chunk-%03d", rng.Intn(keySpace))
+				if rng.Intn(2) == 0 {
+					s.put(id, cc)
+				} else if got := s.get(id); got != nil && got.size() != size {
+					t.Errorf("get(%s) returned wrong chunk", id)
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if got := s.bytes(); got > size*8 {
+		t.Errorf("store over capacity after concurrent churn: %d > %d", got, size*8)
+	}
+	if got, want := s.bytes(), int64(s.count())*size; got != want {
+		t.Errorf("byte accounting drifted: used=%d but %d resident chunks (= %d bytes)",
+			got, s.count(), want)
+	}
+	s.clear()
+	if s.bytes() != 0 || s.count() != 0 {
+		t.Errorf("clear left used=%d count=%d", s.bytes(), s.count())
+	}
+}
+
+// TestShardedStoreGlobalLRU pins the eviction order: victims must be the
+// globally least-recently-used chunks regardless of which shard they hash
+// to. A per-shard or round-robin policy fails this — and thrashes the
+// capacity-bound chunk-wise reader the shuffle integration test models.
+func TestShardedStoreGlobalLRU(t *testing.T) {
+	cc := buildTestCachedChunk(t, 100)
+	s := newChunkStore(cc.size() * 3)
+	s.put("a", cc)
+	s.put("b", cc)
+	s.put("c", cc)
+	if s.get("a") == nil { // refresh a: global LRU order is now b, c, a
+		t.Fatal("resident chunk missing")
+	}
+	if evicted, cached := s.put("d", cc); !cached || evicted != 1 {
+		t.Fatalf("put(d): evicted=%d cached=%v, want 1 eviction", evicted, cached)
+	}
+	if s.get("b") != nil {
+		t.Error("b survived eviction but was the global LRU")
+	}
+	for _, id := range []string{"a", "c", "d"} {
+		if s.get(id) == nil {
+			t.Errorf("%s evicted out of LRU order", id)
+		}
+	}
+}
+
+// TestShardedStoreEvictionFairness inserts a sequence twice the capacity
+// and checks that exactly the older half is evicted — eviction pressure
+// must follow recency, not concentrate on whichever shards the victim
+// scan visits first.
+func TestShardedStoreEvictionFairness(t *testing.T) {
+	const n = 32
+	cc := buildTestCachedChunk(t, 100)
+	s := newChunkStore(cc.size() * (n / 2))
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("chunk-%04d", i)
+		s.put(ids[i], cc)
+	}
+	for i, id := range ids {
+		resident := s.get(id) != nil
+		if i < n/2 && resident {
+			t.Errorf("%s (old half) should have been evicted", id)
+		}
+		if i >= n/2 && !resident {
+			t.Errorf("%s (recent half) was evicted", id)
+		}
+	}
+	// The surviving half spans multiple shards, i.e. eviction did not
+	// empty some shards to spare others.
+	occupied := map[int]bool{}
+	for _, id := range ids[n/2:] {
+		occupied[shardOf(id)] = true
+	}
+	if len(occupied) < 2 {
+		t.Fatalf("survivors all hash to one shard; test IDs need respreading")
+	}
+}
+
+// TestEvictedChunkViewRemainsValid is the ownership regression test for
+// the zero-copy contract: a FileView handed out before its chunk is
+// evicted must stay readable and uncorrupted afterwards. Chunk buffers
+// are GC-owned (never pooled), so eviction may only drop the store's
+// reference — it must never recycle memory a view still aliases.
+func TestEvictedChunkViewRemainsValid(t *testing.T) {
+	const payloadSize = 256
+	victim := buildPatternedChunk(t, payloadSize, 0xAB)
+	s := newChunkStore(victim.size() * 2)
+	s.put("victim", victim)
+
+	entry := victim.ck.Header.Entries[0]
+	view, err := victim.fileView(meta.FileMeta{Offset: entry.Offset, Length: entry.Length})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bytes.Repeat([]byte{0xAB}, payloadSize)
+	if !bytes.Equal(view, want) {
+		t.Fatal("view wrong before eviction")
+	}
+
+	// Evict the victim by inserting differently-patterned chunks: the
+	// victim is the global LRU (nothing refreshed it since insert), so
+	// the first over-capacity put removes it. Probing with get would
+	// itself refresh the victim, so check residency only once at the end.
+	for i := 0; i < 2; i++ {
+		s.put(fmt.Sprintf("filler-%d", i), buildPatternedChunk(t, payloadSize, 0xCD))
+	}
+	if s.get("victim") != nil {
+		t.Fatal("victim never evicted")
+	}
+
+	if !bytes.Equal(view, want) {
+		t.Fatal("outstanding view corrupted after its chunk was evicted")
+	}
+}

@@ -19,6 +19,11 @@ import (
 type Source interface {
 	// ReadGroup returns the payloads of plan positions
 	// [plan.Groups[g].Start, plan.Groups[g].End) in plan order.
+	//
+	// Returned payloads are read-only: sources may hand out windows into
+	// a shared backing buffer (a fetched chunk, a cached chunk) instead
+	// of per-file copies, so consumers that mutate or retain bytes past
+	// the sample they came with must copy them first.
 	ReadGroup(ctx context.Context, plan *shuffle.Plan, g int) ([][]byte, error)
 }
 
@@ -26,6 +31,15 @@ type Source interface {
 // *dcache.Peer implements it (and so does any client.ContextReader).
 type FileReader interface {
 	ReadFileContext(ctx context.Context, path string) ([]byte, error)
+}
+
+// ViewReader is the zero-copy upgrade of FileReader: ReadFileViewContext
+// may return a read-only window into a cached chunk instead of an owned
+// copy. CacheSource detects it with a type assertion, so a *dcache.Peer
+// source serves cache-hit epochs copy-free while plain FileReaders keep
+// working unchanged.
+type ViewReader interface {
+	ReadFileViewContext(ctx context.Context, path string) ([]byte, error)
 }
 
 // ClientSource feeds an epoch reader straight from the DIESEL servers:
@@ -96,7 +110,11 @@ func (s *ClientSource) ReadGroup(ctx context.Context, plan *shuffle.Plan, g int)
 			return nil, fmt.Errorf("epoch: file %q range [%d,%d) outside chunk payload %d",
 				s.snap.FileName(int(plan.Files[pos])), m.Offset, m.Offset+m.Length, len(pay))
 		}
-		out[pos-span.Start] = append([]byte(nil), pay[m.Offset:m.Offset+m.Length]...)
+		// Emit a view into the fetched chunk, not a copy: the group's
+		// files collectively keep the chunk blob alive, and the full
+		// slice expression keeps an append by a consumer from bleeding
+		// into the next file's bytes.
+		out[pos-span.Start] = pay[m.Offset : m.Offset+m.Length : m.Offset+m.Length]
 	}
 	if len(missPos) > 0 {
 		paths := make([]string, len(missPos))
@@ -143,17 +161,25 @@ func joinChunkErrors(chunks map[int32]*fetched, err error) error {
 // within one group.
 type CacheSource struct {
 	fr       FileReader
+	read     func(ctx context.Context, path string) ([]byte, error)
 	snap     *meta.Snapshot
 	parallel int
 }
 
 // NewCacheSource builds a cache-backed source (fr is typically a
-// *dcache.Peer). parallel <=0 means 8.
+// *dcache.Peer). parallel <=0 means 8. A FileReader that also implements
+// ViewReader is read through its zero-copy path: ReadGroup's contract
+// already declares payloads read-only, so local cache hits can skip the
+// defensive copy.
 func NewCacheSource(fr FileReader, snap *meta.Snapshot, parallel int) *CacheSource {
 	if parallel <= 0 {
 		parallel = 8
 	}
-	return &CacheSource{fr: fr, snap: snap, parallel: parallel}
+	read := fr.ReadFileContext
+	if vr, ok := fr.(ViewReader); ok {
+		read = vr.ReadFileViewContext
+	}
+	return &CacheSource{fr: fr, read: read, snap: snap, parallel: parallel}
 }
 
 // ReadGroup implements Source.
@@ -174,7 +200,7 @@ func (s *CacheSource) ReadGroup(ctx context.Context, plan *shuffle.Plan, g int) 
 				return
 			}
 			path := s.snap.FileName(int(plan.Files[pos]))
-			out[pos-span.Start], errs[pos-span.Start] = s.fr.ReadFileContext(ctx, path)
+			out[pos-span.Start], errs[pos-span.Start] = s.read(ctx, path)
 		}(pos)
 	}
 	wg.Wait()

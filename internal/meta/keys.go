@@ -61,6 +61,11 @@ func ValidFilePath(path string) error {
 // and trailing slashes stripped. It rejects nothing — callers validate
 // emptiness where it matters.
 func CleanPath(p string) string {
+	// Already-clean paths — the overwhelmingly common case on the per-read
+	// Stat path — return unchanged, keeping CleanPath allocation-free.
+	if isCleanPath(p) {
+		return p
+	}
 	parts := strings.Split(p, "/")
 	out := parts[:0]
 	for _, s := range parts {
@@ -69,6 +74,26 @@ func CleanPath(p string) string {
 		}
 	}
 	return strings.Join(out, "/")
+}
+
+// isCleanPath reports whether CleanPath(p) == p: no empty segments (which
+// also rules out leading, trailing and doubled slashes) and no "."
+// segments.
+func isCleanPath(p string) bool {
+	if p == "" {
+		return true
+	}
+	start := 0
+	for i := 0; i <= len(p); i++ {
+		if i == len(p) || p[i] == '/' {
+			seg := p[start:i]
+			if seg == "" || seg == "." {
+				return false
+			}
+			start = i + 1
+		}
+	}
+	return true
 }
 
 // SplitPath returns the directory and basename of a cleaned path. The root

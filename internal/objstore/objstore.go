@@ -105,14 +105,58 @@ func (m *Memory) GetRange(key string, off, n int64) ([]byte, error) {
 }
 
 func sliceRange(b []byte, off, n int64) ([]byte, error) {
-	if off < 0 || off > int64(len(b)) {
-		return nil, fmt.Errorf("objstore: offset %d out of range [0,%d]", off, len(b))
+	start, end, err := clampRange(int64(len(b)), off, n)
+	if err != nil {
+		return nil, err
 	}
-	end := int64(len(b))
+	return append([]byte(nil), b[start:end]...), nil
+}
+
+// clampRange validates off and clamps n against an object of the given
+// size, returning the half-open byte range to read.
+func clampRange(size, off, n int64) (start, end int64, err error) {
+	if off < 0 || off > size {
+		return 0, 0, fmt.Errorf("objstore: offset %d out of range [0,%d]", off, size)
+	}
+	end = size
 	if n >= 0 && off+n < end {
 		end = off + n
 	}
-	return append([]byte(nil), b[off:end]...), nil
+	return off, end, nil
+}
+
+// GetPooled implements PooledReader: the object is copied into a pooled
+// buffer under no lock (stored slices are immutable once inserted).
+func (m *Memory) GetPooled(key string) ([]byte, func(), error) {
+	m.mu.Lock()
+	b, ok := m.data[key]
+	m.Ops.Gets++
+	m.Ops.BytesOut += uint64(len(b))
+	m.mu.Unlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	rb := getReadBuf(len(b))
+	copy(rb.b, b)
+	return rb.b, rb.release, nil
+}
+
+// GetRangePooled implements PooledReader.
+func (m *Memory) GetRangePooled(key string, off, n int64) ([]byte, func(), error) {
+	m.mu.Lock()
+	b, ok := m.data[key]
+	m.Ops.Gets++
+	m.mu.Unlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	start, end, err := clampRange(int64(len(b)), off, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	rb := getReadBuf(int(end - start))
+	copy(rb.b, b[start:end])
+	return rb.b, rb.release, nil
 }
 
 // Delete implements Store.
@@ -223,35 +267,65 @@ func (d *Disk) Get(key string) ([]byte, error) {
 	return b, err
 }
 
-// GetRange implements Store.
-func (d *Disk) GetRange(key string, off, n int64) ([]byte, error) {
+// openRange opens key and clamps [off, off+n) against the file size.
+// The caller closes f.
+func (d *Disk) openRange(key string, off, n int64) (f *os.File, start, end int64, err error) {
 	p, err := d.path(key)
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
-	f, err := os.Open(p)
+	f, err = os.Open(p)
 	if errors.Is(err, os.ErrNotExist) {
-		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+		return nil, 0, 0, fmt.Errorf("%w: %q", ErrNotFound, key)
 	}
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
-	defer f.Close()
 	st, err := f.Stat()
 	if err != nil {
+		f.Close()
+		return nil, 0, 0, err
+	}
+	start, end, err = clampRange(st.Size(), off, n)
+	if err != nil {
+		f.Close()
+		return nil, 0, 0, err
+	}
+	return f, start, end, nil
+}
+
+// GetRange implements Store. The read lands in a pooled buffer and is
+// copied out exactly-sized for the caller, so the transient read scratch
+// never hits the garbage collector; hot paths that can honour a release
+// protocol skip the copy entirely via GetRangePooled.
+func (d *Disk) GetRange(key string, off, n int64) ([]byte, error) {
+	b, release, err := d.GetRangePooled(key, off, n)
+	if err != nil {
 		return nil, err
 	}
-	if off < 0 || off > st.Size() {
-		return nil, fmt.Errorf("objstore: offset %d out of range [0,%d]", off, st.Size())
+	out := append([]byte(nil), b...)
+	release()
+	return out, nil
+}
+
+// GetPooled implements PooledReader.
+func (d *Disk) GetPooled(key string) ([]byte, func(), error) {
+	return d.GetRangePooled(key, 0, -1)
+}
+
+// GetRangePooled implements PooledReader.
+func (d *Disk) GetRangePooled(key string, off, n int64) ([]byte, func(), error) {
+	f, start, end, err := d.openRange(key, off, n)
+	if err != nil {
+		return nil, nil, err
 	}
-	if n < 0 || off+n > st.Size() {
-		n = st.Size() - off
+	defer f.Close()
+	rb := getReadBuf(int(end - start))
+	if _, err := f.ReadAt(rb.b, start); err != nil && end > start {
+		rb.release()
+		return nil, nil, err
 	}
-	buf := make([]byte, n)
-	if _, err := f.ReadAt(buf, off); err != nil && n > 0 {
-		return nil, err
-	}
-	return buf, nil
+	return rb.b, rb.release, nil
 }
 
 // Delete implements Store.
@@ -350,6 +424,22 @@ func (t *Throttled) GetRange(key string, off, n int64) ([]byte, error) {
 	b, err := t.Base.GetRange(key, off, n)
 	t.wait(len(b))
 	return b, err
+}
+
+// GetPooled implements PooledReader, delegating to the base store's
+// pooled path (or its plain Get when it has none) under the same modeled
+// latency as Get.
+func (t *Throttled) GetPooled(key string) ([]byte, func(), error) {
+	b, release, err := GetPooled(t.Base, key)
+	t.wait(len(b))
+	return b, release, err
+}
+
+// GetRangePooled implements PooledReader.
+func (t *Throttled) GetRangePooled(key string, off, n int64) ([]byte, func(), error) {
+	b, release, err := GetRangePooled(t.Base, key, off, n)
+	t.wait(len(b))
+	return b, release, err
 }
 
 // Delete implements Store.

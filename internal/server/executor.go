@@ -10,6 +10,7 @@ import (
 
 	"diesel/internal/chunk"
 	"diesel/internal/meta"
+	"diesel/internal/objstore"
 	"diesel/internal/tracing"
 )
 
@@ -197,10 +198,15 @@ func (s *Server) serveGroup(ctx context.Context, dataset string, id chunk.ID, gr
 
 	key := ObjectKey(dataset, idStr)
 	if merge {
-		blob, err := s.objects.Get(key)
+		// The whole-chunk read lands in a pooled buffer: emit copies each
+		// requested file out (the batch contract hands owned slices to
+		// the caller), and the multi-megabyte scratch is recycled instead
+		// of churning the GC once per merge.
+		blob, release, err := objstore.GetPooled(s.objects, key)
 		if err != nil {
 			return fmt.Errorf("server: chunk read %s: %w", idStr, err)
 		}
+		defer release()
 		s.Exec.Stats.ChunkReads.Add(1)
 		s.Exec.Stats.BackendBytes.Add(uint64(len(blob)))
 		for _, r := range grp {

@@ -93,12 +93,14 @@ func (r *RPCServer) register() {
 		if err := d.Err(); err != nil {
 			return nil, err
 		}
-		b, err := r.S.GetFileContext(ctx, dataset, path)
+		b, release, err := r.S.GetFilePooled(ctx, dataset, path)
 		if err != nil {
 			return nil, err
 		}
+		// One copy, pooled buffer to response payload, then recycle.
 		e := wire.NewEncoder(len(b) + 8)
 		e.Bytes32(b)
+		release()
 		return e.Bytes(), nil
 	})
 
@@ -133,12 +135,14 @@ func (r *RPCServer) register() {
 		if err := d.Err(); err != nil {
 			return nil, err
 		}
-		b, err := r.S.GetChunkContext(ctx, dataset, id)
+		b, release, err := r.S.GetChunkPooled(ctx, dataset, id)
 		if err != nil {
 			return nil, err
 		}
+		// One copy, pooled buffer to response payload, then recycle.
 		e := wire.NewEncoder(len(b) + 8)
 		e.Bytes32(b)
+		release()
 		return e.Bytes(), nil
 	})
 

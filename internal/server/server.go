@@ -236,6 +236,21 @@ func (s *Server) GetFile(dataset, path string) ([]byte, error) {
 // read appear as separate spans, which is the split Fig. 8's latency
 // breakdown needs.
 func (s *Server) GetFileContext(ctx context.Context, dataset, path string) ([]byte, error) {
+	b, release, err := s.GetFilePooled(ctx, dataset, path)
+	if err != nil {
+		return nil, err
+	}
+	out := append([]byte(nil), b...)
+	release()
+	return out, nil
+}
+
+// GetFilePooled is GetFileContext on the zero-copy read path: the bytes
+// live in a pooled read buffer and the caller must call release exactly
+// once when done with them (only on success). The RPC layer encodes the
+// response straight out of the buffer and releases it, so a single-file
+// read costs no GC allocation for the file bytes.
+func (s *Server) GetFilePooled(ctx context.Context, dataset, path string) ([]byte, func(), error) {
 	sp := tracing.ChildOf(ctx, "server.stat")
 	statCtx := ctx
 	if sp != nil {
@@ -245,19 +260,20 @@ func (s *Server) GetFileContext(ctx context.Context, dataset, path string) ([]by
 	sp.SetError(err)
 	sp.End()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	idStr := fr.ChunkID.String()
 	hl, err := s.headerLenContext(ctx, dataset, idStr)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	sp = tracing.ChildOf(ctx, "objstore.getRange")
-	b, err := s.objects.GetRange(ObjectKey(dataset, idStr), int64(hl)+int64(fr.Offset), int64(fr.Length))
+	b, release, err := objstore.GetRangePooled(s.objects,
+		ObjectKey(dataset, idStr), int64(hl)+int64(fr.Offset), int64(fr.Length))
 	sp.SetAttr("bytes", fmt.Sprint(len(b)))
 	sp.SetError(err)
 	sp.End()
-	return b, err
+	return b, release, err
 }
 
 // GetChunk returns one encoded chunk in full — the operation the
@@ -275,6 +291,21 @@ func (s *Server) GetChunkContext(ctx context.Context, dataset, chunkID string) (
 	sp.SetError(err)
 	sp.End()
 	return b, err
+}
+
+// GetChunkPooled is GetChunkContext on the zero-copy read path: the
+// encoded chunk lives in a pooled read buffer and the caller must call
+// release exactly once when done (only on success). The RPC layer uses
+// this so serving a multi-megabyte chunk fetch allocates nothing for the
+// chunk bytes beyond the response frame.
+func (s *Server) GetChunkPooled(ctx context.Context, dataset, chunkID string) ([]byte, func(), error) {
+	sp := tracing.ChildOf(ctx, "objstore.get")
+	sp.SetAttr("chunk", chunkID)
+	b, release, err := objstore.GetPooled(s.objects, ObjectKey(dataset, chunkID))
+	sp.SetAttr("bytes", fmt.Sprint(len(b)))
+	sp.SetError(err)
+	sp.End()
+	return b, release, err
 }
 
 // ListEntry is one row of a directory listing.

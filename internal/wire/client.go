@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -56,7 +57,7 @@ type Client struct {
 	addr        string
 	callTimeout time.Duration
 
-	wmu sync.Mutex // serialises request frames
+	gw *groupWriter // serialises and batch-flushes request frames
 
 	mu      sync.Mutex
 	pending map[uint64]chan *Frame
@@ -91,6 +92,7 @@ func dialOpts(addr string, o *options) (*Client, error) {
 		conn:        conn,
 		addr:        addr,
 		callTimeout: o.callTimeout,
+		gw:          newGroupWriter(conn),
 		pending:     make(map[uint64]chan *Frame),
 		helloDone:   make(chan struct{}),
 	}
@@ -110,8 +112,12 @@ func (c *Client) Closed() bool {
 }
 
 func (c *Client) readLoop() {
+	// Buffered reads: ReadFrame issues several small ReadFulls per frame
+	// (header, trace block, body); the bufio layer turns those into one
+	// socket read per batch of frames.
+	br := bufio.NewReaderSize(c.conn, groupBufSize)
 	for {
-		f, err := ReadFrame(c.conn)
+		f, err := ReadFrame(br)
 		if err != nil {
 			c.failAll(err)
 			return
@@ -121,7 +127,8 @@ func (c *Client) readLoop() {
 				c.peerTraces.Store(true)
 				c.helloOnce.Do(func() { close(c.helloDone) })
 			}
-			continue // server-initiated oneways are adverts, not replies
+			f.Release() // server-initiated oneways are adverts, not replies
+			continue
 		}
 		c.mu.Lock()
 		ch := c.pending[f.Seq]
@@ -129,6 +136,8 @@ func (c *Client) readLoop() {
 		c.mu.Unlock()
 		if ch != nil {
 			ch <- f
+		} else {
+			f.Release() // no waiter (caller timed out): recycle now
 		}
 	}
 }
@@ -166,7 +175,25 @@ func (c *Client) Call(method string, payload []byte) ([]byte, error) {
 // expires the call returns an error wrapping ctx.Err() without waiting for
 // the server; the request may still execute remotely, so callers must only
 // retry idempotent operations after a deadline.
-func (c *Client) CallContext(ctx context.Context, method string, payload []byte) (out []byte, err error) {
+//
+// The returned payload is owned by the caller: the response frame behind
+// it is deliberately never released, so the GC reclaims it whenever the
+// caller drops the slice. Hot paths that can bound the payload's lifetime
+// should use CallBorrowContext to keep the buffer in the pool.
+func (c *Client) CallContext(ctx context.Context, method string, payload []byte) ([]byte, error) {
+	f, err := c.CallBorrowContext(ctx, method, payload)
+	if err != nil {
+		return nil, err
+	}
+	return f.Payload, nil
+}
+
+// CallBorrowContext performs one RPC and returns the response frame
+// itself, lending its pooled payload to the caller: read it via Borrow,
+// Clone anything that must outlive the frame, then Release exactly once.
+// Skipping Release is safe (the frame falls to the GC) but forfeits the
+// buffer reuse this path exists for.
+func (c *Client) CallBorrowContext(ctx context.Context, method string, payload []byte) (resp *Frame, err error) {
 	start := time.Now()
 	var sp *tracing.Span
 	if tracing.Enabled() {
@@ -201,15 +228,15 @@ func (c *Client) CallContext(ctx context.Context, method string, payload []byte)
 	c.pending[seq] = ch
 	c.mu.Unlock()
 
-	req := &Frame{Kind: KindRequest, Seq: seq, Method: method, Payload: payload}
+	req := newFrame()
+	req.Kind, req.Seq, req.Method, req.Payload = KindRequest, seq, method, payload
 	if sp != nil && c.peerTraces.Load() {
 		// The span rides the frame so the server's handler spans parent
 		// under this call span; only advertised (V2-aware) peers get it.
 		req.TraceID, req.SpanID, req.Sampled = sp.TraceID(), sp.SpanID(), true
 	}
-	c.wmu.Lock()
-	err = WriteFrame(c.conn, req)
-	c.wmu.Unlock()
+	err = c.gw.writeFrame(req)
+	req.Release() // writeFrame copied the bytes out; recycle the envelope
 	if err != nil {
 		c.mu.Lock()
 		delete(c.pending, seq)
@@ -239,22 +266,25 @@ func (c *Client) CallContext(ctx context.Context, method string, payload []byte)
 	}
 }
 
-func (c *Client) finish(method string, f *Frame, ok bool) ([]byte, error) {
+func (c *Client) finish(method string, f *Frame, ok bool) (*Frame, error) {
 	if !ok {
 		return nil, fmt.Errorf("wire: call %s: %w", method, ErrClientClosed)
 	}
 	if f.Kind == KindError {
-		return nil, &RemoteError{Msg: string(f.Payload)}
+		err := &RemoteError{Msg: string(f.Payload)}
+		f.Release() // message copied into the error; recycle the frame
+		return nil, err
 	}
-	return f.Payload, nil
+	return f, nil
 }
 
 // Oneway sends a request without waiting for a reply.
 func (c *Client) Oneway(method string, payload []byte) error {
-	req := &Frame{Kind: KindOneway, Seq: c.seq.Add(1), Method: method, Payload: payload}
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	return WriteFrame(c.conn, req)
+	req := newFrame()
+	req.Kind, req.Seq, req.Method, req.Payload = KindOneway, c.seq.Add(1), method, payload
+	err := c.gw.writeFrame(req)
+	req.Release()
+	return err
 }
 
 // Close tears down the connection and fails all pending calls.
@@ -325,6 +355,17 @@ func (p *Pool) Call(method string, payload []byte) ([]byte, error) {
 // applies per attempt: each attempt's effective deadline is the earlier of
 // the caller's deadline and the per-call timeout.
 func (p *Pool) CallContext(ctx context.Context, method string, payload []byte) ([]byte, error) {
+	f, err := p.CallBorrowContext(ctx, method, payload)
+	if err != nil {
+		return nil, err
+	}
+	return f.Payload, nil // frame intentionally unreleased: payload escapes
+}
+
+// CallBorrowContext is CallContext returning the response frame so callers
+// can Borrow the payload zero-copy; see Client.CallBorrowContext for the
+// Release contract.
+func (p *Pool) CallBorrowContext(ctx context.Context, method string, payload []byte) (*Frame, error) {
 	if metricsOn() {
 		mPoolCalls.Inc()
 	}
@@ -371,13 +412,13 @@ func (p *Pool) CallContext(ctx context.Context, method string, payload []byte) (
 // callOne performs one attempt on one pooled connection, bounding it with
 // the pool's per-call timeout (if configured) on top of the caller's
 // context.
-func (p *Pool) callOne(ctx context.Context, c *Client, method string, payload []byte) ([]byte, error) {
+func (p *Pool) callOne(ctx context.Context, c *Client, method string, payload []byte) (*Frame, error) {
 	if p.o.callTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, p.o.callTimeout)
 		defer cancel()
 	}
-	return c.CallContext(ctx, method, payload)
+	return c.CallBorrowContext(ctx, method, payload)
 }
 
 // acquire returns the slot's live client, redialing if the previous one

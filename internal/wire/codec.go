@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"math"
+	"sync"
 )
 
 // Encoder builds RPC payloads. All components in this repository encode
@@ -18,13 +19,43 @@ type Encoder struct {
 	buf []byte
 }
 
-// NewEncoder returns an encoder with capacity pre-sized for n bytes.
+// NewEncoder returns an encoder with capacity pre-sized for n bytes. The
+// encoder is GC-owned: its payload may escape freely. Hot paths whose
+// payload lifetime ends with the RPC should use AcquireEncoder/Release
+// instead.
 func NewEncoder(n int) *Encoder {
 	return &Encoder{buf: make([]byte, 0, n)}
 }
 
+var encoderPool = sync.Pool{New: func() any { return new(Encoder) }}
+
+// AcquireEncoder returns a pooled encoder with capacity for at least n
+// bytes, growing its recycled buffer geometrically when it is too small.
+// The caller must invoke Release when the encoded payload is no longer
+// referenced — for a request payload, after the Call returns, since
+// WriteFrame copies it out synchronously. Payloads that escape (handler
+// responses handed to the dispatch loop) must use NewEncoder instead.
+func AcquireEncoder(n int) *Encoder {
+	e := encoderPool.Get().(*Encoder)
+	if cap(e.buf) < n {
+		e.buf = make([]byte, 0, nextSize(cap(e.buf), n))
+	} else {
+		e.buf = e.buf[:0]
+	}
+	return e
+}
+
+// Release recycles the encoder's buffer. The encoder and any slice
+// previously returned by Bytes are invalid after Release.
+func (e *Encoder) Release() {
+	if cap(e.buf) <= maxRetainBody {
+		encoderPool.Put(e)
+	}
+}
+
 // Bytes returns the accumulated payload. The slice aliases the encoder's
-// internal buffer; callers hand it to WriteFrame and drop the encoder.
+// internal buffer; callers hand it to WriteFrame and drop the encoder (or
+// Release it once the payload is dead, if it came from AcquireEncoder).
 func (e *Encoder) Bytes() []byte { return e.buf }
 
 // Uint8 appends a single byte.

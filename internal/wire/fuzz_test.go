@@ -36,6 +36,31 @@ func FuzzReadFrame(f *testing.F) {
 		if !bytes.Equal(out.Bytes(), data[:out.Len()]) {
 			t.Fatal("accepted frame does not round-trip")
 		}
+		// Pooled-decoder reuse: Clone must survive Release, and a second
+		// decode of the same stream — which recycles the released frame's
+		// body buffer — must reproduce the first frame exactly. A
+		// buffer-recycling bug (stale length, aliased body, bad reset)
+		// surfaces here as corruption of the second decode.
+		kind, seq, method := fr.Kind, fr.Seq, fr.Method
+		traceID, spanID, sampled := fr.TraceID, fr.SpanID, fr.Sampled
+		clone := fr.Clone()
+		borrowed := fr.Borrow()
+		if !bytes.Equal(clone, borrowed) {
+			t.Fatal("Clone disagrees with Borrow before Release")
+		}
+		fr.Release()
+		fr2, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("re-decode after Release failed: %v", err)
+		}
+		if fr2.Kind != kind || fr2.Seq != seq || fr2.Method != method ||
+			fr2.TraceID != traceID || fr2.SpanID != spanID || fr2.Sampled != sampled {
+			t.Fatal("re-decode after Release changed header fields")
+		}
+		if !bytes.Equal(fr2.Payload, clone) {
+			t.Fatal("re-decode after Release corrupted payload (clone mismatch)")
+		}
+		fr2.Release()
 	})
 }
 

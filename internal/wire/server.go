@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -19,6 +20,13 @@ import (
 // use. The returned slice is written to the wire immediately, so handlers
 // may reuse buffers only after WriteFrame returns (i.e. never — return
 // fresh or read-only slices).
+//
+// The request payload aliases a pooled frame buffer that is recycled as
+// soon as the response is written: handlers must not retain payload (or
+// sub-slices of it, including strings aliased via Decoder.Bytes32) past
+// return — copy anything that outlives the call. Returning a response that
+// aliases the payload is fine; the frame recycles only after the response
+// reaches the connection's writer.
 type Handler func(payload []byte) ([]byte, error)
 
 // ContextHandler is a Handler that also receives a per-request context.
@@ -127,17 +135,21 @@ func (s *Server) serveConn(conn net.Conn) {
 		conn.Close()
 	}()
 
-	var wmu sync.Mutex // serialises response frames on this connection
+	// gw serialises response frames and coalesces concurrent small
+	// responses into batched socket writes (last-writer-out flush).
+	gw := newGroupWriter(conn)
 	// Advertise V2 (trace block) support before serving. Old clients drop
 	// the frame — Seq 0 never matches a pending call — so the advert is
 	// invisible to them; new clients flip peerTraces and may now send V2
 	// frames. A failed write means the connection is already broken and
 	// the ReadFrame below will surface it.
-	wmu.Lock()
-	_ = WriteFrame(conn, &Frame{Kind: KindOneway, Seq: 0, Method: helloMethod})
-	wmu.Unlock()
+	hello := newFrame()
+	hello.Kind, hello.Method = KindOneway, helloMethod
+	_ = gw.writeFrame(hello)
+	hello.Release()
+	br := bufio.NewReaderSize(conn, groupBufSize)
 	for {
-		f, err := ReadFrame(conn)
+		f, err := ReadFrame(br)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !s.closed.Load() {
 				var ne net.Error
@@ -150,14 +162,15 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.Stats.BytesIn.Add(uint64(len(f.Payload)))
 		switch f.Kind {
 		case KindRequest, KindOneway:
-			go s.dispatch(conn, &wmu, f)
+			go s.dispatch(gw, f)
 		default:
 			// Clients must not send response frames; drop them.
+			f.Release()
 		}
 	}
 }
 
-func (s *Server) dispatch(conn net.Conn, wmu *sync.Mutex, req *Frame) {
+func (s *Server) dispatch(gw *groupWriter, req *Frame) {
 	start := time.Now()
 	s.mu.RLock()
 	fn := s.handlers[req.Method]
@@ -203,19 +216,23 @@ func (s *Server) dispatch(conn net.Conn, wmu *sync.Mutex, req *Frame) {
 	}
 	if req.Kind == KindOneway {
 		sp.End()
+		req.Release()
 		return
 	}
-	wmu.Lock()
-	err := WriteFrame(conn, &resp)
-	wmu.Unlock()
+	err := gw.writeFrame(&resp)
 	if err == nil {
 		s.Stats.BytesOut.Add(uint64(len(resp.Payload)))
 	}
+	respBytes := len(resp.Payload)
+	// The response may alias the request payload (echo-style handlers), so
+	// the request frame recycles only after the response hit the writer.
+	resp.Payload = nil
+	req.Release()
 	// End after the response write so a slow flush of a chunk-sized
 	// payload shows up inside the server span, not as unexplained gap
 	// between it and the client's call span.
 	if sp != nil {
-		sp.SetAttr("resp_bytes", fmt.Sprint(len(resp.Payload)))
+		sp.SetAttr("resp_bytes", fmt.Sprint(respBytes))
 		sp.End()
 		tracing.ObserveSlow(sp, "diesel_wire_served_seconds:"+observedMethod, time.Since(start))
 	}

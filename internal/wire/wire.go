@@ -37,6 +37,7 @@
 package wire
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -85,6 +86,49 @@ type Frame struct {
 	TraceID uint64
 	SpanID  uint64
 	Sampled bool
+
+	// body is the pooled backing storage for Method and Payload when the
+	// frame came out of ReadFrame; nil for caller-built frames. It is what
+	// Release recycles.
+	body []byte
+	// hdrBuf is ReadFrame's header/trace-block staging area. It lives on
+	// the frame (not the stack) because slices passed through the io.Reader
+	// interface escape, and a pooled frame makes that escape free.
+	hdrBuf [headerSize + traceBlockSize]byte
+}
+
+// Borrow returns the frame's payload without copying. The returned slice
+// aliases the frame's (possibly pooled) storage: it must be treated
+// read-only and is valid only until Release. Callers that retain the data
+// past Release must Clone instead.
+func (f *Frame) Borrow() []byte { return f.Payload }
+
+// Clone returns an owned copy of the payload that remains valid after
+// Release — the escape hatch when the data outlives the frame.
+func (f *Frame) Clone() []byte { return append([]byte(nil), f.Payload...) }
+
+// Release returns the frame and its backing storage to the pool for reuse
+// by a later ReadFrame. After Release the frame and every slice obtained
+// from Borrow (or Payload directly) are invalid; using them races with
+// whatever frame is decoded into the recycled buffer next. Releasing is
+// optional: a frame that is never released is reclaimed by the GC, so
+// callers that let the payload escape simply skip Release and keep owning
+// semantics. Release must be called at most once.
+func (f *Frame) Release() {
+	if f == nil {
+		return
+	}
+	f.Kind = 0
+	f.Seq = 0
+	f.Method = ""
+	f.Payload = nil
+	f.TraceID = 0
+	f.SpanID = 0
+	f.Sampled = false
+	if cap(f.body) > maxRetainBody {
+		f.body = nil
+	}
+	framePool.Put(f)
 }
 
 // ErrBadMagic is returned when an incoming frame does not begin with Magic.
@@ -100,23 +144,31 @@ var ErrBadTraceBlock = errors.New("wire: bad trace block")
 // MaxFrame.
 var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
 
-// WriteFrame serialises f to w as a single contiguous write. A single write
-// keeps frames atomic with respect to concurrent writers that serialise on a
-// mutex above this call.
-func WriteFrame(w io.Writer, f *Frame) error {
+// frameWireLen validates f's bounds and returns its encoded size.
+func frameWireLen(f *Frame) (int, error) {
 	if len(f.Method) > 0xFFFF {
-		return fmt.Errorf("wire: method name too long (%d bytes)", len(f.Method))
+		return 0, fmt.Errorf("wire: method name too long (%d bytes)", len(f.Method))
 	}
 	if len(f.Payload) > MaxFrame {
-		return ErrFrameTooLarge
+		return 0, ErrFrameTooLarge
 	}
+	hdr := headerSize
+	if f.TraceID != 0 {
+		hdr += traceBlockSize
+	}
+	return hdr + len(f.Method) + len(f.Payload), nil
+}
+
+// encodeFrameHeader writes f's fixed header (and trace block, when
+// present) into buf and returns the header length. buf must hold at least
+// headerSize+traceBlockSize bytes.
+func encodeFrameHeader(buf []byte, f *Frame) int {
 	hdr := headerSize
 	magic := Magic
 	if f.TraceID != 0 {
 		hdr += traceBlockSize
 		magic = MagicV2
 	}
-	buf := make([]byte, hdr+len(f.Method)+len(f.Payload))
 	binary.BigEndian.PutUint32(buf[0:4], magic)
 	buf[4] = f.Kind
 	binary.BigEndian.PutUint64(buf[5:13], f.Seq)
@@ -125,13 +177,30 @@ func WriteFrame(w io.Writer, f *Frame) error {
 	if f.TraceID != 0 {
 		binary.BigEndian.PutUint64(buf[19:27], f.TraceID)
 		binary.BigEndian.PutUint64(buf[27:35], f.SpanID)
+		buf[35] = 0
 		if f.Sampled {
 			buf[35] = flagSampled
 		}
 	}
-	copy(buf[hdr:], f.Method)
-	copy(buf[hdr+len(f.Method):], f.Payload)
-	_, err := w.Write(buf)
+	return hdr
+}
+
+// WriteFrame serialises f to w as a single contiguous write. A single write
+// keeps frames atomic with respect to concurrent writers that serialise on a
+// mutex above this call. The encode buffer is drawn from a pool and
+// recycled after the write, so steady-state encoding allocates nothing.
+func WriteFrame(w io.Writer, f *Frame) error {
+	total, err := frameWireLen(f)
+	if err != nil {
+		return err
+	}
+	s := getScratch(total)
+	buf := s.b[:total]
+	n := encodeFrameHeader(buf, f)
+	copy(buf[n:], f.Method)
+	copy(buf[n+len(f.Method):], f.Payload)
+	_, err = w.Write(buf)
+	s.release()
 	if err == nil && metricsOn() {
 		mFramesOut.Inc()
 		mBytesOut.Add(uint64(len(f.Payload)))
@@ -139,11 +208,41 @@ func WriteFrame(w io.Writer, f *Frame) error {
 	return err
 }
 
+// writeFrameBuffered encodes f into bw piecewise. The caller (groupWriter)
+// guarantees bw has room for the whole frame, so bufio never splits it
+// across socket writes.
+func writeFrameBuffered(bw *bufio.Writer, f *Frame) error {
+	var hdr [headerSize + traceBlockSize]byte
+	n := encodeFrameHeader(hdr[:], f)
+	if _, err := bw.Write(hdr[:n]); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(f.Method); err != nil {
+		return err
+	}
+	if _, err := bw.Write(f.Payload); err != nil {
+		return err
+	}
+	if metricsOn() {
+		mFramesOut.Inc()
+		mBytesOut.Add(uint64(len(f.Payload)))
+	}
+	return nil
+}
+
 // ReadFrame reads one frame from r. It returns io.EOF cleanly when the
 // stream ends exactly on a frame boundary.
+//
+// The returned frame comes from a pool: its Method is interned, and its
+// Payload points into a pooled body buffer filled by a single ReadFull, so
+// the steady-state fast path allocates nothing. The frame stays valid
+// until the caller invokes Release (optional — an unreleased frame is
+// GC-owned, see Release).
 func ReadFrame(r io.Reader) (*Frame, error) {
-	var hdr [headerSize]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	f := newFrame()
+	hdr := f.hdrBuf[:headerSize]
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		framePool.Put(f)
 		if err == io.ErrUnexpectedEOF {
 			return nil, io.ErrUnexpectedEOF
 		}
@@ -151,35 +250,42 @@ func ReadFrame(r io.Reader) (*Frame, error) {
 	}
 	magic := binary.BigEndian.Uint32(hdr[0:4])
 	if magic != Magic && magic != MagicV2 {
+		framePool.Put(f)
 		return nil, ErrBadMagic
 	}
-	f := &Frame{
-		Kind: hdr[4],
-		Seq:  binary.BigEndian.Uint64(hdr[5:13]),
-	}
+	f.Kind = hdr[4]
+	f.Seq = binary.BigEndian.Uint64(hdr[5:13])
 	mlen := int(binary.BigEndian.Uint16(hdr[13:15]))
 	plen := int(binary.BigEndian.Uint32(hdr[15:19]))
 	if plen > MaxFrame {
+		framePool.Put(f)
 		return nil, ErrFrameTooLarge
 	}
 	if magic == MagicV2 {
-		var tb [traceBlockSize]byte
-		if _, err := io.ReadFull(r, tb[:]); err != nil {
+		tb := f.hdrBuf[headerSize:]
+		if _, err := io.ReadFull(r, tb); err != nil {
+			framePool.Put(f)
 			return nil, fmt.Errorf("wire: truncated trace block: %w", err)
 		}
 		f.TraceID = binary.BigEndian.Uint64(tb[0:8])
 		f.SpanID = binary.BigEndian.Uint64(tb[8:16])
 		if f.TraceID == 0 || tb[16]&^flagSampled != 0 {
+			framePool.Put(f)
 			return nil, ErrBadTraceBlock
 		}
 		f.Sampled = tb[16]&flagSampled != 0
 	}
-	rest := make([]byte, mlen+plen)
-	if _, err := io.ReadFull(r, rest); err != nil {
+	need := mlen + plen
+	if cap(f.body) < need {
+		f.body = make([]byte, nextSize(cap(f.body), need))
+	}
+	body := f.body[:need]
+	if _, err := io.ReadFull(r, body); err != nil {
+		framePool.Put(f)
 		return nil, fmt.Errorf("wire: truncated frame body: %w", err)
 	}
-	f.Method = string(rest[:mlen])
-	f.Payload = rest[mlen:]
+	f.Method = internMethod(body[:mlen])
+	f.Payload = body[mlen:need]
 	if metricsOn() {
 		mFramesIn.Inc()
 		mBytesIn.Add(uint64(plen))

@@ -1,0 +1,134 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// The BenchmarkWireFrame* family is the allocation budget of the frame
+// layer: the CI bench guard (cmd/benchguard, BENCH_baseline.json) fails
+// the build when allocs/op regresses more than 10% on any of them. Run
+// with:
+//
+//	go test -run '^$' -bench WireFrame -benchmem ./internal/wire
+func benchFrame(payloadSize int) *Frame {
+	return &Frame{
+		Kind:    KindRequest,
+		Seq:     42,
+		Method:  "dsl.getChunk",
+		Payload: bytes.Repeat([]byte("z"), payloadSize),
+	}
+}
+
+// BenchmarkWireFrameWrite measures encoding one frame to a discarding
+// writer — the pure serialisation cost with no syscalls behind it.
+func BenchmarkWireFrameWrite(b *testing.B) {
+	for _, size := range []int{64, 64 << 10} {
+		name := "64B"
+		if size > 64 {
+			name = "64KB"
+		}
+		b.Run(name, func(b *testing.B) {
+			f := benchFrame(size)
+			b.SetBytes(int64(size))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for b.Loop() {
+				if err := WriteFrame(io.Discard, f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWireFrameRead measures decoding one frame from an in-memory
+// stream, releasing each decoded frame so pooled body buffers recycle.
+func BenchmarkWireFrameRead(b *testing.B) {
+	for _, size := range []int{64, 64 << 10} {
+		name := "64B"
+		if size > 64 {
+			name = "64KB"
+		}
+		b.Run(name, func(b *testing.B) {
+			var buf bytes.Buffer
+			if err := WriteFrame(&buf, benchFrame(size)); err != nil {
+				b.Fatal(err)
+			}
+			enc := buf.Bytes()
+			r := bytes.NewReader(enc)
+			b.SetBytes(int64(size))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for b.Loop() {
+				r.Reset(enc)
+				f, err := ReadFrame(r)
+				if err != nil {
+					b.Fatal(err)
+				}
+				f.Release()
+			}
+		})
+	}
+}
+
+// BenchmarkWireFrameRoundTrip measures one echo RPC over loopback TCP —
+// the end-to-end per-call allocation cost of the transport, request and
+// response included.
+func BenchmarkWireFrameRoundTrip(b *testing.B) {
+	for _, size := range []int{1 << 10, 64 << 10} {
+		name := "1KB"
+		if size > 1<<10 {
+			name = "64KB"
+		}
+		b.Run(name, func(b *testing.B) {
+			payload := bytes.Repeat([]byte("x"), size)
+			c, stop := benchServer(b)
+			defer stop()
+			b.SetBytes(int64(size))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for b.Loop() {
+				if _, err := c.Call("echo", payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWireFrameEncoder measures building a typical request payload
+// with the codec: "fresh" allocates per message (NewEncoder), "pooled" is
+// the AcquireEncoder/Release recycling path hot call sites use.
+func BenchmarkWireFrameEncoder(b *testing.B) {
+	blob := bytes.Repeat([]byte("d"), 4<<10)
+	encode := func(e *Encoder) {
+		e.String("imagenet")
+		e.String("train/c0001/img0000042.bin")
+		e.Bytes32(blob)
+	}
+	b.Run("fresh", func(b *testing.B) {
+		b.SetBytes(4 << 10)
+		b.ReportAllocs()
+		for b.Loop() {
+			e := NewEncoder(len(blob) + 64)
+			encode(e)
+			if len(e.Bytes()) == 0 {
+				b.Fatal("empty payload")
+			}
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		b.SetBytes(4 << 10)
+		b.ReportAllocs()
+		for b.Loop() {
+			e := AcquireEncoder(len(blob) + 64)
+			encode(e)
+			if len(e.Bytes()) == 0 {
+				b.Fatal("empty payload")
+			}
+			e.Release()
+		}
+	})
+}
