@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// capacityBaseline is the committed capacity contract
+// (BENCH_capacity.json): the achieved rate the stack must sustain and
+// the open-loop p99 it must stay under, with tolerances. The reference
+// run pins latency to a modeled disk (diesel-load -disk-latency), so the
+// p99 is dominated by deterministic sleeps and ports across machines.
+type capacityBaseline struct {
+	// Note documents how the baseline run was produced.
+	Note string `json:"note,omitempty"`
+	// RateTolerance is the tolerated fractional achieved-rate shortfall
+	// (0.10 = fail below 90% of baseline).
+	RateTolerance float64 `json:"rate_tolerance"`
+	// P99Tolerance is the tolerated fractional open-loop p99 growth
+	// (0.25 = fail above 125% of baseline).
+	P99Tolerance float64 `json:"p99_tolerance"`
+	// MaxErrorRate fails the gate outright when errors/ops exceeds it.
+	MaxErrorRate float64 `json:"max_error_rate"`
+
+	AchievedRateQPS float64 `json:"achieved_rate_qps"`
+	OpenLoopP99S    float64 `json:"open_loop_p99_s"`
+}
+
+// capacityReport is the slice of loadgen.Report the gate reads. Decoding
+// it here (rather than importing internal/loadgen) keeps benchguard a
+// pure consumer of the JSON contract — if the report shape drifts, the
+// gate fails loudly instead of silently recompiling into agreement.
+type capacityReport struct {
+	Harness         string  `json:"harness"`
+	OfferedRateQPS  float64 `json:"offered_rate_qps"`
+	AchievedRateQPS float64 `json:"achieved_rate_qps"`
+	Ops             uint64  `json:"ops"`
+	Errors          uint64  `json:"errors"`
+	Shed            uint64  `json:"shed"`
+	OpenLoop        struct {
+		P99S float64 `json:"p99_s"`
+	} `json:"open_loop"`
+}
+
+// runCapacity gates a diesel-load JSON report against the committed
+// capacity baseline (or rewrites the baseline with -update). Exits the
+// process: 0 pass, 1 fail.
+func runCapacity(reportPath, basePath string, update bool) {
+	raw, err := os.ReadFile(reportPath)
+	if err != nil {
+		fatal(err)
+	}
+	var rep capacityReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		fatal(fmt.Errorf("parse %s: %w", reportPath, err))
+	}
+	if rep.Harness != "open-loop" {
+		fatal(fmt.Errorf("%s: harness %q — the capacity gate only accepts open-loop reports "+
+			"(closed-loop numbers hide stalls)", reportPath, rep.Harness))
+	}
+	if rep.Ops == 0 {
+		fatal(fmt.Errorf("%s: zero operations completed", reportPath))
+	}
+
+	if update {
+		b := capacityBaseline{
+			Note: fmt.Sprintf("refreshed from %s (offered %.0f op/s)",
+				reportPath, rep.OfferedRateQPS),
+			RateTolerance:   0.10,
+			P99Tolerance:    0.25,
+			MaxErrorRate:    0.01,
+			AchievedRateQPS: rep.AchievedRateQPS,
+			OpenLoopP99S:    rep.OpenLoop.P99S,
+		}
+		data, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(basePath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchguard: wrote capacity baseline %s (%.0f op/s, p99 %.3fms)\n",
+			basePath, b.AchievedRateQPS, b.OpenLoopP99S*1e3)
+		return
+	}
+
+	braw, err := os.ReadFile(basePath)
+	if err != nil {
+		fatal(err)
+	}
+	var base capacityBaseline
+	if err := json.Unmarshal(braw, &base); err != nil {
+		fatal(fmt.Errorf("parse %s: %w", basePath, err))
+	}
+	if base.RateTolerance <= 0 {
+		base.RateTolerance = 0.10
+	}
+	if base.P99Tolerance <= 0 {
+		base.P99Tolerance = 0.25
+	}
+
+	failed := false
+	check := func(ok bool, format string, args ...any) {
+		verdict := "ok  "
+		if !ok {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Printf("benchguard: %s  %s\n", verdict, fmt.Sprintf(format, args...))
+	}
+
+	rateFloor := base.AchievedRateQPS * (1 - base.RateTolerance)
+	check(rep.AchievedRateQPS >= rateFloor,
+		"achieved rate %.0f op/s, baseline %.0f (floor %.0f, -%.0f%%)",
+		rep.AchievedRateQPS, base.AchievedRateQPS, rateFloor, base.RateTolerance*100)
+
+	p99Ceil := base.OpenLoopP99S * (1 + base.P99Tolerance)
+	check(rep.OpenLoop.P99S <= p99Ceil,
+		"open-loop p99 %.3fms, baseline %.3fms (ceiling %.3fms, +%.0f%%)",
+		rep.OpenLoop.P99S*1e3, base.OpenLoopP99S*1e3, p99Ceil*1e3, base.P99Tolerance*100)
+
+	errRate := float64(rep.Errors) / float64(rep.Ops)
+	check(errRate <= base.MaxErrorRate,
+		"error rate %.4f (max %.4f)", errRate, base.MaxErrorRate)
+
+	check(rep.Shed == 0, "shed arrivals %d (must be 0: shedding means the queue overflowed)", rep.Shed)
+
+	if failed {
+		fmt.Println("benchguard: capacity regression detected")
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: capacity gate passed")
+}

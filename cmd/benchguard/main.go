@@ -16,6 +16,14 @@
 //
 // Refresh the baseline after an intentional change with -update, which
 // rewrites the JSON from the measured input instead of comparing.
+//
+// A second mode gates capacity instead of allocations: -capacity reads a
+// cmd/diesel-load open-loop JSON report and fails when the achieved rate
+// falls more than rate_tolerance below the committed BENCH_capacity.json
+// baseline or the open-loop p99 grows more than p99_tolerance above it:
+//
+//	go run ./cmd/diesel-load -rate 1200 -duration 15s -disk-latency 1ms -json report.json
+//	go run ./cmd/benchguard -capacity report.json -capacity-baseline BENCH_capacity.json
 package main
 
 import (
@@ -45,7 +53,14 @@ func main() {
 	basePath := flag.String("baseline", "BENCH_baseline.json", "baseline JSON file")
 	update := flag.Bool("update", false, "rewrite the baseline from stdin instead of comparing")
 	threshold := flag.Float64("threshold", 0, "override the baseline's regression threshold (fraction)")
+	capacity := flag.String("capacity", "", "gate a diesel-load JSON report against -capacity-baseline instead of reading bench lines")
+	capacityBase := flag.String("capacity-baseline", "BENCH_capacity.json", "capacity baseline JSON file")
 	flag.Parse()
+
+	if *capacity != "" {
+		runCapacity(*capacity, *capacityBase, *update)
+		return
+	}
 
 	got, err := parseBench(os.Stdin)
 	if err != nil {

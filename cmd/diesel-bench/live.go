@@ -118,7 +118,14 @@ func live(cluster.Params) {
 	for _, m := range obs.Default().Export() {
 		if m.Name == "diesel_client_get_seconds" {
 			fmt.Printf("%-26s n=%d p50=%.0fµs p95=%.0fµs p99=%.0fµs\n",
-				"DL_get latency", m.Count, m.P50*1e6, m.P95*1e6, m.P99*1e6)
+				"DL_get service time", m.Count, m.P50*1e6, m.P95*1e6, m.P99*1e6)
 		}
 	}
+	// These loops are closed: each worker issues its next read only after
+	// the previous one returns, so the numbers above are service times —
+	// a stalled server would slow the loop down rather than widen the
+	// recorded tail (coordinated omission). For tail latency under a
+	// fixed offered rate, run `diesel-bench -exp open-loop` or the full
+	// cmd/diesel-load harness.
+	fmt.Println("(closed-loop run: latencies are service-time-only, not open-loop tails)")
 }

@@ -17,7 +17,13 @@
 //	diesel-bench -exp fig15      # total training time comparison
 //	diesel-bench -exp epoch      # pipelined vs synchronous epoch reader
 //	diesel-bench -exp alloc      # allocs/op + B/op on the hot read paths
+//	diesel-bench -exp open-loop  # CO-safe fixed-rate tails (internal/loadgen)
 //	diesel-bench -exp all
+//
+// The real-stack experiments drive their loops closed (each worker reads
+// back-to-back), so their latency rows are service times; "open-loop"
+// delegates to the internal/loadgen harness, whose intended-start
+// measurement keeps server stalls visible in the tail.
 //
 // Performance experiments run on the deterministic cluster simulator
 // calibrated in internal/cluster (see DESIGN.md §2 for the substitution
@@ -38,7 +44,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table2, fig6, fig9, fig10a, fig10b, fig10c, fig11a, fig11b, fig12, fig13, fig14, fig15, ablation-group, live, epoch, alloc, all)")
+	exp := flag.String("exp", "all", "experiment to run (table2, fig6, fig9, fig10a, fig10b, fig10c, fig11a, fig11b, fig12, fig13, fig14, fig15, ablation-group, live, epoch, alloc, open-loop, all)")
 	jsonDir := flag.String("json", "", "directory to write a BENCH_<exp>.json metrics snapshot after each experiment (empty = disabled)")
 	flag.Parse()
 
@@ -49,6 +55,7 @@ func main() {
 		"fig13": fig13, "fig14": fig14, "fig15": fig15,
 		"ablation-group": ablationGroup, "ablation-topology": ablationTopology,
 		"live": live, "epoch": epochExp, "alloc": allocExp,
+		"open-loop": openLoop,
 	}
 	p := cluster.Default()
 	if *exp == "all" {

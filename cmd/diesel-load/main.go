@@ -1,0 +1,179 @@
+// Command diesel-load is DIESEL's open-loop load harness: it offers a
+// fixed arrival schedule (constant or Poisson) to a real
+// diesel-server+kvnode stack and measures every operation from its
+// *intended* start, so a stalled or faulted system shows up as tail
+// latency instead of silently slowing the generator down (coordinated
+// omission — the flaw of closed-loop "N workers in a loop" drivers,
+// including diesel-bench's service-time figures).
+//
+// Two modes:
+//
+//   - Embedded (default): deploys kvnodes + diesel-servers in-process on
+//     loopback TCP, ingests a synthetic dataset, and drives it. All
+//     fault kinds are available, including node kill/restart.
+//   - External (-connect): drives already-running servers over TCP
+//     against an existing dataset (-dataset). Only net-* faults work.
+//
+// Fault schedules are timed windows on the run timeline:
+//
+//	diesel-load -rate 2000 -duration 30s \
+//	  -faults "5s+3s:server-kill:0; 12s+3s:disk-slow:10ms; 20s+3s:net-drop:0.3"
+//
+// The JSON report (-json) is the machine-readable contract:
+// cmd/benchguard -capacity gates achieved rate and open-loop p99 against
+// a committed baseline in CI, and EXPERIMENTS.md records soak runs.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"diesel/internal/loadgen"
+	"diesel/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("diesel-load: ")
+
+	// Load shape.
+	rate := flag.Float64("rate", 500, "offered arrival rate, operations/second")
+	duration := flag.Duration("duration", 10*time.Second, "arrival-generation window (completion may run longer)")
+	arrival := flag.String("arrival", "constant", "arrival process: constant or poisson")
+	concurrency := flag.Int("concurrency", 64, "executor goroutines (simulated trainer processes)")
+	generators := flag.Int("generators", 4, "arrival-generator goroutines (phase-offset schedule shards)")
+	seed := flag.Int64("seed", 1, "seed for arrival draws and workload mix")
+	mix := flag.String("mix", "get=6,batch=2,chunk=1", "weighted op mix: get,direct,batch,chunk,view,stat (kind=weight,...)")
+	faults := flag.String("faults", "", `fault schedule: "start+dur:kind[:arg]; ..." — kinds kv-kill, server-kill, disk-slow, net-delay, net-drop, net-sever`)
+	closedLoop := flag.Bool("closed-loop", false, "run the classic closed-loop harness instead (service-time-only numbers, for comparison)")
+
+	// System under test.
+	connect := flag.String("connect", "", "comma-separated external diesel-server addresses (empty = embedded stack)")
+	dataset := flag.String("dataset", "", "dataset name (external mode; must already be ingested)")
+	kvnodes := flag.Int("kvnodes", 2, "embedded: metadata KV nodes")
+	servers := flag.Int("servers", 2, "embedded: DIESEL servers")
+	files := flag.Int("files", 512, "embedded: dataset size in files")
+	fileSize := flag.Int("file-size", 4096, "embedded: bytes per file")
+	chunkTarget := flag.Int("chunk-target", 64<<10, "embedded: chunk payload target bytes")
+	diskLatency := flag.Duration("disk-latency", 0, "embedded: modeled per-op store latency (makes p99 portable in CI)")
+	ssdCache := flag.Int64("ssd-cache", 0, "embedded: fast-tier cache capacity in bytes")
+	clients := flag.Int("clients", 8, "libDIESEL contexts to round-robin ops over")
+	batch := flag.Int("batch", 8, "paths per GetBatch op")
+	taskNodes := flag.Int("task-nodes", 0, "embedded: simulated nodes of a DLT task with the distributed cache (0 = no task)")
+	clientsPerNode := flag.Int("clients-per-node", 0, "embedded: I/O processes per task node")
+	epochReaders := flag.Int("epoch-readers", 0, "background pipelined epoch readers looping during the run")
+
+	// Output and gating.
+	jsonPath := flag.String("json", "", "write the JSON capacity report here (- = stdout)")
+	maxErrorRate := flag.Float64("max-error-rate", -1, "exit nonzero if errors/ops exceeds this (negative = no gate)")
+	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/pprof on this address during the run")
+	flag.Parse()
+
+	if *metricsAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, obs.NewMux(obs.Default())); err != nil {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+	}
+
+	// Build the system under test.
+	var st *loadgen.Stack
+	var err error
+	if *connect != "" {
+		if *dataset == "" {
+			log.Fatal("-connect requires -dataset")
+		}
+		st, err = loadgen.ConnectStack(strings.Split(*connect, ","), *dataset, loadgen.StackConfig{
+			Clients:   *clients,
+			BatchSize: *batch,
+		})
+	} else {
+		st, err = loadgen.StartStack(loadgen.StackConfig{
+			KVNodes:        *kvnodes,
+			Servers:        *servers,
+			Files:          *files,
+			FileSizeB:      *fileSize,
+			ChunkTarget:    *chunkTarget,
+			DiskLatency:    *diskLatency,
+			SSDCacheBytes:  *ssdCache,
+			Clients:        *clients,
+			BatchSize:      *batch,
+			TaskNodes:      *taskNodes,
+			ClientsPerNode: *clientsPerNode,
+			EpochReaders:   *epochReaders,
+		})
+	}
+	if err != nil {
+		log.Fatalf("stack: %v", err)
+	}
+	defer st.Close()
+
+	ops, err := st.Ops(*mix)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched, err := st.ParseSchedule(*faults)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	mode := "open-loop"
+	if *closedLoop {
+		mode = "closed-loop"
+	}
+	log.Printf("%s run: %.0f op/s (%s) for %v, mix %q, %d faults",
+		mode, *rate, *arrival, *duration, *mix, len(sched))
+
+	rep, err := st.RunEmbedded(ctx, loadgen.Config{
+		Rate:        *rate,
+		Duration:    *duration,
+		Concurrency: *concurrency,
+		Generators:  *generators,
+		Arrival:     loadgen.Arrival(*arrival),
+		Seed:        *seed,
+		Ops:         ops,
+		Faults:      sched,
+		ClosedLoop:  *closedLoop,
+	})
+	if err != nil {
+		log.Fatalf("run: %v", err)
+	}
+
+	rep.Summary(os.Stderr)
+	switch *jsonPath {
+	case "":
+	case "-":
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			log.Fatalf("write report: %v", err)
+		}
+	default:
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			log.Fatalf("write report: %v", err)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			log.Fatalf("write report: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("write report: %v", err)
+		}
+		log.Printf("report written to %s", *jsonPath)
+	}
+
+	if *maxErrorRate >= 0 && rep.ErrorRate() > *maxErrorRate {
+		fmt.Fprintf(os.Stderr, "FAIL: error rate %.4f exceeds -max-error-rate %.4f\n",
+			rep.ErrorRate(), *maxErrorRate)
+		os.Exit(1)
+	}
+}

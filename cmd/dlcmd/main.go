@@ -21,7 +21,7 @@
 //	read-epoch [seed [group [window]]]  stream one chunk-wise shuffled epoch
 //	                                 through the pipelined reader and report
 //	                                 throughput (Ctrl-C cancels cleanly)
-//	stats <host:port | url>          scrape and pretty-print a -metrics endpoint
+//	stats [-watch 2s] <host:port | url> scrape a -metrics endpoint (watch: print deltas/rates)
 //	trace [-id hex] <endpoint>...    scrape /debug/traces from one or more
 //	                                 endpoints and stitch cross-process span
 //	                                 trees by trace ID

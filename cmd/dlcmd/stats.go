@@ -1,6 +1,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"net/http"
 	"sort"
@@ -14,27 +15,31 @@ import (
 // with -metrics) and pretty-prints it: counters and gauges as plain
 // values, histograms as count/mean/p50/p95/p99. It needs no -dataset and
 // no DIESEL connection — just HTTP reachability to the metrics address.
+// With -watch it re-scrapes on an interval and prints what moved:
+// counter deltas as rates, and histogram quantiles computed over just
+// the interval's observations (cumulative buckets diffed between
+// scrapes), which is what you want while watching a load test or a
+// fault window in real time.
 func runStats(args []string) error {
-	if len(args) != 1 {
-		return fmt.Errorf("usage: stats <host:port | url>")
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	watch := fs.Duration("watch", 0, "re-scrape every interval and print deltas and rates (0 = one shot)")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	url := args[0]
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: stats [-watch interval] <host:port | url>")
+	}
+	url := fs.Arg(0)
 	if !strings.Contains(url, "://") {
 		url = "http://" + url
 	}
 	if !strings.Contains(url[strings.Index(url, "://")+3:], "/") {
 		url += "/metrics"
 	}
-	hc := &http.Client{Timeout: 5 * time.Second}
-	resp, err := hc.Get(url)
-	if err != nil {
-		return err
+	if *watch > 0 {
+		return watchStats(url, *watch)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("stats: %s returned %s", url, resp.Status)
-	}
-	sc, err := obs.ParseText(resp.Body)
+	sc, err := scrapeStats(url)
 	if err != nil {
 		return err
 	}
@@ -76,6 +81,127 @@ func runStats(args []string) error {
 		}
 	}
 	return nil
+}
+
+// scrapeStats fetches and parses one /metrics exposition.
+func scrapeStats(url string) (*obs.Scrape, error) {
+	hc := &http.Client{Timeout: 5 * time.Second}
+	resp, err := hc.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("stats: %s returned %s", url, resp.Status)
+	}
+	return obs.ParseText(resp.Body)
+}
+
+// watchStats scrapes url every interval and prints only what moved since
+// the previous scrape. Runs until interrupted.
+func watchStats(url string, interval time.Duration) error {
+	prev, err := scrapeStats(url)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("watching %s every %v (deltas per interval; ctrl-c to stop)\n", url, interval)
+	for {
+		time.Sleep(interval)
+		cur, err := scrapeStats(url)
+		if err != nil {
+			// A restarting server shouldn't kill the watch; report and
+			// retry with the old baseline.
+			fmt.Printf("-- scrape failed: %v\n", err)
+			continue
+		}
+		printDelta(prev, cur, interval)
+		prev = cur
+	}
+}
+
+func sampleKey(name string, labels map[string]string) string {
+	return name + fmtLabels(labels)
+}
+
+func printDelta(prev, cur *obs.Scrape, interval time.Duration) {
+	secs := interval.Seconds()
+	fmt.Printf("-- %s\n", time.Now().Format("15:04:05"))
+
+	prevSamples := make(map[string]obs.Sample, len(prev.Samples))
+	for _, s := range prev.Samples {
+		prevSamples[sampleKey(s.Name, s.Labels)] = s
+	}
+	lines := 0
+	sorted := append([]obs.Sample(nil), cur.Samples...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sampleKey(sorted[i].Name, sorted[i].Labels) < sampleKey(sorted[j].Name, sorted[j].Labels)
+	})
+	for _, s := range sorted {
+		key := sampleKey(s.Name, s.Labels)
+		p, ok := prevSamples[key]
+		if ok && s.Value == p.Value {
+			continue
+		}
+		if cur.Types[s.Name] == "counter" {
+			d := s.Value - p.Value
+			fmt.Printf("%-64s +%-12g %8.1f/s\n", key, d, d/secs)
+		} else {
+			// Gauges show the new level, not a rate.
+			fmt.Printf("%-64s %-13g (was %g)\n", key, s.Value, p.Value)
+		}
+		lines++
+	}
+
+	prevHists := make(map[string]*obs.ScrapedHistogram, len(prev.Histograms))
+	for _, h := range prev.Histograms {
+		prevHists[sampleKey(h.Name, h.Labels)] = h
+	}
+	for _, h := range cur.Histograms {
+		key := sampleKey(h.Name, h.Labels)
+		p := prevHists[key]
+		if p == nil {
+			p = &obs.ScrapedHistogram{}
+		}
+		dn := h.Count - p.Count
+		if dn <= 0 {
+			continue
+		}
+		iv := intervalHistogram(p, h)
+		mean := 0.0
+		if iv.Count > 0 {
+			mean = iv.Sum / iv.Count
+		}
+		fmt.Printf("%-64s n+=%-10g %8.1f/s mean=%-11s p50=%-11s p99=%s\n",
+			key, dn, dn/secs,
+			fmtQuantity(h.Name, mean),
+			fmtQuantity(h.Name, iv.Quantile(0.50)),
+			fmtQuantity(h.Name, iv.Quantile(0.99)))
+		lines++
+	}
+	if lines == 0 {
+		fmt.Println("(no change)")
+	}
+}
+
+// intervalHistogram subtracts the previous scrape's cumulative buckets
+// from the current ones, yielding the histogram of just the interval's
+// observations. A missing or reset previous histogram (count went down —
+// e.g. the process restarted) degrades to the current cumulative state.
+func intervalHistogram(prev, cur *obs.ScrapedHistogram) *obs.ScrapedHistogram {
+	if prev.Count == 0 || prev.Count > cur.Count || len(prev.Buckets) != len(cur.Buckets) {
+		return cur
+	}
+	iv := &obs.ScrapedHistogram{
+		Name:   cur.Name,
+		Labels: cur.Labels,
+		Count:  cur.Count - prev.Count,
+		Sum:    cur.Sum - prev.Sum,
+	}
+	iv.Buckets = make([]obs.BucketPoint, len(cur.Buckets))
+	for i, b := range cur.Buckets {
+		iv.Buckets[i] = obs.BucketPoint{LE: b.LE, Cum: b.Cum - prev.Buckets[i].Cum}
+	}
+	return iv
 }
 
 func fmtLabels(m map[string]string) string {

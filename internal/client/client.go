@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	mrand "math/rand"
+	"net"
 	"os"
 	"strconv"
 	"sync"
@@ -79,6 +80,10 @@ type Options struct {
 	// RetryBackoff is the base delay between attempts, doubled per retry
 	// with ±50% jitter (default 10ms, capped at 100×base).
 	RetryBackoff time.Duration
+	// Dialer, when non-nil, replaces the TCP dialer for every server
+	// connection. The load harness uses it to interpose a wire.FaultGate
+	// so scripted network-fault windows hit live connections.
+	Dialer func(addr string) (net.Conn, error)
 }
 
 // Reader intercepts file reads. The task-grained distributed cache
@@ -151,8 +156,12 @@ func Connect(opts Options) (*Client, error) {
 		opts.RetryBackoff = 10 * time.Millisecond
 	}
 	c := &Client{opts: opts}
+	dialOpts := []wire.Option{wire.WithCallTimeout(opts.CallTimeout)}
+	if opts.Dialer != nil {
+		dialOpts = append(dialOpts, wire.WithDialer(opts.Dialer))
+	}
 	for _, addr := range opts.Servers {
-		p, err := wire.DialPool(addr, opts.ConnsPerServer, wire.WithCallTimeout(opts.CallTimeout))
+		p, err := wire.DialPool(addr, opts.ConnsPerServer, dialOpts...)
 		if err != nil {
 			c.Close()
 			return nil, fmt.Errorf("client: connect %s: %w", addr, err)

@@ -11,6 +11,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"net"
 	"time"
 
 	"diesel/internal/client"
@@ -140,6 +141,10 @@ func (d *Deployment) Registry() *etcd.Registry { return d.registry.Registry() }
 // operations in tests and tools.
 func (d *Deployment) Server() *server.Server { return d.servers[0].S }
 
+// Servers returns the DIESEL RPC servers (for scripted kill/restart
+// fault windows in the load harness).
+func (d *Deployment) Servers() []*server.RPCServer { return d.servers }
+
 // Tiered returns the server-side cache tier, if configured.
 func (d *Deployment) Tiered() *objstore.Tiered { return d.tiered }
 
@@ -152,11 +157,19 @@ func (d *Deployment) KVServers() []*kvstore.Server { return d.kvServers }
 
 // NewClient opens a libDIESEL context against this deployment.
 func (d *Deployment) NewClient(dataset string, rank int) (*client.Client, error) {
+	return d.NewClientDialer(dataset, rank, nil)
+}
+
+// NewClientDialer is NewClient with a replacement connection dialer —
+// the load harness passes a wire.FaultGate dialer here so scripted
+// network-fault windows reach every client connection.
+func (d *Deployment) NewClientDialer(dataset string, rank int, dial func(addr string) (net.Conn, error)) (*client.Client, error) {
 	return client.Connect(client.Options{
 		User: "core", Key: "core",
 		Servers: d.ServerAddrs(),
 		Dataset: dataset,
 		Rank:    rank,
+		Dialer:  dial,
 	})
 }
 
@@ -174,6 +187,9 @@ type TaskConfig struct {
 	ClientsPerNode int // I/O processes per node
 	Policy         dcache.Policy
 	CapacityBytes  int64 // per-master cache bound (0 = unlimited)
+	// Dialer, when non-nil, replaces the TCP dialer of every task
+	// client's server connections (fault injection).
+	Dialer func(addr string) (net.Conn, error)
 }
 
 // StartTask downloads the dataset's snapshot into every client, joins the
@@ -194,7 +210,7 @@ func (d *Deployment) StartTask(cfg TaskConfig) (*Task, error) {
 	}
 	results := make(chan result, total)
 	for rank := range total {
-		cl, err := d.NewClient(cfg.Dataset, rank)
+		cl, err := d.NewClientDialer(cfg.Dataset, rank, cfg.Dialer)
 		if err != nil {
 			t.Close()
 			return nil, err

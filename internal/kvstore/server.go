@@ -2,6 +2,7 @@ package kvstore
 
 import (
 	"errors"
+	"sync"
 
 	"diesel/internal/obs"
 	"diesel/internal/wire"
@@ -26,8 +27,10 @@ var ErrNotFound = errors.New("kvstore: key not found")
 // Server exposes one Store over the wire protocol: one "Redis instance".
 type Server struct {
 	store *Store
-	rpc   *wire.Server
-	addr  string
+
+	mu   sync.Mutex // guards rpc across Restart
+	rpc  *wire.Server
+	addr string
 }
 
 // NewServer creates a KV node and binds it to addr (":0" for ephemeral).
@@ -49,12 +52,34 @@ func (s *Server) Addr() string { return s.addr }
 // injection paths use it directly.
 func (s *Server) Store() *Store { return s.store }
 
+// cur returns the live wire server (it is swapped by Restart).
+func (s *Server) cur() *wire.Server {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rpc
+}
+
 // Requests returns the number of RPCs served, for QPS accounting.
-func (s *Server) Requests() uint64 { return s.rpc.Stats.Requests.Load() }
+// Restart resets the count (a restarted process starts at zero).
+func (s *Server) Requests() uint64 { return s.cur().Stats.Requests.Load() }
 
 // Close kills the node: in-flight and future requests fail, and (being an
 // in-memory store) its data is unreachable until recovery rebuilds it.
-func (s *Server) Close() error { return s.rpc.Close() }
+func (s *Server) Close() error { return s.cur().Close() }
+
+// Restart re-binds a Closed node on its original address with its data
+// intact — a node outage and recovery, as opposed to Wipe's data loss.
+// Scripted fault schedules use Close/Restart pairs as timed kill windows;
+// client pools self-heal onto the revived listener.
+func (s *Server) Restart() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rpc.Close() // no-op when already closed
+	s.rpc = wire.NewServer()
+	s.register()
+	_, err := s.rpc.Listen(s.addr)
+	return err
+}
 
 // Wipe simulates scenario (b) of §4.1.2: the node restarts empty.
 func (s *Server) Wipe() { s.store.Flush() }
@@ -68,10 +93,10 @@ func (s *Server) RegisterMetrics(reg *obs.Registry) {
 		func() float64 { return float64(s.store.Len()) })
 	reg.FuncCounter("diesel_kvnode_requests_total",
 		"RPCs served by this KV node.",
-		func() float64 { return float64(s.rpc.Stats.Requests.Load()) })
+		func() float64 { return float64(s.cur().Stats.Requests.Load()) })
 	reg.FuncCounter("diesel_kvnode_errors_total",
 		"Failed RPCs served by this KV node.",
-		func() float64 { return float64(s.rpc.Stats.Errors.Load()) })
+		func() float64 { return float64(s.cur().Stats.Errors.Load()) })
 }
 
 func (s *Server) register() {

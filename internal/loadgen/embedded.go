@@ -1,0 +1,537 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"diesel/internal/client"
+	"diesel/internal/core"
+	"diesel/internal/dcache"
+	"diesel/internal/epoch"
+	"diesel/internal/objstore"
+	"diesel/internal/obs"
+	"diesel/internal/wire"
+)
+
+// StackConfig describes the embedded system under test: a real
+// diesel-server + kvnode deployment on loopback TCP, a written dataset,
+// and a fleet of clients (the simulated trainers) wired through a
+// wire.FaultGate so scripted network faults reach live connections.
+type StackConfig struct {
+	KVNodes int // metadata nodes (default 2)
+	Servers int // stateless DIESEL servers (default 2)
+
+	Files       int // dataset size in files (default 512)
+	FileSizeB   int // bytes per file (default 4096)
+	ChunkTarget int // chunk payload target (default 64 KiB — many chunks)
+
+	// DiskLatency is the modeled per-operation store latency. In the CI
+	// capacity smoke it dominates service time, making the p99 gate
+	// portable across machines (default 0 = no modeled latency).
+	DiskLatency   time.Duration
+	SSDCacheBytes int64 // optional fast tier over the throttled store
+
+	// Clients is the number of standalone libDIESEL contexts operations
+	// round-robin over (default 8).
+	Clients   int
+	BatchSize int // paths per GetBatch op (default 8)
+
+	// TaskNodes/ClientsPerNode, when both positive, additionally start a
+	// DLT task with the distributed cache; the "view" mix entry and
+	// epoch readers run against it.
+	TaskNodes      int
+	ClientsPerNode int
+
+	// EpochReaders is the number of background pipelined epoch readers
+	// looping over the dataset during the run (soak-style ambient load).
+	EpochReaders int
+}
+
+func (c *StackConfig) setDefaults() {
+	if c.KVNodes <= 0 {
+		c.KVNodes = 2
+	}
+	if c.Servers <= 0 {
+		c.Servers = 2
+	}
+	if c.Files <= 0 {
+		c.Files = 512
+	}
+	if c.FileSizeB <= 0 {
+		c.FileSizeB = 4096
+	}
+	if c.ChunkTarget <= 0 {
+		c.ChunkTarget = 64 << 10
+	}
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 8
+	}
+}
+
+// Stack is a running embedded system under test.
+type Stack struct {
+	Dep      *core.Deployment
+	Throttle *objstore.Throttled
+	Gate     *wire.FaultGate
+	Clients  []*client.Client
+	Task     *core.Task
+	Paths    []string
+	ChunkIDs []string
+
+	cfg     StackConfig
+	dataset string
+}
+
+// StartStack deploys the stack and writes the dataset. The store is
+// always wrapped in a Throttled (even at zero latency) so disk-slow
+// fault windows work; every client dials through the stack's FaultGate.
+func StartStack(cfg StackConfig) (*Stack, error) {
+	cfg.setDefaults()
+	st := &Stack{cfg: cfg, dataset: "loadgen", Gate: &wire.FaultGate{}}
+	st.Throttle = &objstore.Throttled{Latency: cfg.DiskLatency}
+	dep, err := core.Deploy(core.Config{
+		KVNodes:       cfg.KVNodes,
+		DieselServers: cfg.Servers,
+		Throttle:      st.Throttle,
+		SSDCacheBytes: cfg.SSDCacheBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	st.Dep = dep
+	fail := func(err error) (*Stack, error) {
+		st.Close()
+		return nil, err
+	}
+
+	// Write the dataset through a plain (ungated) client.
+	wcl, err := dep.NewClient(st.dataset, 0)
+	if err != nil {
+		return fail(err)
+	}
+	payload := make([]byte, cfg.FileSizeB)
+	for i := range payload {
+		payload[i] = byte(i * 131)
+	}
+	st.Paths = make([]string, cfg.Files)
+	for i := range cfg.Files {
+		st.Paths[i] = fmt.Sprintf("cls%02d/img%05d.jpg", i%16, i)
+		if err := wcl.Put(st.Paths[i], payload); err != nil {
+			wcl.Close()
+			return fail(fmt.Errorf("loadgen: put: %w", err))
+		}
+	}
+	if err := wcl.Flush(); err != nil {
+		wcl.Close()
+		return fail(fmt.Errorf("loadgen: flush: %w", err))
+	}
+	snap, err := wcl.DownloadSnapshot()
+	if err != nil {
+		wcl.Close()
+		return fail(err)
+	}
+	for _, c := range snap.Chunks {
+		st.ChunkIDs = append(st.ChunkIDs, c.ID.String())
+	}
+	wcl.Close()
+
+	// The trainer fleet: standalone contexts dialing through the gate.
+	// Retries are raised above the client default: the round-robin
+	// counter is shared across in-flight calls, so under concurrency a
+	// retry's "next server" is effectively random, and surviving a
+	// one-of-two server kill needs a few draws. A call timeout keeps
+	// severed-connection windows from wedging executors.
+	for i := range cfg.Clients {
+		cl, err := client.Connect(client.Options{
+			User: "loadgen", Key: "loadgen",
+			Servers:      dep.ServerAddrs(),
+			Dataset:      st.dataset,
+			Rank:         i,
+			MaxRetries:   5,
+			RetryBackoff: 2 * time.Millisecond,
+			CallTimeout:  2 * time.Second,
+			Dialer:       st.Gate.Dialer(),
+		})
+		if err != nil {
+			return fail(err)
+		}
+		if _, err := cl.DownloadSnapshot(); err != nil {
+			cl.Close()
+			return fail(err)
+		}
+		st.Clients = append(st.Clients, cl)
+	}
+
+	if cfg.TaskNodes > 0 && cfg.ClientsPerNode > 0 {
+		task, err := dep.StartTask(core.TaskConfig{
+			Dataset:        st.dataset,
+			Nodes:          cfg.TaskNodes,
+			ClientsPerNode: cfg.ClientsPerNode,
+			Policy:         dcache.Oneshot,
+			Dialer:         st.Gate.Dialer(),
+		})
+		if err != nil {
+			return fail(err)
+		}
+		st.Task = task
+	}
+	return st, nil
+}
+
+// ConnectStack builds a Stack against already-running DIESEL servers
+// (external mode: cmd/diesel-load -connect). The dataset must already be
+// ingested; paths and chunk IDs come from its snapshot. Only net-* fault
+// kinds work — the deployment's internals are out of reach.
+func ConnectStack(addrs []string, dataset string, cfg StackConfig) (*Stack, error) {
+	cfg.setDefaults()
+	st := &Stack{cfg: cfg, dataset: dataset, Gate: &wire.FaultGate{}}
+	for i := range cfg.Clients {
+		cl, err := client.Connect(client.Options{
+			User: "loadgen", Key: "loadgen",
+			Servers:      addrs,
+			Dataset:      dataset,
+			Rank:         i,
+			MaxRetries:   5,
+			RetryBackoff: 2 * time.Millisecond,
+			CallTimeout:  2 * time.Second,
+			Dialer:       st.Gate.Dialer(),
+		})
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		snap, err := cl.DownloadSnapshot()
+		if err != nil {
+			cl.Close()
+			st.Close()
+			return nil, err
+		}
+		st.Clients = append(st.Clients, cl)
+		if st.Paths == nil {
+			for i := range snap.NumFiles() {
+				st.Paths = append(st.Paths, snap.FileName(i))
+			}
+			for _, c := range snap.Chunks {
+				st.ChunkIDs = append(st.ChunkIDs, c.ID.String())
+			}
+		}
+	}
+	if len(st.Paths) == 0 {
+		st.Close()
+		return nil, fmt.Errorf("loadgen: dataset %q is empty", dataset)
+	}
+	return st, nil
+}
+
+// Close tears the stack down.
+func (s *Stack) Close() {
+	if s.Task != nil {
+		s.Task.Close()
+	}
+	for _, c := range s.Clients {
+		c.Close()
+	}
+	if s.Dep != nil {
+		s.Dep.Close()
+	}
+}
+
+func (s *Stack) client(rng *rand.Rand) *client.Client {
+	return s.Clients[rng.Intn(len(s.Clients))]
+}
+
+func (s *Stack) path(rng *rand.Rand) string {
+	return s.Paths[rng.Intn(len(s.Paths))]
+}
+
+// Ops builds the weighted workload mix from a spec like
+// "get=6,batch=2,chunk=1,view=1". Kinds:
+//
+//	get    - Client.GetContext (cached snapshot metadata, chunk read)
+//	direct - Client.GetDirectContext (server-side request executor)
+//	batch  - Client.GetBatchContext over BatchSize random paths
+//	chunk  - Client.GetChunkContext of one whole random chunk
+//	view   - dcache.Peer.ReadFileViewContext through the task cache
+//	         (falls back to get when the stack has no task)
+//	stat   - Client.Stat
+func (s *Stack) Ops(spec string) ([]WeightedOp, error) {
+	if spec == "" {
+		spec = "get=6,batch=2,chunk=1"
+	}
+	var ops []WeightedOp
+	for _, part := range strings.Split(spec, ",") {
+		name, wstr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("loadgen: mix entry %q: want kind=weight", part)
+		}
+		w, err := strconv.Atoi(wstr)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("loadgen: mix entry %q: bad weight", part)
+		}
+		var do OpFunc
+		switch name {
+		case "get":
+			do = func(ctx context.Context, rng *rand.Rand) error {
+				_, err := s.client(rng).GetContext(ctx, s.path(rng))
+				return err
+			}
+		case "direct":
+			do = func(ctx context.Context, rng *rand.Rand) error {
+				_, err := s.client(rng).GetDirectContext(ctx, s.path(rng))
+				return err
+			}
+		case "batch":
+			n := s.cfg.BatchSize
+			do = func(ctx context.Context, rng *rand.Rand) error {
+				paths := make([]string, n)
+				for i := range paths {
+					paths[i] = s.path(rng)
+				}
+				_, err := s.client(rng).GetBatchContext(ctx, paths)
+				return err
+			}
+		case "chunk":
+			do = func(ctx context.Context, rng *rand.Rand) error {
+				id := s.ChunkIDs[rng.Intn(len(s.ChunkIDs))]
+				_, err := s.client(rng).GetChunkContext(ctx, id)
+				return err
+			}
+		case "view":
+			if s.Task == nil {
+				do = func(ctx context.Context, rng *rand.Rand) error {
+					_, err := s.client(rng).GetContext(ctx, s.path(rng))
+					return err
+				}
+			} else {
+				peers := s.Task.Peers
+				do = func(ctx context.Context, rng *rand.Rand) error {
+					p := peers[rng.Intn(len(peers))]
+					_, err := p.ReadFileViewContext(ctx, s.path(rng))
+					return err
+				}
+			}
+		case "stat":
+			do = func(ctx context.Context, rng *rand.Rand) error {
+				_, err := s.client(rng).Stat(s.path(rng))
+				return err
+			}
+		default:
+			return nil, fmt.Errorf("loadgen: unknown mix kind %q", name)
+		}
+		ops = append(ops, WeightedOp{Name: name, Weight: w, Do: do})
+	}
+	return ops, nil
+}
+
+// ParseSchedule turns a fault-schedule spec into a Schedule bound to this
+// stack. Spec: semicolon-separated windows "start+dur:kind[:arg]" with
+// Go durations, e.g.
+//
+//	"5s+3s:server-kill:0; 12s+3s:disk-slow:10ms; 20s+3s:net-delay:5ms"
+//
+// Kinds:
+//
+//	kv-kill:<idx>     close metadata node idx, restart at window end
+//	                  (data intact — a node outage, not a disk loss)
+//	server-kill:<idx> close DIESEL server idx, restart at window end
+//	                  (stateless: clients fail over, pools redial)
+//	disk-slow:<dur>   add dur to every store operation
+//	net-delay:<dur>   delay every client-connection write by dur
+//	net-drop:<prob>   silently swallow writes with probability prob
+//	net-sever:<prob>  kill the connection on write with probability prob
+func (s *Stack) ParseSchedule(spec string) (Schedule, error) {
+	var sched Schedule
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		f, err := s.parseFault(part)
+		if err != nil {
+			return nil, err
+		}
+		sched = append(sched, f)
+	}
+	if err := sched.Validate(); err != nil {
+		return nil, err
+	}
+	return sched, nil
+}
+
+func (s *Stack) parseFault(spec string) (Fault, error) {
+	bad := func(msg string) (Fault, error) {
+		return Fault{}, fmt.Errorf("loadgen: fault %q: %s", spec, msg)
+	}
+	window, rest, ok := strings.Cut(spec, ":")
+	if !ok {
+		return bad("want start+dur:kind[:arg]")
+	}
+	startStr, durStr, ok := strings.Cut(window, "+")
+	if !ok {
+		return bad("window must be start+dur")
+	}
+	start, err1 := time.ParseDuration(strings.TrimSpace(startStr))
+	dur, err2 := time.ParseDuration(strings.TrimSpace(durStr))
+	if err1 != nil || err2 != nil {
+		return bad("bad window durations")
+	}
+	kind, arg, _ := strings.Cut(rest, ":")
+	kind = strings.TrimSpace(kind)
+	arg = strings.TrimSpace(arg)
+	f := Fault{Name: kind, Start: start, Dur: dur}
+
+	idxArg := func(n int) (int, error) {
+		i, err := strconv.Atoi(arg)
+		if err != nil || i < 0 || i >= n {
+			return 0, fmt.Errorf("index %q out of range [0,%d)", arg, n)
+		}
+		return i, nil
+	}
+	switch kind {
+	case "kv-kill", "server-kill", "disk-slow":
+		// These reach inside the deployment, so they only exist in
+		// embedded mode; net-* faults live in the client-side gate and
+		// work against external servers too.
+		if s.Dep == nil {
+			return bad(kind + " requires an embedded stack")
+		}
+	}
+	switch kind {
+	case "kv-kill":
+		i, err := idxArg(len(s.Dep.KVServers()))
+		if err != nil {
+			return bad(err.Error())
+		}
+		node := s.Dep.KVServers()[i]
+		f.Name = fmt.Sprintf("kv-kill-%d", i)
+		f.Apply = func() error { return node.Close() }
+		f.Revert = node.Restart
+	case "server-kill":
+		i, err := idxArg(len(s.Dep.Servers()))
+		if err != nil {
+			return bad(err.Error())
+		}
+		srv := s.Dep.Servers()[i]
+		f.Name = fmt.Sprintf("server-kill-%d", i)
+		f.Apply = func() error { return srv.Close() }
+		f.Revert = srv.Restart
+	case "disk-slow":
+		d, err := time.ParseDuration(arg)
+		if err != nil || d <= 0 {
+			return bad("disk-slow wants a positive duration arg")
+		}
+		f.Apply = func() error { s.Throttle.SetExtraLatency(d); return nil }
+		f.Revert = func() error { s.Throttle.SetExtraLatency(0); return nil }
+	case "net-delay":
+		d, err := time.ParseDuration(arg)
+		if err != nil || d <= 0 {
+			return bad("net-delay wants a positive duration arg")
+		}
+		f.Apply = func() error { s.Gate.Set(wire.FaultPlan{Seed: 1, Delay: d}); return nil }
+		f.Revert = func() error { s.Gate.Clear(); return nil }
+	case "net-drop", "net-sever":
+		p, err := strconv.ParseFloat(arg, 64)
+		if err != nil || p <= 0 || p > 1 {
+			return bad(kind + " wants a probability in (0,1]")
+		}
+		plan := wire.FaultPlan{Seed: 1}
+		if kind == "net-drop" {
+			plan.DropProb = p
+		} else {
+			plan.SeverProb = p
+		}
+		f.Apply = func() error { s.Gate.Set(plan); return nil }
+		f.Revert = func() error { s.Gate.Clear(); return nil }
+	default:
+		return bad("unknown fault kind")
+	}
+	return f, nil
+}
+
+// trackedCounters are the obs counter families whose deltas over the run
+// land in Report.Counters — the resilience story of a faulted run.
+var trackedCounters = []string{
+	"diesel_client_retries_total",
+	"diesel_wire_redials_total",
+	"diesel_wire_call_timeouts_total",
+	"diesel_dcache_master_deaths_total",
+	"diesel_dcache_master_revivals_total",
+}
+
+func counterValues() map[string]float64 {
+	out := make(map[string]float64, len(trackedCounters))
+	want := make(map[string]bool, len(trackedCounters))
+	for _, n := range trackedCounters {
+		want[n] = true
+	}
+	for _, m := range obs.Default().Export() {
+		if want[m.Name] {
+			out[m.Name] += m.Value
+		}
+	}
+	return out
+}
+
+// RunEmbedded runs the configured load against the stack: background
+// epoch readers (if configured) plus the open-loop schedule, with obs
+// counter deltas folded into the report.
+func (s *Stack) RunEmbedded(ctx context.Context, cfg Config) (*Report, error) {
+	before := counterValues()
+
+	// Background pipelined epoch readers: ambient sequential-scan load, as
+	// a training job's data loaders would apply alongside random reads.
+	epochCtx, stopEpochs := context.WithCancel(ctx)
+	var epochWG sync.WaitGroup
+	var epochs atomic.Uint64
+	for i := 0; i < s.cfg.EpochReaders; i++ {
+		cl := s.Clients[i%len(s.Clients)]
+		epochWG.Add(1)
+		go func(i int, cl *client.Client) {
+			defer epochWG.Done()
+			for epochCtx.Err() == nil {
+				plan, err := cl.ShufflePlan(int64(i)+int64(epochs.Load()), 4)
+				if err != nil {
+					return
+				}
+				snap := cl.Snapshot()
+				r := epoch.NewReader(plan, snap, epoch.NewClientSource(cl, snap, 2),
+					epoch.WithWindow(2), epoch.WithContext(epochCtx))
+				for {
+					if _, err := r.Next(); err != nil {
+						break
+					}
+				}
+				r.Close()
+				epochs.Add(1)
+			}
+		}(i, cl)
+	}
+
+	rep, err := Run(ctx, cfg)
+	stopEpochs()
+	epochWG.Wait()
+	if err != nil {
+		return nil, err
+	}
+
+	rep.Counters = make(map[string]float64)
+	after := counterValues()
+	for name, v := range after {
+		if d := v - before[name]; d != 0 {
+			rep.Counters[name] = d
+		}
+	}
+	if s.cfg.EpochReaders > 0 {
+		rep.Counters["loadgen_background_epochs"] = float64(epochs.Load())
+	}
+	return rep, nil
+}

@@ -1,0 +1,198 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// LatencySummary is the quantile view of one merged histogram, in
+// seconds. Quantiles come from the power-of-two buckets of obs.Histogram,
+// so they are exact to within one bucket — plenty for a ±25% CI gate.
+type LatencySummary struct {
+	Count uint64  `json:"count"`
+	MeanS float64 `json:"mean_s"`
+	P50S  float64 `json:"p50_s"`
+	P90S  float64 `json:"p90_s"`
+	P99S  float64 `json:"p99_s"`
+	P999S float64 `json:"p999_s"`
+	MaxS  float64 `json:"max_s"`
+}
+
+func summarize(s PhaseStats, open bool) LatencySummary {
+	h := s.Svc
+	max := s.MaxSvc
+	if open {
+		h = s.Open
+		max = s.MaxOpen
+	}
+	const ns = 1e-9
+	return LatencySummary{
+		Count: h.Count,
+		MeanS: h.Mean() * ns,
+		P50S:  h.Quantile(0.50) * ns,
+		P90S:  h.Quantile(0.90) * ns,
+		P99S:  h.Quantile(0.99) * ns,
+		P999S: h.Quantile(0.999) * ns,
+		MaxS:  max.Seconds(),
+	}
+}
+
+// KindReport is the per-mix-entry outcome count.
+type KindReport struct {
+	Name   string `json:"name"`
+	Ops    uint64 `json:"ops"`
+	Errors uint64 `json:"errors"`
+}
+
+// PhaseReport is one phase's latency/outcome summary. Operations are
+// attributed by intended start, so a fault window owns every request that
+// was *due* while it was open — including the ones that limped home after
+// it closed.
+type PhaseReport struct {
+	Name    string         `json:"name"`
+	StartS  float64        `json:"start_s"`
+	EndS    float64        `json:"end_s"`
+	Errors  uint64         `json:"errors"`
+	Open    LatencySummary `json:"open_loop"`
+	Service LatencySummary `json:"service_time"`
+}
+
+// RuntimeReport captures process self-telemetry around the run, to catch
+// goroutine or heap leaks in soak mode.
+type RuntimeReport struct {
+	GoroutinesStart int    `json:"goroutines_start"`
+	GoroutinesEnd   int    `json:"goroutines_end"`
+	HeapInuseStartB uint64 `json:"heap_inuse_start_b"`
+	HeapInuseEndB   uint64 `json:"heap_inuse_end_b"`
+}
+
+// Report is the machine-readable capacity report: what cmd/diesel-load
+// emits, EXPERIMENTS.md records, and cmd/benchguard -capacity gates.
+type Report struct {
+	Harness string  `json:"harness"` // "open-loop" or "closed-loop"
+	Arrival Arrival `json:"arrival,omitempty"`
+	Seed    int64   `json:"seed"`
+
+	OfferedRateQPS  float64 `json:"offered_rate_qps,omitempty"`
+	DurationS       float64 `json:"duration_s"`
+	ElapsedS        float64 `json:"elapsed_s"`
+	AchievedRateQPS float64 `json:"achieved_rate_qps"`
+	Concurrency     int     `json:"concurrency"`
+	Generators      int     `json:"generators,omitempty"`
+
+	Ops    uint64 `json:"ops"`
+	Errors uint64 `json:"errors"`
+	// Shed counts arrivals dropped because the queue was full — nonzero
+	// means the offered rate exceeded capacity by more than the queue
+	// could absorb, and the latency figures understate the overload.
+	Shed uint64 `json:"shed,omitempty"`
+
+	Open    LatencySummary `json:"open_loop"`
+	Service LatencySummary `json:"service_time"`
+
+	Kinds  []KindReport  `json:"kinds,omitempty"`
+	Phases []PhaseReport `json:"phases,omitempty"`
+
+	// FaultErrors lists Apply/Revert failures of the fault schedule.
+	FaultErrors []string `json:"fault_errors,omitempty"`
+	// Counters holds deltas of selected obs counters over the run
+	// (client retries, cache master deaths/revivals, wire redials…) —
+	// filled by RunEmbedded, absent for bare Run.
+	Counters map[string]float64 `json:"counters,omitempty"`
+	Runtime  *RuntimeReport     `json:"runtime,omitempty"`
+}
+
+func buildReport(cfg Config, rec *Recorder, kinds []kindCount, elapsed time.Duration) *Report {
+	total := rec.Total()
+	rep := &Report{
+		Harness:     "open-loop",
+		Arrival:     cfg.Arrival,
+		Seed:        cfg.Seed,
+		DurationS:   cfg.Duration.Seconds(),
+		ElapsedS:    elapsed.Seconds(),
+		Concurrency: cfg.Concurrency,
+		Generators:  cfg.Generators,
+		Ops:         total.Open.Count,
+		Errors:      total.Errors,
+		Open:        summarize(total, true),
+		Service:     summarize(total, false),
+	}
+	if cfg.ClosedLoop {
+		rep.Harness = "closed-loop"
+		rep.Arrival = ""
+		rep.Generators = 0
+	} else {
+		rep.OfferedRateQPS = cfg.Rate
+	}
+	if elapsed > 0 {
+		rep.AchievedRateQPS = float64(total.Open.Count) / elapsed.Seconds()
+	}
+	for i, op := range cfg.Ops {
+		rep.Kinds = append(rep.Kinds, KindReport{
+			Name:   op.Name,
+			Ops:    kinds[i].ops.Load(),
+			Errors: kinds[i].errs.Load(),
+		})
+	}
+	for _, ph := range rec.Phases() {
+		if ph.Open.Count == 0 && ph.Name == "steady" && len(cfg.Faults) == 0 {
+			// No faults and nothing recorded: skip the redundant phase.
+			continue
+		}
+		rep.Phases = append(rep.Phases, PhaseReport{
+			Name:    ph.Name,
+			StartS:  ph.Start.Seconds(),
+			EndS:    ph.End.Seconds(),
+			Errors:  ph.Errors,
+			Open:    summarize(ph, true),
+			Service: summarize(ph, false),
+		})
+	}
+	return rep
+}
+
+// ErrorRate returns Errors/Ops (0 for an empty run).
+func (r *Report) ErrorRate() float64 {
+	if r.Ops == 0 {
+		return 0
+	}
+	return float64(r.Errors) / float64(r.Ops)
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Summary renders the human-oriented one-screen summary printed after a
+// run (the JSON report is the contract; this is for eyeballs).
+func (r *Report) Summary(w io.Writer) {
+	fmt.Fprintf(w, "%s harness", r.Harness)
+	if r.OfferedRateQPS > 0 {
+		fmt.Fprintf(w, ", offered %.0f op/s (%s)", r.OfferedRateQPS, r.Arrival)
+	}
+	fmt.Fprintf(w, ": %d ops in %.1fs -> achieved %.0f op/s, %d errors",
+		r.Ops, r.ElapsedS, r.AchievedRateQPS, r.Errors)
+	if r.Shed > 0 {
+		fmt.Fprintf(w, ", %d SHED", r.Shed)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  open-loop    p50 %8.3fms  p90 %8.3fms  p99 %8.3fms  p99.9 %8.3fms  max %8.1fms\n",
+		r.Open.P50S*1e3, r.Open.P90S*1e3, r.Open.P99S*1e3, r.Open.P999S*1e3, r.Open.MaxS*1e3)
+	fmt.Fprintf(w, "  service-time p50 %8.3fms  p90 %8.3fms  p99 %8.3fms  p99.9 %8.3fms  max %8.1fms\n",
+		r.Service.P50S*1e3, r.Service.P90S*1e3, r.Service.P99S*1e3, r.Service.P999S*1e3, r.Service.MaxS*1e3)
+	for _, ph := range r.Phases {
+		if ph.Name == "steady" && len(r.Phases) == 1 {
+			break
+		}
+		fmt.Fprintf(w, "  phase %-12s [%6.1fs..%6.1fs] %8d ops  open p99 %8.3fms  svc p99 %8.3fms  errs %d\n",
+			ph.Name, ph.StartS, ph.EndS, ph.Open.Count, ph.Open.P99S*1e3, ph.Service.P99S*1e3, ph.Errors)
+	}
+	for _, fe := range r.FaultErrors {
+		fmt.Fprintf(w, "  fault-error: %s\n", fe)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -394,10 +395,23 @@ type Throttled struct {
 	Base      Store
 	Latency   time.Duration // seek/request setup cost per operation
 	BytesPerS float64       // sustained transfer bandwidth; 0 = unlimited
+
+	// extra is additional per-operation latency togglable at runtime
+	// (nanoseconds, atomic). Fault schedules use it to open and close
+	// slow-disk windows mid-run without reconstructing the store stack.
+	extra atomic.Int64
 }
 
+// SetExtraLatency adds d on top of Latency for every subsequent
+// operation; 0 restores the baseline. Safe to call while reads are in
+// flight — in-flight operations keep the value they already sampled.
+func (t *Throttled) SetExtraLatency(d time.Duration) { t.extra.Store(int64(d)) }
+
+// ExtraLatency returns the current runtime-added per-operation latency.
+func (t *Throttled) ExtraLatency() time.Duration { return time.Duration(t.extra.Load()) }
+
 func (t *Throttled) wait(bytes int) {
-	d := t.Latency
+	d := t.Latency + time.Duration(t.extra.Load())
 	if t.BytesPerS > 0 {
 		d += time.Duration(float64(bytes) / t.BytesPerS * float64(time.Second))
 	}

@@ -291,3 +291,43 @@ func TestThrottledBandwidth(t *testing.T) {
 		t.Errorf("Put took %v, want >= 50ms at 1MiB/s", d)
 	}
 }
+
+// TestThrottledExtraLatency verifies the runtime slow-disk toggle: extra
+// latency applies while set and disappears when cleared.
+func TestThrottledExtraLatency(t *testing.T) {
+	mem := NewMemory()
+	if err := mem.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	th := &Throttled{Base: mem}
+
+	start := time.Now()
+	if _, err := th.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 20*time.Millisecond {
+		t.Fatalf("baseline get took %v, want fast", d)
+	}
+
+	const extra = 30 * time.Millisecond
+	th.SetExtraLatency(extra)
+	if got := th.ExtraLatency(); got != extra {
+		t.Fatalf("ExtraLatency = %v, want %v", got, extra)
+	}
+	start = time.Now()
+	if _, err := th.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < extra {
+		t.Fatalf("slow-disk window not applied: get took %v, want ≥ %v", d, extra)
+	}
+
+	th.SetExtraLatency(0)
+	start = time.Now()
+	if _, err := th.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 20*time.Millisecond {
+		t.Fatalf("extra latency persisted after clear: %v", d)
+	}
+}

@@ -36,6 +36,7 @@ func Handler(r *Registry) http.Handler {
 // DefaultServeMux side effects, so importing this package never exposes
 // profiles on a mux the caller didn't ask for.
 func NewMux(reg *Registry) *http.ServeMux {
+	RegisterRuntime(reg) // every -metrics endpoint shows self-telemetry
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", Handler(reg))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {

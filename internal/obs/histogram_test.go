@@ -124,6 +124,74 @@ func TestSnapshotMerge(t *testing.T) {
 	}
 }
 
+// TestQuantileMergeAcrossShards is the sharded-recorder contract the load
+// harness depends on: observations scattered across N histograms, merged
+// as snapshots, must yield exactly the quantiles of one histogram that
+// saw every observation. The power-of-two buckets are aligned by
+// construction, so this is exact equality, not approximation.
+func TestQuantileMergeAcrossShards(t *testing.T) {
+	const shards = 16
+	rng := rand.New(rand.NewSource(7))
+	var whole Histogram
+	parts := make([]Histogram, shards)
+	for i := 0; i < 50000; i++ {
+		// Mixed scales: cache hits (~µs), RPCs (~ms), stalls (~s).
+		v := uint64(rng.Int63n(int64(time.Second))) >> uint(rng.Intn(20))
+		whole.Observe(v)
+		parts[rng.Intn(shards)].Observe(v)
+	}
+	var merged HistSnapshot
+	for i := range parts {
+		merged.Merge(parts[i].Snapshot())
+	}
+	ref := whole.Snapshot()
+	if merged.Counts != ref.Counts || merged.Count != ref.Count || merged.Sum != ref.Sum {
+		t.Fatalf("merged snapshot differs from whole histogram")
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		if got, want := merged.Quantile(q), ref.Quantile(q); got != want {
+			t.Errorf("q=%v: merged %v, whole %v", q, got, want)
+		}
+	}
+}
+
+// TestExportQuantiles pins that Export carries the full quantile ladder
+// (p50/p90/p95/p99/p999) in rendered units — the capacity report and
+// BENCH_*.json snapshots read these fields.
+func TestExportQuantiles(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Duration("x_seconds", "test")
+	for i := 0; i < 1000; i++ {
+		h.Observe(uint64(time.Millisecond))
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(uint64(time.Second))
+	}
+	var m *Metric
+	for _, e := range reg.Export() {
+		if e.Name == "x_seconds" {
+			m = &e
+			break
+		}
+	}
+	if m == nil {
+		t.Fatal("x_seconds not exported")
+	}
+	if m.P50 <= 0 || m.P90 <= 0 || m.P95 <= 0 || m.P99 <= 0 || m.P999 <= 0 {
+		t.Fatalf("missing quantiles: %+v", m)
+	}
+	if !(m.P50 <= m.P90 && m.P90 <= m.P95 && m.P95 <= m.P99 && m.P99 <= m.P999) {
+		t.Errorf("quantiles not monotone: %+v", m)
+	}
+	// The five 1s outliers sit past rank 0.999 of 1005 observations.
+	if m.P999 < 0.5 {
+		t.Errorf("p999 = %v, want ≥ 0.5s (the outlier's bucket)", m.P999)
+	}
+	if m.P50 > 0.01 {
+		t.Errorf("p50 = %v, want ~1ms", m.P50)
+	}
+}
+
 func TestObserveDuration(t *testing.T) {
 	var h Histogram
 	h.ObserveDuration(-5 * time.Second) // clamps to 0

@@ -193,8 +193,10 @@ type Metric struct {
 	Sum   float64 `json:"sum,omitempty"`
 	Mean  float64 `json:"mean,omitempty"`
 	P50   float64 `json:"p50,omitempty"`
+	P90   float64 `json:"p90,omitempty"`
 	P95   float64 `json:"p95,omitempty"`
 	P99   float64 `json:"p99,omitempty"`
+	P999  float64 `json:"p999,omitempty"`
 }
 
 // labelKey renders a metric's labels as a canonical sort key.
@@ -264,8 +266,10 @@ func (r *Registry) Export() []Metric {
 					m.Mean = m.Sum / float64(s.Count)
 				}
 				m.P50 = s.Quantile(0.50) * scale
+				m.P90 = s.Quantile(0.90) * scale
 				m.P95 = s.Quantile(0.95) * scale
 				m.P99 = s.Quantile(0.99) * scale
+				m.P999 = s.Quantile(0.999) * scale
 			}
 			out = append(out, m)
 		}

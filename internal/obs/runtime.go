@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"os"
+	"runtime"
+	"sync"
+)
+
+// RegisterRuntime adds process self-telemetry to reg: goroutine count,
+// heap-in-use bytes, a GC pause histogram and an open-file-descriptor
+// gauge. Everything is sampled lazily at scrape time (the FuncGauge
+// callbacks fire inside WriteText/Export), so an idle process pays
+// nothing. NewMux registers these on whatever registry it serves, which
+// means every binary started with -metrics exposes them — the soak
+// harness reads goroutines and heap from here to detect leaks.
+//
+// Registration is idempotent (the registry deduplicates by name), so
+// calling it from both NewMux and a load harness sharing the default
+// registry is fine.
+func RegisterRuntime(reg *Registry) {
+	rs := &runtimeSampler{
+		pauses: reg.Duration("diesel_runtime_gc_pause_seconds",
+			"Stop-the-world GC pause durations observed since process start."),
+	}
+	reg.Func("diesel_runtime_goroutines",
+		"Current number of goroutines.",
+		func() float64 {
+			// Piggyback the GC pause refresh on the goroutine gauge: one
+			// refresh per scrape, no background goroutine to leak.
+			rs.refresh()
+			return float64(runtime.NumGoroutine())
+		})
+	reg.Func("diesel_runtime_heap_inuse_bytes",
+		"Bytes in in-use heap spans (runtime.MemStats.HeapInuse).",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapInuse)
+		})
+	reg.Func("diesel_runtime_open_fds",
+		"Open file descriptors of this process (-1 where /proc is unavailable).",
+		func() float64 { return float64(countOpenFDs()) })
+}
+
+// runtimeSampler drains newly completed GC pauses into the pause
+// histogram. MemStats keeps the last 256 pause durations in a ring
+// indexed by GC number; we observe each pause exactly once by tracking
+// the last GC cycle already consumed.
+type runtimeSampler struct {
+	mu     sync.Mutex
+	lastGC uint32
+	pauses *Histogram
+}
+
+func (rs *runtimeSampler) refresh() {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	n := ms.NumGC
+	if n == rs.lastGC {
+		return
+	}
+	// At most 256 pauses are retained; older ones are gone — skip them.
+	from := rs.lastGC
+	if n-from > 256 {
+		from = n - 256
+	}
+	for gc := from + 1; gc <= n; gc++ {
+		rs.pauses.Observe(ms.PauseNs[(gc+255)%256])
+	}
+	rs.lastGC = n
+}
+
+// countOpenFDs counts this process's open descriptors via /proc (Linux);
+// elsewhere it returns -1 rather than guessing.
+func countOpenFDs() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	return len(ents)
+}

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRegisterRuntime(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntime(reg)
+	RegisterRuntime(reg) // idempotent: dedup by name, no panic
+
+	// Force at least one GC so the pause histogram has something to drain.
+	runtime.GC()
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"diesel_runtime_goroutines",
+		"diesel_runtime_heap_inuse_bytes",
+		"diesel_runtime_gc_pause_seconds",
+		"diesel_runtime_open_fds",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+
+	byName := map[string]Metric{}
+	for _, m := range reg.Export() {
+		byName[m.Name] = m
+	}
+	if g := byName["diesel_runtime_goroutines"]; g.Value < 1 {
+		t.Errorf("goroutines = %v, want ≥ 1", g.Value)
+	}
+	if h := byName["diesel_runtime_heap_inuse_bytes"]; h.Value <= 0 {
+		t.Errorf("heap-in-use = %v, want > 0", h.Value)
+	}
+	if p := byName["diesel_runtime_gc_pause_seconds"]; p.Count == 0 {
+		t.Errorf("gc pause histogram empty after runtime.GC()")
+	}
+}

@@ -48,8 +48,8 @@ func (r *RPCServer) RegisterMetrics(reg *obs.Registry) {
 	r.S.RegisterMetrics(reg)
 	reg.FuncCounter("diesel_server_rpc_requests_total",
 		"RPCs served by this DIESEL server.",
-		func() float64 { return float64(r.rpc.Stats.Requests.Load()) })
+		func() float64 { return float64(r.cur().Stats.Requests.Load()) })
 	reg.FuncCounter("diesel_server_rpc_errors_total",
 		"Failed RPCs served by this DIESEL server.",
-		func() float64 { return float64(r.rpc.Stats.Errors.Load()) })
+		func() float64 { return float64(r.cur().Stats.Errors.Load()) })
 }

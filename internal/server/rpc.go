@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"sync"
 	"time"
 
 	"diesel/internal/chunk"
@@ -31,6 +32,7 @@ const (
 // cluster admin deploys (cmd/diesel-server).
 type RPCServer struct {
 	S    *Server
+	mu   sync.Mutex // guards rpc across Restart
 	rpc  *wire.Server
 	addr string
 	gen  *chunk.IDGenerator
@@ -55,11 +57,33 @@ func NewRPC(s *Server, addr string) (*RPCServer, error) {
 // Addr returns the bound address.
 func (r *RPCServer) Addr() string { return r.addr }
 
-// Requests returns the number of RPCs served.
-func (r *RPCServer) Requests() uint64 { return r.rpc.Stats.Requests.Load() }
+// cur returns the live wire server (it is swapped by Restart).
+func (r *RPCServer) cur() *wire.Server {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rpc
+}
+
+// Requests returns the number of RPCs served. Restart resets the count.
+func (r *RPCServer) Requests() uint64 { return r.cur().Stats.Requests.Load() }
 
 // Close stops serving.
-func (r *RPCServer) Close() error { return r.rpc.Close() }
+func (r *RPCServer) Close() error { return r.cur().Close() }
+
+// Restart re-binds a Closed server on its original address. DIESEL
+// servers are stateless (the KV cluster and object store hold all
+// state), so a Close/Restart pair is exactly a server-process kill and
+// redeploy: clients fail over to their remaining servers during the
+// window and their pools redial this one when it returns.
+func (r *RPCServer) Restart() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rpc.Close() // no-op when already closed
+	r.rpc = wire.NewServer()
+	r.register()
+	_, err := r.rpc.Listen(r.addr)
+	return err
+}
 
 // NewLocalStack builds a complete single-process DIESEL server over an
 // in-memory KV backend and object store — the fixture tests, benchmarks

@@ -31,13 +31,15 @@ type FaultPlan struct {
 	Delay time.Duration
 }
 
-// faultConn wraps a net.Conn, injecting the plan's faults on writes.
-// Reads pass through untouched: request loss, delay and severing are all
-// expressible on the write side, and keeping reads clean means a response
-// already in flight still arrives.
+// faultConn wraps a net.Conn, injecting the current plan's faults on
+// writes. Reads pass through untouched: request loss, delay and severing
+// are all expressible on the write side, and keeping reads clean means a
+// response already in flight still arrives. The plan is re-read per write
+// (via current), which is what lets a FaultGate open and close fault
+// windows on live connections.
 type faultConn struct {
 	net.Conn
-	plan FaultPlan
+	current func() FaultPlan
 
 	mu      sync.Mutex
 	rng     *rand.Rand
@@ -48,7 +50,11 @@ type faultConn struct {
 // according to plan. Combine with WithDialer to fault-inject every
 // connection a Client or Pool opens.
 func InjectFaults(conn net.Conn, plan FaultPlan) net.Conn {
-	return &faultConn{Conn: conn, plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+	return &faultConn{
+		Conn:    conn,
+		current: func() FaultPlan { return plan },
+		rng:     rand.New(rand.NewSource(plan.Seed)),
+	}
 }
 
 // FaultDialer returns a dialer for WithDialer whose every connection is
@@ -64,8 +70,9 @@ func FaultDialer(plan FaultPlan) func(addr string) (net.Conn, error) {
 }
 
 func (f *faultConn) Write(b []byte) (int, error) {
-	if f.plan.Delay > 0 {
-		time.Sleep(f.plan.Delay)
+	plan := f.current()
+	if plan.Delay > 0 {
+		time.Sleep(plan.Delay)
 	}
 	f.mu.Lock()
 	if f.severed {
@@ -74,15 +81,67 @@ func (f *faultConn) Write(b []byte) (int, error) {
 	}
 	r := f.rng.Float64()
 	switch {
-	case r < f.plan.SeverProb:
+	case r < plan.SeverProb:
 		f.severed = true
 		f.mu.Unlock()
 		f.Conn.Close()
 		return 0, ErrFaultSevered
-	case r < f.plan.SeverProb+f.plan.DropProb:
+	case r < plan.SeverProb+plan.DropProb:
 		f.mu.Unlock()
 		return len(b), nil // swallowed: caller believes it was sent
 	}
 	f.mu.Unlock()
 	return f.Conn.Write(b)
+}
+
+// --- fault gate: runtime-togglable fault windows ---
+
+// FaultGate is a switchboard for scripted fault windows: connections
+// dialed through Gate.Dialer consult the gate's current plan on every
+// write, so a load harness can open a slow/drop/sever window mid-run and
+// close it again without redialing anything. The zero value is an open
+// gate (no faults).
+type FaultGate struct {
+	mu   sync.Mutex
+	plan FaultPlan
+	seq  int64 // distinct per-connection RNG streams under one seed
+}
+
+// Set replaces the active fault plan. All gated connections see it on
+// their next write.
+func (g *FaultGate) Set(plan FaultPlan) {
+	g.mu.Lock()
+	g.plan = plan
+	g.mu.Unlock()
+}
+
+// Clear removes all faults (equivalent to Set(FaultPlan{})).
+func (g *FaultGate) Clear() { g.Set(FaultPlan{}) }
+
+// Plan returns the active fault plan.
+func (g *FaultGate) Plan() FaultPlan {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.plan
+}
+
+// Inject wraps conn so its writes consult the gate's current plan.
+func (g *FaultGate) Inject(conn net.Conn) net.Conn {
+	g.mu.Lock()
+	g.seq++
+	seed := g.plan.Seed + g.seq
+	g.mu.Unlock()
+	return &faultConn{Conn: conn, current: g.Plan, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Dialer returns a dialer for WithDialer whose every connection is gated
+// by g.
+func (g *FaultGate) Dialer() func(addr string) (net.Conn, error) {
+	return func(addr string) (net.Conn, error) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return g.Inject(conn), nil
+	}
 }

@@ -329,3 +329,40 @@ func TestFaultPlanReplays(t *testing.T) {
 		}
 	}
 }
+
+// TestFaultGateWindow drives a live connection through a closed→open→
+// closed fault window: calls succeed, then a delay window measurably
+// slows them without redialing, then clearing the gate restores fast
+// calls on the same connection.
+func TestFaultGateWindow(t *testing.T) {
+	_, addr := startEchoServer(t)
+	var gate FaultGate
+	c, err := Dial(addr, WithDialer(gate.Dialer()), WithCallTimeout(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Call("echo", []byte("before")); err != nil {
+		t.Fatalf("call before window: %v", err)
+	}
+
+	const delay = 30 * time.Millisecond
+	gate.Set(FaultPlan{Delay: delay})
+	start := time.Now()
+	if _, err := c.Call("echo", []byte("during")); err != nil {
+		t.Fatalf("call during window: %v", err)
+	}
+	if time.Since(start) < delay {
+		t.Errorf("window delay not applied on live connection: %v", time.Since(start))
+	}
+
+	gate.Clear()
+	start = time.Now()
+	if _, err := c.Call("echo", []byte("after")); err != nil {
+		t.Fatalf("call after window: %v", err)
+	}
+	if time.Since(start) >= delay {
+		t.Errorf("delay persisted after Clear: %v", time.Since(start))
+	}
+}
