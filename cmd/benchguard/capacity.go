@@ -25,6 +25,15 @@ type capacityBaseline struct {
 
 	AchievedRateQPS float64 `json:"achieved_rate_qps"`
 	OpenLoopP99S    float64 `json:"open_loop_p99_s"`
+
+	// EpochStallP99S, when nonzero, additionally gates the background
+	// epoch readers' stall p99 (report field epoch_stall) — the
+	// hedging-regression tripwire of the disk-tail smoke. The tolerance
+	// is fractional growth like P99Tolerance but defaults to 1.0
+	// (fail above 2x): stall quantiles under hedging sit at
+	// scheduler-jitter scale and are the noisiest figure gated here.
+	EpochStallP99S      float64 `json:"epoch_stall_p99_s,omitempty"`
+	EpochStallTolerance float64 `json:"epoch_stall_tolerance,omitempty"`
 }
 
 // capacityReport is the slice of loadgen.Report the gate reads. Decoding
@@ -41,6 +50,10 @@ type capacityReport struct {
 	OpenLoop        struct {
 		P99S float64 `json:"p99_s"`
 	} `json:"open_loop"`
+	EpochStall *struct {
+		Count uint64  `json:"count"`
+		P99S  float64 `json:"p99_s"`
+	} `json:"epoch_stall"`
 }
 
 // runCapacity gates a diesel-load JSON report against the committed
@@ -72,6 +85,10 @@ func runCapacity(reportPath, basePath string, update bool) {
 			MaxErrorRate:    0.01,
 			AchievedRateQPS: rep.AchievedRateQPS,
 			OpenLoopP99S:    rep.OpenLoop.P99S,
+		}
+		if es := rep.EpochStall; es != nil && es.Count > 0 {
+			b.EpochStallP99S = es.P99S
+			b.EpochStallTolerance = 1.0
 		}
 		data, err := json.MarshalIndent(b, "", "  ")
 		if err != nil {
@@ -125,6 +142,21 @@ func runCapacity(reportPath, basePath string, update bool) {
 		"error rate %.4f (max %.4f)", errRate, base.MaxErrorRate)
 
 	check(rep.Shed == 0, "shed arrivals %d (must be 0: shedding means the queue overflowed)", rep.Shed)
+
+	if base.EpochStallP99S > 0 {
+		tol := base.EpochStallTolerance
+		if tol <= 0 {
+			tol = 1.0
+		}
+		stallCeil := base.EpochStallP99S * (1 + tol)
+		if es := rep.EpochStall; es == nil || es.Count == 0 {
+			check(false, "epoch stall p99: report has no epoch_stall samples (did the readers run?)")
+		} else {
+			check(es.P99S <= stallCeil,
+				"epoch stall p99 %.3fms, baseline %.3fms (ceiling %.3fms, +%.0f%%)",
+				es.P99S*1e3, base.EpochStallP99S*1e3, stallCeil*1e3, tol*100)
+		}
+	}
 
 	if failed {
 		fmt.Println("benchguard: capacity regression detected")

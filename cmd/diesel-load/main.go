@@ -51,7 +51,7 @@ func main() {
 	generators := flag.Int("generators", 4, "arrival-generator goroutines (phase-offset schedule shards)")
 	seed := flag.Int64("seed", 1, "seed for arrival draws and workload mix")
 	mix := flag.String("mix", "get=6,batch=2,chunk=1", "weighted op mix: get,direct,batch,chunk,view,stat (kind=weight,...)")
-	faults := flag.String("faults", "", `fault schedule: "start+dur:kind[:arg]; ..." — kinds kv-kill, server-kill, disk-slow, net-delay, net-drop, net-sever`)
+	faults := flag.String("faults", "", `fault schedule: "start+dur:kind[:arg]; ..." — kinds kv-kill, server-kill, disk-slow, disk-tail, net-delay, net-drop, net-sever`)
 	closedLoop := flag.Bool("closed-loop", false, "run the classic closed-loop harness instead (service-time-only numbers, for comparison)")
 
 	// System under test.
@@ -69,6 +69,9 @@ func main() {
 	taskNodes := flag.Int("task-nodes", 0, "embedded: simulated nodes of a DLT task with the distributed cache (0 = no task)")
 	clientsPerNode := flag.Int("clients-per-node", 0, "embedded: I/O processes per task node")
 	epochReaders := flag.Int("epoch-readers", 0, "background pipelined epoch readers looping during the run")
+	epochHedge := flag.Bool("epoch-hedge", false, "hedge the epoch readers' straggling group fetches (first success wins)")
+	epochReorder := flag.Int("epoch-reorder", 0, "epoch readers serve whichever of the next k prefetched groups lands first")
+	epochDeadline := flag.Duration("epoch-deadline", 0, "per-attempt deadline on the epoch readers' group fetches")
 
 	// Output and gating.
 	jsonPath := flag.String("json", "", "write the JSON capacity report here (- = stdout)")
@@ -109,6 +112,9 @@ func main() {
 			TaskNodes:      *taskNodes,
 			ClientsPerNode: *clientsPerNode,
 			EpochReaders:   *epochReaders,
+			EpochHedge:     *epochHedge,
+			EpochReorder:   *epochReorder,
+			EpochDeadline:  *epochDeadline,
 		})
 	}
 	if err != nil {

@@ -18,9 +18,15 @@
 //	recover [from-unix-seconds]      rebuild metadata from chunks (§4.1.2)
 //	rm-dataset                       delete the entire dataset
 //	gen <files> <mean-size>          generate a synthetic dataset
-//	read-epoch [seed [group [window]]]  stream one chunk-wise shuffled epoch
+//	read-epoch [-hedge] [-reorder k] [-deadline d] [seed [group [window]]]
+//	                                 stream one chunk-wise shuffled epoch
 //	                                 through the pipelined reader and report
-//	                                 throughput (Ctrl-C cancels cleanly)
+//	                                 throughput (Ctrl-C cancels cleanly);
+//	                                 -hedge reissues straggling group fetches
+//	                                 after an adaptive p99 delay, -reorder k
+//	                                 serves the first-finished of the next k
+//	                                 groups, -deadline bounds each fetch
+//	                                 attempt
 //	stats [-watch 2s] <host:port | url> scrape a -metrics endpoint (watch: print deltas/rates)
 //	trace [-id hex] <endpoint>...    scrape /debug/traces from one or more
 //	                                 endpoints and stitch cross-process span
@@ -245,29 +251,37 @@ func run(c *client.Client, dataset, cmd string, args []string) error {
 		return c.DeleteDataset()
 
 	case "read-epoch":
+		fs := flag.NewFlagSet("read-epoch", flag.ContinueOnError)
+		hedge := fs.Bool("hedge", false, "hedge straggling group fetches (reissue after the adaptive p99 delay, first success wins)")
+		reorder := fs.Int("reorder", 0, "serve whichever of the next k prefetched groups finished first (0 = exact plan order)")
+		deadline := fs.Duration("deadline", 0, "per-group-fetch attempt timeout (0 = none)")
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		rest := fs.Args()
 		seed, group, window := int64(1), 8, 2
-		if len(args) > 0 {
-			v, err := strconv.ParseInt(args[0], 10, 64)
+		if len(rest) > 0 {
+			v, err := strconv.ParseInt(rest[0], 10, 64)
 			if err != nil {
-				return fmt.Errorf("read-epoch: bad seed %q", args[0])
+				return fmt.Errorf("read-epoch: bad seed %q", rest[0])
 			}
 			seed = v
 		}
-		if len(args) > 1 {
-			v, err := strconv.Atoi(args[1])
+		if len(rest) > 1 {
+			v, err := strconv.Atoi(rest[1])
 			if err != nil {
-				return fmt.Errorf("read-epoch: bad group size %q", args[1])
+				return fmt.Errorf("read-epoch: bad group size %q", rest[1])
 			}
 			group = v
 		}
-		if len(args) > 2 {
-			v, err := strconv.Atoi(args[2])
+		if len(rest) > 2 {
+			v, err := strconv.Atoi(rest[2])
 			if err != nil {
-				return fmt.Errorf("read-epoch: bad window %q", args[2])
+				return fmt.Errorf("read-epoch: bad window %q", rest[2])
 			}
 			window = v
 		}
-		return readEpoch(c, seed, group, window)
+		return readEpoch(c, seed, group, window, *hedge, *reorder, *deadline)
 
 	case "gen":
 		if len(args) != 2 {
@@ -300,7 +314,9 @@ func run(c *client.Client, dataset, cmd string, args []string) error {
 // readEpoch streams one shuffled epoch through the pipelined reader,
 // fetching whole chunks from the servers, and reports throughput.
 // Interrupting cancels the context, which unwinds every in-flight RPC.
-func readEpoch(c *client.Client, seed int64, group, window int) error {
+// hedge/reorder/deadline switch on the reader's tail-latency controls;
+// hedged reissues go through the same servers with a fresh context.
+func readEpoch(c *client.Client, seed int64, group, window int, hedge bool, reorder int, deadline time.Duration) error {
 	snap, err := c.DownloadSnapshot()
 	if err != nil {
 		return err
@@ -311,8 +327,19 @@ func readEpoch(c *client.Client, seed int64, group, window int) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	r := epoch.NewReader(plan, snap, epoch.NewClientSource(c, snap, 0),
-		epoch.WithWindow(window), epoch.WithContext(ctx))
+	opts := []epoch.Option{
+		epoch.WithWindow(window), epoch.WithContext(ctx),
+	}
+	if hedge {
+		opts = append(opts, epoch.WithHedge(nil))
+	}
+	if reorder > 0 {
+		opts = append(opts, epoch.WithReorderWindow(reorder))
+	}
+	if deadline > 0 {
+		opts = append(opts, epoch.WithGroupDeadline(deadline))
+	}
+	r := epoch.NewReader(plan, snap, epoch.NewClientSource(c, snap, 0), opts...)
 	defer r.Close()
 	start := time.Now()
 	files, bytes := 0, uint64(0)

@@ -50,8 +50,14 @@ var ErrClosed = errors.New("epoch: reader closed")
 type Option func(*config)
 
 type config struct {
-	ctx    context.Context
-	window int
+	ctx      context.Context
+	window   int
+	reorder  int           // groups servable ahead of the oldest unserved (0 = exact order)
+	deadline time.Duration // per-ReadGroup-attempt timeout (0 = none)
+
+	hedge      bool          // reissue straggling fetches after the adaptive delay
+	hedgeSrc   Source        // secondary source for hedges (nil = primary again)
+	hedgeFloor time.Duration // lower bound of the hedge delay
 }
 
 // WithWindow bounds how many groups may be fetched ahead of the one being
@@ -66,6 +72,65 @@ func WithWindow(n int) Option {
 	return func(c *config) {
 		if n >= 0 {
 			c.window = n
+		}
+	}
+}
+
+// WithReorderWindow lets Next serve samples from whichever of the next
+// k+1 prefetched groups completed first: a group may be delivered at most
+// k groups ahead of the oldest not-yet-served one, so a straggling fetch
+// no longer blocks the groups that finished behind it. Within each group
+// samples stay in plan order, and Sample.Pos always carries the exact
+// plan position, so consumers that need the global order can either keep
+// the default k=0 (byte-for-byte identical to the strict reader) or
+// reorder by Pos themselves. "Hiding Latencies in Network-Based Image
+// Loading" shows DL training tolerates exactly this bounded reordering —
+// the shuffle already randomized the order, so a bounded, shuffle-seeded
+// permutation of group delivery is statistically invisible to SGD.
+//
+// Reordering needs a pipeline to reorder: with window 0 (synchronous
+// fetches) k is ignored.
+func WithReorderWindow(k int) Option {
+	return func(c *config) {
+		if k >= 0 {
+			c.reorder = k
+		}
+	}
+}
+
+// WithGroupDeadline bounds every group-fetch attempt with its own
+// timeout: a wedged fetch degrades to the hedge (or one fresh-context
+// retry when hedging is off) instead of occupying a window slot until the
+// epoch's own context dies. Zero disables (the default).
+func WithGroupDeadline(d time.Duration) Option {
+	return func(c *config) {
+		if d > 0 {
+			c.deadline = d
+		}
+	}
+}
+
+// WithHedge enables hedged group fetches: when a fetch outlives
+// max(floor, rolling p99 of this reader's attempt latencies), the group
+// is reissued through secondary — or through the primary source again
+// with a fresh context when secondary is nil — and the first success
+// wins; the loser is cancelled and its result dropped. secondary must be
+// safe for concurrent use alongside the primary.
+func WithHedge(secondary Source) Option {
+	return func(c *config) {
+		c.hedge = true
+		c.hedgeSrc = secondary
+	}
+}
+
+// WithHedgeDelayFloor sets the minimum hedge delay (default
+// DefaultHedgeDelayFloor). The floor carries the cold start — before the
+// rolling p99 has samples — and guards very fast sources against hedging
+// every read.
+func WithHedgeDelayFloor(d time.Duration) Option {
+	return func(c *config) {
+		if d > 0 {
+			c.hedgeFloor = d
 		}
 	}
 }
@@ -105,13 +170,28 @@ type Reader struct {
 	wg      sync.WaitGroup
 	closing sync.Once
 
+	// Tail-latency machinery (hedge.go).
+	delay    delayTracker   // adaptive hedge delay: max(floor, rolling p99)
+	attempts attemptTracker // joins straggling hedge/deadline attempts on Close
+
+	// completed carries group indices in completion order when the
+	// reorder window is open (buffered len(Groups): workers never block).
+	completed chan int
+
 	// Consumer state, owned by Next's caller.
 	cur       [][]byte // current group's payloads, nil'd as consumed
 	curStart  int      // plan position of cur[0]
 	curGroup  int      // plan group index of cur
 	offset    int      // next index within cur
-	nextGroup int      // next group to take from the pipeline
+	nextGroup int      // strict order: next group to take from the pipeline
 	err       error    // terminal error (never io.EOF)
+
+	// Reorder-window consumer state (reorderOn only).
+	held      map[int]groupResult // completed groups awaiting an eligible slot
+	heldOrder []int               // completion order of the held groups
+	served    []bool              // per-group served marks
+	low       int                 // smallest unserved group index
+	servedN   int                 // groups installed as current so far
 }
 
 // NewReader starts the pipeline over one epoch plan. The snapshot must be
@@ -121,15 +201,32 @@ func NewReader(plan *shuffle.Plan, snap *meta.Snapshot, src Source, opts ...Opti
 	for _, fn := range opts {
 		fn(&cfg)
 	}
+	if cfg.window <= 0 {
+		cfg.reorder = 0 // nothing to reorder without a pipeline
+	}
+	if cfg.hedge && cfg.hedgeFloor <= 0 {
+		cfg.hedgeFloor = DefaultHedgeDelayFloor
+	}
 	ctx, cancel := context.WithCancel(cfg.ctx)
 	r := &Reader{
 		plan: plan, snap: snap, src: src, cfg: cfg,
 		ctx: ctx, cancel: cancel,
 	}
+	r.delay.floor = cfg.hedgeFloor
+	if r.reorderOn() {
+		r.held = make(map[int]groupResult)
+		r.served = make([]bool, len(plan.Groups))
+	}
 	if cfg.window > 0 && len(plan.Groups) > 0 {
 		r.start()
 	}
 	return r
+}
+
+// reorderOn reports whether the bounded out-of-order delivery path is
+// active.
+func (r *Reader) reorderOn() bool {
+	return r.cfg.window > 0 && r.cfg.reorder > 0
 }
 
 // start launches the dispatcher and fetch workers. The dispatcher admits
@@ -141,6 +238,9 @@ func (r *Reader) start() {
 	r.results = make([]chan groupResult, nGroups)
 	for i := range r.results {
 		r.results[i] = make(chan groupResult, 1)
+	}
+	if r.reorderOn() {
+		r.completed = make(chan int, nGroups)
 	}
 	r.sem = make(chan struct{}, r.cfg.window)
 	jobs := make(chan int)
@@ -167,29 +267,47 @@ func (r *Reader) start() {
 		go func() {
 			defer r.wg.Done()
 			for g := range jobs {
-				// Each group fetch is its own trace root: one epoch is
-				// unbounded in spans, one group is not, and the slow unit
-				// worth attributing is the group.
-				gctx, gsp := tracing.StartSpan(r.ctx, "epoch.group")
-				if gsp != nil {
-					gsp.SetAttr("group", strconv.Itoa(g))
-					gs := r.plan.Groups[g]
-					gsp.SetAttr("files", strconv.Itoa(gs.End-gs.Start))
-				}
-				start := time.Now()
-				data, err := r.src.ReadGroup(gctx, r.plan, g)
-				mGroupFetchLat.Since(start)
-				gsp.SetError(err)
-				gsp.End()
-				tracing.ObserveSlow(gsp, "diesel_epoch_group_fetch_seconds", time.Since(start))
-				if err == nil {
-					mGroups.Inc()
-				}
+				res := r.fetchGroup(g)
 				mDepth.Add(1)
-				r.results[g] <- groupResult{data: data, err: err, sp: gsp} // buffered(1): never blocks
+				r.results[g] <- res // buffered(1): never blocks
+				if r.completed != nil {
+					r.completed <- g // buffered(nGroups): never blocks
+				}
 			}
 		}()
 	}
+}
+
+// fetchGroup runs one traced group fetch — hedged and deadline-bounded
+// when configured (hedge.go) — and records the shared fetch metrics.
+// Both the prefetch workers and the window=0 inline path go through it,
+// so diesel_epoch_group_fetch_seconds is populated in every
+// configuration, including the synchronous baseline the benchmarks
+// compare pipelined runs against.
+func (r *Reader) fetchGroup(g int) groupResult {
+	// Each group fetch is its own trace root: one epoch is unbounded in
+	// spans, one group is not, and the slow unit worth attributing is
+	// the group.
+	gctx, gsp := tracing.StartSpan(r.ctx, "epoch.group")
+	if gsp != nil {
+		gsp.SetAttr("group", strconv.Itoa(g))
+		gs := r.plan.Groups[g]
+		gsp.SetAttr("files", strconv.Itoa(gs.End-gs.Start))
+		if r.cfg.window <= 0 {
+			gsp.SetAttr("window", "0")
+		}
+	}
+	start := time.Now()
+	data, err := r.readGroup(gctx, g)
+	d := time.Since(start)
+	mGroupFetchLat.ObserveDuration(d)
+	gsp.SetError(err)
+	gsp.End()
+	tracing.ObserveSlow(gsp, "diesel_epoch_group_fetch_seconds", d)
+	if err == nil {
+		mGroups.Inc()
+	}
+	return groupResult{data: data, err: err, sp: gsp}
 }
 
 // Next returns the next sample in plan order. It returns io.EOF when the
@@ -205,7 +323,7 @@ func (r *Reader) Next() (Sample, error) {
 		return Sample{}, r.fail(fmt.Errorf("%w: %w", ErrClosed, context.Cause(r.ctx)))
 	}
 	for r.cur == nil || r.offset >= len(r.cur) {
-		if r.nextGroup >= len(r.plan.Groups) {
+		if r.groupsDone() {
 			return Sample{}, io.EOF
 		}
 		if err := r.advance(); err != nil {
@@ -226,27 +344,28 @@ func (r *Reader) Next() (Sample, error) {
 	return s, nil
 }
 
+// groupsDone reports whether every plan group has been installed as the
+// current group (the epoch-complete condition ahead of io.EOF).
+func (r *Reader) groupsDone() bool {
+	if r.reorderOn() {
+		return r.servedN >= len(r.plan.Groups)
+	}
+	return r.nextGroup >= len(r.plan.Groups)
+}
+
 // advance blocks until the next group is ready (fetching it inline when
 // the window is 0) and installs it as the current group. The time spent
 // blocked here is the pipeline's exposed stall — the quantity prefetch
 // exists to hide.
 func (r *Reader) advance() error {
+	if r.reorderOn() {
+		return r.advanceReorder()
+	}
 	g := r.nextGroup
 	start := time.Now()
 	var res groupResult
 	if r.cfg.window <= 0 {
-		gctx, gsp := tracing.StartSpan(r.ctx, "epoch.group")
-		if gsp != nil {
-			gsp.SetAttr("group", strconv.Itoa(g))
-			gsp.SetAttr("window", "0")
-		}
-		res.data, res.err = r.src.ReadGroup(gctx, r.plan, g)
-		gsp.SetError(res.err)
-		gsp.End()
-		res.sp = gsp
-		if res.err == nil {
-			mGroups.Inc()
-		}
+		res = r.fetchGroup(g)
 	} else {
 		select {
 		case res = <-r.results[g]:
@@ -256,6 +375,48 @@ func (r *Reader) advance() error {
 			return r.fail(fmt.Errorf("%w: %w", ErrClosed, context.Cause(r.ctx)))
 		}
 	}
+	return r.install(g, res, start)
+}
+
+// advanceReorder is advance for the bounded out-of-order path: it serves
+// the earliest-*completed* group whose index is within reorder groups of
+// the oldest unserved one, blocking on the completion stream when no held
+// group is eligible. Liveness: the dispatcher admits groups in index
+// order, so the oldest unserved group is always dispatched no later than
+// any held group — whenever held groups are all too far ahead, the group
+// that would unblock them is in flight.
+func (r *Reader) advanceReorder() error {
+	start := time.Now()
+	for {
+		limit := r.low + r.cfg.reorder
+		for i, g := range r.heldOrder {
+			if g <= limit {
+				res := r.held[g]
+				delete(r.held, g)
+				r.heldOrder = append(r.heldOrder[:i], r.heldOrder[i+1:]...)
+				return r.install(g, res, start)
+			}
+		}
+		select {
+		case g := <-r.completed:
+			// The result send happens before the completion announcement,
+			// so this receive never blocks.
+			res := <-r.results[g]
+			mDepth.Add(-1)
+			if g <= limit {
+				return r.install(g, res, start)
+			}
+			r.held[g] = res
+			r.heldOrder = append(r.heldOrder, g)
+		case <-r.ctx.Done():
+			return r.fail(fmt.Errorf("%w: %w", ErrClosed, context.Cause(r.ctx)))
+		}
+	}
+}
+
+// install records the stall, surfaces fetch errors, and makes group g the
+// current group. start is when the consumer began waiting.
+func (r *Reader) install(g int, res groupResult, start time.Time) error {
 	mStallLat.Since(start)
 	// A slow stall means prefetch failed to hide this group's fetch; the
 	// exemplar points at that group's trace, which shows why it was slow.
@@ -271,7 +432,20 @@ func (r *Reader) advance() error {
 	r.curStart = span.Start
 	r.curGroup = g
 	r.offset = 0
-	r.nextGroup++
+	if r.reorderOn() {
+		if skew := g - r.low; skew > 0 {
+			mReorderServed.Inc()
+			mReorderSkew.Observe(uint64(skew))
+		}
+		r.served[g] = true
+		for r.low < len(r.served) && r.served[r.low] {
+			r.low++
+		}
+		r.servedN++
+		<-r.sem // the slot stayed occupied while the group was held
+	} else {
+		r.nextGroup++
+	}
 	return nil
 }
 
@@ -301,6 +475,11 @@ func (r *Reader) Err() error {
 func (r *Reader) Close() error {
 	r.closing.Do(func() { r.cancel() })
 	r.wg.Wait()
+	// Join straggling hedge/deadline attempts: their contexts are
+	// cancelled (r.ctx is their ancestor), so each unwinds within one RPC
+	// abort, and waiting here keeps the loser's goroutine, span and
+	// buffers from outliving the reader.
+	r.attempts.shutdown()
 	// Drain ready groups so the depth gauge doesn't drift across epochs.
 	// All worker sends happened-before wg.Wait returned, so non-blocking
 	// receives observe every unconsumed result.

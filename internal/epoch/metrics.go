@@ -14,6 +14,19 @@ import "diesel/internal/obs"
 //	                                  (what the prefetch window exists to
 //	                                  hide; window=0 exposes every fetch)
 //	diesel_epoch_group_fetch_seconds  source latency for one whole group
+//	diesel_epoch_hedges_total         hedged group fetches issued after the
+//	                                  adaptive (p99-derived) delay
+//	diesel_epoch_hedge_wins_total     hedges whose attempt supplied the
+//	                                  group (the straggler lost the race)
+//	diesel_epoch_hedge_wasted_total   hedges the primary beat anyway — the
+//	                                  cost side of the hedging policy
+//	diesel_epoch_deadline_trips_total fetch attempts cut down by
+//	                                  WithGroupDeadline
+//	diesel_epoch_reorder_served_total groups served ahead of plan order
+//	                                  through the reorder window
+//	diesel_epoch_reorder_skew         how many groups ahead of the oldest
+//	                                  unserved group each early delivery
+//	                                  was (bounded by WithReorderWindow)
 var (
 	mSamples = obs.Default().Counter("diesel_epoch_samples_total",
 		"Files served by epoch readers in plan order.")
@@ -29,4 +42,16 @@ var (
 		"Time the epoch consumer blocked waiting for the next group.")
 	mGroupFetchLat = obs.Default().Duration("diesel_epoch_group_fetch_seconds",
 		"Source latency fetching one whole chunk group.")
+	mHedges = obs.Default().Counter("diesel_epoch_hedges_total",
+		"Hedged group fetches issued after the adaptive delay.")
+	mHedgeWins = obs.Default().Counter("diesel_epoch_hedge_wins_total",
+		"Hedged group fetches won by the hedge attempt.")
+	mHedgeWasted = obs.Default().Counter("diesel_epoch_hedge_wasted_total",
+		"Hedged group fetches the primary attempt won anyway.")
+	mDeadlineTrips = obs.Default().Counter("diesel_epoch_deadline_trips_total",
+		"Group fetch attempts cancelled by the per-group deadline.")
+	mReorderServed = obs.Default().Counter("diesel_epoch_reorder_served_total",
+		"Groups served ahead of plan order through the reorder window.")
+	mReorderSkew = obs.Default().Histogram("diesel_epoch_reorder_skew",
+		"Groups ahead of the oldest unserved group at each early delivery.", 1)
 )

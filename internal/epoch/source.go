@@ -2,11 +2,11 @@ package epoch
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
 	"diesel/internal/chunk"
-	"diesel/internal/client"
 	"diesel/internal/meta"
 	"diesel/internal/shuffle"
 )
@@ -42,22 +42,32 @@ type ViewReader interface {
 	ReadFileViewContext(ctx context.Context, path string) ([]byte, error)
 }
 
+// ChunkClient is the server-direct read surface ClientSource needs:
+// whole-chunk fetches plus the batched file API it degrades to.
+// *client.Client implements it.
+type ChunkClient interface {
+	GetChunkContext(ctx context.Context, chunkID string) ([]byte, error)
+	GetBatchContext(ctx context.Context, paths []string) ([][]byte, error)
+}
+
 // ClientSource feeds an epoch reader straight from the DIESEL servers:
 // each group fetch pulls the group's chunks whole (DL_get_chunk — the
 // large sequential read of Table 2) and slices the files out locally
 // using snapshot metadata. If a chunk cannot be fetched or parsed (e.g.
-// purged mid-epoch), its files are re-read through the batched file API
-// instead, so one stale chunk degrades to a batch RPC rather than
-// failing the epoch.
+// purged mid-epoch), or the snapshot's file metadata no longer fits the
+// chunk's payload (repacked mid-epoch), the affected files are re-read
+// through the batched file API instead, so one stale chunk degrades to a
+// batch RPC rather than failing the epoch.
 type ClientSource struct {
-	cl       *client.Client
+	cl       ChunkClient
 	snap     *meta.Snapshot
 	parallel int
 }
 
-// NewClientSource builds a server-direct source. parallel bounds the
-// concurrent chunk fetches within one group (<=0 means 4).
-func NewClientSource(cl *client.Client, snap *meta.Snapshot, parallel int) *ClientSource {
+// NewClientSource builds a server-direct source (cl is typically a
+// *client.Client). parallel bounds the concurrent chunk fetches within
+// one group (<=0 means 4).
+func NewClientSource(cl ChunkClient, snap *meta.Snapshot, parallel int) *ClientSource {
 	if parallel <= 0 {
 		parallel = 4
 	}
@@ -73,13 +83,21 @@ func (s *ClientSource) ReadGroup(ctx context.Context, plan *shuffle.Plan, g int)
 	for _, ci := range span.Chunks {
 		chunks[ci] = &fetched{}
 	}
+	// Acquire a slot before spawning, so a group never holds more than
+	// parallel fetch goroutines at once.
 	sem := make(chan struct{}, s.parallel)
 	var wg sync.WaitGroup
 	for _, ci := range span.Chunks {
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+		}
+		if ctx.Err() != nil {
+			break // the post-wait ctx check surfaces the cancellation
+		}
 		wg.Add(1)
 		go func(ci int32) {
 			defer wg.Done()
-			sem <- struct{}{}
 			defer func() { <-sem }()
 			f := chunks[ci]
 			blob, err := s.cl.GetChunkContext(ctx, s.snap.Chunks[ci].ID.String())
@@ -107,8 +125,14 @@ func (s *ClientSource) ReadGroup(ctx context.Context, plan *shuffle.Plan, g int)
 		}
 		pay := f.ck.Payload()
 		if m.Offset+m.Length > uint64(len(pay)) {
-			return nil, fmt.Errorf("epoch: file %q range [%d,%d) outside chunk payload %d",
-				s.snap.FileName(int(plan.Files[pos])), m.Offset, m.Offset+m.Length, len(pay))
+			// Stale snapshot metadata: the chunk on the server no longer
+			// holds this file where the snapshot says (purged/repacked
+			// mid-epoch, or a truncated blob). The documented contract is
+			// that a stale chunk degrades to the batched file API, not
+			// that it fails the epoch — route the file into the same
+			// fallback as a failed chunk fetch.
+			missPos = append(missPos, pos)
+			continue
 		}
 		// Emit a view into the fetched chunk, not a copy: the group's
 		// files collectively keep the chunk blob alive, and the full
@@ -182,33 +206,66 @@ func NewCacheSource(fr FileReader, snap *meta.Snapshot, parallel int) *CacheSour
 	return &CacheSource{fr: fr, read: read, snap: snap, parallel: parallel}
 }
 
-// ReadGroup implements Source.
+// maxJoinedReadErrors caps how many per-file failures one group read
+// reports; past it the joined error just counts the rest.
+const maxJoinedReadErrors = 8
+
+// ReadGroup implements Source. A fixed pool of min(parallel, n) workers
+// drains the group's files from a channel, so a large group never holds
+// more goroutines than parallel — the previous shape spawned one
+// goroutine per file and only then queued on the semaphore, bursting
+// thousands of goroutines for chunk-sized groups. Every file is
+// attempted even after a failure, and all failures are joined so the
+// caller sees each broken file, not just the first.
 func (s *CacheSource) ReadGroup(ctx context.Context, plan *shuffle.Plan, g int) ([][]byte, error) {
 	span := plan.Groups[g]
-	out := make([][]byte, span.End-span.Start)
-	errs := make([]error, span.End-span.Start)
-	sem := make(chan struct{}, s.parallel)
-	var wg sync.WaitGroup
-	for pos := span.Start; pos < span.End; pos++ {
-		wg.Add(1)
-		go func(pos int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			if ctx.Err() != nil {
-				errs[pos-span.Start] = ctx.Err()
-				return
-			}
-			path := s.snap.FileName(int(plan.Files[pos]))
-			out[pos-span.Start], errs[pos-span.Start] = s.read(ctx, path)
-		}(pos)
+	n := span.End - span.Start
+	out := make([][]byte, n)
+	errs := make([]error, n)
+	jobs := make(chan int)
+	workers := s.parallel
+	if n < workers {
+		workers = n
 	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pos := range jobs {
+				if err := ctx.Err(); err != nil {
+					errs[pos-span.Start] = err
+					continue
+				}
+				path := s.snap.FileName(int(plan.Files[pos]))
+				out[pos-span.Start], errs[pos-span.Start] = s.read(ctx, path)
+			}
+		}()
+	}
+	for pos := span.Start; pos < span.End; pos++ {
+		jobs <- pos
+	}
+	close(jobs)
 	wg.Wait()
+
+	var joined []error
+	extra := 0
 	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("epoch: read %q: %w",
-				s.snap.FileName(int(plan.Files[span.Start+i])), err)
+		if err == nil {
+			continue
 		}
+		if len(joined) >= maxJoinedReadErrors {
+			extra++
+			continue
+		}
+		joined = append(joined, fmt.Errorf("epoch: read %q: %w",
+			s.snap.FileName(int(plan.Files[span.Start+i])), err))
+	}
+	if extra > 0 {
+		joined = append(joined, fmt.Errorf("epoch: %d more file reads failed", extra))
+	}
+	if len(joined) > 0 {
+		return nil, errors.Join(joined...)
 	}
 	return out, nil
 }

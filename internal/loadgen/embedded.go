@@ -51,6 +51,15 @@ type StackConfig struct {
 	// EpochReaders is the number of background pipelined epoch readers
 	// looping over the dataset during the run (soak-style ambient load).
 	EpochReaders int
+
+	// EpochHedge, EpochReorder and EpochDeadline switch on the epoch
+	// reader's tail-latency controls (epoch.WithHedge,
+	// epoch.WithReorderWindow, epoch.WithGroupDeadline) for the
+	// background readers, so a disk-tail fault window exercises the
+	// hedged path the CI smoke gates on.
+	EpochHedge    bool
+	EpochReorder  int
+	EpochDeadline time.Duration
 }
 
 func (c *StackConfig) setDefaults() {
@@ -345,6 +354,9 @@ func (s *Stack) Ops(spec string) ([]WeightedOp, error) {
 //	server-kill:<idx> close DIESEL server idx, restart at window end
 //	                  (stateless: clients fail over, pools redial)
 //	disk-slow:<dur>   add dur to every store operation
+//	disk-tail:<n>x<dur> every n-th store operation takes dur extra —
+//	                  stragglers rather than a uniform slowdown, the
+//	                  shape hedged epoch reads exist to absorb
 //	net-delay:<dur>   delay every client-connection write by dur
 //	net-drop:<prob>   silently swallow writes with probability prob
 //	net-sever:<prob>  kill the connection on write with probability prob
@@ -397,7 +409,7 @@ func (s *Stack) parseFault(spec string) (Fault, error) {
 		return i, nil
 	}
 	switch kind {
-	case "kv-kill", "server-kill", "disk-slow":
+	case "kv-kill", "server-kill", "disk-slow", "disk-tail":
 		// These reach inside the deployment, so they only exist in
 		// embedded mode; net-* faults live in the client-side gate and
 		// work against external servers too.
@@ -431,6 +443,15 @@ func (s *Stack) parseFault(spec string) (Fault, error) {
 		}
 		f.Apply = func() error { s.Throttle.SetExtraLatency(d); return nil }
 		f.Revert = func() error { s.Throttle.SetExtraLatency(0); return nil }
+	case "disk-tail":
+		nStr, dStr, ok := strings.Cut(arg, "x")
+		n, errN := strconv.Atoi(strings.TrimSpace(nStr))
+		d, errD := time.ParseDuration(strings.TrimSpace(dStr))
+		if !ok || errN != nil || n < 2 || errD != nil || d <= 0 {
+			return bad("disk-tail wants <every>x<extra>, e.g. 50x18ms")
+		}
+		f.Apply = func() error { s.Throttle.SetSlowEvery(n, d); return nil }
+		f.Revert = func() error { s.Throttle.SetSlowEvery(0, 0); return nil }
 	case "net-delay":
 		d, err := time.ParseDuration(arg)
 		if err != nil || d <= 0 {
@@ -465,6 +486,10 @@ var trackedCounters = []string{
 	"diesel_wire_call_timeouts_total",
 	"diesel_dcache_master_deaths_total",
 	"diesel_dcache_master_revivals_total",
+	"diesel_epoch_hedges_total",
+	"diesel_epoch_hedge_wins_total",
+	"diesel_epoch_deadline_trips_total",
+	"diesel_epoch_reorder_served_total",
 }
 
 func counterValues() map[string]float64 {
@@ -490,6 +515,16 @@ func (s *Stack) RunEmbedded(ctx context.Context, cfg Config) (*Report, error) {
 	// Background pipelined epoch readers: ambient sequential-scan load, as
 	// a training job's data loaders would apply alongside random reads.
 	epochCtx, stopEpochs := context.WithCancel(ctx)
+	eopts := []epoch.Option{epoch.WithWindow(2), epoch.WithContext(epochCtx)}
+	if s.cfg.EpochHedge {
+		eopts = append(eopts, epoch.WithHedge(nil))
+	}
+	if s.cfg.EpochReorder > 0 {
+		eopts = append(eopts, epoch.WithReorderWindow(s.cfg.EpochReorder))
+	}
+	if s.cfg.EpochDeadline > 0 {
+		eopts = append(eopts, epoch.WithGroupDeadline(s.cfg.EpochDeadline))
+	}
 	var epochWG sync.WaitGroup
 	var epochs atomic.Uint64
 	for i := 0; i < s.cfg.EpochReaders; i++ {
@@ -503,8 +538,7 @@ func (s *Stack) RunEmbedded(ctx context.Context, cfg Config) (*Report, error) {
 					return
 				}
 				snap := cl.Snapshot()
-				r := epoch.NewReader(plan, snap, epoch.NewClientSource(cl, snap, 2),
-					epoch.WithWindow(2), epoch.WithContext(epochCtx))
+				r := epoch.NewReader(plan, snap, epoch.NewClientSource(cl, snap, 2), eopts...)
 				for {
 					if _, err := r.Next(); err != nil {
 						break
@@ -532,6 +566,31 @@ func (s *Stack) RunEmbedded(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	if s.cfg.EpochReaders > 0 {
 		rep.Counters["loadgen_background_epochs"] = float64(epochs.Load())
+		if ls, ok := epochStallSummary(); ok {
+			rep.EpochStall = &ls
+		}
 	}
 	return rep, nil
+}
+
+// epochStallSummary reads the diesel_epoch_stall_seconds histogram: how
+// long background epoch readers' Next calls blocked on the pipeline,
+// the figure the tail-latency controls exist to cap. The registry
+// histogram is process-cumulative, not a per-run delta — exact for the
+// one-shot cmd/diesel-load process the report contract serves. MaxS is
+// 0: the registry tracks quantiles, not a max.
+func epochStallSummary() (LatencySummary, bool) {
+	for _, m := range obs.Default().Export() {
+		if m.Name == "diesel_epoch_stall_seconds" && m.Count > 0 {
+			return LatencySummary{
+				Count: m.Count,
+				MeanS: m.Mean,
+				P50S:  m.P50,
+				P90S:  m.P90,
+				P99S:  m.P99,
+				P999S: m.P999,
+			}, true
+		}
+	}
+	return LatencySummary{}, false
 }

@@ -93,6 +93,7 @@ func TestParseScheduleErrors(t *testing.T) {
 		"1s+1s:kv-kill:0",
 		"1s+1s:server-kill:0",
 		"1s+1s:disk-slow:5ms",
+		"1s+1s:disk-tail:50x18ms",
 		"1s+1s:net-delay:2ms; 3s+1s:net-drop:0.5",
 		"1s+1s:net-sever:1",
 	}
@@ -106,6 +107,8 @@ func TestParseScheduleErrors(t *testing.T) {
 		"1s+1s:kv-kill:9":                          "out of range",
 		"1s+1s:warp-core:1":                        "unknown fault kind",
 		"1s+1s:net-drop:1.5":                       "probability",
+		"1s+1s:disk-tail:18ms":                     "disk-tail wants",
+		"1s+1s:disk-tail:1x5ms":                    "disk-tail wants",
 		"2s+2s:disk-slow:1ms; 3s+1s:net-delay:1ms": "overlaps",
 	}
 	for spec, wantSub := range bad {
@@ -113,6 +116,59 @@ func TestParseScheduleErrors(t *testing.T) {
 		if err == nil || !strings.Contains(err.Error(), wantSub) {
 			t.Errorf("ParseSchedule(%q) = %v, want error containing %q", spec, err, wantSub)
 		}
+	}
+}
+
+// TestDiskTailEpochReaders drives a short run with a disk-tail straggler
+// window while a hedged, reorder-enabled background epoch reader loops —
+// the shape of the CI disk-tail smoke. The report must carry the epoch
+// stall summary benchguard gates on, and the reader must finish epochs
+// through the fault window.
+func TestDiskTailEpochReaders(t *testing.T) {
+	st, err := StartStack(StackConfig{
+		Files:         96,
+		FileSizeB:     1024,
+		Clients:       2,
+		EpochReaders:  1,
+		EpochHedge:    true,
+		EpochReorder:  2,
+		EpochDeadline: 250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("StartStack: %v", err)
+	}
+	defer st.Close()
+
+	ops, err := st.Ops("get=1")
+	if err != nil {
+		t.Fatalf("Ops: %v", err)
+	}
+	sched, err := st.ParseSchedule("100ms+250ms:disk-tail:10x5ms")
+	if err != nil {
+		t.Fatalf("ParseSchedule: %v", err)
+	}
+	rep, err := st.RunEmbedded(context.Background(), Config{
+		Rate:        200,
+		Duration:    450 * time.Millisecond,
+		Concurrency: 8,
+		Seed:        5,
+		Ops:         ops,
+		Faults:      sched,
+	})
+	if err != nil {
+		t.Fatalf("RunEmbedded: %v", err)
+	}
+	if len(rep.FaultErrors) != 0 {
+		t.Fatalf("fault errors: %v", rep.FaultErrors)
+	}
+	if rep.ErrorRate() > 0.01 {
+		t.Errorf("error rate %.3f under disk-tail, want ~0", rep.ErrorRate())
+	}
+	if rep.EpochStall == nil || rep.EpochStall.Count == 0 {
+		t.Fatalf("epoch stall summary missing from report: %+v", rep.EpochStall)
+	}
+	if rep.Counters["loadgen_background_epochs"] == 0 {
+		t.Error("background epoch reader completed no epochs")
 	}
 }
 

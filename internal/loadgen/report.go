@@ -92,6 +92,13 @@ type Report struct {
 	Open    LatencySummary `json:"open_loop"`
 	Service LatencySummary `json:"service_time"`
 
+	// EpochStall summarizes how long the background epoch readers'
+	// Next calls blocked on the pipeline (diesel_epoch_stall_seconds);
+	// present only when RunEmbedded ran with EpochReaders > 0. The
+	// disk-tail CI smoke gates its p99: hedging regressions surface
+	// here as stalls eating the full straggler latency.
+	EpochStall *LatencySummary `json:"epoch_stall,omitempty"`
+
 	Kinds  []KindReport  `json:"kinds,omitempty"`
 	Phases []PhaseReport `json:"phases,omitempty"`
 
@@ -185,6 +192,10 @@ func (r *Report) Summary(w io.Writer) {
 		r.Open.P50S*1e3, r.Open.P90S*1e3, r.Open.P99S*1e3, r.Open.P999S*1e3, r.Open.MaxS*1e3)
 	fmt.Fprintf(w, "  service-time p50 %8.3fms  p90 %8.3fms  p99 %8.3fms  p99.9 %8.3fms  max %8.1fms\n",
 		r.Service.P50S*1e3, r.Service.P90S*1e3, r.Service.P99S*1e3, r.Service.P999S*1e3, r.Service.MaxS*1e3)
+	if es := r.EpochStall; es != nil {
+		fmt.Fprintf(w, "  epoch-stall  p50 %8.3fms  p90 %8.3fms  p99 %8.3fms  p99.9 %8.3fms  (%d pipeline waits)\n",
+			es.P50S*1e3, es.P90S*1e3, es.P99S*1e3, es.P999S*1e3, es.Count)
+	}
 	for _, ph := range r.Phases {
 		if ph.Name == "steady" && len(r.Phases) == 1 {
 			break

@@ -400,6 +400,13 @@ type Throttled struct {
 	// (nanoseconds, atomic). Fault schedules use it to open and close
 	// slow-disk windows mid-run without reconstructing the store stack.
 	extra atomic.Int64
+
+	// Straggler injection: every slowEveryN-th operation takes slowExtra
+	// additional latency, modeling the occasional 10x-slow disk read that
+	// tail-latency work hedges against. Both togglable at runtime.
+	slowEveryN atomic.Int64
+	slowExtra  atomic.Int64
+	opCount    atomic.Int64
 }
 
 // SetExtraLatency adds d on top of Latency for every subsequent
@@ -410,8 +417,25 @@ func (t *Throttled) SetExtraLatency(d time.Duration) { t.extra.Store(int64(d)) }
 // ExtraLatency returns the current runtime-added per-operation latency.
 func (t *Throttled) ExtraLatency() time.Duration { return time.Duration(t.extra.Load()) }
 
+// SetSlowEvery makes every n-th operation (deterministically, by a global
+// operation counter) take extra additional latency — the 1-in-n straggler
+// a hedged reader must hide. n <= 0 disables injection. Safe to toggle
+// while reads are in flight.
+func (t *Throttled) SetSlowEvery(n int, extra time.Duration) {
+	if n <= 0 {
+		t.slowEveryN.Store(0)
+		t.slowExtra.Store(0)
+		return
+	}
+	t.slowExtra.Store(int64(extra))
+	t.slowEveryN.Store(int64(n))
+}
+
 func (t *Throttled) wait(bytes int) {
 	d := t.Latency + time.Duration(t.extra.Load())
+	if n := t.slowEveryN.Load(); n > 0 && t.opCount.Add(1)%n == 0 {
+		d += time.Duration(t.slowExtra.Load())
+	}
 	if t.BytesPerS > 0 {
 		d += time.Duration(float64(bytes) / t.BytesPerS * float64(time.Second))
 	}

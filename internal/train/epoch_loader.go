@@ -1,11 +1,71 @@
 package train
 
 import (
+	"context"
 	"errors"
 	"io"
+	"time"
 
 	"diesel/internal/epoch"
+	"diesel/internal/meta"
+	"diesel/internal/shuffle"
 )
+
+// epochConfig carries the epoch-reader knobs a LoaderOption can set; only
+// NewEpochLoaderFor reads it.
+type epochConfig struct {
+	window   int  // prefetch window in groups; -1 = reader default
+	hasWin   bool // window was set explicitly (0 is a valid value)
+	reorder  int
+	deadline time.Duration
+	hedge    bool
+	hedgeSrc epoch.Source
+	ctx      context.Context
+}
+
+// WithEpochWindow bounds the epoch reader's group prefetch window
+// (epoch.WithWindow). 0 is fully synchronous; unset keeps the reader's
+// default.
+func WithEpochWindow(n int) LoaderOption {
+	return func(c *LoaderConfig) {
+		if n >= 0 {
+			c.epoch.window = n
+			c.epoch.hasWin = true
+		}
+	}
+}
+
+// WithEpochReorder lets the epoch reader serve whichever of the next k
+// prefetched groups completed first (epoch.WithReorderWindow); batches
+// then interleave groups out of plan order, which DL training tolerates.
+// Default 0: exact plan order.
+func WithEpochReorder(k int) LoaderOption {
+	return func(c *LoaderConfig) { c.epoch.reorder = k }
+}
+
+// WithEpochDeadline bounds each group-fetch attempt
+// (epoch.WithGroupDeadline), so a wedged fetch degrades to a retry or
+// hedge instead of stalling the training loop indefinitely.
+func WithEpochDeadline(d time.Duration) LoaderOption {
+	return func(c *LoaderConfig) { c.epoch.deadline = d }
+}
+
+// WithEpochHedge enables hedged group fetches (epoch.WithHedge):
+// straggling fetches are reissued through secondary — or the primary
+// source again when secondary is nil — and the first success wins.
+func WithEpochHedge(secondary epoch.Source) LoaderOption {
+	return func(c *LoaderConfig) {
+		c.epoch.hedge = true
+		c.epoch.hedgeSrc = secondary
+	}
+}
+
+// WithEpochContext attaches a context to the whole epoch
+// (epoch.WithContext): cancelling it unwinds the pipeline and every
+// in-flight fetch.
+func WithEpochContext(ctx context.Context) LoaderOption {
+	return func(c *LoaderConfig) { c.epoch.ctx = ctx }
+}
 
 // EpochLoader adapts a pipelined epoch.Reader to the Loader's minibatch
 // surface. Where Loader prefetches file-by-file, an EpochLoader rides the
@@ -30,6 +90,35 @@ func NewEpochLoader(r *epoch.Reader, opts ...LoaderOption) *EpochLoader {
 		cfg.BatchSize = 32
 	}
 	return &EpochLoader{r: r, batch: cfg.BatchSize}
+}
+
+// NewEpochLoaderFor builds the epoch.Reader and its batching loader in
+// one call: the group-granular analogue of New. The WithEpoch* options
+// configure the reader (window, reorder, deadline, hedging, context);
+// WithBatchSize configures the batching. The returned loader owns the
+// reader: Close tears the pipeline down.
+func NewEpochLoaderFor(plan *shuffle.Plan, snap *meta.Snapshot, src epoch.Source, opts ...LoaderOption) *EpochLoader {
+	var cfg LoaderConfig
+	for _, fn := range opts {
+		fn(&cfg)
+	}
+	var eopts []epoch.Option
+	if cfg.epoch.hasWin {
+		eopts = append(eopts, epoch.WithWindow(cfg.epoch.window))
+	}
+	if cfg.epoch.reorder > 0 {
+		eopts = append(eopts, epoch.WithReorderWindow(cfg.epoch.reorder))
+	}
+	if cfg.epoch.deadline > 0 {
+		eopts = append(eopts, epoch.WithGroupDeadline(cfg.epoch.deadline))
+	}
+	if cfg.epoch.hedge {
+		eopts = append(eopts, epoch.WithHedge(cfg.epoch.hedgeSrc))
+	}
+	if cfg.epoch.ctx != nil {
+		eopts = append(eopts, epoch.WithContext(cfg.epoch.ctx))
+	}
+	return NewEpochLoader(epoch.NewReader(plan, snap, src, eopts...), opts...)
 }
 
 // Next returns the next batch in plan order; ok is false when the epoch

@@ -77,6 +77,11 @@ type LoaderConfig struct {
 	Prefetch int
 	// BatchSize is the number of files per batch. Default 32.
 	BatchSize int
+
+	// Epoch-reader knobs, consumed only by NewEpochLoaderFor (the
+	// group-granular pipeline); the file-granular Loader ignores them.
+	// See the WithEpoch* options in epoch_loader.go.
+	epoch epochConfig
 }
 
 // Batch is one minibatch in epoch order.
