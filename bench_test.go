@@ -683,7 +683,7 @@ func BenchmarkEpochRead(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				r := epoch.NewReader(plan, snap, epoch.NewClientSource(cl, snap, 4),
+				r := epoch.NewReader(plan, snap, epoch.NewClientSource(cl.DefaultDataset(), snap, 4),
 					epoch.WithWindow(window))
 				n := 0
 				for {

@@ -110,7 +110,7 @@ func allocExp(cluster.Params) {
 		if _, err := cl.DownloadSnapshot(); err != nil {
 			log.Fatalf("alloc: snapshot: %v", err)
 		}
-		p, err := dcache.Join(cl, etcd.InProcess{R: etcd.NewRegistry()}, dcache.Config{
+		p, err := dcache.Join(cl.DefaultDataset(), etcd.InProcess{R: etcd.NewRegistry()}, dcache.Config{
 			TaskID: "alloc", NodeID: "node0", Rank: 0, TotalClients: 1, Policy: dcache.OnDemand,
 		})
 		if err != nil {
@@ -181,7 +181,7 @@ func allocExp(cluster.Params) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				r := epoch.NewReader(plan, snap, epoch.NewClientSource(cl, snap, 4),
+				r := epoch.NewReader(plan, snap, epoch.NewClientSource(cl.DefaultDataset(), snap, 4),
 					epoch.WithWindow(2))
 				n := 0
 				for {

@@ -68,7 +68,7 @@ func epochExp(cluster.Params) {
 		if err != nil {
 			log.Fatalf("epoch: shuffle: %v", err)
 		}
-		r := epoch.NewReader(plan, snap, epoch.NewClientSource(cl, snap, 4),
+		r := epoch.NewReader(plan, snap, epoch.NewClientSource(cl.DefaultDataset(), snap, 4),
 			epoch.WithWindow(window))
 		start := time.Now()
 		files, bytes := 0, 0

@@ -88,7 +88,7 @@ func tailExp(cluster.Params) {
 		if err != nil {
 			log.Fatalf("tail: shuffle: %v", err)
 		}
-		r := epoch.NewReader(plan, snap, epoch.NewClientSource(cl, snap, 4),
+		r := epoch.NewReader(plan, snap, epoch.NewClientSource(cl.DefaultDataset(), snap, 4),
 			append([]epoch.Option{epoch.WithWindow(2)}, opts...)...)
 		defer r.Close()
 		begin := time.Now()

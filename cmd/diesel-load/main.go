@@ -68,6 +68,8 @@ func main() {
 	batch := flag.Int("batch", 8, "paths per GetBatch op")
 	taskNodes := flag.Int("task-nodes", 0, "embedded: simulated nodes of a DLT task with the distributed cache (0 = no task)")
 	clientsPerNode := flag.Int("clients-per-node", 0, "embedded: I/O processes per task node")
+	jobs := flag.Int("jobs", 0, "embedded: run this many concurrent training jobs over the one dataset, sharing a chunk cache (needs -task-nodes/-clients-per-node; <2 = single task)")
+	sharedCacheBytes := flag.Int64("shared-cache-bytes", 0, "embedded: shared chunk-cache budget in -jobs mode (0 = unlimited)")
 	epochReaders := flag.Int("epoch-readers", 0, "background pipelined epoch readers looping during the run")
 	epochHedge := flag.Bool("epoch-hedge", false, "hedge the epoch readers' straggling group fetches (first success wins)")
 	epochReorder := flag.Int("epoch-reorder", 0, "epoch readers serve whichever of the next k prefetched groups lands first")
@@ -76,6 +78,7 @@ func main() {
 	// Output and gating.
 	jsonPath := flag.String("json", "", "write the JSON capacity report here (- = stdout)")
 	maxErrorRate := flag.Float64("max-error-rate", -1, "exit nonzero if errors/ops exceeds this (negative = no gate)")
+	minAmplification := flag.Float64("min-amplification", -1, "exit nonzero if the -jobs shared-cache amplification falls below this (negative = no gate)")
 	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/pprof on this address during the run")
 	flag.Parse()
 
@@ -100,21 +103,23 @@ func main() {
 		})
 	} else {
 		st, err = loadgen.StartStack(loadgen.StackConfig{
-			KVNodes:        *kvnodes,
-			Servers:        *servers,
-			Files:          *files,
-			FileSizeB:      *fileSize,
-			ChunkTarget:    *chunkTarget,
-			DiskLatency:    *diskLatency,
-			SSDCacheBytes:  *ssdCache,
-			Clients:        *clients,
-			BatchSize:      *batch,
-			TaskNodes:      *taskNodes,
-			ClientsPerNode: *clientsPerNode,
-			EpochReaders:   *epochReaders,
-			EpochHedge:     *epochHedge,
-			EpochReorder:   *epochReorder,
-			EpochDeadline:  *epochDeadline,
+			KVNodes:          *kvnodes,
+			Servers:          *servers,
+			Files:            *files,
+			FileSizeB:        *fileSize,
+			ChunkTarget:      *chunkTarget,
+			DiskLatency:      *diskLatency,
+			SSDCacheBytes:    *ssdCache,
+			Clients:          *clients,
+			BatchSize:        *batch,
+			TaskNodes:        *taskNodes,
+			ClientsPerNode:   *clientsPerNode,
+			Jobs:             *jobs,
+			SharedCacheBytes: *sharedCacheBytes,
+			EpochReaders:     *epochReaders,
+			EpochHedge:       *epochHedge,
+			EpochReorder:     *epochReorder,
+			EpochDeadline:    *epochDeadline,
 		})
 	}
 	if err != nil {
@@ -181,5 +186,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "FAIL: error rate %.4f exceeds -max-error-rate %.4f\n",
 			rep.ErrorRate(), *maxErrorRate)
 		os.Exit(1)
+	}
+	if *minAmplification >= 0 {
+		if rep.MultiJob == nil {
+			fmt.Fprintln(os.Stderr, "FAIL: -min-amplification set but the run produced no multi-job report (need -jobs >= 2 with a task)")
+			os.Exit(1)
+		}
+		if rep.MultiJob.Amplification < *minAmplification {
+			fmt.Fprintf(os.Stderr, "FAIL: shared-cache amplification %.2f below -min-amplification %.2f\n",
+				rep.MultiJob.Amplification, *minAmplification)
+			os.Exit(1)
+		}
 	}
 }

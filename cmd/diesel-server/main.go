@@ -15,12 +15,17 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"time"
 
+	"diesel/internal/etcd"
 	"diesel/internal/kvstore"
 	"diesel/internal/objstore"
 	"diesel/internal/obs"
@@ -38,6 +43,10 @@ func main() {
 	kvRetries := flag.Int("kv-retries", 2, "extra attempts for idempotent KV reads after a transport failure (writes never retry; negative disables)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	traceRate := flag.Float64("trace", 0, "record locally-rooted trace sample rate in [0,1] (remotely-sampled requests are always recorded)")
+	jobTTL := flag.Duration("job-ttl", 0, "training-job lease TTL; a job whose heartbeats stop is dropped from the roster after this long (0 = default)")
+	jobEtcd := flag.String("job-etcd", "", "etcd registry address backing the job roster, shared across servers (empty = per-process roster)")
+	quotaSpec := flag.String("tenant-quotas", "", `per-tenant admission quotas: "tenant=qps:bytes_per_sec;..." (0 leaves a dimension unlimited)`)
+	fairLimit := flag.Int("fair-limit", 0, "bound concurrent reads; queued requests dispatch across jobs by weighted stride scheduling (0 = unbounded)")
 	flag.Parse()
 
 	logger := newLogger(*logLevel)
@@ -79,6 +88,31 @@ func main() {
 	}
 
 	core := server.New(kv, objects, func() int64 { return time.Now().UnixNano() })
+
+	// Multi-job serving plane: the job roster is always on. Point every
+	// server of a deployment at one -job-etcd registry for a shared
+	// roster; without it each server keeps its own (fine for one server,
+	// but multi-server refcounts then only see locally-connected jobs).
+	var jobStore server.JobStore = etcd.InProcess{R: etcd.NewRegistry()}
+	if *jobEtcd != "" {
+		ec, err := etcd.Dial(*jobEtcd)
+		if err != nil {
+			logger.Error("diesel-server: dial job registry failed", "addr", *jobEtcd, "err", err)
+			os.Exit(1)
+		}
+		defer ec.Close()
+		jobStore = ec
+	}
+	jobs := core.EnableJobs(jobStore, *jobTTL)
+	jobs.StartSweeper(0)
+	defer jobs.StopSweeper()
+
+	if err := applyQuotas(core, *quotaSpec); err != nil {
+		logger.Error("diesel-server: bad -tenant-quotas", "err", err)
+		os.Exit(1)
+	}
+	core.Fair.SetLimit(*fairLimit)
+
 	rpc, err := server.NewRPC(core, *addr)
 	if err != nil {
 		logger.Error("diesel-server: listen failed", "addr", *addr, "err", err)
@@ -88,13 +122,19 @@ func main() {
 
 	if *metricsAddr != "" {
 		rpc.RegisterMetrics(obs.Default())
-		bound, stop, err := obs.Serve(*metricsAddr, obs.Default())
+		mux := obs.NewMux(obs.Default())
+		mux.Handle("/debug/jobs", core.JobsHandler())
+		lis, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
 			logger.Error("diesel-server: metrics listen failed", "addr", *metricsAddr, "err", err)
 			os.Exit(1)
 		}
-		defer stop()
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(lis)
+		defer srv.Close()
+		bound := lis.Addr().String()
 		logger.Info("diesel-server metrics", "url", "http://"+bound+"/metrics",
+			"jobs", "http://"+bound+"/debug/jobs",
 			"traces", "http://"+bound+"/debug/traces")
 	}
 
@@ -103,6 +143,35 @@ func main() {
 	<-ch
 	logger.Info("diesel-server shutting down", "requests", rpc.Requests())
 	rpc.Close()
+}
+
+// applyQuotas parses "tenant=qps:bytes_per_sec;..." and installs each
+// quota on the server. Either dimension may be 0 to leave it unlimited.
+func applyQuotas(core *server.Server, spec string) error {
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		tenant, lim, ok := strings.Cut(part, "=")
+		if !ok {
+			return fmt.Errorf("%q: want tenant=qps:bytes_per_sec", part)
+		}
+		qpsStr, bytesStr, ok := strings.Cut(lim, ":")
+		if !ok {
+			return fmt.Errorf("%q: want tenant=qps:bytes_per_sec", part)
+		}
+		qps, err := strconv.ParseFloat(strings.TrimSpace(qpsStr), 64)
+		if err != nil {
+			return fmt.Errorf("%q: bad qps: %w", part, err)
+		}
+		bps, err := strconv.ParseFloat(strings.TrimSpace(bytesStr), 64)
+		if err != nil {
+			return fmt.Errorf("%q: bad bytes_per_sec: %w", part, err)
+		}
+		core.SetTenantQuota(strings.TrimSpace(tenant), server.TenantQuota{QPS: qps, BytesPerSec: bps})
+	}
+	return nil
 }
 
 // newLogger builds the process logger at the requested level. Text output

@@ -27,6 +27,8 @@
 //	                                 serves the first-finished of the next k
 //	                                 groups, -deadline bounds each fetch
 //	                                 attempt
+//	jobs                             list the live training-job roster of
+//	                                 the -servers (no -dataset needed)
 //	stats [-watch 2s] <host:port | url> scrape a -metrics endpoint (watch: print deltas/rates)
 //	trace [-id hex] <endpoint>...    scrape /debug/traces from one or more
 //	                                 endpoints and stitch cross-process span
@@ -82,6 +84,14 @@ func main() {
 		}
 		return
 	}
+	// jobs is roster-wide, not dataset-scoped, so it skips the client
+	// connection (and the -dataset requirement) and asks a server directly.
+	if flag.NArg() > 0 && flag.Arg(0) == "jobs" {
+		if err := runJobs(strings.Split(*servers, ","), *callTimeout); err != nil {
+			log.Fatalf("dlcmd jobs: %v", err)
+		}
+		return
+	}
 	if *dataset == "" || flag.NArg() < 1 {
 		flag.Usage()
 		os.Exit(2)
@@ -108,6 +118,35 @@ func main() {
 	if err := run(c, *dataset, cmd, args); err != nil {
 		log.Fatalf("dlcmd %s: %v", cmd, err)
 	}
+}
+
+// runJobs prints the job roster of the first server that answers. All
+// servers of one deployment share the roster through the metadata
+// cluster, so any single answer is the whole picture.
+func runJobs(servers []string, callTimeout time.Duration) error {
+	var lastErr error
+	for _, addr := range servers {
+		jobs, err := client.ListJobs(strings.TrimSpace(addr), callTimeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if len(jobs) == 0 {
+			fmt.Println("no live jobs")
+			return nil
+		}
+		now := time.Now()
+		fmt.Printf("%-16s %-16s %-12s %5s %10s %10s\n",
+			"JOB", "DATASET", "TENANT", "RANK", "AGE", "LAST-HB")
+		for _, j := range jobs {
+			fmt.Printf("%-16s %-16s %-12s %5d %10s %10s\n",
+				j.ID, j.Dataset, j.Tenant, j.Rank,
+				now.Sub(time.Unix(0, j.RegisteredNS)).Truncate(time.Second),
+				now.Sub(time.Unix(0, j.HeartbeatNS)).Truncate(time.Second))
+		}
+		return nil
+	}
+	return lastErr
 }
 
 func run(c *client.Client, dataset, cmd string, args []string) error {
@@ -339,7 +378,7 @@ func readEpoch(c *client.Client, seed int64, group, window int, hedge bool, reor
 	if deadline > 0 {
 		opts = append(opts, epoch.WithGroupDeadline(deadline))
 	}
-	r := epoch.NewReader(plan, snap, epoch.NewClientSource(c, snap, 0), opts...)
+	r := epoch.NewReader(plan, snap, epoch.NewClientSource(c.DefaultDataset(), snap, 0), opts...)
 	defer r.Close()
 	start := time.Now()
 	files, bytes := 0, uint64(0)

@@ -267,10 +267,11 @@ func TestTrainModelFromDieselStorage(t *testing.T) {
 	decoded := &train.SynthDataset{Classes: classes, Dim: dim}
 	decodedIdx := map[string]int32{}
 	for epoch := range 6 {
-		order, err := cl.Shuffle(int64(epoch), 3)
+		plan, err := cl.ShufflePlan(int64(epoch), 3)
 		if err != nil {
 			t.Fatal(err)
 		}
+		order := plan.Paths(snap)
 		loader := train.NewLoader(cl.Get, order, train.LoaderConfig{Workers: 4, BatchSize: 32})
 		for {
 			b, ok, err := loader.Next()

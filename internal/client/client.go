@@ -1,27 +1,36 @@
 // Package client implements libDIESEL, the client library of Table 3 in
 // the paper. A Client is the "libDIESEL context" returned by DL_connect:
-// it aggregates written files into ≥4 MB chunks before shipping them to a
-// DIESEL server (Figure 3), downloads and interprets metadata snapshots so
-// every metadata operation after load is local (§4.1.3), reads files
-// directly or through a pluggable reader (the task-grained distributed
-// cache of §4.2 plugs in there), and generates chunk-wise shuffled file
-// lists (§4.3).
+// it owns the connection pools, retry policy and job identity, and hands
+// out Dataset handles. A Dataset handle aggregates written files into
+// ≥4 MB chunks before shipping them to a DIESEL server (Figure 3),
+// downloads and interprets metadata snapshots so every metadata operation
+// after load is local (§4.1.3), reads files directly or through a
+// pluggable reader (the task-grained distributed cache of §4.2 plugs in
+// there), and generates chunk-wise shuffled plans (§4.3).
 //
-// Paper API ↔ methods:
+// Paper API ↔ methods (on the Dataset handle; the *Client methods with
+// the same names are deprecated shims over the default handle):
 //
-//	DL_connect    Connect
-//	DL_put        Put
-//	DL_flush      Flush
-//	DL_get        Get
-//	DL_stat       Stat
-//	DL_delete     Delete
-//	DL_ls         Ls
-//	DL_save_meta  SaveMeta
-//	DL_load_meta  LoadMeta
-//	DL_shuffle    Shuffle (returns the chunk-wise shuffled file list)
+//	DL_connect    Connect (returns the connection; Dataset opens handles)
+//	DL_put        Dataset.Put
+//	DL_flush      Dataset.Flush
+//	DL_get        Dataset.Get
+//	DL_stat       Dataset.Stat
+//	DL_delete     Dataset.Delete
+//	DL_ls         Dataset.Ls
+//	DL_save_meta  Dataset.SaveMeta
+//	DL_load_meta  Dataset.LoadMeta
+//	DL_shuffle    Dataset.ShufflePlan (chunk-wise shuffled epoch plan)
 //	DL_close      Close
-//	DL_purge      Purge
-//	DL_delete_dataset DeleteDataset
+//	DL_purge      Dataset.Purge
+//	DL_delete_dataset Dataset.DeleteDataset
+//
+// When Options.JobID is set the connection carries a job identity: every
+// wire connection announces {job, tenant, dataset, rank} to the server as
+// its first frame, Connect registers the job in the server's job registry
+// and heartbeats it in the background so the lease outlives request gaps,
+// and Close unregisters it. Servers use the identity for per-tenant
+// admission control, weighted-fair dispatch and shared-cache refcounts.
 package client
 
 import (
@@ -32,7 +41,7 @@ import (
 	mrand "math/rand"
 	"net"
 	"os"
-	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,7 +51,6 @@ import (
 	"diesel/internal/obs"
 	"diesel/internal/server"
 	"diesel/internal/shuffle"
-	"diesel/internal/tracing"
 	"diesel/internal/wire"
 )
 
@@ -54,9 +62,20 @@ type Options struct {
 	// Servers lists DIESEL server addresses; requests round-robin across
 	// them (the paper runs 1, 3 or 5 interchangeable servers).
 	Servers []string
-	// Dataset is the dataset this context operates on (DIESEL is
-	// dataset-based: one context, one dataset).
+	// Dataset is the default dataset of this connection: Connect opens a
+	// handle on it, and the deprecated *Client dataset methods operate on
+	// that handle. Further handles come from Client.Dataset.
 	Dataset string
+	// JobID, when non-empty, registers this connection as a training job
+	// in the server's job registry: the identity rides every wire
+	// connection, a background heartbeat keeps the job's lease alive, and
+	// the server derives shared-cache refcounts and fair-share weights
+	// from the roster. Empty means anonymous (admin tools, old callers).
+	JobID string
+	// Tenant attributes this connection's traffic for per-tenant quota
+	// admission and the diesel_tenant_* metric families. Empty traffic is
+	// attributed to the server's anonymous tenant.
+	Tenant string
 	// ChunkTarget is the chunk payload size for writes; 0 means the 4 MB
 	// default.
 	ChunkTarget int
@@ -94,27 +113,30 @@ type Reader interface {
 
 // ContextReader is the context-aware extension of Reader. A Reader that
 // also implements it (dcache.Peer does) receives the caller's context from
-// GetContext, so deadlines and cancellation injected by the epoch reader
-// reach the cache's peer RPCs instead of stopping at the client boundary.
+// Get, so deadlines and cancellation injected by the epoch reader reach
+// the cache's peer RPCs instead of stopping at the client boundary.
 type ContextReader interface {
 	Reader
 	ReadFileContext(ctx context.Context, path string) ([]byte, error)
 }
 
-// Client is a libDIESEL context. All methods are safe for concurrent use;
-// writes serialise on the chunk builder.
+// Client is a libDIESEL connection: transport (pools, retries), job
+// identity, and a cache of Dataset handles. All methods are safe for
+// concurrent use.
 type Client struct {
 	opts  Options
 	pools []*wire.Pool
 	next  atomic.Uint64
 
-	wmu     sync.Mutex
-	builder *chunk.Builder
-	pending int // files buffered but not flushed
+	dsMu    sync.Mutex
+	handles map[string]*Dataset
+	def     *Dataset // handle on Options.Dataset; target of the deprecated shims
 
-	smu    sync.RWMutex
-	snap   *meta.Snapshot
-	reader Reader
+	// Job lease machinery (nil/zero when Options.JobID is empty or the
+	// server predates the job registry).
+	jobTTL atomic.Int64 // lease in ns, as reported by the server
+	hbStop chan struct{}
+	hbDone chan struct{}
 
 	// Stats counts client-side operations for experiments.
 	Stats ClientStats
@@ -128,13 +150,27 @@ type ClientStats struct {
 	LocalMetaHits            obs.Counter // metadata ops served by the snapshot
 	ServerMetaOps            obs.Counter // metadata ops that hit the server
 	Retries                  obs.Counter // idempotent RPCs retried after transport failures
+	Heartbeats               obs.Counter // job lease heartbeats sent
 }
 
 // ErrNoSnapshot is returned by operations that need a loaded snapshot.
 var ErrNoSnapshot = errors.New("client: no metadata snapshot loaded")
 
-// Connect dials the DIESEL servers and returns a context (DL_connect).
+// ErrNoDataset is returned by Connect when Options.Dataset is empty:
+// DIESEL is dataset-based, and a connection without a default dataset has
+// nothing for the deprecated context methods (or the job registration) to
+// bind to.
+var ErrNoDataset = errors.New("client: Options.Dataset is empty")
+
+// Connect dials the DIESEL servers and returns a connection (DL_connect)
+// with a handle open on Options.Dataset. With Options.JobID set it also
+// registers the job in the server's registry and starts the lease
+// heartbeat; servers that predate the registry degrade gracefully to an
+// anonymous connection.
 func Connect(opts Options) (*Client, error) {
+	if opts.Dataset == "" {
+		return nil, ErrNoDataset
+	}
 	if len(opts.Servers) == 0 {
 		return nil, errors.New("client: no servers configured")
 	}
@@ -155,10 +191,22 @@ func Connect(opts Options) (*Client, error) {
 	if opts.RetryBackoff <= 0 {
 		opts.RetryBackoff = 10 * time.Millisecond
 	}
-	c := &Client{opts: opts}
+	c := &Client{opts: opts, handles: make(map[string]*Dataset)}
 	dialOpts := []wire.Option{wire.WithCallTimeout(opts.CallTimeout)}
 	if opts.Dialer != nil {
 		dialOpts = append(dialOpts, wire.WithDialer(opts.Dialer))
+	}
+	if opts.JobID != "" || opts.Tenant != "" {
+		// Every connection this client opens — redials included —
+		// announces the identity as its first frame, so the server can
+		// attribute each request to a job and tenant without per-request
+		// overhead. Pre-registry servers drop the frame harmlessly.
+		dialOpts = append(dialOpts, wire.WithJobIdentity(wire.JobIdentity{
+			ID:      opts.JobID,
+			Tenant:  opts.Tenant,
+			Dataset: opts.Dataset,
+			Rank:    opts.Rank,
+		}))
 	}
 	for _, addr := range opts.Servers {
 		p, err := wire.DialPool(addr, opts.ConnsPerServer, dialOpts...)
@@ -168,11 +216,124 @@ func Connect(opts Options) (*Client, error) {
 		}
 		c.pools = append(c.pools, p)
 	}
-	gen := chunk.NewIDGeneratorAt(clientMachineID(opts.Rank), clientPID(), func() uint32 {
-		return uint32(opts.NowNS() / 1e9)
-	})
-	c.builder = chunk.NewBuilder(opts.ChunkTarget, gen, opts.NowNS)
+	def, err := c.Dataset(opts.Dataset)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.def = def
+	if opts.JobID != "" {
+		c.startJob()
+	}
 	return c, nil
+}
+
+// Dataset returns a handle on the named dataset, opening one on first
+// use. Handles are cached per name, so concurrent callers share builder
+// and snapshot state for the same dataset.
+func (c *Client) Dataset(name string) (*Dataset, error) {
+	if err := meta.ValidDataset(name); err != nil {
+		return nil, err
+	}
+	c.dsMu.Lock()
+	defer c.dsMu.Unlock()
+	if d, ok := c.handles[name]; ok {
+		return d, nil
+	}
+	gen := chunk.NewIDGeneratorAt(clientMachineID(c.opts.Rank), clientPID(), func() uint32 {
+		return uint32(c.opts.NowNS() / 1e9)
+	})
+	d := &Dataset{
+		c:       c,
+		name:    name,
+		builder: chunk.NewBuilder(c.opts.ChunkTarget, gen, c.opts.NowNS),
+	}
+	c.handles[name] = d
+	return d, nil
+}
+
+// --- job lease ---
+
+// startJob registers the job and starts the heartbeat loop. A server
+// without a job registry (pre-registry build, or registry disabled)
+// answers with a RemoteError; the client then runs anonymously rather
+// than failing Connect — multi-job serving is an upgrade, not a handshake
+// requirement.
+func (c *Client) startJob() {
+	ttl, err := c.registerJob()
+	if err != nil {
+		return
+	}
+	c.jobTTL.Store(int64(ttl))
+	c.hbStop = make(chan struct{})
+	c.hbDone = make(chan struct{})
+	go c.heartbeatLoop()
+}
+
+// registerJob performs the dsl.jobRegister RPC and returns the lease TTL
+// the server granted.
+func (c *Client) registerJob() (time.Duration, error) {
+	e := wire.NewEncoder(64)
+	e.String(c.opts.JobID)
+	e.String(c.opts.Dataset)
+	e.String(c.opts.Tenant)
+	e.Uint32(uint32(c.opts.Rank))
+	resp, err := c.callIdem(server.MethodJobRegister, e.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	d := wire.NewDecoder(resp)
+	ttl := time.Duration(d.Int64())
+	if err := d.Err(); err != nil {
+		return 0, err
+	}
+	if ttl <= 0 {
+		return 0, fmt.Errorf("client: register job: server granted no lease")
+	}
+	return ttl, nil
+}
+
+// heartbeatLoop refreshes the job lease at TTL/3 — two chances to land a
+// beat before the lease lapses. A server that answers "unknown job" (our
+// lease expired while we were partitioned, or the registry restarted)
+// gets a fresh registration instead of a resurrection-by-heartbeat.
+func (c *Client) heartbeatLoop() {
+	defer close(c.hbDone)
+	interval := time.Duration(c.jobTTL.Load()) / 3
+	if interval <= 0 {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.hbStop:
+			return
+		case <-t.C:
+			e := wire.NewEncoder(32)
+			e.String(c.opts.JobID)
+			_, err := c.callIdem(server.MethodJobHeartbeat, e.Bytes())
+			c.Stats.Heartbeats.Add(1)
+			if err != nil && wire.IsRemote(err) && strings.Contains(err.Error(), "unknown job") {
+				_, _ = c.registerJob()
+			}
+		}
+	}
+}
+
+// stopJob halts the heartbeat loop and unregisters the job (best effort:
+// if the server is gone the lease expires on its own, which is the whole
+// point of leases).
+func (c *Client) stopJob() {
+	if c.hbStop == nil {
+		return
+	}
+	close(c.hbStop)
+	<-c.hbDone
+	c.hbStop = nil
+	e := wire.NewEncoder(32)
+	e.String(c.opts.JobID)
+	_, _ = c.call(server.MethodJobUnregister, e.Bytes())
 }
 
 // clientInstances numbers every Client created in this process; the
@@ -276,275 +437,22 @@ func retryDelay(base time.Duration, attempt int) time.Duration {
 	return d/2 + time.Duration(mrand.Int63n(int64(d)))
 }
 
-// Dataset returns the dataset this context is bound to.
-func (c *Client) Dataset() string { return c.opts.Dataset }
-
 // Rank returns the client's rank among the task's I/O workers.
 func (c *Client) Rank() int { return c.opts.Rank }
 
-// SetReader installs a read interceptor (the distributed cache).
-func (c *Client) SetReader(r Reader) {
-	c.smu.Lock()
-	c.reader = r
-	c.smu.Unlock()
-}
+// DefaultDataset returns the handle Connect opened on Options.Dataset —
+// the one the deprecated *Client dataset methods operate on.
+func (c *Client) DefaultDataset() *Dataset { return c.def }
 
-// Snapshot returns the loaded metadata snapshot, or nil.
-func (c *Client) Snapshot() *meta.Snapshot {
-	c.smu.RLock()
-	defer c.smu.RUnlock()
-	return c.snap
-}
-
-// --- write path ---
-
-// Put buffers one file for writing (DL_put). When the chunk builder
-// reaches its target size the chunk is sealed and shipped to a server.
-func (c *Client) Put(path string, data []byte) error {
-	if err := meta.ValidFilePath(path); err != nil {
-		return err
-	}
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	full, err := c.builder.Add(meta.CleanPath(path), data)
-	if err != nil {
-		return err
-	}
-	c.pending++
-	c.Stats.Puts.Add(1)
-	if full {
-		return c.flushLocked()
-	}
-	return nil
-}
-
-// Flush seals and ships any buffered files (DL_flush).
-func (c *Client) Flush() error {
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	return c.flushLocked()
-}
-
-func (c *Client) flushLocked() error {
-	if c.builder == nil || c.builder.Count() == 0 {
-		return nil // nothing buffered (or Connect failed before the builder existed)
-	}
-	_, enc, err := c.builder.Seal()
-	if err != nil {
-		return err
-	}
-	e := wire.NewEncoder(len(enc) + len(c.opts.Dataset) + 16)
-	e.String(c.opts.Dataset)
-	e.Bytes32(enc)
-	if _, err := c.call(server.MethodIngest, e.Bytes()); err != nil {
-		return fmt.Errorf("client: flush: %w", err)
-	}
-	c.pending = 0
-	return nil
-}
-
-// --- read path ---
-
-// Get reads one file (DL_get). With a cache reader installed the request
-// goes to the owning cache peer; otherwise it goes to a server.
-func (c *Client) Get(path string) ([]byte, error) {
-	return c.GetContext(context.Background(), path)
-}
-
-// GetContext is Get under a caller deadline/cancellation. The context
-// reaches the transport's CallContext — and, when the installed cache
-// reader implements ContextReader, the cache's peer RPCs too — so a
-// cancelled epoch read stops waiting within one call round trip.
-func (c *Client) GetContext(ctx context.Context, path string) (out []byte, err error) {
-	start := time.Now()
-	ctx, sp := tracing.StartSpan(ctx, "client.get")
-	sp.SetAttr("path", path)
-	defer func() {
-		mGetLat.Since(start)
-		sp.SetError(err)
-		sp.End()
-		tracing.ObserveSlow(sp, "diesel_client_get_seconds", time.Since(start))
-	}()
-	c.Stats.Gets.Add(1)
-	c.smu.RLock()
-	r := c.reader
-	c.smu.RUnlock()
-	if cr, ok := r.(ContextReader); ok {
-		return cr.ReadFileContext(ctx, meta.CleanPath(path))
-	}
-	if r != nil {
-		return r.ReadFile(meta.CleanPath(path))
-	}
-	return c.GetDirectContext(ctx, path)
-}
-
-// GetDirect reads one file from a server, bypassing any installed cache.
-// The distributed cache itself uses it as its miss path.
-func (c *Client) GetDirect(path string) ([]byte, error) {
-	return c.GetDirectContext(context.Background(), path)
-}
-
-// GetDirectContext is GetDirect under a caller deadline/cancellation.
-func (c *Client) GetDirectContext(ctx context.Context, path string) (out []byte, err error) {
-	ctx, sp := tracing.StartSpan(ctx, "client.getDirect")
-	sp.SetAttr("path", path)
-	defer func() { sp.SetError(err); sp.End() }()
-	e := wire.AcquireEncoder(len(path) + len(c.opts.Dataset) + 16)
-	e.String(c.opts.Dataset)
-	e.String(meta.CleanPath(path))
-	resp, err := c.callIdemBorrowContext(ctx, server.MethodGet, e.Bytes())
-	e.Release()
-	if err != nil {
-		return nil, err
-	}
-	// One copy out of the borrowed frame, then recycle it.
-	d := wire.NewDecoder(resp.Borrow())
-	b := append([]byte(nil), d.Bytes32()...)
-	err = d.Err()
-	resp.Release()
-	if err != nil {
-		return nil, err
-	}
-	return b, nil
-}
-
-// GetBatch reads many files in one server round trip, exercising the
-// request executor's sort-and-merge (missing files yield nil entries).
-func (c *Client) GetBatch(paths []string) ([][]byte, error) {
-	return c.GetBatchContext(context.Background(), paths)
-}
-
-// GetBatchContext is GetBatch under a caller deadline/cancellation.
-func (c *Client) GetBatchContext(ctx context.Context, paths []string) (out [][]byte, err error) {
-	start := time.Now()
-	ctx, sp := tracing.StartSpan(ctx, "client.getBatch")
-	sp.SetAttr("files", strconv.Itoa(len(paths)))
-	defer func() {
-		mGetBatchLat.Since(start)
-		sp.SetError(err)
-		sp.End()
-		tracing.ObserveSlow(sp, "diesel_client_get_batch_seconds", time.Since(start))
-	}()
-	cleaned := make([]string, len(paths))
-	for i, p := range paths {
-		cleaned[i] = meta.CleanPath(p)
-	}
-	e := wire.AcquireEncoder(64)
-	e.String(c.opts.Dataset)
-	e.StringSlice(cleaned)
-	resp, err := c.callIdemBorrowContext(ctx, server.MethodGetBatch, e.Bytes())
-	e.Release()
-	if err != nil {
-		return nil, err
-	}
-	// Each present entry is copied out of the borrowed frame; the frame
-	// itself is recycled once the batch is unpacked.
-	d := wire.NewDecoder(resp.Borrow())
-	n := int(d.Uint32())
-	if n != len(paths) {
-		resp.Release()
-		return nil, fmt.Errorf("client: batch size mismatch: %d vs %d", n, len(paths))
-	}
-	out = make([][]byte, n)
-	for i := range n {
-		present := d.Bool()
-		b := d.Bytes32()
-		if present {
-			out[i] = append([]byte(nil), b...)
-		}
-	}
-	c.Stats.Gets.Add(uint64(n))
-	err = d.Err()
-	resp.Release()
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
-}
-
-// GetChunk fetches one whole encoded chunk from a server — the operation
-// the distributed cache loads its partition with.
-func (c *Client) GetChunk(chunkID string) ([]byte, error) {
-	return c.GetChunkContext(context.Background(), chunkID)
-}
-
-// GetChunkContext is GetChunk under a caller deadline/cancellation — the
-// fetch unit of the epoch reader's prefetch pipeline, whose window
-// cancellation must be able to abandon an in-flight chunk.
-func (c *Client) GetChunkContext(ctx context.Context, chunkID string) (out []byte, err error) {
-	start := time.Now()
-	ctx, sp := tracing.StartSpan(ctx, "client.getChunk")
-	sp.SetAttr("chunk", chunkID)
-	defer func() {
-		mGetChunkLat.Since(start)
-		sp.SetError(err)
-		sp.End()
-		tracing.ObserveSlow(sp, "diesel_client_get_chunk_seconds", time.Since(start))
-	}()
-	e := wire.AcquireEncoder(len(chunkID) + len(c.opts.Dataset) + 16)
-	e.String(c.opts.Dataset)
-	e.String(chunkID)
-	resp, err := c.callIdemBorrowContext(ctx, server.MethodGetChunk, e.Bytes())
-	e.Release()
-	if err != nil {
-		return nil, err
-	}
-	// The chunk is copied once — borrowed frame body to caller-owned
-	// slice — instead of the old allocate-then-copy double cost: the
-	// frame body comes from and returns to the wire pool.
-	d := wire.NewDecoder(resp.Borrow())
-	b := append([]byte(nil), d.Bytes32()...)
-	err = d.Err()
-	resp.Release()
-	if err != nil {
-		return nil, err
-	}
-	return b, nil
-}
-
-// --- metadata path ---
+// JobID returns the job identity this connection registered under, or ""
+// for anonymous connections.
+func (c *Client) JobID() string { return c.opts.JobID }
 
 // StatInfo is the result of Stat (DL_stat): size plus upload time.
 type StatInfo struct {
 	Size      uint64
 	UpdatedNS int64
 	ChunkID   string
-}
-
-// Stat returns a file's metadata (DL_stat). With a snapshot loaded it is a
-// local hashmap probe; otherwise one server RPC.
-func (c *Client) Stat(path string) (StatInfo, error) {
-	c.Stats.Stats.Add(1)
-	c.smu.RLock()
-	snap := c.snap
-	c.smu.RUnlock()
-	if snap != nil {
-		m, err := snap.Stat(path)
-		if err != nil {
-			return StatInfo{}, err
-		}
-		c.Stats.LocalMetaHits.Add(1)
-		mMetaSnapshot.Inc()
-		return StatInfo{
-			Size:      m.Length,
-			UpdatedNS: snap.UpdatedNS,
-			ChunkID:   snap.Chunks[m.ChunkIdx].ID.String(),
-		}, nil
-	}
-	c.Stats.ServerMetaOps.Add(1)
-	mMetaServer.Inc()
-	e := wire.NewEncoder(64)
-	e.String(c.opts.Dataset)
-	e.String(meta.CleanPath(path))
-	resp, err := c.callIdem(server.MethodStat, e.Bytes())
-	if err != nil {
-		return StatInfo{}, err
-	}
-	fr, err := meta.DecodeFileRecord(resp)
-	if err != nil {
-		return StatInfo{}, err
-	}
-	return StatInfo{Size: fr.Length, ChunkID: fr.ChunkID.String()}, nil
 }
 
 // Entry is one row of an Ls result.
@@ -554,185 +462,22 @@ type Entry struct {
 	Size  uint64
 }
 
-// Ls lists a directory (DL_ls): snapshot-local when loaded, otherwise two
-// prefix scans on the metadata database via the server.
-func (c *Client) Ls(dir string) ([]Entry, error) {
-	c.Stats.Lists.Add(1)
-	c.smu.RLock()
-	snap := c.snap
-	c.smu.RUnlock()
-	if snap != nil {
-		des, err := snap.List(dir)
-		if err != nil {
-			return nil, err
-		}
-		c.Stats.LocalMetaHits.Add(1)
-		mMetaSnapshot.Inc()
-		out := make([]Entry, len(des))
-		for i, de := range des {
-			out[i] = Entry{Name: de.Name, IsDir: de.IsDir, Size: de.Size}
-		}
-		return out, nil
-	}
-	c.Stats.ServerMetaOps.Add(1)
-	mMetaServer.Inc()
-	e := wire.NewEncoder(64)
-	e.String(c.opts.Dataset)
-	e.String(meta.CleanPath(dir))
-	resp, err := c.callIdem(server.MethodList, e.Bytes())
-	if err != nil {
-		return nil, err
-	}
-	d := wire.NewDecoder(resp)
-	n := int(d.Uint32())
-	out := make([]Entry, 0, n)
-	for range n {
-		out = append(out, Entry{Name: d.String(), IsDir: d.Bool(), Size: d.Uint64()})
-	}
-	return out, d.Err()
-}
-
-// Delete removes a file (DL_delete).
-func (c *Client) Delete(path string) error {
-	e := wire.NewEncoder(64)
-	e.String(c.opts.Dataset)
-	e.String(meta.CleanPath(path))
-	_, err := c.call(server.MethodDelete, e.Bytes())
-	return err
-}
-
-// DatasetRecord fetches the dataset summary from a server.
-func (c *Client) DatasetRecord() (meta.DatasetRecord, error) {
-	e := wire.NewEncoder(32)
-	e.String(c.opts.Dataset)
-	resp, err := c.callIdem(server.MethodDatasetRecord, e.Bytes())
-	if err != nil {
-		return meta.DatasetRecord{}, err
-	}
-	return meta.DecodeDatasetRecord(resp)
-}
-
-// DownloadSnapshot builds and downloads a fresh metadata snapshot and
-// installs it in this context.
-func (c *Client) DownloadSnapshot() (*meta.Snapshot, error) {
-	e := wire.NewEncoder(32)
-	e.String(c.opts.Dataset)
-	resp, err := c.callIdem(server.MethodSnapshot, e.Bytes())
-	if err != nil {
-		return nil, err
-	}
-	snap, err := meta.DecodeSnapshot(resp)
-	if err != nil {
-		return nil, err
-	}
-	c.smu.Lock()
-	c.snap = snap
-	c.smu.Unlock()
-	return snap, nil
-}
-
-// SaveMeta downloads the dataset's metadata snapshot to a local file
-// (DL_save_meta).
-func (c *Client) SaveMeta(path string) error {
-	snap, err := c.DownloadSnapshot()
-	if err != nil {
-		return err
-	}
-	return snap.SaveFile(path)
-}
-
-// LoadMeta loads a snapshot from local disk (DL_load_meta) and verifies it
-// against the dataset record in the metadata database; a stale snapshot is
-// rejected with meta.ErrStaleSnapshot and the caller should SaveMeta a
-// fresh one.
-func (c *Client) LoadMeta(path string) error {
-	snap, err := meta.LoadFile(path)
-	if err != nil {
-		return err
-	}
-	if snap.Dataset != c.opts.Dataset {
-		return fmt.Errorf("client: snapshot is for dataset %q, context is %q", snap.Dataset, c.opts.Dataset)
-	}
-	rec, err := c.DatasetRecord()
-	if err != nil {
-		return err
-	}
-	if err := snap.Validate(rec); err != nil {
-		return err
-	}
-	c.smu.Lock()
-	c.snap = snap
-	c.smu.Unlock()
-	return nil
-}
-
-// ShufflePlan generates the chunk-wise shuffled epoch order for one epoch
-// (DL_shuffle, §4.3) with its group structure exposed: chunk IDs are
-// shuffled, grouped groupSize at a time, and file order is randomised
-// within each group. The group spans are what the epoch reader's prefetch
-// pipeline and a capacity-bounded cache need — a flat file list hides
-// exactly the structure that makes chunk reads sequential. Requires a
-// snapshot.
-func (c *Client) ShufflePlan(seed int64, groupSize int) (*shuffle.Plan, error) {
-	c.smu.RLock()
-	snap := c.snap
-	c.smu.RUnlock()
-	if snap == nil {
-		return nil, ErrNoSnapshot
-	}
-	return shuffle.ChunkWisePlan(snap, seed, groupSize), nil
-}
-
-// Shuffle generates a chunk-wise shuffled file list for one epoch.
-//
-// Deprecated: use ShufflePlan, which exposes the group spans the epoch
-// read pipeline prefetches by; Shuffle flattens them away. Kept for
-// callers that only need the paper's DL_shuffle file-list shape.
-func (c *Client) Shuffle(seed int64, groupSize int) ([]string, error) {
-	plan, err := c.ShufflePlan(seed, groupSize)
-	if err != nil {
-		return nil, err
-	}
-	return plan.Paths(c.Snapshot()), nil
-}
-
-// Recover asks a server to rebuild the dataset's metadata from its
-// self-contained chunks (§4.1.2). fromSec 0 rescans everything (scenario
-// b); a positive Unix-seconds timestamp rescans only newer chunks
-// (scenario a). It returns chunks scanned, chunks skipped and pairs
-// rewritten.
-func (c *Client) Recover(fromSec uint32) (scanned, skipped, pairs uint64, err error) {
-	e := wire.NewEncoder(32)
-	e.String(c.opts.Dataset)
-	e.Uint32(fromSec)
-	resp, err := c.call(server.MethodRecover, e.Bytes())
-	if err != nil {
-		return 0, 0, 0, err
-	}
-	d := wire.NewDecoder(resp)
-	scanned, skipped, pairs = d.Uint64(), d.Uint64(), d.Uint64()
-	return scanned, skipped, pairs, d.Err()
-}
-
-// Purge runs server-side housekeeping on the dataset (DL_purge).
-func (c *Client) Purge() error {
-	e := wire.NewEncoder(32)
-	e.String(c.opts.Dataset)
-	_, err := c.call(server.MethodPurge, e.Bytes())
-	return err
-}
-
-// DeleteDataset removes the dataset entirely (DL_delete_dataset).
-func (c *Client) DeleteDataset() error {
-	e := wire.NewEncoder(32)
-	e.String(c.opts.Dataset)
-	_, err := c.call(server.MethodDeleteDataset, e.Bytes())
-	return err
-}
-
-// Close flushes buffered writes and tears down connections (DL_close).
+// Close flushes buffered writes on every open handle, unregisters the
+// job, and tears down connections (DL_close).
 func (c *Client) Close() error {
-	first := c.Flush() // takes the write lock; no-op when nothing is buffered
+	c.stopJob()
+	var first error
+	c.dsMu.Lock()
+	handles := make([]*Dataset, 0, len(c.handles))
+	for _, d := range c.handles {
+		handles = append(handles, d)
+	}
+	c.dsMu.Unlock()
+	for _, d := range handles {
+		if err := d.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
 	for _, p := range c.pools {
 		if err := p.Close(); err != nil && first == nil {
 			first = err
@@ -740,3 +485,149 @@ func (c *Client) Close() error {
 	}
 	return first
 }
+
+// --- deprecated shims over the default dataset handle ---
+//
+// These keep the pre-handle API compiling. Each delegates to the handle
+// Connect opened on Options.Dataset; new code should open handles with
+// Client.Dataset and use the context-first methods on them.
+
+// SetReader installs a read interceptor on the default handle.
+//
+// Deprecated: use Dataset.SetReader.
+func (c *Client) SetReader(r Reader) { c.def.SetReader(r) }
+
+// Snapshot returns the default handle's metadata snapshot, or nil.
+//
+// Deprecated: use Dataset.Snapshot.
+func (c *Client) Snapshot() *meta.Snapshot { return c.def.Snapshot() }
+
+// Put buffers one file for writing on the default handle.
+//
+// Deprecated: use Dataset.Put.
+func (c *Client) Put(path string, data []byte) error { return c.def.Put(path, data) }
+
+// Flush seals and ships the default handle's buffered files.
+//
+// Deprecated: use Dataset.Flush.
+func (c *Client) Flush() error {
+	if c.def == nil {
+		return nil // Connect failed before the default handle existed
+	}
+	return c.def.Flush()
+}
+
+// Get reads one file from the default handle.
+//
+// Deprecated: use Dataset.Get, which is context-first.
+func (c *Client) Get(path string) ([]byte, error) {
+	return c.def.Get(context.Background(), path)
+}
+
+// GetContext reads one file from the default handle under a context.
+//
+// Deprecated: use Dataset.Get.
+func (c *Client) GetContext(ctx context.Context, path string) ([]byte, error) {
+	return c.def.Get(ctx, path)
+}
+
+// GetDirect reads one file from a server, bypassing any installed cache.
+//
+// Deprecated: use Dataset.GetDirect, which is context-first.
+func (c *Client) GetDirect(path string) ([]byte, error) {
+	return c.def.GetDirect(context.Background(), path)
+}
+
+// GetDirectContext is GetDirect under a caller deadline/cancellation.
+//
+// Deprecated: use Dataset.GetDirect.
+func (c *Client) GetDirectContext(ctx context.Context, path string) ([]byte, error) {
+	return c.def.GetDirect(ctx, path)
+}
+
+// GetBatch reads many files in one server round trip.
+//
+// Deprecated: use Dataset.GetBatch, which is context-first.
+func (c *Client) GetBatch(paths []string) ([][]byte, error) {
+	return c.def.GetBatch(context.Background(), paths)
+}
+
+// GetBatchContext is GetBatch under a caller deadline/cancellation.
+//
+// Deprecated: use Dataset.GetBatch.
+func (c *Client) GetBatchContext(ctx context.Context, paths []string) ([][]byte, error) {
+	return c.def.GetBatch(ctx, paths)
+}
+
+// GetChunk fetches one whole encoded chunk from a server.
+//
+// Deprecated: use Dataset.GetChunk, which is context-first.
+func (c *Client) GetChunk(chunkID string) ([]byte, error) {
+	return c.def.GetChunk(context.Background(), chunkID)
+}
+
+// GetChunkContext is GetChunk under a caller deadline/cancellation.
+//
+// Deprecated: use Dataset.GetChunk.
+func (c *Client) GetChunkContext(ctx context.Context, chunkID string) ([]byte, error) {
+	return c.def.GetChunk(ctx, chunkID)
+}
+
+// Stat returns a file's metadata from the default handle.
+//
+// Deprecated: use Dataset.Stat.
+func (c *Client) Stat(path string) (StatInfo, error) { return c.def.Stat(path) }
+
+// Ls lists a directory on the default handle.
+//
+// Deprecated: use Dataset.Ls.
+func (c *Client) Ls(dir string) ([]Entry, error) { return c.def.Ls(dir) }
+
+// Delete removes a file on the default handle.
+//
+// Deprecated: use Dataset.Delete.
+func (c *Client) Delete(path string) error { return c.def.Delete(path) }
+
+// DatasetRecord fetches the default dataset's summary.
+//
+// Deprecated: use Dataset.DatasetRecord.
+func (c *Client) DatasetRecord() (meta.DatasetRecord, error) { return c.def.DatasetRecord() }
+
+// DownloadSnapshot downloads a fresh snapshot into the default handle.
+//
+// Deprecated: use Dataset.DownloadSnapshot.
+func (c *Client) DownloadSnapshot() (*meta.Snapshot, error) { return c.def.DownloadSnapshot() }
+
+// SaveMeta downloads the default dataset's snapshot to a local file.
+//
+// Deprecated: use Dataset.SaveMeta.
+func (c *Client) SaveMeta(path string) error { return c.def.SaveMeta(path) }
+
+// LoadMeta loads a snapshot from local disk into the default handle.
+//
+// Deprecated: use Dataset.LoadMeta.
+func (c *Client) LoadMeta(path string) error { return c.def.LoadMeta(path) }
+
+// ShufflePlan generates the default dataset's shuffled epoch plan.
+//
+// Deprecated: use Dataset.ShufflePlan.
+func (c *Client) ShufflePlan(seed int64, groupSize int) (*shuffle.Plan, error) {
+	return c.def.ShufflePlan(seed, groupSize)
+}
+
+// Recover rebuilds the default dataset's metadata from its chunks.
+//
+// Deprecated: use Dataset.Recover.
+func (c *Client) Recover(fromSec uint32) (scanned, skipped, pairs uint64, err error) {
+	return c.def.Recover(fromSec)
+}
+
+// Purge runs server-side housekeeping on the default dataset.
+//
+// Deprecated: use Dataset.Purge.
+func (c *Client) Purge() error { return c.def.Purge() }
+
+// DeleteDataset removes the default dataset entirely.
+//
+// Deprecated: use Dataset.DeleteDataset.
+func (c *Client) DeleteDataset() error { return c.def.DeleteDataset() }

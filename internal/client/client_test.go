@@ -224,16 +224,17 @@ func TestShuffle(t *testing.T) {
 	c := connect(t, addrs, "ds")
 	files := writeDataset(t, c, 80, 100)
 
-	if _, err := c.Shuffle(1, 3); !errors.Is(err, ErrNoSnapshot) {
+	if _, err := c.ShufflePlan(1, 3); !errors.Is(err, ErrNoSnapshot) {
 		t.Fatalf("shuffle without snapshot: %v", err)
 	}
 	if _, err := c.DownloadSnapshot(); err != nil {
 		t.Fatal(err)
 	}
-	order, err := c.Shuffle(1, 3)
+	plan, err := c.ShufflePlan(1, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
+	order := plan.Paths(c.Snapshot())
 	if len(order) != len(files) {
 		t.Fatalf("order has %d files, want %d", len(order), len(files))
 	}

@@ -1,0 +1,440 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"diesel/internal/chunk"
+	"diesel/internal/meta"
+	"diesel/internal/server"
+	"diesel/internal/shuffle"
+	"diesel/internal/tracing"
+	"diesel/internal/wire"
+)
+
+// Dataset is a handle on one dataset reached through a connection: the
+// unit every read, write, shuffle and metadata operation hangs off. A
+// connection can hold handles on many datasets concurrently (multi-job
+// trainers, admin tools); each handle carries its own chunk builder,
+// metadata snapshot and read interceptor, while all of them share the
+// connection's transport, retry policy and job identity.
+//
+// All methods are safe for concurrent use; writes serialise on the
+// handle's chunk builder.
+type Dataset struct {
+	c    *Client
+	name string
+
+	wmu     sync.Mutex
+	builder *chunk.Builder
+	pending int // files buffered but not flushed
+
+	smu    sync.RWMutex
+	snap   *meta.Snapshot
+	reader Reader
+}
+
+// Name returns the dataset this handle operates on.
+func (d *Dataset) Name() string { return d.name }
+
+// Rank returns the connection's rank among the task's I/O workers.
+func (d *Dataset) Rank() int { return d.c.opts.Rank }
+
+// SetReader installs a read interceptor (the distributed cache) on this
+// handle.
+func (d *Dataset) SetReader(r Reader) {
+	d.smu.Lock()
+	d.reader = r
+	d.smu.Unlock()
+}
+
+// Snapshot returns the loaded metadata snapshot, or nil.
+func (d *Dataset) Snapshot() *meta.Snapshot {
+	d.smu.RLock()
+	defer d.smu.RUnlock()
+	return d.snap
+}
+
+// --- write path ---
+
+// Put buffers one file for writing (DL_put). When the chunk builder
+// reaches its target size the chunk is sealed and shipped to a server.
+func (d *Dataset) Put(path string, data []byte) error {
+	if err := meta.ValidFilePath(path); err != nil {
+		return err
+	}
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	full, err := d.builder.Add(meta.CleanPath(path), data)
+	if err != nil {
+		return err
+	}
+	d.pending++
+	d.c.Stats.Puts.Add(1)
+	if full {
+		return d.flushLocked()
+	}
+	return nil
+}
+
+// Flush seals and ships any buffered files (DL_flush).
+func (d *Dataset) Flush() error {
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	return d.flushLocked()
+}
+
+func (d *Dataset) flushLocked() error {
+	if d.builder == nil || d.builder.Count() == 0 {
+		return nil // nothing buffered
+	}
+	_, enc, err := d.builder.Seal()
+	if err != nil {
+		return err
+	}
+	e := wire.NewEncoder(len(enc) + len(d.name) + 16)
+	e.String(d.name)
+	e.Bytes32(enc)
+	if _, err := d.c.call(server.MethodIngest, e.Bytes()); err != nil {
+		return fmt.Errorf("client: flush: %w", err)
+	}
+	d.pending = 0
+	return nil
+}
+
+// --- read path (context-first: the deadline/cancellation is part of the
+// signature, not a *Context twin) ---
+
+// Get reads one file (DL_get). With a cache reader installed the request
+// goes to the owning cache peer; otherwise it goes to a server. The
+// context reaches the transport — and, when the installed reader
+// implements ContextReader, the cache's peer RPCs too.
+func (d *Dataset) Get(ctx context.Context, path string) (out []byte, err error) {
+	start := time.Now()
+	ctx, sp := tracing.StartSpan(ctx, "client.get")
+	sp.SetAttr("path", path)
+	defer func() {
+		mGetLat.Since(start)
+		sp.SetError(err)
+		sp.End()
+		tracing.ObserveSlow(sp, "diesel_client_get_seconds", time.Since(start))
+	}()
+	d.c.Stats.Gets.Add(1)
+	d.smu.RLock()
+	r := d.reader
+	d.smu.RUnlock()
+	if cr, ok := r.(ContextReader); ok {
+		return cr.ReadFileContext(ctx, meta.CleanPath(path))
+	}
+	if r != nil {
+		return r.ReadFile(meta.CleanPath(path))
+	}
+	return d.GetDirect(ctx, path)
+}
+
+// GetDirect reads one file from a server, bypassing any installed cache.
+// The distributed cache itself uses it as its miss path.
+func (d *Dataset) GetDirect(ctx context.Context, path string) (out []byte, err error) {
+	ctx, sp := tracing.StartSpan(ctx, "client.getDirect")
+	sp.SetAttr("path", path)
+	defer func() { sp.SetError(err); sp.End() }()
+	e := wire.AcquireEncoder(len(path) + len(d.name) + 16)
+	e.String(d.name)
+	e.String(meta.CleanPath(path))
+	resp, err := d.c.callIdemBorrowContext(ctx, server.MethodGet, e.Bytes())
+	e.Release()
+	if err != nil {
+		return nil, err
+	}
+	// One copy out of the borrowed frame, then recycle it.
+	dec := wire.NewDecoder(resp.Borrow())
+	b := append([]byte(nil), dec.Bytes32()...)
+	err = dec.Err()
+	resp.Release()
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// GetBatch reads many files in one server round trip, exercising the
+// request executor's sort-and-merge (missing files yield nil entries).
+func (d *Dataset) GetBatch(ctx context.Context, paths []string) (out [][]byte, err error) {
+	start := time.Now()
+	ctx, sp := tracing.StartSpan(ctx, "client.getBatch")
+	sp.SetAttr("files", strconv.Itoa(len(paths)))
+	defer func() {
+		mGetBatchLat.Since(start)
+		sp.SetError(err)
+		sp.End()
+		tracing.ObserveSlow(sp, "diesel_client_get_batch_seconds", time.Since(start))
+	}()
+	cleaned := make([]string, len(paths))
+	for i, p := range paths {
+		cleaned[i] = meta.CleanPath(p)
+	}
+	e := wire.AcquireEncoder(64)
+	e.String(d.name)
+	e.StringSlice(cleaned)
+	resp, err := d.c.callIdemBorrowContext(ctx, server.MethodGetBatch, e.Bytes())
+	e.Release()
+	if err != nil {
+		return nil, err
+	}
+	// Each present entry is copied out of the borrowed frame; the frame
+	// itself is recycled once the batch is unpacked.
+	dec := wire.NewDecoder(resp.Borrow())
+	n := int(dec.Uint32())
+	if n != len(paths) {
+		resp.Release()
+		return nil, fmt.Errorf("client: batch size mismatch: %d vs %d", n, len(paths))
+	}
+	out = make([][]byte, n)
+	for i := range n {
+		present := dec.Bool()
+		b := dec.Bytes32()
+		if present {
+			out[i] = append([]byte(nil), b...)
+		}
+	}
+	d.c.Stats.Gets.Add(uint64(n))
+	err = dec.Err()
+	resp.Release()
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// GetChunk fetches one whole encoded chunk from a server — the operation
+// the distributed cache loads its partition with and the fetch unit of
+// the epoch reader's prefetch pipeline.
+func (d *Dataset) GetChunk(ctx context.Context, chunkID string) (out []byte, err error) {
+	start := time.Now()
+	ctx, sp := tracing.StartSpan(ctx, "client.getChunk")
+	sp.SetAttr("chunk", chunkID)
+	defer func() {
+		mGetChunkLat.Since(start)
+		sp.SetError(err)
+		sp.End()
+		tracing.ObserveSlow(sp, "diesel_client_get_chunk_seconds", time.Since(start))
+	}()
+	e := wire.AcquireEncoder(len(chunkID) + len(d.name) + 16)
+	e.String(d.name)
+	e.String(chunkID)
+	resp, err := d.c.callIdemBorrowContext(ctx, server.MethodGetChunk, e.Bytes())
+	e.Release()
+	if err != nil {
+		return nil, err
+	}
+	// The chunk is copied once — borrowed frame body to caller-owned
+	// slice — the frame body comes from and returns to the wire pool.
+	dec := wire.NewDecoder(resp.Borrow())
+	b := append([]byte(nil), dec.Bytes32()...)
+	err = dec.Err()
+	resp.Release()
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// --- metadata path ---
+
+// Stat returns a file's metadata (DL_stat). With a snapshot loaded it is
+// a local hashmap probe; otherwise one server RPC.
+func (d *Dataset) Stat(path string) (StatInfo, error) {
+	d.c.Stats.Stats.Add(1)
+	d.smu.RLock()
+	snap := d.snap
+	d.smu.RUnlock()
+	if snap != nil {
+		m, err := snap.Stat(path)
+		if err != nil {
+			return StatInfo{}, err
+		}
+		d.c.Stats.LocalMetaHits.Add(1)
+		mMetaSnapshot.Inc()
+		return StatInfo{
+			Size:      m.Length,
+			UpdatedNS: snap.UpdatedNS,
+			ChunkID:   snap.Chunks[m.ChunkIdx].ID.String(),
+		}, nil
+	}
+	d.c.Stats.ServerMetaOps.Add(1)
+	mMetaServer.Inc()
+	e := wire.NewEncoder(64)
+	e.String(d.name)
+	e.String(meta.CleanPath(path))
+	resp, err := d.c.callIdem(server.MethodStat, e.Bytes())
+	if err != nil {
+		return StatInfo{}, err
+	}
+	fr, err := meta.DecodeFileRecord(resp)
+	if err != nil {
+		return StatInfo{}, err
+	}
+	return StatInfo{Size: fr.Length, ChunkID: fr.ChunkID.String()}, nil
+}
+
+// Ls lists a directory (DL_ls): snapshot-local when loaded, otherwise two
+// prefix scans on the metadata database via the server.
+func (d *Dataset) Ls(dir string) ([]Entry, error) {
+	d.c.Stats.Lists.Add(1)
+	d.smu.RLock()
+	snap := d.snap
+	d.smu.RUnlock()
+	if snap != nil {
+		des, err := snap.List(dir)
+		if err != nil {
+			return nil, err
+		}
+		d.c.Stats.LocalMetaHits.Add(1)
+		mMetaSnapshot.Inc()
+		out := make([]Entry, len(des))
+		for i, de := range des {
+			out[i] = Entry{Name: de.Name, IsDir: de.IsDir, Size: de.Size}
+		}
+		return out, nil
+	}
+	d.c.Stats.ServerMetaOps.Add(1)
+	mMetaServer.Inc()
+	e := wire.NewEncoder(64)
+	e.String(d.name)
+	e.String(meta.CleanPath(dir))
+	resp, err := d.c.callIdem(server.MethodList, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	dec := wire.NewDecoder(resp)
+	n := int(dec.Uint32())
+	out := make([]Entry, 0, n)
+	for range n {
+		out = append(out, Entry{Name: dec.String(), IsDir: dec.Bool(), Size: dec.Uint64()})
+	}
+	return out, dec.Err()
+}
+
+// Delete removes a file (DL_delete).
+func (d *Dataset) Delete(path string) error {
+	e := wire.NewEncoder(64)
+	e.String(d.name)
+	e.String(meta.CleanPath(path))
+	_, err := d.c.call(server.MethodDelete, e.Bytes())
+	return err
+}
+
+// DatasetRecord fetches the dataset summary from a server.
+func (d *Dataset) DatasetRecord() (meta.DatasetRecord, error) {
+	e := wire.NewEncoder(32)
+	e.String(d.name)
+	resp, err := d.c.callIdem(server.MethodDatasetRecord, e.Bytes())
+	if err != nil {
+		return meta.DatasetRecord{}, err
+	}
+	return meta.DecodeDatasetRecord(resp)
+}
+
+// DownloadSnapshot builds and downloads a fresh metadata snapshot and
+// installs it in this handle.
+func (d *Dataset) DownloadSnapshot() (*meta.Snapshot, error) {
+	e := wire.NewEncoder(32)
+	e.String(d.name)
+	resp, err := d.c.callIdem(server.MethodSnapshot, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	snap, err := meta.DecodeSnapshot(resp)
+	if err != nil {
+		return nil, err
+	}
+	d.smu.Lock()
+	d.snap = snap
+	d.smu.Unlock()
+	return snap, nil
+}
+
+// SaveMeta downloads the dataset's metadata snapshot to a local file
+// (DL_save_meta).
+func (d *Dataset) SaveMeta(path string) error {
+	snap, err := d.DownloadSnapshot()
+	if err != nil {
+		return err
+	}
+	return snap.SaveFile(path)
+}
+
+// LoadMeta loads a snapshot from local disk (DL_load_meta) and verifies
+// it against the dataset record in the metadata database; a stale
+// snapshot is rejected with meta.ErrStaleSnapshot and the caller should
+// SaveMeta a fresh one.
+func (d *Dataset) LoadMeta(path string) error {
+	snap, err := meta.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	if snap.Dataset != d.name {
+		return fmt.Errorf("client: snapshot is for dataset %q, handle is %q", snap.Dataset, d.name)
+	}
+	rec, err := d.DatasetRecord()
+	if err != nil {
+		return err
+	}
+	if err := snap.Validate(rec); err != nil {
+		return err
+	}
+	d.smu.Lock()
+	d.snap = snap
+	d.smu.Unlock()
+	return nil
+}
+
+// ShufflePlan generates the chunk-wise shuffled epoch order for one epoch
+// (DL_shuffle, §4.3) with its group structure exposed: chunk IDs are
+// shuffled, grouped groupSize at a time, and file order is randomised
+// within each group. Requires a snapshot.
+func (d *Dataset) ShufflePlan(seed int64, groupSize int) (*shuffle.Plan, error) {
+	d.smu.RLock()
+	snap := d.snap
+	d.smu.RUnlock()
+	if snap == nil {
+		return nil, ErrNoSnapshot
+	}
+	return shuffle.ChunkWisePlan(snap, seed, groupSize), nil
+}
+
+// Recover asks a server to rebuild the dataset's metadata from its
+// self-contained chunks (§4.1.2). fromSec 0 rescans everything; a
+// positive Unix-seconds timestamp rescans only newer chunks. It returns
+// chunks scanned, chunks skipped and pairs rewritten.
+func (d *Dataset) Recover(fromSec uint32) (scanned, skipped, pairs uint64, err error) {
+	e := wire.NewEncoder(32)
+	e.String(d.name)
+	e.Uint32(fromSec)
+	resp, err := d.c.call(server.MethodRecover, e.Bytes())
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	dec := wire.NewDecoder(resp)
+	scanned, skipped, pairs = dec.Uint64(), dec.Uint64(), dec.Uint64()
+	return scanned, skipped, pairs, dec.Err()
+}
+
+// Purge runs server-side housekeeping on the dataset (DL_purge).
+func (d *Dataset) Purge() error {
+	e := wire.NewEncoder(32)
+	e.String(d.name)
+	_, err := d.c.call(server.MethodPurge, e.Bytes())
+	return err
+}
+
+// DeleteDataset removes the dataset entirely (DL_delete_dataset).
+func (d *Dataset) DeleteDataset() error {
+	e := wire.NewEncoder(32)
+	e.String(d.name)
+	_, err := d.c.call(server.MethodDeleteDataset, e.Bytes())
+	return err
+}

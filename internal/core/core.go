@@ -50,6 +50,7 @@ type Deployment struct {
 	servers   []*server.RPCServer
 	objects   objstore.Store
 	tiered    *objstore.Tiered
+	jobs      *server.JobRegistry
 }
 
 // Deploy starts all components on loopback ephemeral ports.
@@ -111,7 +112,12 @@ func Deploy(cfg Config) (*Deployment, error) {
 	d.registry = reg
 
 	// DIESEL servers (stateless; they share the KV cluster and store).
+	// The shared core carries one job registry backed by the deployment's
+	// configuration registry, so every server RPC front-end sees the same
+	// roster — jobs register through any server and appear on all.
 	core := server.New(kvc, objects, func() int64 { return time.Now().UnixNano() })
+	d.jobs = core.EnableJobs(etcd.InProcess{R: reg.Registry()}, 0)
+	d.jobs.StartSweeper(0)
 	for i := range cfg.DieselServers {
 		rpc, err := server.NewRPC(core, "127.0.0.1:0")
 		if err != nil {
@@ -140,6 +146,9 @@ func (d *Deployment) Registry() *etcd.Registry { return d.registry.Registry() }
 // Server returns the first DIESEL server's core, for administrative
 // operations in tests and tools.
 func (d *Deployment) Server() *server.Server { return d.servers[0].S }
+
+// JobRegistry returns the deployment-wide job roster.
+func (d *Deployment) JobRegistry() *server.JobRegistry { return d.jobs }
 
 // Servers returns the DIESEL RPC servers (for scripted kill/restart
 // fault windows in the load harness).
@@ -187,6 +196,18 @@ type TaskConfig struct {
 	ClientsPerNode int // I/O processes per node
 	Policy         dcache.Policy
 	CapacityBytes  int64 // per-master cache bound (0 = unlimited)
+	// JobID registers the task as a training job in the server's job
+	// registry (every client connection carries the identity, rank 0
+	// heartbeats the lease). Empty means anonymous. It also keys the
+	// task's cache membership, so two jobs may share one dataset.
+	JobID string
+	// Tenant attributes the task's traffic for per-tenant quotas.
+	Tenant string
+	// Shared, when non-nil, joins this task's cache masters to a
+	// process-wide shared chunk cache instead of private per-master
+	// stores; see dcache.SharedCache. The deployment's job registry is
+	// installed as the cache's refcount source.
+	Shared *dcache.SharedCache
 	// Dialer, when non-nil, replaces the TCP dialer of every task
 	// client's server connections (fault injection).
 	Dialer func(addr string) (net.Conn, error)
@@ -202,6 +223,16 @@ func (d *Deployment) StartTask(cfg TaskConfig) (*Task, error) {
 	total := cfg.Nodes * cfg.ClientsPerNode
 	t := &Task{}
 	reg := etcd.InProcess{R: d.registry.Registry()}
+	// Task identity must be unique per job: two jobs training on the same
+	// dataset are distinct tasks (own barriers, own master elections) even
+	// when they share a chunk cache.
+	taskID := "task-" + cfg.Dataset
+	if cfg.JobID != "" {
+		taskID = "task-" + cfg.JobID
+	}
+	if cfg.Shared != nil && d.jobs != nil {
+		cfg.Shared.SetRefSource(d.jobs)
+	}
 
 	type result struct {
 		rank int
@@ -210,7 +241,15 @@ func (d *Deployment) StartTask(cfg TaskConfig) (*Task, error) {
 	}
 	results := make(chan result, total)
 	for rank := range total {
-		cl, err := d.NewClientDialer(cfg.Dataset, rank, cfg.Dialer)
+		cl, err := client.Connect(client.Options{
+			User: "core", Key: "core",
+			Servers: d.ServerAddrs(),
+			Dataset: cfg.Dataset,
+			JobID:   cfg.JobID,
+			Tenant:  cfg.Tenant,
+			Rank:    rank,
+			Dialer:  cfg.Dialer,
+		})
 		if err != nil {
 			t.Close()
 			return nil, err
@@ -223,13 +262,14 @@ func (d *Deployment) StartTask(cfg TaskConfig) (*Task, error) {
 		t.Clients = append(t.Clients, cl)
 		node := fmt.Sprintf("node%03d", rank/cfg.ClientsPerNode)
 		go func(rank int, cl *client.Client) {
-			p, err := dcache.Join(cl, reg, dcache.Config{
-				TaskID:        "task-" + cfg.Dataset,
+			p, err := dcache.Join(cl.DefaultDataset(), reg, dcache.Config{
+				TaskID:        taskID,
 				NodeID:        node,
 				Rank:          rank,
 				TotalClients:  total,
 				Policy:        cfg.Policy,
 				CapacityBytes: cfg.CapacityBytes,
+				Shared:        cfg.Shared,
 			})
 			results <- result{rank: rank, peer: p, err: err}
 		}(rank, cl)
@@ -263,6 +303,9 @@ func (t *Task) Close() {
 
 // Close tears the deployment down in dependency order.
 func (d *Deployment) Close() {
+	if d.jobs != nil {
+		d.jobs.StopSweeper()
+	}
 	for _, s := range d.servers {
 		s.Close()
 	}

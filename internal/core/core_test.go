@@ -109,10 +109,11 @@ func TestStartTaskFullPipeline(t *testing.T) {
 	}
 
 	// Shuffled epoch through the cache, verified.
-	order, err := task.Clients[0].Shuffle(1, 2)
+	plan, err := task.Clients[0].ShufflePlan(1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
+	order := plan.Paths(task.Clients[0].Snapshot())
 	for _, path := range order {
 		b, err := task.Clients[3].Get(path)
 		if err != nil {

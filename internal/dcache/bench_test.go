@@ -17,6 +17,13 @@ import (
 // CI bench guard watch: a hit must stay near-memcpy-speed (Quiver/Hoard's
 // co-located-cache condition) for the task-grained cache to pay off.
 func benchPeer(b *testing.B, nFiles, fileSize int) (*Peer, []string) {
+	return benchPeerShared(b, nFiles, fileSize, nil)
+}
+
+// benchPeerShared is benchPeer joined through a SharedCache (nil =
+// private store) — the multi-job serving plane's hit path, which the
+// alloc gate holds to the same zero-allocation bar as the private one.
+func benchPeerShared(b *testing.B, nFiles, fileSize int, shared *SharedCache) (*Peer, []string) {
 	b.Helper()
 	core := server.NewLocalStack()
 	rpc, err := server.NewRPC(core, "127.0.0.1:0")
@@ -53,8 +60,9 @@ func benchPeer(b *testing.B, nFiles, fileSize int) (*Peer, []string) {
 		b.Fatal(err)
 	}
 	reg := etcd.InProcess{R: etcd.NewRegistry()}
-	p, err := Join(cl, reg, Config{
+	p, err := Join(cl.DefaultDataset(), reg, Config{
 		TaskID: "bench", NodeID: "node0", Rank: 0, TotalClients: 1, Policy: OnDemand,
+		Shared: shared,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -95,6 +103,45 @@ func BenchmarkDcacheHit(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; b.Loop(); i++ {
 			buf, err := p.ReadFileViewContext(ctx, names[i%len(names)])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(buf) != fileSize {
+				b.Fatalf("short read: %d", len(buf))
+			}
+		}
+	})
+}
+
+// BenchmarkDcacheHitShared measures a local hit through a SharedCache —
+// the (dataset, chunk)-keyed store every job of the multi-job serving
+// plane reads through. The dataset-qualified store keys are precomputed
+// at Join, so this must stay allocation-free like the private path.
+func BenchmarkDcacheHitShared(b *testing.B) {
+	const nFiles, fileSize = 256, 4 << 10
+	b.Run("view", func(b *testing.B) {
+		p, names := benchPeerShared(b, nFiles, fileSize, NewSharedCache(0, 0, nil))
+		ctx := context.Background()
+		b.SetBytes(fileSize)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; b.Loop(); i++ {
+			buf, err := p.ReadFileViewContext(ctx, names[i%len(names)])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(buf) != fileSize {
+				b.Fatalf("short read: %d", len(buf))
+			}
+		}
+	})
+	b.Run("copy", func(b *testing.B) {
+		p, names := benchPeerShared(b, nFiles, fileSize, NewSharedCache(0, 0, nil))
+		b.SetBytes(fileSize)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; b.Loop(); i++ {
+			buf, err := p.ReadFile(names[i%len(names)])
 			if err != nil {
 				b.Fatal(err)
 			}

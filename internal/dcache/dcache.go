@@ -73,6 +73,13 @@ type Config struct {
 	// hung master degrades to server fallback instead of stalling the
 	// training loop (default 2s).
 	PeerCallTimeout time.Duration
+	// Shared, when non-nil, replaces this task's private master stores
+	// with a process-wide cache shared across tasks and jobs, keyed by
+	// (dataset, chunk). Two jobs training on the same dataset then share
+	// one cached copy of every chunk, and datasets with no live jobs
+	// become eviction-preferred after the shared cache's grace period.
+	// CapacityBytes is ignored in favour of the shared cache's budget.
+	Shared *SharedCache
 }
 
 // Registrar is the registry interface Join needs; both *etcd.Registry
@@ -100,14 +107,18 @@ type Stats struct {
 // implements client.Reader, so installing it on a libDIESEL context routes
 // DL_get through the cache.
 type Peer struct {
-	cfg  Config
-	cl   *client.Client
-	snap *meta.Snapshot
+	cfg     Config
+	ds      *client.Dataset
+	dataset string
+	snap    *meta.Snapshot
 
 	// chunkIDs caches snap.Chunks[i].ID.String(): the snapshot is
 	// immutable for the peer's lifetime and the hot read path needs the
-	// string form (store and inflight keys) on every chunk access.
-	chunkIDs []string
+	// string form on every chunk access. storeKeys carries the
+	// dataset-qualified form the store is keyed by — precomputed so a
+	// cache hit never concatenates (the hit path stays allocation-free).
+	chunkIDs  []string
+	storeKeys []string
 
 	masters []masterInfo // sorted by node ID; partition targets
 	selfIdx int          // index into masters if this peer is a master, else -1
@@ -117,15 +128,16 @@ type Peer struct {
 	pools map[string]*wire.Pool // master addr → pool
 	pmu   sync.Mutex
 
-	store *chunkStore // non-nil on masters
+	store  *chunkStore  // non-nil on masters; the shared cache's store when Config.Shared is set
+	shared *SharedCache // non-nil when this peer joined a shared cache
 
 	// inflight deduplicates concurrent loads of the same chunk: the
 	// Oneshot prefetch, peer requests and local reads may race on a chunk,
 	// and it must be fetched from the server exactly once. Waiters receive
 	// the fetcher's result — including its error — so a failed fetch does
 	// not turn coalesced waiters into a thundering herd of fresh fetchers.
-	inflightMu sync.Mutex
-	inflight   map[string]*inflightLoad
+	// On a shared cache the table is process-wide, so the dedup spans jobs.
+	inflight *inflightTable
 
 	// health tracks remote-master liveness, parallel to masters.
 	health []masterHealth
@@ -221,12 +233,12 @@ const methodCacheGet = "cache.get"
 // chunks across masters, and — under the Oneshot policy — starts loading
 // this master's partition in the background.
 //
-// The libDIESEL context must have a metadata snapshot loaded: the cache
+// The dataset handle must have a metadata snapshot loaded: the cache
 // partitions the snapshot's chunk table.
-func Join(cl *client.Client, reg Registrar, cfg Config) (*Peer, error) {
-	snap := cl.Snapshot()
+func Join(ds *client.Dataset, reg Registrar, cfg Config) (*Peer, error) {
+	snap := ds.Snapshot()
 	if snap == nil {
-		return nil, errors.New("dcache: client has no metadata snapshot loaded")
+		return nil, errors.New("dcache: dataset handle has no metadata snapshot loaded")
 	}
 	if cfg.TotalClients < 1 {
 		return nil, errors.New("dcache: TotalClients must be >= 1")
@@ -246,14 +258,17 @@ func Join(cl *client.Client, reg Registrar, cfg Config) (*Peer, error) {
 
 	p := &Peer{
 		cfg:     cfg,
-		cl:      cl,
+		ds:      ds,
+		dataset: ds.Name(),
 		snap:    snap,
 		selfIdx: -1,
 		pools:   make(map[string]*wire.Pool),
 	}
 	p.chunkIDs = make([]string, len(snap.Chunks))
+	p.storeKeys = make([]string, len(snap.Chunks))
 	for i := range snap.Chunks {
 		p.chunkIDs[i] = snap.Chunks[i].ID.String()
+		p.storeKeys[i] = p.dataset + "\x00" + p.chunkIDs[i]
 	}
 
 	// Every peer listens before registering; non-masters close their
@@ -329,8 +344,20 @@ func Join(cl *client.Client, reg Registrar, cfg Config) (*Peer, error) {
 
 	p.health = make([]masterHealth, len(p.masters))
 
+	if cfg.Shared != nil {
+		p.shared = cfg.Shared
+		p.inflight = cfg.Shared.inflight
+		p.shared.Acquire(p.dataset)
+	} else {
+		p.inflight = newInflightTable()
+	}
+
 	if p.IsMaster() {
-		p.store = newChunkStore(cfg.CapacityBytes)
+		if p.shared != nil {
+			p.store = p.shared.store
+		} else {
+			p.store = newChunkStore(cfg.CapacityBytes)
+		}
 		p.srv.HandleContext(methodCacheGet, p.handleCacheGet)
 		if cfg.Policy == Oneshot {
 			go func() {
@@ -407,35 +434,33 @@ func (p *Peer) LoadOwned() error {
 // is shared with every waiter; a failed fetch therefore costs one RPC, not
 // one per blocked reader.
 func (p *Peer) loadChunk(ctx context.Context, ci int) (*cachedChunk, error) {
-	id := p.chunkIDs[ci]
-	if cc := p.store.get(id); cc != nil {
+	key := p.storeKeys[ci]
+	if cc := p.store.get(key); cc != nil {
 		return cc, nil
 	}
-	p.inflightMu.Lock()
-	if p.inflight == nil {
-		p.inflight = make(map[string]*inflightLoad)
-	}
-	fl, loading := p.inflight[id]
+	p.inflight.mu.Lock()
+	fl, loading := p.inflight.m[key]
 	if !loading {
 		fl = &inflightLoad{done: make(chan struct{})}
-		p.inflight[id] = fl
+		p.inflight.m[key] = fl
 	}
-	p.inflightMu.Unlock()
+	p.inflight.mu.Unlock()
 	if loading {
 		<-fl.done
 		return fl.cc, fl.err
 	}
+	id := p.chunkIDs[ci]
 	sp := tracing.ChildOf(ctx, "dcache.loadChunk")
 	if sp != nil {
 		sp.SetAttr("chunk", id)
 		ctx = tracing.ContextWith(ctx, sp)
 	}
-	fl.cc, fl.err = p.fetchChunk(ctx, id)
+	fl.cc, fl.err = p.fetchChunk(ctx, key, id)
 	sp.SetError(fl.err)
 	sp.End()
-	p.inflightMu.Lock()
-	delete(p.inflight, id)
-	p.inflightMu.Unlock()
+	p.inflight.mu.Lock()
+	delete(p.inflight.m, key)
+	p.inflight.mu.Unlock()
 	close(fl.done)
 	return fl.cc, fl.err
 }
@@ -446,8 +471,8 @@ func (p *Peer) loadChunk(ctx context.Context, ci int) (*cachedChunk, error) {
 // The fetcher's context governs the server RPC; coalesced waiters share
 // its outcome, so a cancelled fetcher fails its waiters once and the next
 // read starts a fresh fetch.
-func (p *Peer) fetchChunk(ctx context.Context, id string) (*cachedChunk, error) {
-	blob, err := p.cl.GetChunkContext(ctx, id)
+func (p *Peer) fetchChunk(ctx context.Context, key, id string) (*cachedChunk, error) {
+	blob, err := p.ds.GetChunk(ctx, id)
 	if err != nil {
 		return nil, fmt.Errorf("dcache: load chunk %s: %w", id, err)
 	}
@@ -456,7 +481,11 @@ func (p *Peer) fetchChunk(ctx context.Context, id string) (*cachedChunk, error) 
 		return nil, fmt.Errorf("dcache: chunk %s corrupt: %w", id, err)
 	}
 	cc := newCachedChunk(ck)
-	evicted, cached := p.store.put(id, cc)
+	var prefer func(string) bool
+	if p.shared != nil {
+		prefer = p.shared.coldMemo()
+	}
+	evicted, cached := p.store.put(key, p.dataset, cc, prefer)
 	p.Stats.ChunkLoads.Add(1)
 	p.Stats.BytesLoaded.Add(uint64(len(blob)))
 	p.Stats.Evictions.Add(evicted)
@@ -615,7 +644,7 @@ func (p *Peer) readFile(ctx context.Context, path string, view bool) (b []byte, 
 	p.Stats.ServerFallback.Add(1)
 	mFallbacks.Inc()
 	sp.SetAttr("branch", "server-fallback")
-	return p.cl.GetDirectContext(ctx, path)
+	return p.ds.GetDirect(ctx, path)
 }
 
 // readFromMaster fetches a file from a remote master, dialing lazily and
@@ -711,6 +740,9 @@ func (p *Peer) Close() error {
 		return nil
 	}
 	untrackPeer(p)
+	if p.shared != nil {
+		p.shared.Release(p.dataset)
+	}
 	var first error
 	if p.srv != nil {
 		first = p.srv.Close()

@@ -72,7 +72,7 @@ func newFixture(t *testing.T, nFiles, fileSize int, layout []string, policy Poli
 		wg.Add(1)
 		go func(rank int, node string) {
 			defer wg.Done()
-			p, err := Join(cl, f.reg, Config{
+			p, err := Join(cl.DefaultDataset(), f.reg, Config{
 				TaskID: "task1", NodeID: node, Rank: rank,
 				TotalClients: len(layout), Policy: policy, CapacityBytes: capacity,
 			})
@@ -276,7 +276,7 @@ func TestJoinRequiresSnapshot(t *testing.T) {
 	}
 	defer cl.Close()
 	reg := etcd.InProcess{R: etcd.NewRegistry()}
-	if _, err := Join(cl, reg, Config{TaskID: "t", NodeID: "n", TotalClients: 1}); err == nil {
+	if _, err := Join(cl.DefaultDataset(), reg, Config{TaskID: "t", NodeID: "n", TotalClients: 1}); err == nil {
 		t.Fatal("join without snapshot accepted")
 	}
 }
@@ -292,7 +292,7 @@ func TestJoinBarrierTimeout(t *testing.T) {
 	defer cl.Close()
 	cl.DownloadSnapshot()
 	reg := etcd.InProcess{R: etcd.NewRegistry()}
-	_, err := Join(cl, reg, Config{
+	_, err := Join(cl.DefaultDataset(), reg, Config{
 		TaskID: "t", NodeID: "n", Rank: 0, TotalClients: 3,
 		JoinTimeout: 50e6, // 50ms
 	})
@@ -402,7 +402,7 @@ func TestJoinThroughNetworkedRegistry(t *testing.T) {
 		wg.Add(1)
 		go func(rank int, cl *client.Client, rc *etcd.Client) {
 			defer wg.Done()
-			p, err := Join(cl, rc, Config{
+			p, err := Join(cl.DefaultDataset(), rc, Config{
 				TaskID: "net", NodeID: fmt.Sprintf("n%d", rank), Rank: rank, TotalClients: 2,
 			})
 			peers[rank], errs[rank] = p, err

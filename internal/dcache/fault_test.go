@@ -44,11 +44,11 @@ func buildTestCachedChunk(t *testing.T, payloadSize int) *cachedChunk {
 func TestChunkStoreRejectsOversized(t *testing.T) {
 	s := newChunkStore(1000)
 	small := buildTestCachedChunk(t, 100)
-	if _, cached := s.put("small", small); !cached {
+	if _, cached := s.put("small", "", small, nil); !cached {
 		t.Fatal("chunk within capacity refused")
 	}
 	big := buildTestCachedChunk(t, 5000)
-	evicted, cached := s.put("big", big)
+	evicted, cached := s.put("big", "", big, nil)
 	if cached {
 		t.Error("chunk larger than the whole capacity was cached")
 	}
@@ -149,7 +149,7 @@ func newFaultFixture(t *testing.T, nFiles, fileSize int, layout []string, base C
 			defer wg.Done()
 			cfg := base
 			cfg.TaskID, cfg.NodeID, cfg.Rank, cfg.TotalClients = "ftask", node, rank, len(layout)
-			p, err := Join(cl, reg, cfg)
+			p, err := Join(cl.DefaultDataset(), reg, cfg)
 			if err != nil {
 				errs[rank] = err
 				return
@@ -266,7 +266,7 @@ func TestPrefetchErrorRecorded(t *testing.T) {
 	del.Close()
 
 	reg := etcd.InProcess{R: etcd.NewRegistry()}
-	p, err := Join(cl, reg, Config{TaskID: "pf", NodeID: "n", TotalClients: 1, Policy: Oneshot})
+	p, err := Join(cl.DefaultDataset(), reg, Config{TaskID: "pf", NodeID: "n", TotalClients: 1, Policy: Oneshot})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,183 @@
+package dcache
+
+import (
+	"sync"
+	"time"
+)
+
+// RefSource supplies authoritative per-dataset refcounts — how many live
+// training jobs are registered on a dataset. *server.JobRegistry
+// implements it, so a shared cache co-located with a DIESEL server keeps
+// chunks pinned exactly while the job roster says someone is training on
+// them, and a crashed job's lease expiry is what un-pins its dataset.
+type RefSource interface {
+	Refcount(dataset string) int
+}
+
+// DefaultGrace is how long a dataset's chunks stay eviction-neutral after
+// its last job disappears. The window absorbs job restarts (a crashed
+// trainer that re-registers within the grace finds its working set still
+// cached) without letting dead datasets squat on capacity forever.
+const DefaultGrace = 30 * time.Second
+
+// SharedCache is a chunk cache shared across tasks and jobs, keyed by
+// (dataset, chunk). Two jobs training on the same dataset hit one cached
+// copy of every chunk — the multi-job amplification the serving plane is
+// for — while per-dataset refcounts (local Acquire/Release from
+// in-process peers, plus an optional RefSource such as the server's job
+// registry) steer eviction: a dataset with zero live jobs becomes
+// eviction-preferred once its grace period lapses, so abandoned working
+// sets are reclaimed before anything a live job still needs.
+//
+// Pass one SharedCache to every task's Config.Shared; the zero of
+// everything else in Config still applies per task.
+type SharedCache struct {
+	store    *chunkStore
+	inflight *inflightTable // cross-job fetch coalescing: one server fetch per (dataset, chunk)
+
+	mu       sync.Mutex
+	local    map[string]int   // dataset → Acquire/Release count from in-process peers
+	lastLive map[string]int64 // dataset → ns the grace clock (re)started
+	wasLive  map[string]bool  // dataset → last observation saw a nonzero refcount
+	src      RefSource
+	grace    time.Duration
+	nowNS    func() int64
+}
+
+// NewSharedCache builds a shared cache bounded to capacityBytes (0 =
+// unlimited). grace <= 0 uses DefaultGrace; nowNS nil uses the wall
+// clock (tests inject a fake clock to step through the grace window).
+func NewSharedCache(capacityBytes int64, grace time.Duration, nowNS func() int64) *SharedCache {
+	if grace <= 0 {
+		grace = DefaultGrace
+	}
+	if nowNS == nil {
+		nowNS = func() int64 { return time.Now().UnixNano() }
+	}
+	return &SharedCache{
+		store:    newChunkStore(capacityBytes),
+		inflight: newInflightTable(),
+		local:    make(map[string]int),
+		lastLive: make(map[string]int64),
+		wasLive:  make(map[string]bool),
+		grace:    grace,
+		nowNS:    nowNS,
+	}
+}
+
+// SetRefSource installs the authoritative refcount source (the server's
+// job registry). Local Acquire/Release counts are added on top.
+func (s *SharedCache) SetRefSource(src RefSource) {
+	s.mu.Lock()
+	s.src = src
+	s.mu.Unlock()
+}
+
+// Acquire pins a dataset on behalf of one in-process peer; Join calls it
+// for every peer of a task that uses this cache.
+func (s *SharedCache) Acquire(dataset string) {
+	now := s.nowNS()
+	s.mu.Lock()
+	s.local[dataset]++
+	s.lastLive[dataset] = now
+	s.wasLive[dataset] = true
+	s.mu.Unlock()
+}
+
+// Release undoes one Acquire. When the last local reference drops, the
+// grace clock starts (unless a RefSource still reports live jobs).
+func (s *SharedCache) Release(dataset string) {
+	now := s.nowNS()
+	s.mu.Lock()
+	if s.local[dataset] > 0 {
+		s.local[dataset]--
+	}
+	if s.local[dataset] == 0 {
+		s.lastLive[dataset] = now
+		s.wasLive[dataset] = false
+	}
+	s.mu.Unlock()
+}
+
+// Refcount reports the dataset's live references: in-process peers plus
+// whatever the RefSource (job registry) says.
+func (s *SharedCache) Refcount(dataset string) int {
+	s.mu.Lock()
+	n := s.local[dataset]
+	src := s.src
+	s.mu.Unlock()
+	if src != nil {
+		n += src.Refcount(dataset)
+	}
+	return n
+}
+
+// Grace returns the eviction-preference grace period.
+func (s *SharedCache) Grace() time.Duration { return s.grace }
+
+// cold reports whether the dataset is eviction-preferred: refcount zero
+// for longer than the grace period. The grace clock starts when the zero
+// is first *observed* — a lease that expired while nobody looked is only
+// discovered here, and the grace window must run from that discovery so
+// a restarting trainer still finds its working set cached.
+func (s *SharedCache) cold(dataset string, nowNS int64) bool {
+	if s.Refcount(dataset) > 0 {
+		s.mu.Lock()
+		s.lastLive[dataset] = nowNS
+		s.wasLive[dataset] = true
+		s.mu.Unlock()
+		return false
+	}
+	s.mu.Lock()
+	last, seen := s.lastLive[dataset]
+	if !seen || s.wasLive[dataset] {
+		// First observation at zero — ever, or since the dataset was last
+		// seen live: (re)start the grace clock here.
+		s.lastLive[dataset] = nowNS
+		s.wasLive[dataset] = false
+		last = nowNS
+	}
+	s.mu.Unlock()
+	return nowNS-last > s.grace.Nanoseconds()
+}
+
+// coldMemo returns a coldness predicate memoised for one eviction pass.
+// Coldness costs a refcount lookup (potentially a registry List); one
+// eviction pass should pay it once per dataset, not once per candidate.
+func (s *SharedCache) coldMemo() func(string) bool {
+	memo := make(map[string]bool)
+	return func(ds string) bool {
+		c, ok := memo[ds]
+		if !ok {
+			c = s.cold(ds, s.nowNS())
+			memo[ds] = c
+		}
+		return c
+	}
+}
+
+// ReclaimCold proactively evicts every cached chunk belonging to cold
+// (zero-refcount, grace-expired) datasets, returning what it freed.
+// Capacity-pressure eviction already prefers cold chunks; ReclaimCold is
+// for housekeeping sweeps that want the memory back before pressure hits.
+func (s *SharedCache) ReclaimCold() (chunks int, bytes int64) {
+	return s.store.evictDatasets(s.coldMemo())
+}
+
+// Bytes reports the cached payload bytes across all datasets.
+func (s *SharedCache) Bytes() int64 { return s.store.bytes() }
+
+// Chunks reports how many chunks the cache holds across all datasets.
+func (s *SharedCache) Chunks() int { return s.store.count() }
+
+// inflightTable deduplicates concurrent loads of the same (dataset,
+// chunk) key. On a SharedCache it is process-wide, so two jobs missing on
+// the same chunk at the same moment still cost exactly one server fetch.
+type inflightTable struct {
+	mu sync.Mutex
+	m  map[string]*inflightLoad
+}
+
+func newInflightTable() *inflightTable {
+	return &inflightTable{m: make(map[string]*inflightLoad)}
+}

@@ -1,0 +1,269 @@
+package dcache
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"diesel/internal/client"
+	"diesel/internal/etcd"
+	"diesel/internal/server"
+)
+
+// fakeClock is a manually stepped nanosecond clock for grace-window tests.
+type fakeClock struct{ ns int64 }
+
+func (c *fakeClock) now() int64 { return c.ns }
+
+func putTestChunk(t *testing.T, sc *SharedCache, dataset, id string, size int) {
+	t.Helper()
+	cc := buildPatternedChunk(t, size, 0xAB)
+	if _, cached := sc.store.put(dataset+"\x00"+id, dataset, cc, nil); !cached {
+		t.Fatalf("chunk %s/%s not cached", dataset, id)
+	}
+}
+
+// TestSharedCacheRefcountGrace walks a dataset through the refcount
+// lifecycle: pinned while acquired, eviction-neutral through the grace
+// window after the last release, eviction-preferred (and reclaimable)
+// only once the grace lapses.
+func TestSharedCacheRefcountGrace(t *testing.T) {
+	clk := &fakeClock{ns: 1}
+	const grace = 10 * time.Second
+	sc := NewSharedCache(0, grace, clk.now)
+
+	sc.Acquire("ds")
+	sc.Acquire("ds")
+	putTestChunk(t, sc, "ds", "c1", 4096)
+	putTestChunk(t, sc, "ds", "c2", 4096)
+	if got := sc.Chunks(); got != 2 {
+		t.Fatalf("Chunks = %d, want 2", got)
+	}
+
+	if sc.cold("ds", clk.now()) {
+		t.Fatal("acquired dataset reported cold")
+	}
+	sc.Release("ds")
+	if got := sc.Refcount("ds"); got != 1 {
+		t.Fatalf("Refcount = %d, want 1", got)
+	}
+	sc.Release("ds")
+	if got := sc.Refcount("ds"); got != 0 {
+		t.Fatalf("Refcount = %d, want 0", got)
+	}
+
+	// Zero refcount but inside the grace window: still not cold, and a
+	// reclaim sweep must leave the chunks alone (a restarting job should
+	// find its working set).
+	clk.ns += (grace / 2).Nanoseconds()
+	if sc.cold("ds", clk.now()) {
+		t.Fatal("dataset cold inside grace window")
+	}
+	if n, _ := sc.ReclaimCold(); n != 0 {
+		t.Fatalf("ReclaimCold inside grace freed %d chunks", n)
+	}
+
+	// Grace lapsed: cold, and reclaimable.
+	clk.ns += grace.Nanoseconds()
+	if !sc.cold("ds", clk.now()) {
+		t.Fatal("dataset not cold after grace")
+	}
+	n, bytes := sc.ReclaimCold()
+	if n != 2 || bytes <= 0 {
+		t.Fatalf("ReclaimCold = (%d, %d), want 2 chunks", n, bytes)
+	}
+	if got := sc.Chunks(); got != 0 {
+		t.Fatalf("Chunks after reclaim = %d, want 0", got)
+	}
+
+	// Re-acquiring resurrects the dataset's liveness.
+	sc.Acquire("ds")
+	if sc.cold("ds", clk.now()) {
+		t.Fatal("re-acquired dataset reported cold")
+	}
+}
+
+// TestSharedCacheEvictionPrefersCold pins one dataset via a live
+// refcount and lets another go cold: under capacity pressure the cold
+// dataset's chunks must go first even when they are more recently used.
+func TestSharedCacheEvictionPrefersCold(t *testing.T) {
+	clk := &fakeClock{ns: 1}
+	const grace = time.Second
+	sc := NewSharedCache(0, grace, clk.now)
+
+	sc.Acquire("live")
+	// "cold" was never acquired; its grace clock starts at first
+	// observation, so step past it before applying pressure.
+	putTestChunk(t, sc, "cold", "c1", 4096)
+	putTestChunk(t, sc, "live", "c2", 4096)
+	putTestChunk(t, sc, "live", "c3", 4096)
+	if sc.cold("cold", clk.now()) {
+		t.Fatal("first observation at zero refcount must start the grace clock, not evict")
+	}
+	clk.ns += (2 * grace).Nanoseconds()
+
+	// Touch the cold chunk so it is the most recently used — LRU alone
+	// would evict a live chunk; the preference must override that.
+	if sc.store.get("cold\x00c1") == nil {
+		t.Fatal("cold chunk missing")
+	}
+	evicted := sc.store.evictOver(10000, "", sc.coldMemo()) // fits 2 of the 3 chunks
+	if evicted != 1 {
+		t.Fatalf("evicted %d chunks, want 1", evicted)
+	}
+	if sc.store.get("cold\x00c1") != nil {
+		t.Fatal("cold dataset's chunk survived; a live chunk was evicted instead")
+	}
+	if sc.store.get("live\x00c2") == nil || sc.store.get("live\x00c3") == nil {
+		t.Fatal("live dataset lost a chunk under preference eviction")
+	}
+}
+
+// TestSharedCacheJobRegistryRefSource wires a real job registry in as the
+// refcount source: a registered job pins the dataset, lease expiry
+// un-pins it, and the grace window then runs from the expiry observation
+// — the full crashed-trainer reclamation path of the serving plane.
+func TestSharedCacheJobRegistryRefSource(t *testing.T) {
+	clk := &fakeClock{ns: 1_000_000_000}
+	const ttl = 10 * time.Second
+	const grace = 5 * time.Second
+	reg := server.NewJobRegistry(etcd.InProcess{R: etcd.NewRegistry()}, ttl, clk.now)
+	sc := NewSharedCache(0, grace, clk.now)
+	sc.SetRefSource(reg)
+
+	if err := reg.Register(server.JobInfo{ID: "trainer", Dataset: "ds"}); err != nil {
+		t.Fatal(err)
+	}
+	putTestChunk(t, sc, "ds", "c1", 4096)
+	if got := sc.Refcount("ds"); got != 1 {
+		t.Fatalf("Refcount = %d, want 1", got)
+	}
+	if sc.cold("ds", clk.now()) {
+		t.Fatal("dataset with a registered job reported cold")
+	}
+
+	// The trainer crashes: heartbeats stop, the lease lapses.
+	clk.ns += (ttl + time.Second).Nanoseconds()
+	if got := sc.Refcount("ds"); got != 0 {
+		t.Fatalf("Refcount after lease expiry = %d, want 0", got)
+	}
+	// The expiry is discovered now; grace runs from this observation, so
+	// the chunks survive the immediate aftermath of the crash.
+	if sc.cold("ds", clk.now()) {
+		t.Fatal("dataset cold immediately after lease expiry; grace must apply")
+	}
+	if n, _ := sc.ReclaimCold(); n != 0 {
+		t.Fatalf("ReclaimCold freed %d chunks inside post-expiry grace", n)
+	}
+
+	// If the trainer restarts within the grace, the working set is warm.
+	if err := reg.Register(server.JobInfo{ID: "trainer", Dataset: "ds"}); err != nil {
+		t.Fatal(err)
+	}
+	if sc.cold("ds", clk.now()) {
+		t.Fatal("re-registered dataset reported cold")
+	}
+	if err := reg.Unregister("trainer"); err != nil {
+		t.Fatal(err)
+	}
+
+	// No restart this time. The next sweep discovers the zero refcount
+	// (starting the grace clock), and the one after the grace reclaims.
+	clk.ns += (2 * grace).Nanoseconds()
+	if n, _ := sc.ReclaimCold(); n != 0 {
+		t.Fatalf("discovery sweep freed %d chunks, want 0", n)
+	}
+	clk.ns += (2 * grace).Nanoseconds()
+	if n, _ := sc.ReclaimCold(); n != 1 {
+		t.Fatalf("ReclaimCold after grace freed %d chunks, want 1", n)
+	}
+}
+
+// TestSharedCacheAcrossTasks runs two single-client tasks (two "training
+// jobs") over one dataset through one SharedCache: the second task's
+// reads must be served entirely from chunks the first task loaded, with
+// zero additional server fetches — the cache-hit amplification the
+// multi-job serving plane exists for.
+func TestSharedCacheAcrossTasks(t *testing.T) {
+	core := server.NewLocalStack()
+	rpc, err := server.NewRPC(core, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rpc.Close() })
+	addrs := []string{rpc.Addr()}
+
+	w, err := client.Connect(client.Options{Servers: addrs, Dataset: "ds", ChunkTarget: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nFiles, fileSize = 32, 1024
+	names := make([]string, nFiles)
+	for i := range nFiles {
+		names[i] = fmt.Sprintf("img%04d.jpg", i)
+		if err := w.Put(names[i], make([]byte, fileSize)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	shared := NewSharedCache(0, time.Minute, nil)
+	reg := etcd.InProcess{R: etcd.NewRegistry()}
+	newPeer := func(taskID string) *Peer {
+		cl, err := client.Connect(client.Options{Servers: addrs, Dataset: "ds"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cl.Close() })
+		if _, err := cl.DownloadSnapshot(); err != nil {
+			t.Fatal(err)
+		}
+		p, err := Join(cl.DefaultDataset(), reg, Config{
+			TaskID: taskID, NodeID: "n0", Rank: 0, TotalClients: 1,
+			Policy: OnDemand, Shared: shared,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { p.Close() })
+		return p
+	}
+
+	p1 := newPeer("job-a")
+	for _, name := range names {
+		if _, err := p1.ReadFile(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loads1 := p1.Stats.ChunkLoads.Load()
+	if loads1 == 0 {
+		t.Fatal("first job loaded no chunks")
+	}
+	if got := shared.Refcount("ds"); got != 1 {
+		t.Fatalf("Refcount with one task = %d, want 1", got)
+	}
+
+	p2 := newPeer("job-b")
+	if got := shared.Refcount("ds"); got != 2 {
+		t.Fatalf("Refcount with two tasks = %d, want 2", got)
+	}
+	for _, name := range names {
+		if _, err := p2.ReadFile(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if loads2 := p2.Stats.ChunkLoads.Load(); loads2 != 0 {
+		t.Fatalf("second job fetched %d chunks from servers; want 0 (all shared hits)", loads2)
+	}
+	if hits := p2.Stats.LocalHits.Load(); hits == 0 {
+		t.Fatal("second job recorded no local hits")
+	}
+
+	// Closing a task releases its pin.
+	p2.Close()
+	if got := shared.Refcount("ds"); got != 1 {
+		t.Fatalf("Refcount after one close = %d, want 1", got)
+	}
+}

@@ -39,7 +39,8 @@ type storeShard struct {
 }
 
 type storeEntry struct {
-	id   string
+	id   string // store key: dataset-qualified (see Peer.storeKeys)
+	ds   string // dataset the chunk belongs to; eviction preference input
 	cc   *cachedChunk
 	tick uint64 // recency stamp; read/written under the owning shard's lock
 }
@@ -80,7 +81,10 @@ func (s *chunkStore) get(id string) *cachedChunk {
 // whether the chunk was actually cached. A chunk larger than the whole
 // capacity is refused outright: evicting everything could not make it
 // fit, and inserting it anyway would leave used > capacity permanently.
-func (s *chunkStore) put(id string, cc *cachedChunk) (evicted uint64, cached bool) {
+// prefer, when non-nil, marks datasets whose chunks should be evicted
+// first (the shared cache's cold-dataset preference); nil keeps plain
+// global LRU.
+func (s *chunkStore) put(id, ds string, cc *cachedChunk, prefer func(string) bool) (evicted uint64, cached bool) {
 	size := cc.size()
 	if s.capacity > 0 && size > s.capacity {
 		return 0, false
@@ -91,34 +95,54 @@ func (s *chunkStore) put(id string, cc *cachedChunk) (evicted uint64, cached boo
 		sh.mu.Unlock()
 		return 0, true
 	}
-	sh.items[id] = sh.lru.PushFront(&storeEntry{id: id, cc: cc, tick: s.clock.Add(1)})
+	sh.items[id] = sh.lru.PushFront(&storeEntry{id: id, ds: ds, cc: cc, tick: s.clock.Add(1)})
 	sh.mu.Unlock()
 	s.used.Add(size)
 	if s.capacity > 0 {
-		evicted = s.evictOver(s.capacity, id)
+		evicted = s.evictOver(s.capacity, id, prefer)
 	}
 	return evicted, true
 }
 
-// evictOver removes globally least-recent chunks until used fits the
-// budget. The freshly inserted chunk (keep) is exempt — the unsharded
-// store made room before inserting, so the newcomer was never a victim.
-// Locks are taken one shard at a time; a shard whose tail changes between
-// the scan and the removal just triggers a rescan.
-func (s *chunkStore) evictOver(capacity int64, keep string) (evicted uint64) {
+// evictOver removes least-recent chunks until used fits the budget. The
+// freshly inserted chunk (keep) is exempt — the unsharded store made room
+// before inserting, so the newcomer was never a victim. Locks are taken
+// one shard at a time; a shard whose tail changes between the scan and
+// the removal just triggers a rescan.
+//
+// Victim order: among the shard tails, an entry of a preferred (cold)
+// dataset beats any entry of a live one, oldest-first within each class —
+// cold datasets see no reads, so their entries sink to the tails on their
+// own and the preference finds them there. With prefer nil the scan is
+// exact global LRU, as before.
+func (s *chunkStore) evictOver(capacity int64, keep string, prefer func(string) bool) (evicted uint64) {
 	for s.used.Load() > capacity {
-		victim := -1
-		var oldest uint64
+		victim, coldVictim := -1, -1
+		var oldest, coldOldest uint64
 		for i := range s.shards {
 			sh := &s.shards[i]
 			sh.mu.Lock()
+			var id, ds string
+			var tick uint64
+			ok := false
 			if back := sh.lru.Back(); back != nil {
 				e := back.Value.(*storeEntry)
-				if e.id != keep && (victim < 0 || e.tick < oldest) {
-					victim, oldest = i, e.tick
-				}
+				id, ds, tick, ok = e.id, e.ds, e.tick, true
 			}
 			sh.mu.Unlock()
+			if !ok || id == keep {
+				continue
+			}
+			if victim < 0 || tick < oldest {
+				victim, oldest = i, tick
+			}
+			// Coldness may consult a registry; never judged under a shard lock.
+			if prefer != nil && prefer(ds) && (coldVictim < 0 || tick < coldOldest) {
+				coldVictim, coldOldest = i, tick
+			}
+		}
+		if coldVictim >= 0 {
+			victim = coldVictim
 		}
 		if victim < 0 {
 			// Nothing evictable remains (only the protected chunk is left).
@@ -139,6 +163,44 @@ func (s *chunkStore) evictOver(capacity int64, keep string) (evicted uint64) {
 		evicted++
 	}
 	return evicted
+}
+
+// evictDatasets removes every entry whose dataset the predicate marks,
+// returning chunks and bytes freed. Unlike evictOver it walks whole
+// shards, not just tails — it is the shared cache's housekeeping sweep,
+// not a hot-path budget check.
+func (s *chunkStore) evictDatasets(pred func(string) bool) (chunks int, bytes int64) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		// Collect victims under the lock, judge coldness outside it (the
+		// predicate may consult a registry), then remove under the lock
+		// again, tolerating concurrent removals.
+		sh.mu.Lock()
+		cand := make([]*storeEntry, 0, sh.lru.Len())
+		for el := sh.lru.Front(); el != nil; el = el.Next() {
+			cand = append(cand, el.Value.(*storeEntry))
+		}
+		sh.mu.Unlock()
+		for _, e := range cand {
+			if !pred(e.ds) {
+				continue
+			}
+			sh.mu.Lock()
+			el, ok := sh.items[e.id]
+			if ok {
+				sh.lru.Remove(el)
+				delete(sh.items, e.id)
+			}
+			sh.mu.Unlock()
+			if ok {
+				size := e.cc.size()
+				s.used.Add(-size)
+				chunks++
+				bytes += size
+			}
+		}
+	}
+	return chunks, bytes
 }
 
 func (s *chunkStore) bytes() int64 { return s.used.Load() }

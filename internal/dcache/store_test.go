@@ -56,7 +56,7 @@ func TestShardedStoreConcurrentAccess(t *testing.T) {
 			for i := 0; i < opsPer; i++ {
 				id := fmt.Sprintf("chunk-%03d", rng.Intn(keySpace))
 				if rng.Intn(2) == 0 {
-					s.put(id, cc)
+					s.put(id, "", cc, nil)
 				} else if got := s.get(id); got != nil && got.size() != size {
 					t.Errorf("get(%s) returned wrong chunk", id)
 				}
@@ -84,13 +84,13 @@ func TestShardedStoreConcurrentAccess(t *testing.T) {
 func TestShardedStoreGlobalLRU(t *testing.T) {
 	cc := buildTestCachedChunk(t, 100)
 	s := newChunkStore(cc.size() * 3)
-	s.put("a", cc)
-	s.put("b", cc)
-	s.put("c", cc)
+	s.put("a", "", cc, nil)
+	s.put("b", "", cc, nil)
+	s.put("c", "", cc, nil)
 	if s.get("a") == nil { // refresh a: global LRU order is now b, c, a
 		t.Fatal("resident chunk missing")
 	}
-	if evicted, cached := s.put("d", cc); !cached || evicted != 1 {
+	if evicted, cached := s.put("d", "", cc, nil); !cached || evicted != 1 {
 		t.Fatalf("put(d): evicted=%d cached=%v, want 1 eviction", evicted, cached)
 	}
 	if s.get("b") != nil {
@@ -114,7 +114,7 @@ func TestShardedStoreEvictionFairness(t *testing.T) {
 	ids := make([]string, n)
 	for i := range ids {
 		ids[i] = fmt.Sprintf("chunk-%04d", i)
-		s.put(ids[i], cc)
+		s.put(ids[i], "", cc, nil)
 	}
 	for i, id := range ids {
 		resident := s.get(id) != nil
@@ -145,7 +145,7 @@ func TestEvictedChunkViewRemainsValid(t *testing.T) {
 	const payloadSize = 256
 	victim := buildPatternedChunk(t, payloadSize, 0xAB)
 	s := newChunkStore(victim.size() * 2)
-	s.put("victim", victim)
+	s.put("victim", "", victim, nil)
 
 	entry := victim.ck.Header.Entries[0]
 	view, err := victim.fileView(meta.FileMeta{Offset: entry.Offset, Length: entry.Length})
@@ -162,7 +162,7 @@ func TestEvictedChunkViewRemainsValid(t *testing.T) {
 	// the first over-capacity put removes it. Probing with get would
 	// itself refresh the victim, so check residency only once at the end.
 	for i := 0; i < 2; i++ {
-		s.put(fmt.Sprintf("filler-%d", i), buildPatternedChunk(t, payloadSize, 0xCD))
+		s.put(fmt.Sprintf("filler-%d", i), "", buildPatternedChunk(t, payloadSize, 0xCD), nil)
 	}
 	if s.get("victim") != nil {
 		t.Fatal("victim never evicted")

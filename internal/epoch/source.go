@@ -44,10 +44,10 @@ type ViewReader interface {
 
 // ChunkClient is the server-direct read surface ClientSource needs:
 // whole-chunk fetches plus the batched file API it degrades to.
-// *client.Client implements it.
+// *client.Dataset implements it.
 type ChunkClient interface {
-	GetChunkContext(ctx context.Context, chunkID string) ([]byte, error)
-	GetBatchContext(ctx context.Context, paths []string) ([][]byte, error)
+	GetChunk(ctx context.Context, chunkID string) ([]byte, error)
+	GetBatch(ctx context.Context, paths []string) ([][]byte, error)
 }
 
 // ClientSource feeds an epoch reader straight from the DIESEL servers:
@@ -65,7 +65,7 @@ type ClientSource struct {
 }
 
 // NewClientSource builds a server-direct source (cl is typically a
-// *client.Client). parallel bounds the concurrent chunk fetches within
+// *client.Dataset handle). parallel bounds the concurrent chunk fetches within
 // one group (<=0 means 4).
 func NewClientSource(cl ChunkClient, snap *meta.Snapshot, parallel int) *ClientSource {
 	if parallel <= 0 {
@@ -100,7 +100,7 @@ func (s *ClientSource) ReadGroup(ctx context.Context, plan *shuffle.Plan, g int)
 			defer wg.Done()
 			defer func() { <-sem }()
 			f := chunks[ci]
-			blob, err := s.cl.GetChunkContext(ctx, s.snap.Chunks[ci].ID.String())
+			blob, err := s.cl.GetChunk(ctx, s.snap.Chunks[ci].ID.String())
 			if err != nil {
 				f.err = err
 				return
@@ -146,7 +146,7 @@ func (s *ClientSource) ReadGroup(ctx context.Context, plan *shuffle.Plan, g int)
 			paths[i] = s.snap.FileName(int(plan.Files[pos]))
 		}
 		mChunkFallbacks.Add(uint64(len(missPos)))
-		batch, err := s.cl.GetBatchContext(ctx, paths)
+		batch, err := s.cl.GetBatch(ctx, paths)
 		if err != nil {
 			return nil, joinChunkErrors(chunks, err)
 		}

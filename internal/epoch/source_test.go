@@ -24,7 +24,7 @@ type fakeChunkClient struct {
 	batchCalls [][]string
 }
 
-func (c *fakeChunkClient) GetChunkContext(ctx context.Context, id string) ([]byte, error) {
+func (c *fakeChunkClient) GetChunk(ctx context.Context, id string) ([]byte, error) {
 	blob, ok := c.chunks[id]
 	if !ok {
 		return nil, fmt.Errorf("no such chunk %s", id)
@@ -32,7 +32,7 @@ func (c *fakeChunkClient) GetChunkContext(ctx context.Context, id string) ([]byt
 	return blob, nil
 }
 
-func (c *fakeChunkClient) GetBatchContext(ctx context.Context, paths []string) ([][]byte, error) {
+func (c *fakeChunkClient) GetBatch(ctx context.Context, paths []string) ([][]byte, error) {
 	c.mu.Lock()
 	c.batchCalls = append(c.batchCalls, append([]string(nil), paths...))
 	c.mu.Unlock()

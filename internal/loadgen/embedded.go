@@ -48,6 +48,17 @@ type StackConfig struct {
 	TaskNodes      int
 	ClientsPerNode int
 
+	// Jobs, when >= 2, starts that many DLT tasks ("training jobs") over
+	// the one dataset instead of a single task. Each job registers in the
+	// server's job registry under its own job ID and tenant, and all of
+	// them share one dcache.SharedCache, so the run measures multi-job
+	// cache-hit amplification (Report.MultiJob). Requires TaskNodes and
+	// ClientsPerNode.
+	Jobs int
+	// SharedCacheBytes bounds the shared chunk cache in Jobs mode
+	// (0 = unlimited).
+	SharedCacheBytes int64
+
 	// EpochReaders is the number of background pipelined epoch readers
 	// looping over the dataset during the run (soak-style ambient load).
 	EpochReaders int
@@ -92,13 +103,18 @@ type Stack struct {
 	Throttle *objstore.Throttled
 	Gate     *wire.FaultGate
 	Clients  []*client.Client
-	Task     *core.Task
+	Task     *core.Task   // single-task mode; in Jobs mode, JobTasks[0]
+	JobTasks []*core.Task // Jobs-mode tasks, one per training job
+	Shared   *dcache.SharedCache
 	Paths    []string
 	ChunkIDs []string
 
 	cfg     StackConfig
 	dataset string
 }
+
+// jobID names the i-th training job of a Jobs-mode stack.
+func jobID(i int) string { return fmt.Sprintf("job-%02d", i) }
 
 // StartStack deploys the stack and writes the dataset. The store is
 // always wrapped in a Throttled (even at zero latency) so disk-slow
@@ -122,8 +138,15 @@ func StartStack(cfg StackConfig) (*Stack, error) {
 		return nil, err
 	}
 
-	// Write the dataset through a plain (ungated) client.
-	wcl, err := dep.NewClient(st.dataset, 0)
+	// Write the dataset through a plain (ungated) client. ChunkTarget
+	// must reach the writer: the whole point of the small default is a
+	// dataset of many chunks, so cache/eviction behaviour is observable.
+	wcl, err := client.Connect(client.Options{
+		User: "core", Key: "core",
+		Servers:     dep.ServerAddrs(),
+		Dataset:     st.dataset,
+		ChunkTarget: cfg.ChunkTarget,
+	})
 	if err != nil {
 		return fail(err)
 	}
@@ -181,17 +204,41 @@ func StartStack(cfg StackConfig) (*Stack, error) {
 	}
 
 	if cfg.TaskNodes > 0 && cfg.ClientsPerNode > 0 {
-		task, err := dep.StartTask(core.TaskConfig{
-			Dataset:        st.dataset,
-			Nodes:          cfg.TaskNodes,
-			ClientsPerNode: cfg.ClientsPerNode,
-			Policy:         dcache.Oneshot,
-			Dialer:         st.Gate.Dialer(),
-		})
-		if err != nil {
-			return fail(err)
+		if cfg.Jobs >= 2 {
+			// Multi-job serving: every job is its own task (own barrier,
+			// own master election) but they share one chunk cache, so the
+			// second job's prefetch should find the first job's chunks.
+			st.Shared = dcache.NewSharedCache(cfg.SharedCacheBytes, 0, nil)
+			for j := range cfg.Jobs {
+				task, err := dep.StartTask(core.TaskConfig{
+					Dataset:        st.dataset,
+					Nodes:          cfg.TaskNodes,
+					ClientsPerNode: cfg.ClientsPerNode,
+					Policy:         dcache.Oneshot,
+					JobID:          jobID(j),
+					Tenant:         fmt.Sprintf("tenant-%02d", j),
+					Shared:         st.Shared,
+					Dialer:         st.Gate.Dialer(),
+				})
+				if err != nil {
+					return fail(err)
+				}
+				st.JobTasks = append(st.JobTasks, task)
+			}
+			st.Task = st.JobTasks[0]
+		} else {
+			task, err := dep.StartTask(core.TaskConfig{
+				Dataset:        st.dataset,
+				Nodes:          cfg.TaskNodes,
+				ClientsPerNode: cfg.ClientsPerNode,
+				Policy:         dcache.Oneshot,
+				Dialer:         st.Gate.Dialer(),
+			})
+			if err != nil {
+				return fail(err)
+			}
+			st.Task = task
 		}
-		st.Task = task
 	}
 	return st, nil
 }
@@ -243,7 +290,11 @@ func ConnectStack(addrs []string, dataset string, cfg StackConfig) (*Stack, erro
 
 // Close tears the stack down.
 func (s *Stack) Close() {
-	if s.Task != nil {
+	if len(s.JobTasks) > 0 {
+		for _, t := range s.JobTasks {
+			t.Close()
+		}
+	} else if s.Task != nil {
 		s.Task.Close()
 	}
 	for _, c := range s.Clients {
@@ -321,7 +372,16 @@ func (s *Stack) Ops(spec string) ([]WeightedOp, error) {
 					return err
 				}
 			} else {
-				peers := s.Task.Peers
+				// In Jobs mode the view reads spread over every job's
+				// peers, so all jobs exercise the shared cache.
+				var peers []*dcache.Peer
+				if len(s.JobTasks) > 0 {
+					for _, t := range s.JobTasks {
+						peers = append(peers, t.Peers...)
+					}
+				} else {
+					peers = s.Task.Peers
+				}
 				do = func(ctx context.Context, rng *rand.Rand) error {
 					p := peers[rng.Intn(len(peers))]
 					_, err := p.ReadFileViewContext(ctx, s.path(rng))
@@ -538,7 +598,7 @@ func (s *Stack) RunEmbedded(ctx context.Context, cfg Config) (*Report, error) {
 					return
 				}
 				snap := cl.Snapshot()
-				r := epoch.NewReader(plan, snap, epoch.NewClientSource(cl, snap, 2), eopts...)
+				r := epoch.NewReader(plan, snap, epoch.NewClientSource(cl.DefaultDataset(), snap, 2), eopts...)
 				for {
 					if _, err := r.Next(); err != nil {
 						break
@@ -570,7 +630,47 @@ func (s *Stack) RunEmbedded(ctx context.Context, cfg Config) (*Report, error) {
 			rep.EpochStall = &ls
 		}
 	}
+	if mj := s.multiJobReport(); mj != nil {
+		rep.MultiJob = mj
+	}
 	return rep, nil
+}
+
+// multiJobReport computes the shared-cache amplification summary of a
+// Jobs-mode run from the per-peer cache stats.
+func (s *Stack) multiJobReport() *MultiJobReport {
+	if len(s.JobTasks) < 2 {
+		return nil
+	}
+	mj := &MultiJobReport{
+		Jobs:         len(s.JobTasks),
+		UniqueChunks: len(s.ChunkIDs),
+		PerJobReads:  make(map[string]uint64, len(s.JobTasks)),
+	}
+	for j, t := range s.JobTasks {
+		var reads uint64
+		for _, p := range t.Peers {
+			mj.ChunkLoads += p.Stats.ChunkLoads.Load()
+			reads += p.Stats.LocalHits.Load() + p.Stats.PeerReads.Load()
+		}
+		mj.PerJobReads[jobID(j)] = reads
+		mj.CacheReads += reads
+	}
+	// Expected server demand without sharing: every job loads every chunk
+	// (the Oneshot policy's prefetch alone guarantees that).
+	expected := float64(mj.Jobs) * float64(mj.UniqueChunks)
+	if mj.ChunkLoads > 0 && expected > 0 {
+		mj.Amplification = expected / float64(mj.ChunkLoads)
+		mj.SharedHitRate = 1 - float64(mj.ChunkLoads)/expected
+	}
+	minR, maxR := uint64(1<<62), uint64(0)
+	for _, r := range mj.PerJobReads {
+		minR, maxR = min(minR, r), max(maxR, r)
+	}
+	if maxR > 0 {
+		mj.FairnessRatio = float64(minR) / float64(maxR)
+	}
+	return mj
 }
 
 // epochStallSummary reads the diesel_epoch_stall_seconds histogram: how

@@ -102,6 +102,12 @@ type Report struct {
 	Kinds  []KindReport  `json:"kinds,omitempty"`
 	Phases []PhaseReport `json:"phases,omitempty"`
 
+	// MultiJob summarizes shared-cache behaviour when the stack ran
+	// several training jobs over one dataset (StackConfig.Jobs >= 2):
+	// cache-hit amplification and per-job read fairness. The CI two-job
+	// smoke gates Amplification.
+	MultiJob *MultiJobReport `json:"multi_job,omitempty"`
+
 	// FaultErrors lists Apply/Revert failures of the fault schedule.
 	FaultErrors []string `json:"fault_errors,omitempty"`
 	// Counters holds deltas of selected obs counters over the run
@@ -109,6 +115,26 @@ type Report struct {
 	// filled by RunEmbedded, absent for bare Run.
 	Counters map[string]float64 `json:"counters,omitempty"`
 	Runtime  *RuntimeReport     `json:"runtime,omitempty"`
+}
+
+// MultiJobReport is the shared-cache view of a multi-job run. With J
+// jobs over a dataset of U chunks, private caches would pull J×U chunks
+// from the servers; ChunkLoads is what the shared cache actually pulled,
+// so Amplification = J×U / ChunkLoads approaches J when sharing works
+// and 1 when every job loads its own copies.
+type MultiJobReport struct {
+	Jobs         int    `json:"jobs"`
+	UniqueChunks int    `json:"unique_chunks"`
+	ChunkLoads   uint64 `json:"chunk_loads"` // server chunk fetches across all jobs
+	CacheReads   uint64 `json:"cache_reads"` // file reads served by the shared cache
+	// SharedHitRate is 1 - ChunkLoads/(Jobs×UniqueChunks): the fraction
+	// of per-job chunk demand absorbed by sharing.
+	SharedHitRate float64 `json:"shared_hit_rate"`
+	Amplification float64 `json:"amplification"`
+	// PerJobReads maps job ID to cache reads served for that job, and
+	// FairnessRatio is min/max across jobs — 1.0 is perfectly fair.
+	PerJobReads   map[string]uint64 `json:"per_job_reads,omitempty"`
+	FairnessRatio float64           `json:"fairness_ratio,omitempty"`
 }
 
 func buildReport(cfg Config, rec *Recorder, kinds []kindCount, elapsed time.Duration) *Report {
@@ -195,6 +221,10 @@ func (r *Report) Summary(w io.Writer) {
 	if es := r.EpochStall; es != nil {
 		fmt.Fprintf(w, "  epoch-stall  p50 %8.3fms  p90 %8.3fms  p99 %8.3fms  p99.9 %8.3fms  (%d pipeline waits)\n",
 			es.P50S*1e3, es.P90S*1e3, es.P99S*1e3, es.P999S*1e3, es.Count)
+	}
+	if mj := r.MultiJob; mj != nil {
+		fmt.Fprintf(w, "  multi-job    %d jobs x %d chunks: %d server loads -> amplification %.2fx, shared hit rate %.1f%%, fairness %.2f\n",
+			mj.Jobs, mj.UniqueChunks, mj.ChunkLoads, mj.Amplification, mj.SharedHitRate*100, mj.FairnessRatio)
 	}
 	for _, ph := range r.Phases {
 		if ph.Name == "steady" && len(r.Phases) == 1 {

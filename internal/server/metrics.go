@@ -37,6 +37,19 @@ func (s *Server) RegisterMetrics(reg *obs.Registry) {
 	reg.FuncCounter("diesel_server_exec_files_served_total",
 		"Files served through batched reads.",
 		func() float64 { return float64(s.Exec.Stats.FilesServed.Load()) })
+	reg.Func("diesel_job_live",
+		"Live registered training jobs (-1 when the job registry is off or unreachable).",
+		func() float64 {
+			jr := s.JobRegistry()
+			if jr == nil {
+				return -1
+			}
+			jobs, err := jr.Jobs()
+			if err != nil {
+				return -1
+			}
+			return float64(len(jobs))
+		})
 	if t, ok := s.objects.(*objstore.Tiered); ok {
 		t.RegisterMetrics(reg)
 	}

@@ -2,10 +2,12 @@ package server
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"time"
 
 	"diesel/internal/chunk"
+	"diesel/internal/etcd"
 	"diesel/internal/kvstore"
 	"diesel/internal/objstore"
 	"diesel/internal/wire"
@@ -26,6 +28,14 @@ const (
 	MethodDeleteDataset = "dsl.deleteDataset"
 	MethodRecover       = "dsl.recover"
 	MethodChunkIDs      = "dsl.chunkIDs"
+
+	// Job-registry methods (multi-job serving plane). Servers that
+	// predate them answer with an unknown-method error, which clients
+	// treat as "registry unavailable" rather than a failure.
+	MethodJobRegister   = "dsl.jobRegister"
+	MethodJobHeartbeat  = "dsl.jobHeartbeat"
+	MethodJobUnregister = "dsl.jobUnregister"
+	MethodJobs          = "dsl.jobs"
 )
 
 // RPCServer exposes a Server over the wire protocol: the process a DLT
@@ -87,9 +97,12 @@ func (r *RPCServer) Restart() error {
 
 // NewLocalStack builds a complete single-process DIESEL server over an
 // in-memory KV backend and object store — the fixture tests, benchmarks
-// and the quickstart example share.
+// and the quickstart example share. Jobs are enabled over an embedded
+// registry so clients can register/heartbeat out of the box.
 func NewLocalStack() *Server {
-	return New(kvstore.NewLocal(), objstore.NewMemory(), func() int64 { return time.Now().UnixNano() })
+	s := New(kvstore.NewLocal(), objstore.NewMemory(), func() int64 { return time.Now().UnixNano() })
+	s.EnableJobs(etcd.InProcess{R: etcd.NewRegistry()}, 0)
+	return s
 }
 
 func (r *RPCServer) register() {
@@ -117,6 +130,11 @@ func (r *RPCServer) register() {
 		if err := d.Err(); err != nil {
 			return nil, err
 		}
+		tenant, exit, err := r.admitRead(ctx)
+		if err != nil {
+			return nil, err
+		}
+		defer exit()
 		b, release, err := r.S.GetFilePooled(ctx, dataset, path)
 		if err != nil {
 			return nil, err
@@ -125,6 +143,7 @@ func (r *RPCServer) register() {
 		e := wire.NewEncoder(len(b) + 8)
 		e.Bytes32(b)
 		release()
+		r.S.chargeTenant(tenant, len(e.Bytes()))
 		return e.Bytes(), nil
 	})
 
@@ -135,6 +154,11 @@ func (r *RPCServer) register() {
 		if err := d.Err(); err != nil {
 			return nil, err
 		}
+		tenant, exit, err := r.admitRead(ctx)
+		if err != nil {
+			return nil, err
+		}
+		defer exit()
 		files, err := r.S.GetFilesContext(ctx, dataset, paths)
 		if err != nil {
 			return nil, err
@@ -149,6 +173,7 @@ func (r *RPCServer) register() {
 			e.Bool(f != nil)
 			e.Bytes32(f)
 		}
+		r.S.chargeTenant(tenant, len(e.Bytes()))
 		return e.Bytes(), nil
 	})
 
@@ -159,6 +184,11 @@ func (r *RPCServer) register() {
 		if err := d.Err(); err != nil {
 			return nil, err
 		}
+		tenant, exit, err := r.admitRead(ctx)
+		if err != nil {
+			return nil, err
+		}
+		defer exit()
 		b, release, err := r.S.GetChunkPooled(ctx, dataset, id)
 		if err != nil {
 			return nil, err
@@ -167,8 +197,11 @@ func (r *RPCServer) register() {
 		e := wire.NewEncoder(len(b) + 8)
 		e.Bytes32(b)
 		release()
+		r.S.chargeTenant(tenant, len(e.Bytes()))
 		return e.Bytes(), nil
 	})
+
+	r.registerJobs()
 
 	r.rpc.HandleContext(MethodStat, func(ctx context.Context, p []byte) ([]byte, error) {
 		d := wire.NewDecoder(p)
@@ -300,6 +333,120 @@ func (r *RPCServer) register() {
 		for _, c := range snap.Chunks {
 			e.String(c.ID.String())
 			e.Uint64(c.Size)
+		}
+		return e.Bytes(), nil
+	})
+}
+
+// admitRead runs a read request through the tenant quota gate and the
+// weighted-fair dispatch gate, using the job identity the connection
+// announced (anonymous otherwise). It returns the billing tenant and the
+// gate-exit function the handler must defer.
+func (r *RPCServer) admitRead(ctx context.Context) (string, func(), error) {
+	job, _ := wire.JobFromContext(ctx)
+	tenant := job.Tenant
+	if tenant == "" {
+		tenant = AnonTenant
+	}
+	if err := r.S.admitTenant(tenant); err != nil {
+		return "", nil, err
+	}
+	jobID := job.ID
+	if jobID == "" {
+		jobID = AnonTenant
+	}
+	exit, err := r.S.Fair.Enter(ctx, jobID)
+	if err != nil {
+		return "", nil, err
+	}
+	return tenant, exit, nil
+}
+
+// jobRegistry returns the attached registry or an error for the client.
+func (r *RPCServer) jobRegistry() (*JobRegistry, error) {
+	if reg := r.S.JobRegistry(); reg != nil {
+		return reg, nil
+	}
+	return nil, errors.New("server: job registry disabled")
+}
+
+// registerJobs installs the dsl.job* methods of the multi-job plane.
+func (r *RPCServer) registerJobs() {
+	r.rpc.HandleContext(MethodJobRegister, func(ctx context.Context, p []byte) ([]byte, error) {
+		reg, err := r.jobRegistry()
+		if err != nil {
+			return nil, err
+		}
+		d := wire.NewDecoder(p)
+		j := JobInfo{
+			ID:      d.String(),
+			Dataset: d.String(),
+			Tenant:  d.String(),
+			Rank:    int(d.Uint32()),
+		}
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		if j.ID == "" {
+			// Fall back to the connection identity so bare tools can
+			// register with just a wire identity configured.
+			if wj, ok := wire.JobFromContext(ctx); ok {
+				j.ID, j.Tenant, j.Dataset, j.Rank = wj.ID, wj.Tenant, wj.Dataset, wj.Rank
+			}
+		}
+		if err := reg.Register(j); err != nil {
+			return nil, err
+		}
+		e := wire.NewEncoder(8)
+		e.Int64(reg.TTL().Nanoseconds())
+		return e.Bytes(), nil
+	})
+
+	r.rpc.Handle(MethodJobHeartbeat, func(p []byte) ([]byte, error) {
+		reg, err := r.jobRegistry()
+		if err != nil {
+			return nil, err
+		}
+		d := wire.NewDecoder(p)
+		id := d.String()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		mJobHeartbeats.Inc()
+		return nil, reg.Heartbeat(id)
+	})
+
+	r.rpc.Handle(MethodJobUnregister, func(p []byte) ([]byte, error) {
+		reg, err := r.jobRegistry()
+		if err != nil {
+			return nil, err
+		}
+		d := wire.NewDecoder(p)
+		id := d.String()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		return nil, reg.Unregister(id)
+	})
+
+	r.rpc.Handle(MethodJobs, func(p []byte) ([]byte, error) {
+		reg, err := r.jobRegistry()
+		if err != nil {
+			return nil, err
+		}
+		jobs, err := reg.Jobs()
+		if err != nil {
+			return nil, err
+		}
+		e := wire.NewEncoder(64 * len(jobs))
+		e.Uint32(uint32(len(jobs)))
+		for _, j := range jobs {
+			e.String(j.ID)
+			e.String(j.Dataset)
+			e.String(j.Tenant)
+			e.Uint32(uint32(j.Rank))
+			e.Int64(j.RegisteredNS)
+			e.Int64(j.HeartbeatNS)
 		}
 		return e.Bytes(), nil
 	})

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"diesel/internal/chunk"
 	"diesel/internal/kvstore"
@@ -90,6 +92,12 @@ type Server struct {
 
 	// Exec holds request-executor tunables and statistics.
 	Exec ExecutorConfig
+
+	// Multi-job serving plane: the job roster (nil until EnableJobs),
+	// per-tenant admission buckets, and the weighted-fair dispatch gate.
+	jobs   atomic.Pointer[JobRegistry]
+	quotas quotas
+	Fair   FairGate
 }
 
 // New builds a server over the given metadata backend and object store.
@@ -102,6 +110,19 @@ func New(kv Backend, objects objstore.Store, nowNS func() int64) *Server {
 		Exec:     DefaultExecutorConfig(),
 	}
 }
+
+// EnableJobs attaches a job registry over the given store (typically the
+// deployment's etcd registry, shared by every server instance) and
+// returns it. ttl <= 0 uses DefaultJobTTL. The registry uses the server's
+// clock, so tests with an injected nowNS get deterministic lease expiry.
+func (s *Server) EnableJobs(store JobStore, ttl time.Duration) *JobRegistry {
+	r := NewJobRegistry(store, ttl, s.nowNS)
+	s.jobs.Store(r)
+	return r
+}
+
+// JobRegistry returns the attached registry, or nil when jobs are off.
+func (s *Server) JobRegistry() *JobRegistry { return s.jobs.Load() }
 
 // ObjectKey returns the object-store key a chunk is stored under: the
 // dataset namespace plus the order-preserving printable chunk ID, so a

@@ -72,6 +72,11 @@ type Client struct {
 	helloDone   chan struct{} // closed once the hello arrives (or the conn dies)
 	helloOnce   sync.Once
 	helloWaited atomic.Bool // a traced call already waited for the hello
+
+	// peerJobs is set when the hello advert carries the capJobs
+	// capability bit: the server attributes requests to the wire.job
+	// identity and answers the dsl.job* registry methods.
+	peerJobs atomic.Bool
 }
 
 // Dial connects to a wire server at addr.
@@ -97,11 +102,22 @@ func dialOpts(addr string, o *options) (*Client, error) {
 		helloDone:   make(chan struct{}),
 	}
 	go c.readLoop()
+	if o.job != nil {
+		// The identity is the first frame on the wire, so every request
+		// that follows is attributed deterministically. A write failure
+		// means the connection is already dead; the first Call reports it.
+		_ = c.Oneway(jobMethod, o.job.encode())
+	}
 	return c, nil
 }
 
 // Addr returns the address the client dialed.
 func (c *Client) Addr() string { return c.addr }
+
+// PeerJobs reports whether the server advertised job tracking in its
+// hello. It settles shortly after dial; callers that need a definitive
+// answer should first complete one call (which waits for the hello).
+func (c *Client) PeerJobs() bool { return c.peerJobs.Load() }
 
 // Closed reports whether the connection is dead (explicit Close or a read
 // error). A closed client never recovers; redial instead.
@@ -125,6 +141,9 @@ func (c *Client) readLoop() {
 		if f.Kind == KindOneway {
 			if f.Method == helloMethod {
 				c.peerTraces.Store(true)
+				if len(f.Payload) > 0 && f.Payload[0]&capJobs != 0 {
+					c.peerJobs.Store(true)
+				}
 				c.helloOnce.Do(func() { close(c.helloDone) })
 			}
 			f.Release() // server-initiated oneways are adverts, not replies

@@ -13,6 +13,7 @@ type options struct {
 	dialer      func(addr string) (net.Conn, error)
 	backoffBase time.Duration
 	backoffMax  time.Duration
+	job         *JobIdentity
 }
 
 // Option configures Dial or DialPool.
@@ -30,6 +31,14 @@ func WithCallTimeout(d time.Duration) Option {
 // conns so they can be severed deliberately.
 func WithDialer(fn func(addr string) (net.Conn, error)) Option {
 	return func(o *options) { o.dialer = fn }
+}
+
+// WithJobIdentity attaches a job identity to every connection this dialer
+// (or pool — redials included) opens: the identity is sent as the first
+// frame of the connection, so the server attributes all requests on it to
+// the job. Servers that predate job tracking drop the frame harmlessly.
+func WithJobIdentity(j JobIdentity) Option {
+	return func(o *options) { o.job = &j }
 }
 
 // WithRedialBackoff sets the capped exponential backoff a Pool applies

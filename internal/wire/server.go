@@ -141,12 +141,20 @@ func (s *Server) serveConn(conn net.Conn) {
 	// Advertise V2 (trace block) support before serving. Old clients drop
 	// the frame — Seq 0 never matches a pending call — so the advert is
 	// invisible to them; new clients flip peerTraces and may now send V2
-	// frames. A failed write means the connection is already broken and
-	// the ReadFrame below will surface it.
+	// frames. The payload byte advertises job tracking (capJobs); pre-job
+	// clients never inspect the payload. A failed write means the
+	// connection is already broken and the ReadFrame below will surface it.
 	hello := newFrame()
 	hello.Kind, hello.Method = KindOneway, helloMethod
+	hello.Payload = []byte{capJobs}
 	_ = gw.writeFrame(hello)
+	hello.Payload = nil
 	hello.Release()
+	// connJob holds the job identity the client announced for this
+	// connection (the wire.job first frame); requests dispatched after it
+	// carry the identity in their context. Atomic because dispatch runs
+	// in per-request goroutines.
+	var connJob atomic.Pointer[JobIdentity]
 	br := bufio.NewReaderSize(conn, groupBufSize)
 	for {
 		f, err := ReadFrame(br)
@@ -161,8 +169,17 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		s.Stats.BytesIn.Add(uint64(len(f.Payload)))
 		switch f.Kind {
-		case KindRequest, KindOneway:
-			go s.dispatch(gw, f)
+		case KindOneway:
+			if f.Method == jobMethod {
+				if j, err := decodeJobIdentity(f.Payload); err == nil {
+					connJob.Store(&j)
+				}
+				f.Release()
+				continue
+			}
+			go s.dispatch(gw, f, &connJob)
+		case KindRequest:
+			go s.dispatch(gw, f, &connJob)
 		default:
 			// Clients must not send response frames; drop them.
 			f.Release()
@@ -170,7 +187,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-func (s *Server) dispatch(gw *groupWriter, req *Frame) {
+func (s *Server) dispatch(gw *groupWriter, req *Frame, connJob *atomic.Pointer[JobIdentity]) {
 	start := time.Now()
 	s.mu.RLock()
 	fn := s.handlers[req.Method]
@@ -181,6 +198,9 @@ func (s *Server) dispatch(gw *groupWriter, req *Frame) {
 	// that sent this frame, in a trace recorded in *this* process's
 	// collector under the caller's trace ID.
 	ctx := context.Background()
+	if j := connJob.Load(); j != nil {
+		ctx = WithJob(ctx, *j)
+	}
 	var sp *tracing.Span
 	if req.Sampled && req.TraceID != 0 {
 		ctx, sp = tracing.StartRemote(ctx, "serve "+req.Method, req.TraceID, req.SpanID)
