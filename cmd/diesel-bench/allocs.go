@@ -14,8 +14,8 @@ import (
 	"diesel/internal/dcache"
 	"diesel/internal/epoch"
 	"diesel/internal/etcd"
-	"diesel/internal/obs"
 	"diesel/internal/objstore"
+	"diesel/internal/obs"
 	"diesel/internal/server"
 	"diesel/internal/wire"
 )

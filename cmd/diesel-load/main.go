@@ -74,11 +74,16 @@ func main() {
 	epochHedge := flag.Bool("epoch-hedge", false, "hedge the epoch readers' straggling group fetches (first success wins)")
 	epochReorder := flag.Int("epoch-reorder", 0, "epoch readers serve whichever of the next k prefetched groups lands first")
 	epochDeadline := flag.Duration("epoch-deadline", 0, "per-attempt deadline on the epoch readers' group fetches")
+	watchdog := flag.Bool("watchdog", false, "embedded: run the SLO engine + anomaly watchdog alongside the load (CI-scale burn windows)")
+	diagSpool := flag.String("diag-spool", "", "embedded: watchdog bundle spool directory (empty = temp dir; implies nothing unless -watchdog)")
+	stallSLO := flag.Duration("stall-slo", 10*time.Millisecond, "embedded: epoch-stall latency SLO threshold the watchdog's burn rates run on")
+	readSLO := flag.Duration("read-slo", 20*time.Millisecond, "embedded: served-read latency SLO threshold the watchdog's burn rates run on")
 
 	// Output and gating.
 	jsonPath := flag.String("json", "", "write the JSON capacity report here (- = stdout)")
 	maxErrorRate := flag.Float64("max-error-rate", -1, "exit nonzero if errors/ops exceeds this (negative = no gate)")
 	minAmplification := flag.Float64("min-amplification", -1, "exit nonzero if the -jobs shared-cache amplification falls below this (negative = no gate)")
+	minDiagBundles := flag.Int("min-diag-bundles", -1, "exit nonzero if the -watchdog captured fewer diagnostic bundles than this (negative = no gate)")
 	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/pprof on this address during the run")
 	flag.Parse()
 
@@ -120,6 +125,10 @@ func main() {
 			EpochHedge:       *epochHedge,
 			EpochReorder:     *epochReorder,
 			EpochDeadline:    *epochDeadline,
+			Watchdog:         *watchdog,
+			DiagSpoolDir:     *diagSpool,
+			StallSLO:         *stallSLO,
+			ReadSLO:          *readSLO,
 		})
 	}
 	if err != nil {
@@ -195,6 +204,17 @@ func main() {
 		if rep.MultiJob.Amplification < *minAmplification {
 			fmt.Fprintf(os.Stderr, "FAIL: shared-cache amplification %.2f below -min-amplification %.2f\n",
 				rep.MultiJob.Amplification, *minAmplification)
+			os.Exit(1)
+		}
+	}
+	if *minDiagBundles >= 0 {
+		if rep.Diag == nil {
+			fmt.Fprintln(os.Stderr, "FAIL: -min-diag-bundles set but the run had no watchdog (need -watchdog in embedded mode)")
+			os.Exit(1)
+		}
+		if len(rep.Diag.Bundles) < *minDiagBundles {
+			fmt.Fprintf(os.Stderr, "FAIL: watchdog captured %d diagnostic bundle(s), below -min-diag-bundles %d\n",
+				len(rep.Diag.Bundles), *minDiagBundles)
 			os.Exit(1)
 		}
 	}

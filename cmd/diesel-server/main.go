@@ -30,6 +30,7 @@ import (
 	"diesel/internal/objstore"
 	"diesel/internal/obs"
 	"diesel/internal/server"
+	"diesel/internal/slo"
 	"diesel/internal/tracing"
 )
 
@@ -47,6 +48,10 @@ func main() {
 	jobEtcd := flag.String("job-etcd", "", "etcd registry address backing the job roster, shared across servers (empty = per-process roster)")
 	quotaSpec := flag.String("tenant-quotas", "", `per-tenant admission quotas: "tenant=qps:bytes_per_sec;..." (0 leaves a dimension unlimited)`)
 	fairLimit := flag.Int("fair-limit", 0, "bound concurrent reads; queued requests dispatch across jobs by weighted stride scheduling (0 = unbounded)")
+	sloOn := flag.Bool("slo", false, "evaluate SLO burn rates (read p99, quota rejections, shared hit rate) and publish anomaly events")
+	sloReadP99 := flag.Duration("slo-read-p99", 50*time.Millisecond, "read-latency SLO threshold for -slo")
+	sloBudget := flag.Float64("slo-budget", 0.01, "SLO error budget for -slo: tolerated bad fraction (0.01 = 99% within objective)")
+	diagSpool := flag.String("diag-spool", "", "run the anomaly watchdog, spooling diagnostic bundles here and serving them on <metrics>/debug/diag (empty = disabled)")
 	flag.Parse()
 
 	logger := newLogger(*logLevel)
@@ -107,7 +112,8 @@ func main() {
 	jobs.StartSweeper(0)
 	defer jobs.StopSweeper()
 
-	if err := applyQuotas(core, *quotaSpec); err != nil {
+	tenants, err := applyQuotas(core, *quotaSpec)
+	if err != nil {
 		logger.Error("diesel-server: bad -tenant-quotas", "err", err)
 		os.Exit(1)
 	}
@@ -120,10 +126,50 @@ func main() {
 	}
 	logger.Info("diesel-server serving", "addr", rpc.Addr(), "kv", *kvAddrs, "store", *storeDir)
 
+	// SLO engine and anomaly watchdog: both off by default (zero hot-path
+	// cost — the event gate stays cold). -slo publishes breach/storm
+	// events; -diag-spool turns those events into diagnostic bundles.
+	var eng *slo.Engine
+	if *sloOn {
+		reg := obs.Default()
+		objectives := []slo.Objective{
+			slo.ReadLatencyObjective(reg, *sloReadP99, *sloBudget),
+			slo.QuotaRejectionObjective(reg, *sloBudget, tenants...),
+		}
+		eng = slo.NewEngine(slo.EngineConfig{Registry: reg, Objectives: objectives})
+		eng.Start()
+		defer eng.Stop()
+		logger.Info("diesel-server slo engine on", "read_p99", *sloReadP99, "budget", *sloBudget)
+	}
+	var watchdog *slo.Watchdog
+	if *diagSpool != "" {
+		cfg := slo.WatchdogConfig{
+			Dir: *diagSpool,
+			Roster: func() any {
+				jobs, _ := core.JobRegistry().Jobs()
+				return jobs
+			},
+		}
+		if eng != nil {
+			cfg.Status = eng.Status
+		}
+		watchdog, err = slo.NewWatchdog(cfg)
+		if err != nil {
+			logger.Error("diesel-server: watchdog failed", "err", err)
+			os.Exit(1)
+		}
+		watchdog.Watch()
+		defer watchdog.Close()
+		logger.Info("diesel-server watchdog on", "spool", *diagSpool)
+	}
+
 	if *metricsAddr != "" {
 		rpc.RegisterMetrics(obs.Default())
 		mux := obs.NewMux(obs.Default())
 		mux.Handle("/debug/jobs", core.JobsHandler())
+		// Mounted even with the watchdog off: it answers 503 JSON then,
+		// so probes can tell "off" from "gone".
+		mux.Handle("/debug/diag", slo.Handler(watchdog))
 		lis, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
 			logger.Error("diesel-server: metrics listen failed", "addr", *metricsAddr, "err", err)
@@ -135,7 +181,8 @@ func main() {
 		bound := lis.Addr().String()
 		logger.Info("diesel-server metrics", "url", "http://"+bound+"/metrics",
 			"jobs", "http://"+bound+"/debug/jobs",
-			"traces", "http://"+bound+"/debug/traces")
+			"traces", "http://"+bound+"/debug/traces",
+			"diag", "http://"+bound+"/debug/diag")
 	}
 
 	ch := make(chan os.Signal, 1)
@@ -146,8 +193,11 @@ func main() {
 }
 
 // applyQuotas parses "tenant=qps:bytes_per_sec;..." and installs each
-// quota on the server. Either dimension may be 0 to leave it unlimited.
-func applyQuotas(core *server.Server, spec string) error {
+// quota on the server, returning the tenant names (the SLO engine's
+// quota-rejection objective tracks exactly the quota'd tenants). Either
+// dimension may be 0 to leave it unlimited.
+func applyQuotas(core *server.Server, spec string) ([]string, error) {
+	var tenants []string
 	for _, part := range strings.Split(spec, ";") {
 		part = strings.TrimSpace(part)
 		if part == "" {
@@ -155,23 +205,25 @@ func applyQuotas(core *server.Server, spec string) error {
 		}
 		tenant, lim, ok := strings.Cut(part, "=")
 		if !ok {
-			return fmt.Errorf("%q: want tenant=qps:bytes_per_sec", part)
+			return nil, fmt.Errorf("%q: want tenant=qps:bytes_per_sec", part)
 		}
 		qpsStr, bytesStr, ok := strings.Cut(lim, ":")
 		if !ok {
-			return fmt.Errorf("%q: want tenant=qps:bytes_per_sec", part)
+			return nil, fmt.Errorf("%q: want tenant=qps:bytes_per_sec", part)
 		}
 		qps, err := strconv.ParseFloat(strings.TrimSpace(qpsStr), 64)
 		if err != nil {
-			return fmt.Errorf("%q: bad qps: %w", part, err)
+			return nil, fmt.Errorf("%q: bad qps: %w", part, err)
 		}
 		bps, err := strconv.ParseFloat(strings.TrimSpace(bytesStr), 64)
 		if err != nil {
-			return fmt.Errorf("%q: bad bytes_per_sec: %w", part, err)
+			return nil, fmt.Errorf("%q: bad bytes_per_sec: %w", part, err)
 		}
-		core.SetTenantQuota(strings.TrimSpace(tenant), server.TenantQuota{QPS: qps, BytesPerSec: bps})
+		tenant = strings.TrimSpace(tenant)
+		core.SetTenantQuota(tenant, server.TenantQuota{QPS: qps, BytesPerSec: bps})
+		tenants = append(tenants, tenant)
 	}
-	return nil
+	return tenants, nil
 }
 
 // newLogger builds the process logger at the requested level. Text output

@@ -29,10 +29,19 @@
 //	                                 attempt
 //	jobs                             list the live training-job roster of
 //	                                 the -servers (no -dataset needed)
+//	admin set-weight <job> <w>       retune a live server: fair-share
+//	admin set-quota <t> <qps> <bps>  dispatch weight per job, admission
+//	                                 quota per tenant (applied to every
+//	                                 server in -servers; no -dataset needed)
 //	stats [-watch 2s] <host:port | url> scrape a -metrics endpoint (watch: print deltas/rates)
 //	trace [-id hex] <endpoint>...    scrape /debug/traces from one or more
 //	                                 endpoints and stitch cross-process span
 //	                                 trees by trace ID
+//	diag [-trigger r] [-verify] <endpoint>... | diag -spool <dir>
+//	                                 collect diagnostic bundles from
+//	                                 /debug/diag endpoints (or a local
+//	                                 spool) into one tarball, correlating
+//	                                 captured traces across processes
 //
 // With -trace <rate> the client side records spans too: read-epoch then
 // prints its slowest local traces (with trace IDs), which `dlcmd trace`
@@ -84,11 +93,26 @@ func main() {
 		}
 		return
 	}
-	// jobs is roster-wide, not dataset-scoped, so it skips the client
-	// connection (and the -dataset requirement) and asks a server directly.
+	// diag scrapes /debug/diag endpoints (or a local spool), so like
+	// stats/trace it needs neither -dataset nor a client connection.
+	if flag.NArg() > 0 && flag.Arg(0) == "diag" {
+		if err := runDiag(flag.Args()[1:]); err != nil {
+			log.Fatalf("dlcmd diag: %v", err)
+		}
+		return
+	}
+	// jobs and admin are roster/server-wide, not dataset-scoped, so they
+	// skip the client connection (and the -dataset requirement) and talk
+	// to the servers directly.
 	if flag.NArg() > 0 && flag.Arg(0) == "jobs" {
 		if err := runJobs(strings.Split(*servers, ","), *callTimeout); err != nil {
 			log.Fatalf("dlcmd jobs: %v", err)
+		}
+		return
+	}
+	if flag.NArg() > 0 && flag.Arg(0) == "admin" {
+		if err := runAdmin(strings.Split(*servers, ","), *callTimeout, flag.Args()[1:]); err != nil {
+			log.Fatalf("dlcmd admin: %v", err)
 		}
 		return
 	}

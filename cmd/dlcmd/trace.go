@@ -89,6 +89,11 @@ func fetchDump(hc *http.Client, endpoint, id string, per int) ([]*tracing.TraceD
 		return nil, err
 	}
 	defer resp.Body.Close()
+	if id != "" && resp.StatusCode == http.StatusNotFound {
+		// This process never collected the trace — normal when stitching
+		// across endpoints; the other processes may still have it.
+		return nil, nil
+	}
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("%s returned %s", url, resp.Status)
 	}

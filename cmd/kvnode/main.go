@@ -10,17 +10,21 @@ package main
 import (
 	"flag"
 	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 
 	"diesel/internal/kvstore"
 	"diesel/internal/obs"
+	"diesel/internal/slo"
 	"diesel/internal/tracing"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7401", "listen address")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /healthz, /debug/pprof and /debug/traces on this address (empty = disabled)")
+	diagSpool := flag.String("diag-spool", "", "run the anomaly watchdog, spooling diagnostic bundles here and serving them on <metrics>/debug/diag (empty = disabled)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
 
@@ -39,16 +43,38 @@ func main() {
 	}
 	logger.Info("kvnode serving", "addr", s.Addr())
 
+	// The watchdog has no SLO engine on a KV node (the burn-rate
+	// objectives live server- and client-side); it still auto-captures on
+	// anomaly events and answers `dlcmd diag -trigger`, so a cross-process
+	// collection includes this node's traces, metrics and profiles.
+	var watchdog *slo.Watchdog
+	if *diagSpool != "" {
+		watchdog, err = slo.NewWatchdog(slo.WatchdogConfig{Dir: *diagSpool})
+		if err != nil {
+			logger.Error("kvnode: watchdog failed", "err", err)
+			os.Exit(1)
+		}
+		watchdog.Watch()
+		defer watchdog.Close()
+		logger.Info("kvnode watchdog on", "spool", *diagSpool)
+	}
+
 	if *metricsAddr != "" {
 		s.RegisterMetrics(obs.Default())
-		bound, stop, err := obs.Serve(*metricsAddr, obs.Default())
+		mux := obs.NewMux(obs.Default())
+		mux.Handle("/debug/diag", slo.Handler(watchdog))
+		lis, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
 			logger.Error("kvnode: metrics listen failed", "addr", *metricsAddr, "err", err)
 			os.Exit(1)
 		}
-		defer stop()
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(lis)
+		defer srv.Close()
+		bound := lis.Addr().String()
 		logger.Info("kvnode metrics", "url", "http://"+bound+"/metrics",
-			"traces", "http://"+bound+"/debug/traces")
+			"traces", "http://"+bound+"/debug/traces",
+			"diag", "http://"+bound+"/debug/diag")
 	}
 
 	ch := make(chan os.Signal, 1)

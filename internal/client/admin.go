@@ -1,0 +1,53 @@
+package client
+
+import (
+	"time"
+
+	"diesel/internal/server"
+	"diesel/internal/wire"
+)
+
+// Admin helpers: one-shot calls to the server's live-retuning RPCs,
+// shaped like ListJobs — they dial a single server address directly
+// (no dataset handle needed) and are what `dlcmd admin` rides.
+
+// dialAdmin opens a short-lived admin connection.
+func dialAdmin(addr string, callTimeout time.Duration) (*wire.Client, error) {
+	var opts []wire.Option
+	if callTimeout > 0 {
+		opts = append(opts, wire.WithCallTimeout(callTimeout))
+	}
+	return wire.Dial(addr, opts...)
+}
+
+// AdminSetWeight sets a job's fair-share dispatch weight on the server
+// at addr (takes effect on the next dispatch decision).
+func AdminSetWeight(addr string, callTimeout time.Duration, job string, weight float64) error {
+	wc, err := dialAdmin(addr, callTimeout)
+	if err != nil {
+		return err
+	}
+	defer wc.Close()
+	e := wire.NewEncoder(len(job) + 16)
+	e.String(job)
+	e.Float64(weight)
+	_, err = wc.Call(server.MethodAdminSetWeight, e.Bytes())
+	return err
+}
+
+// AdminSetQuota installs (or replaces) a tenant's admission quota on the
+// server at addr. Zero limits leave that axis unlimited; an all-zero
+// quota keeps the tenant accounted but unthrottled.
+func AdminSetQuota(addr string, callTimeout time.Duration, tenant string, q server.TenantQuota) error {
+	wc, err := dialAdmin(addr, callTimeout)
+	if err != nil {
+		return err
+	}
+	defer wc.Close()
+	e := wire.NewEncoder(len(tenant) + 24)
+	e.String(tenant)
+	e.Float64(q.QPS)
+	e.Float64(q.BytesPerSec)
+	_, err = wc.Call(server.MethodAdminSetQuota, e.Bytes())
+	return err
+}

@@ -639,6 +639,9 @@ func (p *Peer) readFile(ctx context.Context, path string, view bool) (b []byte, 
 		} else if h.failed(time.Now(), p.cfg.DeadAfter, p.cfg.DeadCooldown) {
 			p.Stats.MasterDeaths.Add(1)
 			mMasterDeaths.Inc()
+			obs.Publish("breaker-trip",
+				"cache master marked dead after consecutive transport failures",
+				"addr", p.masters[owner].addr, "owner", strconv.Itoa(owner))
 		}
 	}
 	p.Stats.ServerFallback.Add(1)

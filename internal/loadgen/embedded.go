@@ -71,6 +71,18 @@ type StackConfig struct {
 	EpochHedge    bool
 	EpochReorder  int
 	EpochDeadline time.Duration
+
+	// Watchdog runs the SLO engine + anomaly watchdog alongside the load
+	// (CI-scale burn windows, see startWatchdog); Report.Diag then lists
+	// the bundles it captured. DiagSpoolDir is the bundle spool (empty =
+	// a fresh temp dir). StallSLO is the epoch-stall latency objective
+	// threshold (0 = 10ms) and ReadSLO the served-read latency objective
+	// threshold (0 = 20ms) — the latter is what a disk-tail straggler
+	// window breaches even when hedging keeps the stall p99 in check.
+	Watchdog     bool
+	DiagSpoolDir string
+	StallSLO     time.Duration
+	ReadSLO      time.Duration
 }
 
 func (c *StackConfig) setDefaults() {
@@ -572,6 +584,14 @@ func counterValues() map[string]float64 {
 func (s *Stack) RunEmbedded(ctx context.Context, cfg Config) (*Report, error) {
 	before := counterValues()
 
+	var watch *stackWatchdog
+	if s.cfg.Watchdog {
+		var err error
+		if watch, err = s.startWatchdog(); err != nil {
+			return nil, fmt.Errorf("loadgen: start watchdog: %w", err)
+		}
+	}
+
 	// Background pipelined epoch readers: ambient sequential-scan load, as
 	// a training job's data loaders would apply alongside random reads.
 	epochCtx, stopEpochs := context.WithCancel(ctx)
@@ -613,6 +633,15 @@ func (s *Stack) RunEmbedded(ctx context.Context, cfg Config) (*Report, error) {
 	rep, err := Run(ctx, cfg)
 	stopEpochs()
 	epochWG.Wait()
+	if watch != nil {
+		// Stop after the epoch readers drain so a breach right at the
+		// end of the run still lands a bundle, and report it even when
+		// the run itself failed.
+		diag := watch.finish()
+		if err == nil {
+			rep.Diag = diag
+		}
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 	"time"
 )
 
@@ -101,6 +102,12 @@ type Report struct {
 
 	Kinds  []KindReport  `json:"kinds,omitempty"`
 	Phases []PhaseReport `json:"phases,omitempty"`
+
+	// Diag lists the diagnostic bundles the anomaly watchdog captured
+	// during the run; present only when StackConfig.Watchdog was on.
+	// The disk-tail CI smoke asserts it is non-empty under the injected
+	// fault window.
+	Diag *DiagReport `json:"diag,omitempty"`
 
 	// MultiJob summarizes shared-cache behaviour when the stack ran
 	// several training jobs over one dataset (StackConfig.Jobs >= 2):
@@ -221,6 +228,13 @@ func (r *Report) Summary(w io.Writer) {
 	if es := r.EpochStall; es != nil {
 		fmt.Fprintf(w, "  epoch-stall  p50 %8.3fms  p90 %8.3fms  p99 %8.3fms  p99.9 %8.3fms  (%d pipeline waits)\n",
 			es.P50S*1e3, es.P90S*1e3, es.P99S*1e3, es.P999S*1e3, es.Count)
+	}
+	if d := r.Diag; d != nil {
+		fmt.Fprintf(w, "  watchdog     %d bundle(s) in %s", len(d.Bundles), d.SpoolDir)
+		if len(d.Reasons) > 0 {
+			fmt.Fprintf(w, "  reasons=[%s]", strings.Join(d.Reasons, " "))
+		}
+		fmt.Fprintln(w)
 	}
 	if mj := r.MultiJob; mj != nil {
 		fmt.Fprintf(w, "  multi-job    %d jobs x %d chunks: %d server loads -> amplification %.2fx, shared hit rate %.1f%%, fairness %.2f\n",

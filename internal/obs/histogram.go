@@ -149,6 +149,35 @@ func (s HistSnapshot) Quantile(q float64) float64 {
 	return lo
 }
 
+// FractionAbove estimates the fraction of observations strictly greater
+// than raw (0 ≤ f ≤ 1). Buckets wholly above raw count in full; the
+// bucket containing raw contributes its portion above raw by linear
+// interpolation — the same one-power-of-two accuracy as Quantile. An SLO
+// burn rate over a latency threshold is exactly this number divided by
+// the error budget. Returns 0 for an empty snapshot.
+func (s HistSnapshot) FractionAbove(raw uint64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	b := bucketOf(raw)
+	var above float64
+	for i := b + 1; i < NumBuckets; i++ {
+		above += float64(s.Counts[i])
+	}
+	if c := s.Counts[b]; c > 0 {
+		lo, hi := bucketBounds(b)
+		frac := (hi - float64(raw)) / (hi - lo)
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		above += frac * float64(c)
+	}
+	return above / float64(s.Count)
+}
+
 // Mean returns the mean observed value in raw units (0 when empty).
 func (s HistSnapshot) Mean() float64 {
 	if s.Count == 0 {

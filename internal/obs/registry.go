@@ -179,6 +179,33 @@ func (r *Registry) Duration(name, help string, labels ...Label) *Histogram {
 	return r.Histogram(name, help, 1e-9, labels...)
 }
 
+// FamilyInfo describes one registered metric family — the documentation
+// surface of the registry (the DESIGN.md metrics-reference test diffs
+// this against the doc table).
+type FamilyInfo struct {
+	Name    string `json:"name"`
+	Help    string `json:"help"`
+	Type    string `json:"type"`
+	Members int    `json:"members"`
+}
+
+// Families lists every registered family sorted by name.
+func (r *Registry) Families() []FamilyInfo {
+	r.mu.Lock()
+	out := make([]FamilyInfo, 0, len(r.families))
+	for _, fam := range r.families {
+		out = append(out, FamilyInfo{
+			Name:    fam.name,
+			Help:    fam.help,
+			Type:    fam.kind.promType(),
+			Members: len(fam.entries),
+		})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // Metric is one exported sample, the JSON-friendly form of a registry
 // entry (cmd/diesel-bench embeds these in its BENCH_*.json output).
 type Metric struct {

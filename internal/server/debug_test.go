@@ -1,0 +1,141 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"diesel/internal/etcd"
+	"diesel/internal/kvstore"
+	"diesel/internal/objstore"
+)
+
+// getJobs performs one request against the /debug/jobs handler.
+func getJobs(s *Server, target string) *httptest.ResponseRecorder {
+	rec := httptest.NewRecorder()
+	s.JobsHandler().ServeHTTP(rec, httptest.NewRequest("GET", target, nil))
+	return rec
+}
+
+// decodeError asserts the body is the JSON error shape and returns the
+// message.
+func decodeError(t *testing.T, rec *httptest.ResponseRecorder) string {
+	t.Helper()
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("error response Content-Type = %q, want application/json", ct)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+		t.Fatalf("error body is not {\"error\": ...}: %q (%v)", rec.Body.String(), err)
+	}
+	return e.Error
+}
+
+// TestJobsHandlerGolden pins the /debug/jobs response contract: JSON on
+// every path, 4xx with a JSON error for bad queries, 404 for both "jobs
+// disabled" and "no such job" so scrapers never parse an empty 200.
+func TestJobsHandlerGolden(t *testing.T) {
+	s := NewLocalStack()
+	reg := s.JobRegistry()
+	for _, j := range []JobInfo{
+		{ID: "job-a", Dataset: "imagenet", Tenant: "alice", Rank: 0},
+		{ID: "job-b", Dataset: "imagenet", Tenant: "bob", Rank: 1},
+	} {
+		if err := reg.Register(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Happy path: full roster.
+	rec := getJobs(s, "/debug/jobs")
+	if rec.Code != 200 {
+		t.Fatalf("roster: got %d, want 200: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("roster Content-Type = %q, want application/json", ct)
+	}
+	var view struct {
+		Jobs []struct {
+			ID      string `json:"id"`
+			Dataset string `json:"dataset"`
+			Tenant  string `json:"tenant"`
+		} `json:"jobs"`
+		Datasets map[string]int `json:"datasets"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &view); err != nil {
+		t.Fatalf("roster body: %v\n%s", err, rec.Body.String())
+	}
+	if len(view.Jobs) != 2 || view.Datasets["imagenet"] != 2 {
+		t.Fatalf("roster = %+v, want 2 imagenet jobs", view)
+	}
+
+	// ?id= filter, hit.
+	rec = getJobs(s, "/debug/jobs?id=job-a")
+	if rec.Code != 200 {
+		t.Fatalf("id filter: got %d: %s", rec.Code, rec.Body.String())
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &view); err != nil {
+		t.Fatal(err)
+	}
+	if len(view.Jobs) != 1 || view.Jobs[0].ID != "job-a" || view.Jobs[0].Tenant != "alice" {
+		t.Fatalf("id filter = %+v, want only job-a", view.Jobs)
+	}
+
+	// ?id= filter, miss: 404 JSON naming the job.
+	rec = getJobs(s, "/debug/jobs?id=nope")
+	if rec.Code != 404 {
+		t.Fatalf("unknown id: got %d, want 404: %s", rec.Code, rec.Body.String())
+	}
+	if msg := decodeError(t, rec); !strings.Contains(msg, "nope") {
+		t.Fatalf("unknown-id error %q does not name the job", msg)
+	}
+
+	// Empty ?id= is a bad request, not an empty filter.
+	rec = getJobs(s, "/debug/jobs?id=")
+	if rec.Code != 400 {
+		t.Fatalf("empty id: got %d, want 400: %s", rec.Code, rec.Body.String())
+	}
+	decodeError(t, rec)
+
+	// Unknown query parameters are 400, not silently ignored.
+	rec = getJobs(s, "/debug/jobs?job=a")
+	if rec.Code != 400 {
+		t.Fatalf("unknown param: got %d, want 400: %s", rec.Code, rec.Body.String())
+	}
+	if msg := decodeError(t, rec); !strings.Contains(msg, "job") {
+		t.Fatalf("unknown-param error %q does not name the parameter", msg)
+	}
+}
+
+func TestJobsHandlerDisabled(t *testing.T) {
+	s := New(kvstore.NewLocal(), objstore.NewMemory(), nil)
+	rec := getJobs(s, "/debug/jobs")
+	if rec.Code != 404 {
+		t.Fatalf("disabled registry: got %d, want 404: %s", rec.Code, rec.Body.String())
+	}
+	if msg := decodeError(t, rec); !strings.Contains(msg, "disabled") {
+		t.Fatalf("disabled error %q does not say disabled", msg)
+	}
+}
+
+// TestJobsHandlerExpiredLease checks the filter honours lease expiry:
+// a job whose heartbeat lapsed is absent from the roster and its ?id=
+// lookup is 404.
+func TestJobsHandlerExpiredLease(t *testing.T) {
+	now := int64(1_000_000_000)
+	s := New(kvstore.NewLocal(), objstore.NewMemory(), func() int64 { return now })
+	s.EnableJobs(etcd.InProcess{R: etcd.NewRegistry()}, DefaultJobTTL)
+	if err := s.JobRegistry().Register(JobInfo{ID: "stale", Dataset: "d", Tenant: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	now += (DefaultJobTTL + time.Second).Nanoseconds()
+
+	rec := getJobs(s, "/debug/jobs?id=stale")
+	if rec.Code != 404 {
+		t.Fatalf("expired job lookup: got %d, want 404: %s", rec.Code, rec.Body.String())
+	}
+}

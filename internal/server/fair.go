@@ -67,6 +67,13 @@ func (g *FairGate) SetWeight(job string, w float64) {
 	g.weights[job] = w
 }
 
+// Weight returns a job's configured fair-share weight (default 1).
+func (g *FairGate) Weight(job string) float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.weightOf(job)
+}
+
 func (g *FairGate) weightOf(job string) float64 {
 	if w, ok := g.weights[job]; ok {
 		return w

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -276,20 +277,55 @@ type jobView struct {
 	LeaseLeftS float64 `json:"lease_left_s"`
 }
 
+// jobsError writes a JSON error body (the handler's success shape is
+// JSON, so its errors are too — scrapers never need a second parser).
+func jobsError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{msg})
+}
+
 // JobsHandler serves the live roster as JSON on /debug/jobs. With jobs
 // disabled it answers 404 so dashboards can distinguish "off" from
-// "empty".
+// "empty"; ?id= narrows to one job (404 when it is not live). Errors are
+// JSON with proper 4xx statuses.
 func (s *Server) JobsHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query()
+		for key := range q {
+			if key != "id" {
+				jobsError(w, http.StatusBadRequest, "unknown query parameter "+strconv.Quote(key))
+				return
+			}
+		}
+		if q.Has("id") && q.Get("id") == "" {
+			jobsError(w, http.StatusBadRequest, "id needs a job id")
+			return
+		}
 		reg := s.JobRegistry()
 		if reg == nil {
-			http.Error(w, "job registry disabled", http.StatusNotFound)
+			jobsError(w, http.StatusNotFound, "job registry disabled")
 			return
 		}
 		jobs, err := reg.Jobs()
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			jobsError(w, http.StatusInternalServerError, err.Error())
 			return
+		}
+		if id := q.Get("id"); id != "" {
+			var match []JobInfo
+			for _, j := range jobs {
+				if j.ID == id {
+					match = append(match, j)
+				}
+			}
+			if len(match) == 0 {
+				jobsError(w, http.StatusNotFound, "no live job "+strconv.Quote(id))
+				return
+			}
+			jobs = match
 		}
 		now := reg.nowNS()
 		view := jobsView{Jobs: make([]jobView, 0, len(jobs)), Datasets: make(map[string]int)}

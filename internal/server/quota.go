@@ -76,6 +76,18 @@ func (s *Server) SetTenantQuota(tenant string, q TenantQuota) {
 	b.mu.Unlock()
 }
 
+// TenantQuotaOf returns the installed quota for tenant, reporting
+// whether one exists — the read side of the admin retuning RPC.
+func (s *Server) TenantQuotaOf(tenant string) (TenantQuota, bool) {
+	b := s.bucketFor(tenant)
+	if b == nil {
+		return TenantQuota{}, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.quota, true
+}
+
 // bucketFor returns the tenant's bucket, or nil when the tenant has no
 // configured quota.
 func (s *Server) bucketFor(tenant string) *tenantBucket {

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"errors"
+	"strconv"
 	"sync"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"diesel/internal/etcd"
 	"diesel/internal/kvstore"
 	"diesel/internal/objstore"
+	"diesel/internal/obs"
 	"diesel/internal/wire"
 )
 
@@ -36,6 +38,11 @@ const (
 	MethodJobHeartbeat  = "dsl.jobHeartbeat"
 	MethodJobUnregister = "dsl.jobUnregister"
 	MethodJobs          = "dsl.jobs"
+
+	// Admin methods: live retuning of the fair gate and tenant quotas
+	// without a restart (`dlcmd admin set-weight|set-quota`).
+	MethodAdminSetWeight = "dsl.adminSetWeight"
+	MethodAdminSetQuota  = "dsl.adminSetQuota"
 )
 
 // RPCServer exposes a Server over the wire protocol: the process a DLT
@@ -202,6 +209,7 @@ func (r *RPCServer) register() {
 	})
 
 	r.registerJobs()
+	r.registerAdmin()
 
 	r.rpc.HandleContext(MethodStat, func(ctx context.Context, p []byte) ([]byte, error) {
 		d := wire.NewDecoder(p)
@@ -335,6 +343,51 @@ func (r *RPCServer) register() {
 			e.Uint64(c.Size)
 		}
 		return e.Bytes(), nil
+	})
+}
+
+// registerAdmin installs the live-retuning methods. Both take effect on
+// the next admission decision and publish an "admin-retune" event so a
+// later diagnostic bundle shows when an operator moved the knobs.
+func (r *RPCServer) registerAdmin() {
+	r.rpc.Handle(MethodAdminSetWeight, func(p []byte) ([]byte, error) {
+		d := wire.NewDecoder(p)
+		job := d.String()
+		w := d.Float64()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		if job == "" {
+			return nil, errors.New("server: adminSetWeight: empty job id")
+		}
+		if w <= 0 || w != w {
+			return nil, errors.New("server: adminSetWeight: weight must be > 0")
+		}
+		r.S.Fair.SetWeight(job, w)
+		obs.Publish("admin-retune", "fair-share weight changed",
+			"job", job, "weight", strconv.FormatFloat(w, 'g', -1, 64))
+		return nil, nil
+	})
+
+	r.rpc.Handle(MethodAdminSetQuota, func(p []byte) ([]byte, error) {
+		d := wire.NewDecoder(p)
+		tenant := d.String()
+		q := TenantQuota{QPS: d.Float64(), BytesPerSec: d.Float64()}
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		if tenant == "" {
+			return nil, errors.New("server: adminSetQuota: empty tenant")
+		}
+		if q.QPS < 0 || q.BytesPerSec < 0 || q.QPS != q.QPS || q.BytesPerSec != q.BytesPerSec {
+			return nil, errors.New("server: adminSetQuota: limits must be >= 0")
+		}
+		r.S.SetTenantQuota(tenant, q)
+		obs.Publish("admin-retune", "tenant quota changed",
+			"tenant", tenant,
+			"qps", strconv.FormatFloat(q.QPS, 'g', -1, 64),
+			"bytes_per_sec", strconv.FormatFloat(q.BytesPerSec, 'g', -1, 64))
+		return nil, nil
 	})
 }
 

@@ -36,6 +36,17 @@ func Snapshot(n int) *Dump {
 	}
 }
 
+// handlerError writes a JSON {"error": ...} body. This package cannot
+// use a shared helper from obs (obs imports tracing), so it carries its
+// own.
+func handlerError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{msg})
+}
+
 // Handler serves the trace stores. Query parameters:
 //
 //	format=json   machine-readable Dump (what dlcmd trace consumes)
@@ -43,22 +54,51 @@ func Snapshot(n int) *Dump {
 //	n=<count>     cap per list (default 16)
 //
 // The default (no format) is a human-readable listing with ASCII span
-// trees, so `curl host:port/debug/traces` is useful on its own.
+// trees, so `curl host:port/debug/traces` is useful on its own. Bad
+// parameters are 400 and an id this process has not collected is 404,
+// both as JSON — a scraper never has to guess whether an empty body
+// means "no such trace" or a typo'd query.
 func Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		for key := range q {
+			switch key {
+			case "format", "id", "n":
+			default:
+				handlerError(w, http.StatusBadRequest, "unknown query parameter "+strconv.Quote(key))
+				return
+			}
+		}
+		if f := q.Get("format"); f != "" && f != "json" {
+			handlerError(w, http.StatusBadRequest, "unknown format "+strconv.Quote(f)+" (want json)")
+			return
+		}
 		n := 16
-		if v, err := strconv.Atoi(r.URL.Query().Get("n")); err == nil && v > 0 {
+		if arg := q.Get("n"); arg != "" {
+			v, err := strconv.Atoi(arg)
+			if err != nil || v <= 0 {
+				handlerError(w, http.StatusBadRequest, "bad n "+strconv.Quote(arg)+": want a positive count")
+				return
+			}
 			n = v
 		}
 		var only []*TraceData
-		idArg := r.URL.Query().Get("id")
+		idArg := q.Get("id")
+		if q.Has("id") && idArg == "" {
+			handlerError(w, http.StatusBadRequest, "id needs a trace id")
+			return
+		}
 		if idArg != "" {
 			id, err := ParseID(idArg)
 			if err != nil {
-				http.Error(w, "bad id: "+err.Error(), http.StatusBadRequest)
+				handlerError(w, http.StatusBadRequest, "bad id "+strconv.Quote(idArg)+": want 16 hex digits")
 				return
 			}
 			only = ByID(id)
+			if len(only) == 0 {
+				handlerError(w, http.StatusNotFound, "no collected trace "+strconv.Quote(idArg))
+				return
+			}
 		}
 
 		if r.URL.Query().Get("format") == "json" {

@@ -1,0 +1,107 @@
+package tracing
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// get performs one request against the /debug/traces handler.
+func get(target string) *httptest.ResponseRecorder {
+	rec := httptest.NewRecorder()
+	Handler().ServeHTTP(rec, httptest.NewRequest("GET", target, nil))
+	return rec
+}
+
+// decodeError asserts the body is the JSON error shape and returns the
+// message.
+func decodeError(t *testing.T, rec *httptest.ResponseRecorder) string {
+	t.Helper()
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("error response Content-Type = %q, want application/json", ct)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+		t.Fatalf("error body is not {\"error\": ...}: %q (%v)", rec.Body.String(), err)
+	}
+	return e.Error
+}
+
+// TestHandlerGolden pins the /debug/traces response contract that `dlcmd
+// trace` and the diag collector rely on: JSON dumps carry the right
+// Content-Type, bad queries are 4xx JSON, and an id this process never
+// collected is 404 (which the stitcher treats as "not here", not an
+// error).
+func TestHandlerGolden(t *testing.T) {
+	withTracing(t)
+	ctx, root := StartSpan(context.Background(), "client.get")
+	_, child := StartSpan(ctx, "wire.call")
+	time.Sleep(time.Millisecond)
+	child.End()
+	root.End()
+	id := FormatID(root.TraceID())
+
+	// JSON dump: right shape, right Content-Type.
+	rec := get("/debug/traces?format=json")
+	if rec.Code != 200 {
+		t.Fatalf("json dump: got %d: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("json dump Content-Type = %q, want application/json", ct)
+	}
+	var d Dump
+	if err := json.Unmarshal(rec.Body.Bytes(), &d); err != nil {
+		t.Fatalf("json dump does not decode as Dump: %v", err)
+	}
+	if !d.Enabled || len(d.Recent) == 0 || d.Recent[0].Root != "client.get" {
+		t.Fatalf("dump = %+v, want enabled with the collected trace", d)
+	}
+
+	// id= narrowing in JSON form.
+	rec = get("/debug/traces?format=json&id=" + id)
+	if rec.Code != 200 {
+		t.Fatalf("id lookup: got %d: %s", rec.Code, rec.Body.String())
+	}
+	var one struct {
+		Process string       `json:"process"`
+		Traces  []*TraceData `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &one); err != nil || len(one.Traces) == 0 {
+		t.Fatalf("id lookup body: %v\n%s", err, rec.Body.String())
+	}
+
+	// Text form still carries its own Content-Type.
+	rec = get("/debug/traces")
+	if rec.Code != 200 || !strings.HasPrefix(rec.Header().Get("Content-Type"), "text/plain") {
+		t.Fatalf("text form: code %d Content-Type %q", rec.Code, rec.Header().Get("Content-Type"))
+	}
+
+	// The 4xx table.
+	for _, tc := range []struct {
+		target string
+		code   int
+		substr string
+	}{
+		{"/debug/traces?id=0000000000000000", 404, "no collected trace"},
+		{"/debug/traces?id=zzz", 400, "bad id"},
+		{"/debug/traces?id=", 400, "id needs"},
+		{"/debug/traces?n=0", 400, "bad n"},
+		{"/debug/traces?n=-3", 400, "bad n"},
+		{"/debug/traces?n=lots", 400, "bad n"},
+		{"/debug/traces?format=xml", 400, "unknown format"},
+		{"/debug/traces?bogus=1", 400, "unknown query parameter"},
+	} {
+		rec := get(tc.target)
+		if rec.Code != tc.code {
+			t.Fatalf("%s: got %d, want %d: %s", tc.target, rec.Code, tc.code, rec.Body.String())
+		}
+		if msg := decodeError(t, rec); !strings.Contains(msg, tc.substr) {
+			t.Fatalf("%s: error %q missing %q", tc.target, msg, tc.substr)
+		}
+	}
+}

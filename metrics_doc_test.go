@@ -1,0 +1,169 @@
+package diesel
+
+// Metrics-reference doc test: DESIGN.md carries a generated table of
+// every diesel_* metric family the registry knows. This test boots a
+// stack that touches every subsystem (so lazily-registered families
+// exist), then fails if any registered family is missing from the table
+// — new metrics must land with their documentation. Regenerate the table
+// after adding a family:
+//
+//	UPDATE_METRICS_DOC=1 go test -run TestMetricsReferenceDoc .
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"diesel/internal/loadgen"
+	"diesel/internal/obs"
+	"diesel/internal/server"
+	"diesel/internal/slo"
+)
+
+const (
+	metricsDocFile  = "DESIGN.md"
+	metricsDocBegin = "<!-- metrics-reference:begin -->"
+	metricsDocEnd   = "<!-- metrics-reference:end -->"
+)
+
+// registerAllMetricFamilies drives every subsystem far enough that its
+// metric families exist in obs.Default(): a two-job embedded stack with
+// an SSD tier, epoch readers with the tail controls on, tenant quotas,
+// the SLO engine + watchdog, and the scrape-time registration hooks the
+// binaries call.
+func registerAllMetricFamilies(t *testing.T) {
+	t.Helper()
+	st, err := loadgen.StartStack(loadgen.StackConfig{
+		KVNodes: 1, Servers: 1,
+		Files: 32, FileSizeB: 256,
+		Clients:       2,
+		SSDCacheBytes: 1 << 20,
+		TaskNodes:     1, ClientsPerNode: 1, Jobs: 2,
+		EpochReaders: 1, EpochHedge: true, EpochReorder: 2,
+		EpochDeadline: time.Second,
+	})
+	if err != nil {
+		t.Fatalf("StartStack: %v", err)
+	}
+	defer st.Close()
+
+	reg := obs.Default()
+	obs.RegisterRuntime(reg)
+	st.Dep.Server().RegisterMetrics(reg)
+	for _, rpc := range st.Dep.Servers() {
+		rpc.RegisterMetrics(reg)
+	}
+	for _, kv := range st.Dep.KVServers() {
+		kv.RegisterMetrics(reg)
+	}
+	if tiered := st.Dep.Tiered(); tiered != nil {
+		tiered.RegisterMetrics(reg)
+	}
+	st.Dep.Server().SetTenantQuota("doc-tenant", server.TenantQuota{QPS: 1000})
+
+	// The slo package's families: the engine's breach counter and the
+	// watchdog's bundle/spool telemetry.
+	eng := slo.NewEngine(slo.EngineConfig{
+		Registry: reg,
+		Objectives: []slo.Objective{
+			slo.ReadLatencyObjective(reg, 50*time.Millisecond, 0.01),
+			slo.EpochStallObjective(reg, 100*time.Millisecond, 0.01),
+			slo.SharedHitRateObjective(reg, 0.5),
+			slo.QuotaRejectionObjective(reg, 0.01, "doc-tenant"),
+		},
+	})
+	eng.Evaluate(time.Now())
+	wd, err := slo.NewWatchdog(slo.WatchdogConfig{Dir: t.TempDir(), Registry: reg, CPUProfile: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wd.Close()
+
+	ops, err := st.Ops("get=1,direct=1,batch=1,chunk=1,view=1,stat=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := st.RunEmbedded(context.Background(), loadgen.Config{
+		Rate:        400,
+		Duration:    400 * time.Millisecond,
+		Concurrency: 8,
+		Seed:        3,
+		Ops:         ops,
+	})
+	if err != nil {
+		t.Fatalf("RunEmbedded: %v", err)
+	}
+	if rep.Ops == 0 {
+		t.Fatal("exercise run performed no operations")
+	}
+}
+
+// renderMetricsTable renders the families as the DESIGN.md table body.
+func renderMetricsTable(fams []obs.FamilyInfo) string {
+	var b strings.Builder
+	b.WriteString("| Family | Type | Help |\n|---|---|---|\n")
+	for _, f := range fams {
+		fmt.Fprintf(&b, "| `%s` | %s | %s |\n", f.Name, f.Type, f.Help)
+	}
+	return b.String()
+}
+
+// docTableFamilies extracts the family names of the generated table.
+func docTableFamilies(table string) map[string]bool {
+	out := map[string]bool{}
+	for _, line := range strings.Split(table, "\n") {
+		rest, ok := strings.CutPrefix(line, "| `")
+		if !ok {
+			continue
+		}
+		name, _, ok := strings.Cut(rest, "`")
+		if ok {
+			out[name] = true
+		}
+	}
+	return out
+}
+
+func TestMetricsReferenceDoc(t *testing.T) {
+	registerAllMetricFamilies(t)
+	fams := obs.Default().Families()
+	if len(fams) < 40 {
+		t.Fatalf("only %d families registered — the exercise stack no longer touches every subsystem", len(fams))
+	}
+
+	doc, err := os.ReadFile(metricsDocFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	begin := strings.Index(string(doc), metricsDocBegin)
+	end := strings.Index(string(doc), metricsDocEnd)
+	if begin < 0 || end < 0 || end < begin {
+		t.Fatalf("%s is missing the %s / %s markers", metricsDocFile, metricsDocBegin, metricsDocEnd)
+	}
+
+	if os.Getenv("UPDATE_METRICS_DOC") != "" {
+		updated := string(doc[:begin]) + metricsDocBegin + "\n" +
+			renderMetricsTable(fams) + string(doc[end:])
+		if err := os.WriteFile(metricsDocFile, []byte(updated), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s metrics reference (%d families)", metricsDocFile, len(fams))
+		return
+	}
+
+	documented := docTableFamilies(string(doc[begin:end]))
+	var missing []string
+	for _, f := range fams {
+		if !documented[f.Name] {
+			missing = append(missing, f.Name)
+		}
+	}
+	if len(missing) > 0 {
+		t.Fatalf("metric families registered but missing from the %s metrics reference: %v\n"+
+			"regenerate with: UPDATE_METRICS_DOC=1 go test -run TestMetricsReferenceDoc .",
+			metricsDocFile, missing)
+	}
+}
