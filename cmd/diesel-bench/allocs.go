@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"os"
 	"testing"
 	"time"
 
@@ -29,7 +30,7 @@ import (
 //	diesel_bench_bytes_per_op{path}   allocated bytes per operation
 //
 // with path ∈ {"wire-roundtrip", "dcache-hit-view", "dcache-hit-copy",
-// "epoch-read"}.
+// "dcache-spill-view", "epoch-read"}.
 func publishAllocs(path string, r testing.BenchmarkResult) {
 	obs.Default().Gauge("diesel_bench_allocs_per_op",
 		"Allocations per operation on a hot-path benchmark.",
@@ -40,6 +41,16 @@ func publishAllocs(path string, r testing.BenchmarkResult) {
 	fmt.Printf("%-18s %10d ops %10d allocs/op %12d B/op %12v/op\n",
 		path, r.N, r.AllocsPerOp(), r.AllocedBytesPerOp(),
 		(r.T / time.Duration(max(r.N, 1))).Round(time.Nanosecond))
+}
+
+// spillTempDir makes a throwaway spill directory; the alloc experiment
+// is a one-shot process, so cleanup rides on the OS temp dir.
+func spillTempDir() string {
+	dir, err := os.MkdirTemp("", "diesel-alloc-spill-*")
+	if err != nil {
+		log.Fatalf("alloc: spill dir: %v", err)
+	}
+	return dir
 }
 
 // allocExp measures allocs/op and B/op on the three hot read paths —
@@ -133,6 +144,30 @@ func allocExp(cluster.Params) {
 			b.ReportAllocs()
 			for i := 0; b.Loop(); i++ {
 				if _, err := p.ReadFile(names[i%len(names)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+
+		// Spill-tier read: a second peer whose whole working set lives on
+		// local disk (promotion off), so every view is one pread. The
+		// budget gated by cmd/benchguard is <= 2 allocs/op on this path.
+		sp, err := dcache.Join(cl.DefaultDataset(), etcd.InProcess{R: etcd.NewRegistry()}, dcache.Config{
+			TaskID: "alloc-spill", NodeID: "node0", Rank: 0, TotalClients: 1, Policy: dcache.OnDemand,
+			SpillDir: spillTempDir(), SpillPromoteAfter: -1,
+		})
+		if err != nil {
+			log.Fatalf("alloc: join spill peer: %v", err)
+		}
+		defer sp.Close()
+		if err := sp.LoadOwned(); err != nil {
+			log.Fatalf("alloc: load spill peer: %v", err)
+		}
+		sp.DemoteAll()
+		publishAllocs("dcache-spill-view", testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; b.Loop(); i++ {
+				if _, err := sp.ReadFileViewContext(ctx, names[i%len(names)]); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -19,6 +19,7 @@
 //	diesel-bench -exp alloc      # allocs/op + B/op on the hot read paths
 //	diesel-bench -exp open-loop  # CO-safe fixed-rate tails (internal/loadgen)
 //	diesel-bench -exp tail       # hedged epoch reads vs 1-in-50 slow store reads
+//	diesel-bench -exp spill      # two-level dcache: spill tier vs refetch, warm restart
 //	diesel-bench -exp all
 //
 // The real-stack experiments drive their loops closed (each worker reads
@@ -45,7 +46,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table2, fig6, fig9, fig10a, fig10b, fig10c, fig11a, fig11b, fig12, fig13, fig14, fig15, ablation-group, live, epoch, alloc, open-loop, tail, all)")
+	exp := flag.String("exp", "all", "experiment to run (table2, fig6, fig9, fig10a, fig10b, fig10c, fig11a, fig11b, fig12, fig13, fig14, fig15, ablation-group, live, epoch, alloc, open-loop, tail, spill, all)")
 	jsonDir := flag.String("json", "", "directory to write a BENCH_<exp>.json metrics snapshot after each experiment (empty = disabled)")
 	flag.Parse()
 
@@ -56,7 +57,7 @@ func main() {
 		"fig13": fig13, "fig14": fig14, "fig15": fig15,
 		"ablation-group": ablationGroup, "ablation-topology": ablationTopology,
 		"live": live, "epoch": epochExp, "alloc": allocExp,
-		"open-loop": openLoop, "tail": tailExp,
+		"open-loop": openLoop, "tail": tailExp, "spill": spillExp,
 	}
 	p := cluster.Default()
 	if *exp == "all" {

@@ -70,6 +70,8 @@ func main() {
 	clientsPerNode := flag.Int("clients-per-node", 0, "embedded: I/O processes per task node")
 	jobs := flag.Int("jobs", 0, "embedded: run this many concurrent training jobs over the one dataset, sharing a chunk cache (needs -task-nodes/-clients-per-node; <2 = single task)")
 	sharedCacheBytes := flag.Int64("shared-cache-bytes", 0, "embedded: shared chunk-cache budget in -jobs mode (0 = unlimited)")
+	spillDir := flag.String("spill-dir", "", "embedded: local-SSD spill tier root for the task cache (per-node subdirs; in -jobs mode the shared cache spills here directly)")
+	spillBytes := flag.Int64("spill-bytes", 0, "embedded: spill-tier disk budget in bytes (0 = unlimited)")
 	epochReaders := flag.Int("epoch-readers", 0, "background pipelined epoch readers looping during the run")
 	epochHedge := flag.Bool("epoch-hedge", false, "hedge the epoch readers' straggling group fetches (first success wins)")
 	epochReorder := flag.Int("epoch-reorder", 0, "epoch readers serve whichever of the next k prefetched groups lands first")
@@ -121,6 +123,8 @@ func main() {
 			ClientsPerNode:   *clientsPerNode,
 			Jobs:             *jobs,
 			SharedCacheBytes: *sharedCacheBytes,
+			SpillDir:         *spillDir,
+			SpillBytes:       *spillBytes,
 			EpochReaders:     *epochReaders,
 			EpochHedge:       *epochHedge,
 			EpochReorder:     *epochReorder,

@@ -39,6 +39,8 @@ func main() {
 	kvAddrs := flag.String("kv", "", "comma-separated kvnode addresses (required)")
 	storeDir := flag.String("store", "", "chunk storage directory (empty = in-memory)")
 	ssdCache := flag.Int64("ssd-cache", 0, "fast-tier cache capacity in bytes (0 = disabled)")
+	cacheSpillDir := flag.String("cache-spill-dir", "", "local-disk spill tier under the -ssd-cache fast tier: evicted objects demote here and a restarted server rewarms from it (requires -ssd-cache)")
+	cacheSpillBytes := flag.Int64("cache-spill-bytes", 0, "spill-tier disk budget in bytes (0 = unlimited)")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /healthz, /debug/pprof and /debug/traces on this address (empty = disabled)")
 	kvTimeout := flag.Duration("kv-timeout", 5*time.Second, "per-RPC deadline for metadata KV calls (0 = none)")
 	kvRetries := flag.Int("kv-retries", 2, "extra attempts for idempotent KV reads after a transport failure (writes never retry; negative disables)")
@@ -89,7 +91,20 @@ func main() {
 		objects = objstore.NewMemory()
 	}
 	if *ssdCache > 0 {
-		objects = objstore.NewTiered(objstore.NewMemory(), objects, *ssdCache)
+		tiered := objstore.NewTiered(objstore.NewMemory(), objects, *ssdCache)
+		if *cacheSpillDir != "" {
+			rec, err := tiered.EnableSpill(*cacheSpillDir, *cacheSpillBytes)
+			if err != nil {
+				logger.Error("diesel-server: open cache spill tier failed", "dir", *cacheSpillDir, "err", err)
+				os.Exit(1)
+			}
+			logger.Info("diesel-server cache spill tier on", "dir", *cacheSpillDir,
+				"budget", *cacheSpillBytes, "rewarmed_objects", rec.Entries, "rewarmed_bytes", rec.Bytes)
+		}
+		defer tiered.Close() // leaves the spill manifest for the next start
+		objects = tiered
+	} else if *cacheSpillDir != "" {
+		logger.Warn("diesel-server: -cache-spill-dir ignored without -ssd-cache")
 	}
 
 	core := server.New(kv, objects, func() int64 { return time.Now().UnixNano() })
@@ -167,6 +182,9 @@ func main() {
 		rpc.RegisterMetrics(obs.Default())
 		mux := obs.NewMux(obs.Default())
 		mux.Handle("/debug/jobs", core.JobsHandler())
+		// Tier occupancy and spill-manifest summary; 404 JSON without a
+		// -ssd-cache tier, so probes can tell "off" from "gone".
+		mux.Handle("/debug/cache", core.CacheHandler())
 		// Mounted even with the watchdog off: it answers 503 JSON then,
 		// so probes can tell "off" from "gone".
 		mux.Handle("/debug/diag", slo.Handler(watchdog))
@@ -181,6 +199,7 @@ func main() {
 		bound := lis.Addr().String()
 		logger.Info("diesel-server metrics", "url", "http://"+bound+"/metrics",
 			"jobs", "http://"+bound+"/debug/jobs",
+			"cache", "http://"+bound+"/debug/cache",
 			"traces", "http://"+bound+"/debug/traces",
 			"diag", "http://"+bound+"/debug/diag")
 	}

@@ -34,6 +34,10 @@
 //	                                 quota per tenant (applied to every
 //	                                 server in -servers; no -dataset needed)
 //	stats [-watch 2s] <host:port | url> scrape a -metrics endpoint (watch: print deltas/rates)
+//	cache <host:port | url>...       scrape /debug/cache endpoints: tier
+//	                                 occupancy, spill-manifest summary and
+//	                                 per-dataset resident bytes
+
 //	trace [-id hex] <endpoint>...    scrape /debug/traces from one or more
 //	                                 endpoints and stitch cross-process span
 //	                                 trees by trace ID
@@ -95,6 +99,14 @@ func main() {
 	}
 	// diag scrapes /debug/diag endpoints (or a local spool), so like
 	// stats/trace it needs neither -dataset nor a client connection.
+	// cache scrapes /debug/cache endpoints, so it also needs neither
+	// -dataset nor a client connection.
+	if flag.NArg() > 0 && flag.Arg(0) == "cache" {
+		if err := runCache(flag.Args()[1:]); err != nil {
+			log.Fatalf("dlcmd cache: %v", err)
+		}
+		return
+	}
 	if flag.NArg() > 0 && flag.Arg(0) == "diag" {
 		if err := runDiag(flag.Args()[1:]); err != nil {
 			log.Fatalf("dlcmd diag: %v", err)

@@ -15,14 +15,26 @@
 // cache, same randomized-per-epoch training semantics — an order-of-
 // magnitude difference in backend traffic.
 //
+// Two further phases show the two-level cache (RAM → local-SSD spill):
+// the same thrashing full-shuffle order with a spill tier under the RAM
+// budget stops re-pulling chunks from the server once the first epoch has
+// demoted them, and a restarted task over the same spill directory
+// rewarms from local disk and serves its first epoch without the server.
+//
 // Run with:
 //
 //	go run ./examples/memory-constrained
+//
+// CI runs it with -assert, which turns the two spill claims into exit
+// codes: second-epoch spill hit rate ≥ -min-spill-hit-rate and the
+// restarted task serving ≥ -min-local-frac of first-epoch reads locally.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"diesel/internal/client"
@@ -34,6 +46,12 @@ import (
 )
 
 func main() {
+	assert := flag.Bool("assert", false, "exit non-zero when a spill gate fails (CI mode)")
+	minHitRate := flag.Float64("min-spill-hit-rate", 0.5,
+		"minimum second-epoch spill hit rate under -assert")
+	minLocalFrac := flag.Float64("min-local-frac", 0.9,
+		"minimum fraction of restart first-epoch reads served locally under -assert")
+	flag.Parse()
 	dep, err := core.Deploy(core.Config{})
 	if err != nil {
 		log.Fatal(err)
@@ -61,7 +79,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer task.Close()
 	cl, peer := task.Clients[0], task.Peers[0]
 	snap := cl.Snapshot()
 	fmt.Printf("dataset: %d files in %d chunks (%.1f MB); cache capacity: %d chunks\n",
@@ -112,6 +129,97 @@ func main() {
 		}
 		report("full dataset shuffle:", int64(before), start)
 	}
+	task.Close()
 
 	fmt.Println("\nsame files, same cache — only the order differs (§4.3's point).")
+
+	// ---- Two-level cache: same thrashing order, spill tier under the RAM budget.
+
+	spillDir, err := os.MkdirTemp("", "memory-constrained-spill-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(spillDir)
+
+	failed := false
+	gate := func(name string, got, want float64) {
+		status := "ok"
+		if got < want {
+			status = "FAIL"
+			failed = true
+		}
+		if *assert {
+			fmt.Printf("gate %-28s %.3f (want >= %.3f)  %s\n", name+":", got, want, status)
+		}
+	}
+
+	// Same RAM budget, worst-case order, spill enabled. Epoch 1 pulls every
+	// chunk from the server once and demotes evictions to local disk; epoch
+	// 2's RAM misses land in the spill tier instead of going back out.
+	spilled, err := dep.StartTask(core.TaskConfig{
+		Dataset: spec.Name, Nodes: 1, ClientsPerNode: 1,
+		Policy: dcache.OnDemand, CapacityBytes: capacity,
+		JobID: "mc-spill", SpillDir: spillDir,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	scl, speer := spilled.Clients[0], spilled.Peers[0]
+	epochReads := func(cl *client.Client, p *dcache.Peer, seed int64) (loads uint64, dur time.Duration, reads int) {
+		order := shuffle.Dataset(snap, seed)
+		before := p.Stats.ChunkLoads.Load()
+		start := time.Now()
+		for _, path := range order {
+			if _, err := cl.Get(path); err != nil {
+				log.Fatalf("spill epoch: %v", err)
+			}
+		}
+		return p.Stats.ChunkLoads.Load() - before, time.Since(start), len(order)
+	}
+
+	fmt.Println("\nwith a local-SSD spill tier under the same RAM budget:")
+	loads1, dur1, _ := epochReads(scl, speer, 42)
+	pre := speer.SpillStats()
+	loads2, dur2, _ := epochReads(scl, speer, 43)
+	post := speer.SpillStats()
+	hits, misses := post.Hits-pre.Hits, post.Misses-pre.Misses
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+	fmt.Printf("%-22s %5d backend chunk loads  epoch took %v\n", "spill epoch 1 (cold):", loads1, dur1)
+	fmt.Printf("%-22s %5d backend chunk loads  epoch took %v  (spill hit rate %.0f%%)\n",
+		"spill epoch 2 (warm):", loads2, dur2, 100*hitRate)
+	gate("spill-hit-rate", hitRate, *minHitRate)
+
+	// Warm restart: flush the RAM residents down, close the task, and
+	// rejoin over the same spill directory. The manifest rewarms the cache
+	// from local disk; the first epoch after restart should barely touch
+	// the server at all.
+	speer.DemoteAll()
+	spilled.Close()
+	restarted, err := dep.StartTask(core.TaskConfig{
+		Dataset: spec.Name, Nodes: 1, ClientsPerNode: 1,
+		Policy: dcache.OnDemand, CapacityBytes: capacity,
+		JobID: "mc-warm", SpillDir: spillDir,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer restarted.Close()
+	rcl, rpeer := restarted.Clients[0], restarted.Peers[0]
+	chunks, bytes := rpeer.Rewarmed()
+	fmt.Printf("\nrestarted over the same spill dir: rewarmed %d chunks (%.1f MB) from local disk\n",
+		chunks, float64(bytes)/1e6)
+	rloads, rdur, rreads := epochReads(rcl, rpeer, 44)
+	localFrac := 1 - float64(rloads)/float64(rreads)
+	fmt.Printf("%-22s %5d backend chunk loads  epoch took %v  (%.1f%% of reads served locally)\n",
+		"restart epoch 1:", rloads, rdur, 100*localFrac)
+	gate("restart-local-frac", localFrac, *minLocalFrac)
+
+	fmt.Println("\nsame cache budget — the spill tier turns refetches into local preads (Fig. 11b/12).")
+	if *assert && failed {
+		fmt.Println("ASSERT FAILED")
+		os.Exit(1)
+	}
 }

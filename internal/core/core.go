@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"path/filepath"
 	"time"
 
 	"diesel/internal/client"
@@ -19,6 +20,7 @@ import (
 	"diesel/internal/etcd"
 	"diesel/internal/kvstore"
 	"diesel/internal/objstore"
+	"diesel/internal/obs"
 	"diesel/internal/server"
 )
 
@@ -37,6 +39,14 @@ type Config struct {
 	// capacity over the chunk store — the server-side HDD/SSD cache of
 	// Figure 4.
 	SSDCacheBytes int64
+	// CacheSpillDir, when non-empty (with SSDCacheBytes > 0), adds a
+	// local-disk spill tier under the fast tier: eviction victims demote
+	// into an append-only spill log there and are served back by pread
+	// before the slow tier is consulted; a redeploy over the same
+	// directory rewarms the tier from its crash-safe manifest.
+	CacheSpillDir string
+	// CacheSpillBytes bounds the spill tier's disk usage (0 = unlimited).
+	CacheSpillBytes int64
 	// Throttle, when non-nil, wraps the slow tier with modeled latency
 	// and bandwidth so examples show tiering effects in real time.
 	Throttle *objstore.Throttled
@@ -100,6 +110,14 @@ func Deploy(cfg Config) (*Deployment, error) {
 	}
 	if cfg.SSDCacheBytes > 0 {
 		d.tiered = objstore.NewTiered(objstore.NewMemory(), objects, cfg.SSDCacheBytes)
+		if cfg.CacheSpillDir != "" {
+			if _, err := d.tiered.EnableSpill(cfg.CacheSpillDir, cfg.CacheSpillBytes); err != nil {
+				return fail(fmt.Errorf("core: cache spill tier: %w", err))
+			}
+		}
+		// The tier's metric families register here, not in every binary:
+		// anything that deploys through core scrapes them for free.
+		d.tiered.RegisterMetrics(obs.Default())
 		objects = d.tiered
 	}
 	d.objects = objects
@@ -203,6 +221,18 @@ type TaskConfig struct {
 	JobID string
 	// Tenant attributes the task's traffic for per-tenant quotas.
 	Tenant string
+	// SpillDir, when non-empty, gives each node's cache master a
+	// local-SSD spill tier rooted at SpillDir/<node>: RAM eviction
+	// victims demote into an append-only spill log there, spilled chunks
+	// are served back by pread, and a restarted task over the same
+	// directory rewarms its cache without refetching from the servers.
+	// Ignored when Shared is set — enable spill on the SharedCache.
+	SpillDir string
+	// SpillBytes bounds each master's spill tier on disk (0 = unlimited).
+	SpillBytes int64
+	// SpillPromoteAfter is the number of spill-tier reads after which a
+	// chunk is promoted back to RAM (0 = default, negative = never).
+	SpillPromoteAfter int
 	// Shared, when non-nil, joins this task's cache masters to a
 	// process-wide shared chunk cache instead of private per-master
 	// stores; see dcache.SharedCache. The deployment's job registry is
@@ -261,15 +291,24 @@ func (d *Deployment) StartTask(cfg TaskConfig) (*Task, error) {
 		}
 		t.Clients = append(t.Clients, cl)
 		node := fmt.Sprintf("node%03d", rank/cfg.ClientsPerNode)
+		var spillDir string
+		if cfg.SpillDir != "" && cfg.Shared == nil {
+			// One spill log per simulated node, shared by nothing else:
+			// the node's elected master owns it exclusively.
+			spillDir = filepath.Join(cfg.SpillDir, node)
+		}
 		go func(rank int, cl *client.Client) {
 			p, err := dcache.Join(cl.DefaultDataset(), reg, dcache.Config{
-				TaskID:        taskID,
-				NodeID:        node,
-				Rank:          rank,
-				TotalClients:  total,
-				Policy:        cfg.Policy,
-				CapacityBytes: cfg.CapacityBytes,
-				Shared:        cfg.Shared,
+				TaskID:            taskID,
+				NodeID:            node,
+				Rank:              rank,
+				TotalClients:      total,
+				Policy:            cfg.Policy,
+				CapacityBytes:     cfg.CapacityBytes,
+				SpillDir:          spillDir,
+				SpillBytes:        cfg.SpillBytes,
+				SpillPromoteAfter: cfg.SpillPromoteAfter,
+				Shared:            cfg.Shared,
 			})
 			results <- result{rank: rank, peer: p, err: err}
 		}(rank, cl)
@@ -308,6 +347,9 @@ func (d *Deployment) Close() {
 	}
 	for _, s := range d.servers {
 		s.Close()
+	}
+	if d.tiered != nil {
+		d.tiered.Close() // leaves the spill manifest for the next deploy
 	}
 	if d.registry != nil {
 		d.registry.Close()

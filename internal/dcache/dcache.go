@@ -32,6 +32,7 @@ import (
 	"diesel/internal/etcd"
 	"diesel/internal/meta"
 	"diesel/internal/obs"
+	"diesel/internal/spill"
 	"diesel/internal/tracing"
 	"diesel/internal/wire"
 )
@@ -80,6 +81,25 @@ type Config struct {
 	// become eviction-preferred after the shared cache's grace period.
 	// CapacityBytes is ignored in favour of the shared cache's budget.
 	Shared *SharedCache
+	// SpillDir, when set on a master with a private store, enables the
+	// local-SSD spill tier: LRU-evicted chunks demote their payload to an
+	// append-friendly file set under this directory instead of being
+	// dropped, later reads are served from it by pread (or promoted back
+	// to RAM), and a crash-safe manifest lets a restarted trainer rewarm
+	// from local disk instead of refetching from the servers. The
+	// directory must be private to one live master (use a per-node/per-
+	// task subdirectory). Ignored when Shared is set — a shared cache's
+	// spill tier is enabled once via SharedCache.EnableSpill.
+	SpillDir string
+	// SpillBytes bounds the spill tier's on-disk bytes (0 = unlimited).
+	SpillBytes int64
+	// SpillPromoteAfter is how many spill reads a chunk absorbs before it
+	// is promoted back into RAM (whole-chunk, checksum-verified). 0 means
+	// the default (2): a chunk touched twice since demotion is likely hot
+	// again (an epoch reader sweeping it file by file), while one-off
+	// random reads stay on the cheap pread path. Negative disables
+	// promotion by reads entirely.
+	SpillPromoteAfter int
 }
 
 // Registrar is the registry interface Join needs; both *etcd.Registry
@@ -130,6 +150,9 @@ type Peer struct {
 
 	store  *chunkStore  // non-nil on masters; the shared cache's store when Config.Shared is set
 	shared *SharedCache // non-nil when this peer joined a shared cache
+
+	ownsSpill bool            // this peer opened its private store's spill log (Close closes it)
+	rewarmed  spill.Recovered // what the spill manifest replayed at Join
 
 	// inflight deduplicates concurrent loads of the same chunk: the
 	// Oneshot prefetch, peer requests and local reads may race on a chunk,
@@ -255,6 +278,9 @@ func Join(ds *client.Dataset, reg Registrar, cfg Config) (*Peer, error) {
 	if cfg.PeerCallTimeout <= 0 {
 		cfg.PeerCallTimeout = 2 * time.Second
 	}
+	if cfg.SpillPromoteAfter == 0 {
+		cfg.SpillPromoteAfter = 2
+	}
 
 	p := &Peer{
 		cfg:     cfg,
@@ -357,6 +383,17 @@ func Join(ds *client.Dataset, reg Registrar, cfg Config) (*Peer, error) {
 			p.store = p.shared.store
 		} else {
 			p.store = newChunkStore(cfg.CapacityBytes)
+			if cfg.SpillDir != "" {
+				rec, err := p.store.enableSpill(spill.Config{
+					Dir: cfg.SpillDir, CapacityBytes: cfg.SpillBytes,
+				})
+				if err != nil {
+					p.srv.Close()
+					return nil, fmt.Errorf("dcache: spill: %w", err)
+				}
+				p.ownsSpill = true
+				p.rewarmed = rec
+			}
 		}
 		p.srv.HandleContext(methodCacheGet, p.handleCacheGet)
 		if cfg.Policy == Oneshot {
@@ -455,7 +492,15 @@ func (p *Peer) loadChunk(ctx context.Context, ci int) (*cachedChunk, error) {
 		sp.SetAttr("chunk", id)
 		ctx = tracing.ContextWith(ctx, sp)
 	}
-	fl.cc, fl.err = p.fetchChunk(ctx, key, id)
+	// Promotion beats a server fetch: a chunk demoted to the spill tier
+	// (or left there by a previous incarnation of this trainer) comes
+	// back checksum-verified at local-disk bandwidth.
+	if cc, ok := p.promoteFromSpill(key); ok {
+		sp.SetAttr("source", "spill")
+		fl.cc, fl.err = cc, nil
+	} else {
+		fl.cc, fl.err = p.fetchChunk(ctx, key, id)
+	}
 	sp.SetError(fl.err)
 	sp.End()
 	p.inflight.mu.Lock()
@@ -539,13 +584,59 @@ func (p *Peer) handleCacheGet(ctx context.Context, payload []byte) ([]byte, erro
 	return e.Bytes(), nil
 }
 
+// promoteFromSpill pulls a whole chunk payload back out of the spill
+// tier into the RAM store (the checksum-verified promotion read). The
+// spill entry stays behind: chunks are immutable, so if the promoted
+// copy is evicted again the demotion is index-only, no second write.
+func (p *Peer) promoteFromSpill(key string) (*cachedChunk, bool) {
+	payload, ok := p.store.spillLoad(key)
+	if !ok {
+		p.store.spillMissed()
+		return nil, false
+	}
+	cc := &cachedChunk{payload: payload}
+	var prefer func(string) bool
+	if p.shared != nil {
+		prefer = p.shared.coldMemo()
+	}
+	evicted, _ := p.store.put(key, p.dataset, cc, prefer)
+	p.Stats.Evictions.Add(evicted)
+	mEvictions.Add(evicted)
+	return cc, true
+}
+
 // readLocal serves a path from this master's own cache. With view set the
 // returned slice is a read-only window into the cached chunk; otherwise
 // it is an owned copy.
+//
+// Tier order: RAM hit → spill tier → chunk load (spill promotion or
+// server fetch). A spill hit is one pread of exactly the file's range
+// into a fresh GC-owned buffer — owned, so it satisfies both the view
+// and the copy contract without another allocation — and after
+// Config.SpillPromoteAfter such reads the whole chunk is promoted back
+// to RAM so a sweeping epoch reader returns to memory bandwidth.
 func (p *Peer) readLocal(ctx context.Context, path string, view bool) ([]byte, error) {
 	m, err := p.snap.Stat(path)
 	if err != nil {
 		return nil, err
+	}
+	key := p.storeKeys[m.ChunkIdx]
+	if cc := p.store.get(key); cc != nil {
+		if view {
+			return cc.fileView(m)
+		}
+		return cc.file(m)
+	}
+	if b, hits, ok := p.store.spillRead(key, m.Offset, m.Length); ok {
+		if p.cfg.SpillPromoteAfter > 0 && hits >= p.cfg.SpillPromoteAfter {
+			if cc, err := p.loadChunk(ctx, m.ChunkIdx); err == nil {
+				if view {
+					return cc.fileView(m)
+				}
+				return cc.file(m)
+			}
+		}
+		return b, nil
 	}
 	cc, err := p.loadChunk(ctx, m.ChunkIdx)
 	if err != nil {
@@ -746,6 +837,9 @@ func (p *Peer) Close() error {
 	if p.shared != nil {
 		p.shared.Release(p.dataset)
 	}
+	if p.ownsSpill {
+		p.store.closeSpill()
+	}
 	var first error
 	if p.srv != nil {
 		first = p.srv.Close()
@@ -761,13 +855,22 @@ func (p *Peer) Close() error {
 
 // --- cached chunks: the unit the sharded store (store.go) holds ---
 
+// cachedChunk holds one chunk's payload bytes. Only the payload is kept:
+// file extraction needs nothing else (offsets come from the metadata
+// snapshot), and payload-only is exactly what the spill tier stores, so
+// demotion writes and promotion reads move no header bytes.
 type cachedChunk struct {
-	ck *chunk.Chunk
+	// payload is a plain GC-owned slice — never pooled, never unmapped.
+	// That is the PR 6 ownership rule that keeps FileViews valid across
+	// eviction, demotion and promotion: each of those only drops or
+	// creates *references*; the GC frees the bytes once the last view is
+	// gone.
+	payload []byte
 }
 
-func newCachedChunk(ck *chunk.Chunk) *cachedChunk { return &cachedChunk{ck: ck} }
+func newCachedChunk(ck *chunk.Chunk) *cachedChunk { return &cachedChunk{payload: ck.Payload()} }
 
-func (cc *cachedChunk) size() int64 { return int64(len(cc.ck.Payload())) }
+func (cc *cachedChunk) size() int64 { return int64(len(cc.payload)) }
 
 // fileView extracts one file's bytes as a read-only window into the
 // cached chunk — no copy. Chunk buffers are plain GC-owned slices (never
@@ -775,12 +878,12 @@ func (cc *cachedChunk) size() int64 { return int64(len(cc.ck.Payload())) }
 // store: eviction drops the store's reference, and the GC frees the chunk
 // only once the last view is gone.
 func (cc *cachedChunk) fileView(m meta.FileMeta) ([]byte, error) {
-	v, err := cc.ck.Window(m.Offset, m.Length)
-	if err != nil {
+	end := m.Offset + m.Length
+	if end < m.Offset || end > uint64(len(cc.payload)) {
 		return nil, fmt.Errorf("dcache: file range [%d,%d) outside chunk payload %d",
-			m.Offset, m.Offset+m.Length, len(cc.ck.Payload()))
+			m.Offset, end, len(cc.payload))
 	}
-	return v, nil
+	return cc.payload[m.Offset:end:end], nil
 }
 
 // file extracts one file's bytes as an owned copy — the mutable-slice

@@ -1,0 +1,74 @@
+package dcache
+
+import (
+	"errors"
+
+	"diesel/internal/spill"
+)
+
+var errSpillEnabled = errors.New("spill tier already enabled on this store")
+
+// SpillStats snapshots a master's local-SSD spill tier. The zero value
+// (Enabled false) means the tier is off.
+type SpillStats struct {
+	Enabled      bool   `json:"enabled"`
+	Chunks       int    `json:"chunks"`     // chunks resident in the spill tier
+	Bytes        int64  `json:"bytes"`      // payload bytes reachable via the manifest index
+	DiskBytes    int64  `json:"disk_bytes"` // segment bytes on disk (dead space included)
+	Segments     int    `json:"segments"`
+	ManifestRecs int    `json:"manifest_records"`
+	Hits         uint64 `json:"hits"`   // reads answered by the spill tier (preads + promotions)
+	Misses       uint64 `json:"misses"` // reads that missed both tiers and went to a server
+	Demotions    uint64 `json:"demotions"`
+	DemotedBytes uint64 `json:"demoted_bytes"` // bytes physically written (re-demotions are free)
+	Promotions   uint64 `json:"promotions"`
+	Dropped      uint64 `json:"dropped"`       // entries lost to segment retirement (disk budget)
+	RewarmChunks int    `json:"rewarm_chunks"` // manifest entries replayed at Join
+	RewarmBytes  int64  `json:"rewarm_bytes"`
+}
+
+// SpillStats snapshots this master's spill tier (zero value on workers
+// and masters without one).
+func (p *Peer) SpillStats() SpillStats {
+	if p.store == nil {
+		return SpillStats{}
+	}
+	return p.store.spillStats()
+}
+
+// Rewarmed reports what the spill manifest replayed when this peer
+// joined: how much of a previous incarnation's cache came back from
+// local disk instead of the server tier (the Fig. 11b recovery story at
+// the cache layer). Zero when the peer opened no spill log.
+func (p *Peer) Rewarmed() (chunks int, bytes int64) {
+	return p.rewarmed.Entries, p.rewarmed.Bytes
+}
+
+// DemoteAll pushes every RAM-resident chunk on this master down to the
+// spill tier (no-op without one). A trainer that knows it is about to
+// stop can call this so the *entire* working set — not just what
+// pressure already demoted — survives on local SSD and the restarted
+// task rewarms at disk bandwidth.
+func (p *Peer) DemoteAll() {
+	if p.store == nil || p.store.spill.Load() == nil {
+		return
+	}
+	p.store.evictOver(0, "", nil)
+}
+
+// EnableSpill opens the local-SSD spill tier under the shared cache:
+// chunks evicted under capacity pressure demote their payload to dir
+// instead of being dropped, and a process restarted over the same dir
+// rewarms from the manifest. capacityBytes bounds the tier's on-disk
+// bytes (0 = unlimited). Call once, before (or while) tasks use the
+// cache; a second call fails.
+func (s *SharedCache) EnableSpill(dir string, capacityBytes int64) (spill.Recovered, error) {
+	return s.store.enableSpill(spill.Config{Dir: dir, CapacityBytes: capacityBytes})
+}
+
+// SpillStats snapshots the shared cache's spill tier.
+func (s *SharedCache) SpillStats() SpillStats { return s.store.spillStats() }
+
+// Close closes the shared cache's spill log, if any, leaving its on-disk
+// state for the next incarnation. The RAM store needs no teardown.
+func (s *SharedCache) Close() { s.store.closeSpill() }

@@ -1,0 +1,305 @@
+package dcache
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"diesel/internal/client"
+	"diesel/internal/etcd"
+	"diesel/internal/server"
+)
+
+// spillPeer builds a single-node master over an in-memory server stack
+// with a spill tier, returning the peer, the file names and their
+// contents. cfg mutations run before Join; reJoin starts a fresh peer
+// over the same (still written) dataset and registry-independent task —
+// the restart path.
+func spillPeer(t testing.TB, nFiles, fileSize, chunkTarget int, mut func(*Config)) (p *Peer, names []string, contents [][]byte, reJoin func(mut func(*Config)) *Peer) {
+	t.Helper()
+	core := server.NewLocalStack()
+	rpc, err := server.NewRPC(core, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rpc.Close() })
+	addrs := []string{rpc.Addr()}
+
+	w, err := client.Connect(client.Options{Servers: addrs, Dataset: "ds", ChunkTarget: chunkTarget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	names = make([]string, nFiles)
+	contents = make([][]byte, nFiles)
+	for i := range nFiles {
+		data := make([]byte, fileSize)
+		rng.Read(data)
+		contents[i] = data
+		names[i] = fmt.Sprintf("cls%02d/img%05d.jpg", i%5, i)
+		if err := w.Put(names[i], data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	task := 0
+	join := func(mut func(*Config)) *Peer {
+		cl, err := client.Connect(client.Options{Servers: addrs, Dataset: "ds"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cl.Close() })
+		if _, err := cl.DownloadSnapshot(); err != nil {
+			t.Fatal(err)
+		}
+		task++
+		cfg := Config{
+			TaskID: fmt.Sprintf("spill-%d", task), NodeID: "node0", Rank: 0,
+			TotalClients: 1, Policy: OnDemand,
+		}
+		if mut != nil {
+			mut(&cfg)
+		}
+		p, err := Join(cl.DefaultDataset(), etcd.InProcess{R: etcd.NewRegistry()}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { p.Close() })
+		return p
+	}
+	return join(mut), names, contents, join
+}
+
+// TestSpillServesEvictedChunks pins the tentpole behaviour: with RAM far
+// smaller than the dataset, a second epoch is served from the spill tier
+// — not refetched from the servers — and every byte comes back right.
+func TestSpillServesEvictedChunks(t *testing.T) {
+	const nFiles, fileSize, chunkTarget = 64, 4 << 10, 16 << 10
+	dir := t.TempDir()
+	p, names, contents, _ := spillPeer(t, nFiles, fileSize, chunkTarget, func(c *Config) {
+		c.CapacityBytes = 2 * chunkTarget // RAM holds ~2 of ~16 chunks
+		c.SpillDir = dir
+		c.SpillPromoteAfter = -1 // keep reads on the pread path for this test
+	})
+	readAll := func() {
+		t.Helper()
+		for i, n := range names {
+			b, err := p.ReadFile(n)
+			if err != nil {
+				t.Fatalf("read %s: %v", n, err)
+			}
+			if !bytes.Equal(b, contents[i]) {
+				t.Fatalf("%s corrupt after spill round trip", n)
+			}
+		}
+	}
+	readAll() // epoch 1: server loads + demotions
+	loadsAfterFirst := p.Stats.ChunkLoads.Load()
+	if loadsAfterFirst == 0 {
+		t.Fatal("first epoch loaded nothing from the servers")
+	}
+	st := p.SpillStats()
+	if !st.Enabled || st.Demotions == 0 || st.Chunks == 0 {
+		t.Fatalf("nothing demoted: %+v", st)
+	}
+	readAll() // epoch 2: spill hits
+	if got := p.Stats.ChunkLoads.Load(); got != loadsAfterFirst {
+		t.Fatalf("second epoch refetched from servers: %d -> %d chunk loads", loadsAfterFirst, got)
+	}
+	if st := p.SpillStats(); st.Hits == 0 {
+		t.Fatalf("second epoch recorded no spill hits: %+v", st)
+	}
+}
+
+// TestSpillPromotionReturnsChunkToRAM checks the promote-on-reuse policy:
+// after SpillPromoteAfter spill reads of one chunk, the whole chunk is
+// promoted back and further reads are RAM hits.
+func TestSpillPromotionReturnsChunkToRAM(t *testing.T) {
+	const nFiles, fileSize, chunkTarget = 16, 4 << 10, 64 << 10
+	p, names, contents, _ := spillPeer(t, nFiles, fileSize, chunkTarget, func(c *Config) {
+		c.SpillDir = t.TempDir()
+		c.SpillPromoteAfter = 2
+	})
+	if err := p.LoadOwned(); err != nil {
+		t.Fatal(err)
+	}
+	p.DemoteAll()
+	if p.CachedChunks() != 0 {
+		t.Fatalf("DemoteAll left %d chunks in RAM", p.CachedChunks())
+	}
+	for i := range 3 { // reads 1..2 pread; read 2 crosses the threshold
+		b, err := p.ReadFile(names[0])
+		if err != nil || !bytes.Equal(b, contents[0]) {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	st := p.SpillStats()
+	if st.Promotions == 0 {
+		t.Fatalf("no promotion after repeated spill reads: %+v", st)
+	}
+	if p.CachedChunks() == 0 {
+		t.Fatal("promoted chunk not resident in RAM")
+	}
+	if loads := p.Stats.ChunkLoads.Load(); loads != uint64(p.CachedChunks())+0 && st.Misses != 0 {
+		t.Fatalf("promotion went to the servers: loads=%d misses=%d", loads, st.Misses)
+	}
+}
+
+// TestFileViewValidAcrossDemotionAndPromotion extends the PR 6 GC-owned
+// buffer regression tests across the new tier transitions: a view handed
+// out of RAM must survive its chunk's demotion to SSD, and a view handed
+// out of a promoted copy must survive that copy's re-demotion.
+func TestFileViewValidAcrossDemotionAndPromotion(t *testing.T) {
+	const nFiles, fileSize, chunkTarget = 16, 4 << 10, 64 << 10
+	p, names, contents, _ := spillPeer(t, nFiles, fileSize, chunkTarget, func(c *Config) {
+		c.SpillDir = t.TempDir()
+		c.SpillPromoteAfter = 1 // first spill read promotes
+	})
+	ctx := context.Background()
+	if err := p.LoadOwned(); err != nil {
+		t.Fatal(err)
+	}
+	view, err := p.ReadFileViewContext(ctx, names[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.DemoteAll() // the chunk behind view is now only on SSD
+	if !bytes.Equal(view, contents[3]) {
+		t.Fatal("view corrupted by demotion")
+	}
+	view2, err := p.ReadFileViewContext(ctx, names[3]) // promotes a fresh copy
+	if err != nil || !bytes.Equal(view2, contents[3]) {
+		t.Fatalf("read after demotion: %v", err)
+	}
+	if p.SpillStats().Promotions == 0 {
+		t.Fatal("read after demotion did not promote")
+	}
+	p.DemoteAll() // re-demote the promoted copy
+	if !bytes.Equal(view, contents[3]) || !bytes.Equal(view2, contents[3]) {
+		t.Fatal("view corrupted by re-demotion")
+	}
+}
+
+// TestSpillRewarmAcrossRestart is the Fig. 11b recovery story at the
+// cache layer: a restarted trainer (new peer, same spill directory)
+// serves its whole working set from local disk — zero server chunk
+// loads — and views taken after the rewarm are correct.
+func TestSpillRewarmAcrossRestart(t *testing.T) {
+	const nFiles, fileSize, chunkTarget = 64, 4 << 10, 16 << 10
+	dir := t.TempDir()
+	p, names, contents, reJoin := spillPeer(t, nFiles, fileSize, chunkTarget, func(c *Config) {
+		c.SpillDir = dir
+	})
+	if err := p.LoadOwned(); err != nil {
+		t.Fatal(err)
+	}
+	p.DemoteAll() // graceful stop: push the whole working set to SSD
+	wantChunks := p.SpillStats().Chunks
+	if wantChunks == 0 {
+		t.Fatal("nothing spilled before restart")
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2 := reJoin(func(c *Config) { c.SpillDir = dir })
+	chunks, bytesRewarmed := p2.Rewarmed()
+	if chunks != wantChunks || bytesRewarmed == 0 {
+		t.Fatalf("rewarmed %d chunks (%d bytes), want %d", chunks, bytesRewarmed, wantChunks)
+	}
+	for i, n := range names {
+		b, err := p2.ReadFile(n)
+		if err != nil || !bytes.Equal(b, contents[i]) {
+			t.Fatalf("post-restart read %s: %v", n, err)
+		}
+	}
+	if loads := p2.Stats.ChunkLoads.Load(); loads != 0 {
+		t.Fatalf("restarted peer refetched %d chunks from the servers", loads)
+	}
+	if st := p2.SpillStats(); st.Hits == 0 {
+		t.Fatalf("restarted peer recorded no spill hits: %+v", st)
+	}
+}
+
+// TestSharedCacheSpill wires the spill tier under a SharedCache: chunks
+// evicted by the shared store's pressure come back from SSD for any job
+// reading through it.
+func TestSharedCacheSpill(t *testing.T) {
+	const nFiles, fileSize, chunkTarget = 64, 4 << 10, 16 << 10
+	shared := NewSharedCache(2*chunkTarget, 0, nil)
+	if _, err := shared.EnableSpill(t.TempDir(), 0); err != nil {
+		t.Fatal(err)
+	}
+	defer shared.Close()
+	if _, err := shared.EnableSpill(t.TempDir(), 0); err == nil {
+		t.Fatal("second EnableSpill succeeded")
+	}
+	p, names, contents, _ := spillPeer(t, nFiles, fileSize, chunkTarget, func(c *Config) {
+		c.Shared = shared
+	})
+	for i, n := range names {
+		if b, err := p.ReadFile(n); err != nil || !bytes.Equal(b, contents[i]) {
+			t.Fatalf("read %s: %v", n, err)
+		}
+	}
+	loadsAfterFirst := p.Stats.ChunkLoads.Load()
+	for i, n := range names {
+		if b, err := p.ReadFile(n); err != nil || !bytes.Equal(b, contents[i]) {
+			t.Fatalf("re-read %s: %v", n, err)
+		}
+	}
+	if got := p.Stats.ChunkLoads.Load(); got != loadsAfterFirst {
+		t.Fatalf("shared spill did not absorb the re-read: %d -> %d loads", loadsAfterFirst, got)
+	}
+	if st := shared.SpillStats(); !st.Enabled || st.Demotions == 0 || st.Hits == 0 {
+		t.Fatalf("shared spill idle: %+v", st)
+	}
+}
+
+// BenchmarkDcacheSpillRead measures the spill-hit fast path the
+// BENCH_baseline.json alloc gate watches: RAM miss → manifest lookup →
+// one pread of the file's exact range into a fresh buffer. Budget:
+// ≤ 2 allocs/op (today: the result buffer, 1).
+func BenchmarkDcacheSpillRead(b *testing.B) {
+	const nFiles, fileSize, chunkTarget = 256, 4 << 10, 64 << 10
+	p, names, _, _ := spillPeer(b, nFiles, fileSize, chunkTarget, func(c *Config) {
+		c.SpillDir = b.TempDir()
+		c.SpillPromoteAfter = -1 // hold every read on the pread path
+	})
+	if err := p.LoadOwned(); err != nil {
+		b.Fatal(err)
+	}
+	p.DemoteAll()
+	ctx := context.Background()
+	b.Run("view", func(b *testing.B) {
+		b.SetBytes(fileSize)
+		b.ReportAllocs()
+		for i := 0; b.Loop(); i++ {
+			buf, err := p.ReadFileViewContext(ctx, names[i%len(names)])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(buf) != fileSize {
+				b.Fatalf("short read: %d", len(buf))
+			}
+		}
+	})
+	b.Run("copy", func(b *testing.B) {
+		b.SetBytes(fileSize)
+		b.ReportAllocs()
+		for i := 0; b.Loop(); i++ {
+			buf, err := p.ReadFile(names[i%len(names)])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(buf) != fileSize {
+				b.Fatalf("short read: %d", len(buf))
+			}
+		}
+	})
+}

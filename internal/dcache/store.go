@@ -2,8 +2,11 @@ package dcache
 
 import (
 	"container/list"
+	"strings"
 	"sync"
 	"sync/atomic"
+
+	"diesel/internal/spill"
 )
 
 // The master-side chunk store, sharded so concurrent epoch readers on one
@@ -29,7 +32,26 @@ type chunkStore struct {
 	used     atomic.Int64  // payload bytes across all shards
 	clock    atomic.Uint64 // global recency tick source
 
+	// spill, when set, is the local-SSD tier under this RAM store:
+	// eviction demotes a victim's payload there instead of discarding it,
+	// and reads that miss RAM are served from (or promoted out of) it.
+	// Atomic so enabling it on a SharedCache already serving reads is safe.
+	spill atomic.Pointer[spillState]
+
 	shards [storeShardCount]storeShard
+}
+
+// spillState bundles the spill log with the per-store counters the debug
+// handler and tests read (the package-wide metric mirrors live in
+// metrics.go and are bumped at the same sites).
+type spillState struct {
+	log       *spill.Log
+	demotions atomic.Uint64
+	demotedB  atomic.Uint64
+	promos    atomic.Uint64
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	rewarmed  spill.Recovered
 }
 
 type storeShard struct {
@@ -160,6 +182,9 @@ func (s *chunkStore) evictOver(capacity int64, keep string, prefer func(string) 
 		delete(sh.items, e.id)
 		sh.mu.Unlock()
 		s.used.Add(-e.cc.size())
+		// Demotion happens outside every shard lock: the spill write is
+		// disk I/O and must never convoy the hit path.
+		s.demote(e)
 		evicted++
 	}
 	return evicted
@@ -200,7 +225,152 @@ func (s *chunkStore) evictDatasets(pred func(string) bool) (chunks int, bytes in
 			}
 		}
 	}
+	// A cold dataset's chunks are not worth SSD either: drop its spill
+	// entries so abandoned working sets free both tiers. Store keys are
+	// dataset-qualified (Peer.storeKeys), so the dataset is the key prefix
+	// up to the NUL separator.
+	if st := s.spill.Load(); st != nil {
+		st.log.Drop(func(key string) bool {
+			ds, _, ok := strings.Cut(key, "\x00")
+			return ok && pred(ds)
+		})
+	}
 	return chunks, bytes
+}
+
+// enableSpill opens the local-SSD tier under this store. onDrop feeds
+// segment-retirement counts to the package metrics.
+func (s *chunkStore) enableSpill(cfg spill.Config) (spill.Recovered, error) {
+	if s.spill.Load() != nil {
+		return spill.Recovered{}, errSpillEnabled
+	}
+	cfg.OnDrop = func(n int, b int64) {
+		mSpillDropped.Add(uint64(n))
+		mSpillDroppedBytes.Add(uint64(b))
+	}
+	log, rec, err := spill.Open(cfg)
+	if err != nil {
+		return spill.Recovered{}, err
+	}
+	st := &spillState{log: log, rewarmed: rec}
+	if !s.spill.CompareAndSwap(nil, st) {
+		log.Close()
+		return spill.Recovered{}, errSpillEnabled
+	}
+	mSpillRewarmChunks.Add(uint64(rec.Entries))
+	mSpillRewarmBytes.Add(uint64(rec.Bytes))
+	return rec, nil
+}
+
+// closeSpill detaches and closes the spill log; on-disk state stays for
+// the next enableSpill (the warm-restart story).
+func (s *chunkStore) closeSpill() {
+	if st := s.spill.Swap(nil); st != nil {
+		st.log.Close()
+	}
+}
+
+// demote moves an evicted entry's payload to the spill tier. Chunks are
+// immutable, so a key already spilled needs no disk write — the log
+// reports written=false and re-demotion is free.
+func (s *chunkStore) demote(e *storeEntry) {
+	st := s.spill.Load()
+	if st == nil {
+		return
+	}
+	written, err := st.log.Add(e.id, e.cc.payload)
+	if err != nil {
+		return // disk trouble: the demotion degrades to a plain drop
+	}
+	st.demotions.Add(1)
+	mSpillDemotions.Inc()
+	if written {
+		st.demotedB.Add(uint64(len(e.cc.payload)))
+		mSpillDemotedBytes.Add(uint64(len(e.cc.payload)))
+	}
+}
+
+// spillRead serves one file-granular range straight from the spill tier
+// (a single pread into a fresh GC-owned buffer — the caller may hand it
+// out under either the view or the copy contract). hits is the entry's
+// spill read count, the promotion policy's input.
+func (s *chunkStore) spillRead(key string, off, length uint64) (b []byte, hits int, ok bool) {
+	st := s.spill.Load()
+	if st == nil {
+		return nil, 0, false
+	}
+	b, hits, err := st.log.ReadAt(key, int64(off), int64(length))
+	if err != nil {
+		return nil, 0, false
+	}
+	st.hits.Add(1)
+	mSpillHits.Inc()
+	return b, hits, true
+}
+
+// spillLoad reads a whole chunk payload back out of the spill tier,
+// checksum-verified — the promotion (and restart-rewarm) read.
+func (s *chunkStore) spillLoad(key string) ([]byte, bool) {
+	st := s.spill.Load()
+	if st == nil {
+		return nil, false
+	}
+	b, err := st.log.Get(key)
+	if err != nil {
+		return nil, false
+	}
+	st.promos.Add(1)
+	st.hits.Add(1)
+	mSpillPromotions.Inc()
+	mSpillHits.Inc()
+	return b, true
+}
+
+// spillMissed records a read that found neither RAM nor spill and had to
+// go to a DIESEL server (only meaningful while spill is enabled).
+func (s *chunkStore) spillMissed() {
+	if st := s.spill.Load(); st != nil {
+		st.misses.Add(1)
+		mSpillMisses.Inc()
+	}
+}
+
+// spillStats snapshots the spill tier (zero value when disabled).
+func (s *chunkStore) spillStats() SpillStats {
+	st := s.spill.Load()
+	if st == nil {
+		return SpillStats{}
+	}
+	ls := st.log.Stats()
+	return SpillStats{
+		Enabled:      true,
+		Chunks:       ls.Entries,
+		Bytes:        ls.LiveBytes,
+		DiskBytes:    ls.DiskBytes,
+		Segments:     ls.Segments,
+		ManifestRecs: ls.ManifestRecords,
+		Hits:         st.hits.Load(),
+		Misses:       st.misses.Load(),
+		Demotions:    st.demotions.Load(),
+		DemotedBytes: st.demotedB.Load(),
+		Promotions:   st.promos.Load(),
+		Dropped:      ls.DroppedEntries,
+		RewarmChunks: st.rewarmed.Entries,
+		RewarmBytes:  st.rewarmed.Bytes,
+	}
+}
+
+// spillEachDataset folds per-dataset spilled bytes into acc.
+func (s *chunkStore) spillEachDataset(acc func(ds string, bytes int64)) {
+	st := s.spill.Load()
+	if st == nil {
+		return
+	}
+	st.log.Each(func(key string, size int64) {
+		if ds, _, ok := strings.Cut(key, "\x00"); ok {
+			acc(ds, size)
+		}
+	})
 }
 
 func (s *chunkStore) bytes() int64 { return s.used.Load() }

@@ -147,8 +147,8 @@ func TestEvictedChunkViewRemainsValid(t *testing.T) {
 	s := newChunkStore(victim.size() * 2)
 	s.put("victim", "", victim, nil)
 
-	entry := victim.ck.Header.Entries[0]
-	view, err := victim.fileView(meta.FileMeta{Offset: entry.Offset, Length: entry.Length})
+	// The builder packed a single file at offset 0 spanning the payload.
+	view, err := victim.fileView(meta.FileMeta{Offset: 0, Length: payloadSize})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -59,6 +59,15 @@ type StackConfig struct {
 	// (0 = unlimited).
 	SharedCacheBytes int64
 
+	// SpillDir, when non-empty, gives the task cache a local-SSD spill
+	// tier: single-task mode roots one spill log per simulated node under
+	// SpillDir/<node>; Jobs mode enables spill on the shared chunk cache
+	// at SpillDir directly. Evicted chunks then demote to disk instead of
+	// vanishing, and a restarted stack over the same directory rewarms.
+	SpillDir string
+	// SpillBytes bounds the spill tier's disk usage (0 = unlimited).
+	SpillBytes int64
+
 	// EpochReaders is the number of background pipelined epoch readers
 	// looping over the dataset during the run (soak-style ambient load).
 	EpochReaders int
@@ -221,6 +230,11 @@ func StartStack(cfg StackConfig) (*Stack, error) {
 			// own master election) but they share one chunk cache, so the
 			// second job's prefetch should find the first job's chunks.
 			st.Shared = dcache.NewSharedCache(cfg.SharedCacheBytes, 0, nil)
+			if cfg.SpillDir != "" {
+				if _, err := st.Shared.EnableSpill(cfg.SpillDir, cfg.SpillBytes); err != nil {
+					return fail(fmt.Errorf("loadgen: shared spill: %w", err))
+				}
+			}
 			for j := range cfg.Jobs {
 				task, err := dep.StartTask(core.TaskConfig{
 					Dataset:        st.dataset,
@@ -244,6 +258,8 @@ func StartStack(cfg StackConfig) (*Stack, error) {
 				Nodes:          cfg.TaskNodes,
 				ClientsPerNode: cfg.ClientsPerNode,
 				Policy:         dcache.Oneshot,
+				SpillDir:       cfg.SpillDir,
+				SpillBytes:     cfg.SpillBytes,
 				Dialer:         st.Gate.Dialer(),
 			})
 			if err != nil {
@@ -311,6 +327,9 @@ func (s *Stack) Close() {
 	}
 	for _, c := range s.Clients {
 		c.Close()
+	}
+	if s.Shared != nil {
+		s.Shared.Close() // leaves the shared spill manifest for a restart
 	}
 	if s.Dep != nil {
 		s.Dep.Close()
@@ -558,6 +577,10 @@ var trackedCounters = []string{
 	"diesel_wire_call_timeouts_total",
 	"diesel_dcache_master_deaths_total",
 	"diesel_dcache_master_revivals_total",
+	"diesel_dcache_spill_demotions_total",
+	"diesel_dcache_spill_hits_total",
+	"diesel_dcache_spill_promotions_total",
+	"diesel_dcache_spill_rewarmed_chunks_total",
 	"diesel_epoch_hedges_total",
 	"diesel_epoch_hedge_wins_total",
 	"diesel_epoch_deadline_trips_total",

@@ -15,4 +15,16 @@ func (t *Tiered) RegisterMetrics(reg *obs.Registry) {
 	reg.Func("diesel_objstore_fast_bytes",
 		"Bytes currently resident in the fast tier.",
 		func() float64 { return float64(t.FastBytes()) })
+	reg.FuncCounter("diesel_objstore_spill_hits_total",
+		"Reads answered by the server-side spill tier before reaching the slow tier.",
+		func() float64 { return float64(t.SpillStats().Hits) })
+	reg.FuncCounter("diesel_objstore_spill_demotions_total",
+		"Fast-tier eviction victims demoted to the server-side spill tier.",
+		func() float64 { return float64(t.SpillStats().Demotions) })
+	reg.Func("diesel_objstore_spill_bytes",
+		"Bytes currently resident in the server-side spill tier.",
+		func() float64 { return float64(t.SpillStats().Bytes) })
+	reg.FuncCounter("diesel_objstore_spill_rewarmed_total",
+		"Objects rewarmed from the spill manifest when the server restarted.",
+		func() float64 { return float64(t.SpillStats().RewarmEntries) })
 }

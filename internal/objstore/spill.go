@@ -1,0 +1,171 @@
+package objstore
+
+import (
+	"strings"
+	"sync/atomic"
+
+	"diesel/internal/spill"
+)
+
+// The server-side spill tier: a third level under the Tiered store's
+// fast/slow pair. When the fast tier (SSD cache) evicts an object under
+// capacity pressure, its bytes demote to an append-friendly spill log on
+// local disk instead of vanishing; reads that miss the fast tier check
+// the spill log before paying the slow tier's latency, and a restarted
+// diesel-server rewarms the log from its crash-safe manifest — the same
+// machinery (internal/spill) the dcache masters use, reused one level
+// down the storage hierarchy.
+type tieredSpill struct {
+	log       *spill.Log
+	hits      atomic.Uint64
+	demotions atomic.Uint64
+	rewarmed  spill.Recovered
+}
+
+// EnableSpill opens the spill tier under the fast tier in dir, bounded
+// to capacityBytes on disk (0 = unlimited), replaying any manifest a
+// previous server process left there. Call once, at deploy time.
+func (t *Tiered) EnableSpill(dir string, capacityBytes int64) (spill.Recovered, error) {
+	log, rec, err := spill.Open(spill.Config{Dir: dir, CapacityBytes: capacityBytes})
+	if err != nil {
+		return spill.Recovered{}, err
+	}
+	st := &tieredSpill{log: log, rewarmed: rec}
+	if !t.spill.CompareAndSwap(nil, st) {
+		log.Close()
+		return spill.Recovered{}, errSpillEnabled
+	}
+	return rec, nil
+}
+
+// TieredSpillStats snapshots the server-side spill tier.
+type TieredSpillStats struct {
+	Enabled       bool   `json:"enabled"`
+	Entries       int    `json:"entries"`
+	Bytes         int64  `json:"bytes"`
+	DiskBytes     int64  `json:"disk_bytes"`
+	Segments      int    `json:"segments"`
+	Hits          uint64 `json:"hits"`
+	Demotions     uint64 `json:"demotions"`
+	Dropped       uint64 `json:"dropped"`
+	RewarmEntries int    `json:"rewarm_entries"`
+	RewarmBytes   int64  `json:"rewarm_bytes"`
+}
+
+// SpillStats snapshots the spill tier (zero value when disabled).
+func (t *Tiered) SpillStats() TieredSpillStats {
+	st := t.spill.Load()
+	if st == nil {
+		return TieredSpillStats{}
+	}
+	ls := st.log.Stats()
+	return TieredSpillStats{
+		Enabled:       true,
+		Entries:       ls.Entries,
+		Bytes:         ls.LiveBytes,
+		DiskBytes:     ls.DiskBytes,
+		Segments:      ls.Segments,
+		Hits:          st.hits.Load(),
+		Demotions:     st.demotions.Load(),
+		Dropped:       ls.DroppedEntries,
+		RewarmEntries: st.rewarmed.Entries,
+		RewarmBytes:   st.rewarmed.Bytes,
+	}
+}
+
+// Close closes the spill log (if any), leaving its on-disk state for the
+// next incarnation to rewarm from.
+func (t *Tiered) Close() error {
+	if st := t.spill.Swap(nil); st != nil {
+		return st.log.Close()
+	}
+	return nil
+}
+
+// TierBytes is one dataset's residency across the fast and spill tiers.
+type TierBytes struct {
+	FastBytes  int64 `json:"fast_bytes"`
+	SpillBytes int64 `json:"spill_bytes"`
+}
+
+// PerDatasetBytes folds resident bytes by the dataset prefix of each
+// object key (server.ObjectKey shape: "dataset/chunkID") — the
+// per-dataset view the /debug/cache handler serves.
+func (t *Tiered) PerDatasetBytes() map[string]TierBytes {
+	out := make(map[string]TierBytes)
+	t.mu.Lock()
+	for el := t.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*tieredEntry)
+		ds, _, _ := strings.Cut(e.key, "/")
+		tb := out[ds]
+		tb.FastBytes += e.size
+		out[ds] = tb
+	}
+	t.mu.Unlock()
+	if st := t.spill.Load(); st != nil {
+		st.log.Each(func(key string, size int64) {
+			ds, _, _ := strings.Cut(key, "/")
+			tb := out[ds]
+			tb.SpillBytes += size
+			out[ds] = tb
+		})
+	}
+	return out
+}
+
+// spillGet serves a whole object from the spill tier, checksum-verified.
+func (t *Tiered) spillGet(key string) ([]byte, bool) {
+	st := t.spill.Load()
+	if st == nil {
+		return nil, false
+	}
+	b, err := st.log.Get(key)
+	if err != nil {
+		return nil, false
+	}
+	st.hits.Add(1)
+	return b, true
+}
+
+// spillGetRange serves a byte range of a spilled object by pread.
+func (t *Tiered) spillGetRange(key string, off, n int64) ([]byte, bool) {
+	st := t.spill.Load()
+	if st == nil {
+		return nil, false
+	}
+	size, ok := st.log.Size(key)
+	if !ok {
+		return nil, false
+	}
+	start, end, err := clampRange(size, off, n)
+	if err != nil {
+		return nil, false
+	}
+	b, _, err := st.log.ReadAt(key, start, end-start)
+	if err != nil {
+		return nil, false
+	}
+	st.hits.Add(1)
+	return b, true
+}
+
+// spillDemote pushes a fast-tier eviction victim down to the spill log.
+// Objects are immutable between Put/Delete (both of which spillRemove),
+// so a key already spilled costs no disk write.
+func (t *Tiered) spillDemote(key string, data []byte) {
+	st := t.spill.Load()
+	if st == nil {
+		return
+	}
+	if _, err := st.log.Add(key, data); err == nil {
+		st.demotions.Add(1)
+	}
+}
+
+// spillRemove invalidates a spilled object — persisted, so an overwrite
+// or delete is never resurrected by a later rewarm.
+func (t *Tiered) spillRemove(key string) {
+	if st := t.spill.Load(); st != nil {
+		st.log.Remove(key)
+	}
+}

@@ -1,0 +1,162 @@
+package objstore
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestTieredSpillAbsorbsEvictions: objects evicted from the fast tier
+// come back from the spill tier without touching the slow store.
+func TestTieredSpillAbsorbsEvictions(t *testing.T) {
+	fast, slow := NewMemory(), NewMemory()
+	tr := NewTiered(fast, slow, 2*100)
+	if _, err := tr.EnableSpill(t.TempDir(), 0); err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if _, err := tr.EnableSpill(t.TempDir(), 0); err == nil {
+		t.Fatal("second EnableSpill succeeded")
+	}
+
+	objs := map[string][]byte{}
+	for i := range 8 {
+		k := fmt.Sprintf("ds/chunk%02d", i)
+		objs[k] = bytes.Repeat([]byte{byte(i)}, 100)
+		if err := tr.Put(k, objs[k]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// First pass: every Get promotes, evicting earlier keys into spill.
+	for k := range objs {
+		if _, err := tr.Get(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := tr.SpillStats(); !st.Enabled || st.Demotions == 0 || st.Entries == 0 {
+		t.Fatalf("no demotions: %+v", st)
+	}
+	// Second pass: fast tier holds 2 objects, spill the rest; the slow
+	// store must not be consulted again.
+	slowGets := slow.Snapshot().Gets
+	for k, want := range objs {
+		got, err := tr.Get(k)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("Get(%s): %v", k, err)
+		}
+	}
+	if got := slow.Snapshot().Gets; got != slowGets {
+		t.Fatalf("second pass read the slow tier: %d -> %d gets", slowGets, got)
+	}
+	if st := tr.SpillStats(); st.Hits == 0 {
+		t.Fatalf("second pass recorded no spill hits: %+v", st)
+	}
+
+	// Ranges are served from spill too, without promotion.
+	var spilled string
+	for k := range objs {
+		if _, err := fast.Get(k); err != nil {
+			spilled = k
+			break
+		}
+	}
+	if spilled != "" {
+		slowGets = slow.Snapshot().Gets
+		got, err := tr.GetRange(spilled, 10, 20)
+		if err != nil || !bytes.Equal(got, objs[spilled][10:30]) {
+			t.Fatalf("GetRange(%s): %v", spilled, err)
+		}
+		if slow.Snapshot().Gets != slowGets {
+			t.Fatal("range read fell through to the slow tier")
+		}
+	}
+
+	per := tr.PerDatasetBytes()
+	if tb := per["ds"]; tb.FastBytes == 0 || tb.SpillBytes == 0 {
+		t.Fatalf("per-dataset accounting empty: %+v", per)
+	}
+}
+
+// TestTieredSpillInvalidation: Put and Delete must remove the spilled
+// copy, or a restart would serve stale bytes.
+func TestTieredSpillInvalidation(t *testing.T) {
+	dir := t.TempDir()
+	fast, slow := NewMemory(), NewMemory()
+	tr := NewTiered(fast, slow, 100)
+	if _, err := tr.EnableSpill(dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	old := bytes.Repeat([]byte{1}, 100)
+	tr.Put("ds/a", old)
+	tr.Get("ds/a")                               // promote
+	tr.Put("ds/b", bytes.Repeat([]byte{2}, 100)) // no effect on fast
+	tr.Get("ds/b")                               // evicts ds/a → spill
+	if st := tr.SpillStats(); st.Entries != 1 {
+		t.Fatalf("want ds/a spilled: %+v", st)
+	}
+	fresh := bytes.Repeat([]byte{9}, 100)
+	tr.Put("ds/a", fresh) // must invalidate the spilled copy
+	got, err := tr.Get("ds/a")
+	if err != nil || !bytes.Equal(got, fresh) {
+		t.Fatalf("Get after overwrite: %v", err)
+	}
+	tr.Close()
+
+	// Restart over the same dir: the overwritten entry must not come back.
+	tr2 := NewTiered(NewMemory(), slow, 100)
+	if _, err := tr2.EnableSpill(dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	defer tr2.Close()
+	got, err = tr2.Get("ds/a")
+	if err != nil || !bytes.Equal(got, fresh) {
+		t.Fatalf("post-restart Get: %v (stale spill copy?)", err)
+	}
+}
+
+// TestTieredSpillWarmRestart: a new Tiered over the same spill dir
+// serves previously demoted objects without slow-tier reads — the
+// server-side half of the warm-restart story.
+func TestTieredSpillWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	slow := NewMemory()
+	tr := NewTiered(NewMemory(), slow, 100)
+	if _, err := tr.EnableSpill(dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	objs := map[string][]byte{}
+	for i := range 6 {
+		k := fmt.Sprintf("ds/chunk%02d", i)
+		objs[k] = bytes.Repeat([]byte{byte(0x40 + i)}, 100)
+		tr.Put(k, objs[k])
+		tr.Get(k) // promote, evicting the previous key into spill
+	}
+	tr.Close()
+
+	tr2 := NewTiered(NewMemory(), slow, 100)
+	rec, err := tr2.EnableSpill(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr2.Close()
+	if rec.Entries < 5 {
+		t.Fatalf("rewarmed only %d entries", rec.Entries)
+	}
+	if st := tr2.SpillStats(); st.RewarmEntries != rec.Entries || st.RewarmBytes == 0 {
+		t.Fatalf("rewarm stats wrong: %+v", st)
+	}
+	slowGets := slow.Snapshot().Gets
+	served := 0
+	for k, want := range objs {
+		got, err := tr2.Get(k)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("post-restart Get(%s): %v", k, err)
+		}
+		served++
+	}
+	// At most one object (the last promoted, never evicted) may need the
+	// slow tier.
+	if got := slow.Snapshot().Gets; got > slowGets+1 {
+		t.Fatalf("restart refetched %d of %d objects from the slow tier", got-slowGets, served)
+	}
+}

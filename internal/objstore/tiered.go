@@ -2,8 +2,12 @@ package objstore
 
 import (
 	"container/list"
+	"errors"
 	"sync"
+	"sync/atomic"
 )
+
+var errSpillEnabled = errors.New("objstore: spill tier already enabled")
 
 // Tiered layers a bounded fast store (SSD) over a slow store (HDD),
 // implementing the DIESEL server cache of Figure 4: reads check the fast
@@ -23,6 +27,11 @@ type Tiered struct {
 
 	// Hits and Misses count fast-tier outcomes for experiments.
 	Hits, Misses uint64
+
+	// spill, when set (EnableSpill), is the local-disk tier under the
+	// fast tier: eviction victims demote there and are served back by
+	// pread before the slow tier is consulted. See spill.go.
+	spill atomic.Pointer[tieredSpill]
 }
 
 type tieredEntry struct {
@@ -52,6 +61,7 @@ func (t *Tiered) Put(key string, data []byte) error {
 		t.removeLocked(el)
 	}
 	t.mu.Unlock()
+	t.spillRemove(key)
 	return t.fast.Delete(key)
 }
 
@@ -73,6 +83,13 @@ func (t *Tiered) Get(key string) ([]byte, error) {
 			return b, nil
 		}
 		// Fast tier lied (e.g. wiped externally); fall through to slow.
+	}
+	// The spill tier answers before the slow tier pays HDD latency: a
+	// previously evicted (or pre-restart) object comes back checksum-
+	// verified from local disk and is re-promoted into the fast tier.
+	if b, ok := t.spillGet(key); ok {
+		t.promote(key, b)
+		return b, nil
 	}
 	b, err := t.slow.Get(key)
 	if err != nil {
@@ -99,6 +116,10 @@ func (t *Tiered) GetRange(key string, off, n int64) ([]byte, error) {
 		if b, err := t.fast.GetRange(key, off, n); err == nil {
 			return b, nil
 		}
+	}
+	// Like the fast tier, the spill tier serves ranges without promoting.
+	if b, ok := t.spillGetRange(key, off, n); ok {
+		return b, nil
 	}
 	return t.slow.GetRange(key, off, n)
 }
@@ -131,6 +152,14 @@ func (t *Tiered) promote(key string, data []byte) {
 	t.mu.Unlock()
 
 	for _, k := range evict {
+		// Demote-on-evict: hand the victim's bytes to the spill tier
+		// before they leave the fast tier (a no-op without one, and a
+		// write-free index touch when the key was spilled before).
+		if t.spill.Load() != nil {
+			if b, err := t.fast.Get(k); err == nil {
+				t.spillDemote(k, b)
+			}
+		}
 		t.fast.Delete(k)
 	}
 	t.fast.Put(key, data)
@@ -151,6 +180,7 @@ func (t *Tiered) Delete(key string) error {
 		t.removeLocked(el)
 	}
 	t.mu.Unlock()
+	t.spillRemove(key)
 	t.fast.Delete(key)
 	return t.slow.Delete(key)
 }

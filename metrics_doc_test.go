@@ -59,9 +59,8 @@ func registerAllMetricFamilies(t *testing.T) {
 	for _, kv := range st.Dep.KVServers() {
 		kv.RegisterMetrics(reg)
 	}
-	if tiered := st.Dep.Tiered(); tiered != nil {
-		tiered.RegisterMetrics(reg)
-	}
+	// The tiered store's families (fast tier + spill tier) register inside
+	// core.Deploy — no hand-wiring here.
 	st.Dep.Server().SetTenantQuota("doc-tenant", server.TenantQuota{QPS: 1000})
 
 	// The slo package's families: the engine's breach counter and the
